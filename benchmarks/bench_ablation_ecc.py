@@ -1,0 +1,19 @@
+"""Ablation bench: SECDED vs chipkill vs nothing over the observed errors."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_ecc(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "ablation_ecc", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    none_sdc = rows["none"][3]
+    secded_sdc = rows["secded"][3]
+    chipkill_sdc = rows["chipkill"][3]
+    # Unprotected: every corruption is SDC.  SECDED leaves the >2-bit
+    # escapes.  Chipkill-class symbol ECC does strictly better.
+    assert none_sdc == rows["none"][1] + rows["none"][2] + none_sdc
+    assert 0 < secded_sdc < 10
+    assert chipkill_sdc <= secded_sdc
+    # Both codes correct every single-bit error in the population.
+    assert rows["secded"][1] >= 2000

@@ -1,0 +1,18 @@
+"""Ablation bench: ECC storage-overhead vs SDC frontier."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_ecc_overhead(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("ablation_ecc_overhead", analysis),
+        rounds=2,
+        iterations=1,
+    )
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    assert rows["none"][4] > 1_000                    # everything is SDC
+    assert rows["secded (39,32)"][4] < 10             # a few escapes
+    assert rows["chipkill x4 (32b)"][4] == 0          # none escape
+    assert rows["secded (39,32)"][5] == "no"          # dominated by (72,64)

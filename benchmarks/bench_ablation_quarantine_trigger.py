@@ -1,0 +1,15 @@
+"""Ablation bench: quarantine eagerness (Sec IV's core argument)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_quarantine_trigger(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "ablation_quarantine_trigger", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    eager = rows["eager (>3 errors in 24h, paper)"]
+    history = rows["long history (>50 errors in 24h)"]
+    # Quarantining on first abnormal behaviour beats waiting for a long
+    # failure history: fewer surviving errors, higher MTBF.
+    assert eager[1] < history[1]
+    assert eager[3] > history[3] * 2

@@ -1,0 +1,16 @@
+"""Ablation bench: emergent statistics across fresh seeds."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_seed_stability(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("ablation_seed_stability", analysis),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    for seed, passing, total, failing in result.rows:
+        # Allow at most one boundary claim to fluctuate per seed.
+        assert passing >= total - 1, f"seed {seed} failing: {failing}"

@@ -1,0 +1,16 @@
+"""Ablation bench: the bit swizzle behind non-adjacent multi-bit flips."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_swizzle(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "ablation_swizzle", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    identity = rows["identity (no scrambling)"]
+    default = rows["interleaved stride 3 (default)"]
+    # Without scrambling, adjacent-line strikes stay adjacent; with it,
+    # they never do — the paper's Table I non-adjacency mechanism.
+    assert identity[1] == "100.0%"
+    assert default[1] == "0.0%"
+    assert default[3] > identity[3]  # larger logical gaps

@@ -1,0 +1,16 @@
+"""Fig 1 bench: hours each node was scanned (63x15 coverage grid)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_hours_scanned(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig01", analysis)
+    save_result(result)
+    rows = dict((r[0], r[2]) for r in result.rows)
+    assert rows["nodes scanned"] == 923
+    assert 4000 <= rows["median node hours"] <= 6000
+    assert rows["login slots with zero hours"] == 9
+    # The SoC-12 column lost its powered-off months.
+    assert rows["SoC-12 column median hours (depressed)"] < rows[
+        "other columns median hours"
+    ]

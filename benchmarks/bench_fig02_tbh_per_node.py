@@ -1,0 +1,14 @@
+"""Fig 2 bench: terabyte-hours of memory analyzed per node."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig02_tbh_per_node(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig02", analysis)
+    save_result(result)
+    rows = dict((r[0], r[2]) for r in result.rows)
+    # Paper: 12,135 TBh total, ~15 TBh per typical node, strong
+    # correlation with the Fig 1 hours map.
+    assert abs(rows["total TB-hours"] - 12_135) / 12_135 < 0.05
+    assert 12.0 <= rows["median node TB-hours"] <= 18.0
+    assert float(rows["correlation with Fig 1 hours"].split("=")[1]) > 0.95

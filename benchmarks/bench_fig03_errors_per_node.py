@@ -1,0 +1,15 @@
+"""Fig 3 bench: independent memory errors per node (log-scale map)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig03_errors_per_node(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig03", analysis)
+    save_result(result)
+    rows = dict((r[0], r[2]) for r in result.rows)
+    # Paper: most nodes clean, most faulty nodes have exactly one error,
+    # a handful of hot spots reach thousands.
+    assert rows["nodes with zero errors"] > 850
+    assert rows["nodes with exactly one error"] >= 5
+    assert rows["nodes with >=1000 errors"] == 3
+    assert rows["max errors on one node"] > 50_000

@@ -1,0 +1,17 @@
+"""Fig 4 bench: per-word vs per-node multi-bit error counts."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig04_simultaneous(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig04", analysis)
+    save_result(result)
+    series = {bits: (per_word, per_node) for bits, per_word, per_node in result.rows}
+    # Paper: per-node multi-bit orders of magnitude above per-word
+    # multi-bit; per-node single-bit *below* per-word single-bit.
+    assert series[2][1] > series[2][0] * 50
+    assert series[1][1] < series[1][0]
+    # Totals conserved between views ("keeping the total number of
+    # corruptions constant").
+    sim = analysis.sim_stats
+    assert sim.n_simultaneous_corruptions > 26_000

@@ -1,0 +1,15 @@
+"""Fig 5 bench: errors per hour of day by corrupted-bit count."""
+
+import numpy as np
+
+from repro.experiments import run_experiment
+
+
+def test_fig05_hourly(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig05", analysis)
+    save_result(result)
+    assert len(result.rows) == 24
+    single = np.array([row[1] for row in result.rows], dtype=float)
+    # Paper: single-bit errors show no particular time-of-day structure.
+    cv = float(np.std(single) / np.mean(single))
+    assert cv < 0.5, f"single-bit hourly profile too structured (cv={cv:.2f})"

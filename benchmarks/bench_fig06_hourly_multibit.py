@@ -1,0 +1,16 @@
+"""Fig 6 bench: multi-bit errors per hour of day (the noon bell)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig06_hourly_multibit(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig06", analysis)
+    save_result(result)
+    counts = {hour: n for hour, n in result.rows}
+    day = sum(counts[h] for h in range(7, 18))
+    night = sum(counts.values()) - day
+    # Paper: daytime multi-bit count about double the night count, with
+    # the peak when the sun is highest.
+    assert 1.5 < day / night < 3.5
+    peak = max(counts, key=counts.get)
+    assert 9 <= peak <= 15

@@ -1,0 +1,14 @@
+"""Fig 7 bench: errors vs node temperature."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig07_temperature(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig07", analysis)
+    save_result(result)
+    # Paper: the mass sits at 30-40 C; a small population exceeds 60 C.
+    note_30_40 = result.notes[0]
+    frac = float(note_30_40.split(":")[1].strip().split("%")[0])
+    assert frac > 50.0
+    over_60 = [row for row in result.rows if float(row[0].split("-")[0]) >= 60]
+    assert over_60, "expected a small >60C error population"

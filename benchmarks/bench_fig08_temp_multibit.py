@@ -1,0 +1,14 @@
+"""Fig 8 bench: multi-bit errors vs node temperature (all nominal)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig08_temp_multibit(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig08", analysis)
+    save_result(result)
+    # Paper: every multi-bit error with telemetry sits at nominal
+    # temperature — no multi-bit error above 50 C.
+    for row in result.rows:
+        low = float(row[0].split("-")[0])
+        if low >= 50:
+            assert sum(row[1:]) == 0

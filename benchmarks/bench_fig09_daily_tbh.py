@@ -1,0 +1,17 @@
+"""Fig 9 bench: memory scanned per day (seasonal shape)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_daily_tbh(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig09", analysis)
+    save_result(result)
+    months = dict(result.rows)
+    # Paper: intense scanning August/September/December (vacations),
+    # lower April-July (end of the academic year).
+    vacation = (months["2015-08"] + months["2015-09"]) / 2
+    spring = (
+        months["2015-04"] + months["2015-05"] + months["2015-06"]
+    ) / 3
+    assert vacation > spring * 1.8
+    assert months["2015-12"] > spring * 1.3

@@ -1,0 +1,17 @@
+"""Fig 10 bench: errors per day over the study (autumn concentration)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_daily_errors(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig10", analysis)
+    save_result(result)
+    by_month = {m: s for m, s, _ in result.rows}
+    # Paper: more memory errors September-December, fewer in the first
+    # half of the year.
+    autumn = sum(by_month[m] for m in ("2015-09", "2015-10", "2015-11"))
+    first_half = sum(
+        by_month[m]
+        for m in ("2015-02", "2015-03", "2015-04", "2015-05", "2015-06")
+    )
+    assert autumn > first_half * 10

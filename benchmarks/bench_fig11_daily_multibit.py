@@ -1,0 +1,16 @@
+"""Fig 11 bench: multi-bit errors per day (rare, November cluster)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig11_daily_multibit(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig11", analysis)
+    save_result(result)
+    total = sum(n for _, n in result.rows)
+    assert total == 85
+    november = sum(n for date, n in result.rows if date.startswith("2015-11"))
+    # Paper: several days of unusually high multi-bit rates in November.
+    assert november >= 15
+    # The >3-bit faults include two same-day pairs (March and May).
+    pair_note = result.notes[1]
+    assert "2015-03-14" in pair_note and "2015-05-22" in pair_note

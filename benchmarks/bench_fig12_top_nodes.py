@@ -1,0 +1,19 @@
+"""Fig 12 bench: errors per day for the three hottest nodes."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_top_nodes(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig12", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    # Paper: 02-04 carries >50,000 errors peaking above 1000/day, with
+    # >11,000 addresses; the two weak-bit nodes show one identical error.
+    node, errors, peak, addresses, patterns, diagnosis = rows["02-04"]
+    assert errors > 50_000
+    assert peak > 1_000
+    assert addresses > 11_000
+    assert diagnosis == "component"
+    for weak in ("04-05", "58-02"):
+        assert rows[weak][3] == 1  # single address
+        assert rows[weak][5] == "weak-bit"

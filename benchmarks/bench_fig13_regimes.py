@@ -1,0 +1,15 @@
+"""Fig 13 bench: normal/degraded regime classification + MTBFs."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_regimes(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "fig13", analysis)
+    save_result(result)
+    reg = analysis.regimes
+    # Paper: 77 degraded vs 348 normal days; MTBF 167 h vs 0.39 h.
+    assert 60 <= reg.n_degraded <= 100
+    assert abs(reg.mtbf_normal_hours - 167.0) / 167.0 < 0.15
+    assert abs(reg.mtbf_degraded_hours - 0.39) < 0.2
+    # The two regimes differ by nearly three orders of magnitude.
+    assert reg.mtbf_normal_hours / reg.mtbf_degraded_hours > 250

@@ -1,0 +1,30 @@
+"""Future-work benches: SoC-12 stress test and the component swap."""
+
+from repro.experiments import run_experiment
+
+
+def test_futurework_stress(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("futurework_stress", analysis), rounds=1, iterations=1
+    )
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    # Heat-damaged slots error far above the background fleet, and the
+    # stress configuration multiplies their monitored hours.
+    assert rows["SoC-12 slots"][2] > rows["rest of machine"][2] * 10
+    note = result.notes[0]
+    baseline_h = float(note.split(":")[1].split("baseline")[0].replace(",", ""))
+    stressed_h = float(note.split("->")[1].split("stressed")[0].replace(",", ""))
+    assert stressed_h > baseline_h * 1.5
+
+
+def test_futurework_swap(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("futurework_swap", analysis), rounds=1, iterations=1
+    )
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    before, after = rows["before swap"], rows["after swap"]
+    # The corruption signature follows the component to the partner node.
+    assert before[1] > 0 and before[3] == 0
+    assert after[1] == 0 and after[3] > before[1]

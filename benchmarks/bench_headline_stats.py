@@ -1,0 +1,20 @@
+"""Headline bench: the abstract/Sec III-B numbers, paper vs measured."""
+
+from repro.experiments import run_experiment
+
+
+def test_headline_stats(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "headline", analysis)
+    save_result(result)
+    report = analysis.report()
+    assert report.n_raw_error_lines > 25_000_000
+    assert report.removed_node_line_fraction > 0.98
+    assert report.n_independent_errors > 55_000
+    assert abs(report.total_node_hours - 4.2e6) / 4.2e6 < 0.05
+    assert abs(report.total_terabyte_hours - 12_135) / 12_135 < 0.05
+    assert report.n_multibit_per_word == 85
+    assert report.n_double_bit == 76
+    assert report.n_beyond_double == 9
+    assert 0.85 < report.one_to_zero_fraction < 0.95
+    assert report.max_bit_distance == 11
+    assert report.max_bits_per_event == 36

@@ -1,0 +1,11 @@
+"""Performance bench: end-to-end campaign simulation throughput."""
+
+from repro.faultinjection import quick_campaign_config, run_campaign
+
+
+def test_perf_quick_campaign(benchmark):
+    """The 120-day quick campaign, end to end (sessions + all models)."""
+    result = benchmark.pedantic(
+        run_campaign, args=(quick_campaign_config(),), rounds=1, iterations=1
+    )
+    assert result.n_observations > 10_000

@@ -1,0 +1,15 @@
+"""Performance bench: extraction over the full study's raw records."""
+
+from repro.analysis.extraction import collapse_repeats, extract
+
+
+def test_perf_collapse_repeats(benchmark, analysis):
+    frame = analysis.campaign.raw_frame()
+    errors = benchmark(collapse_repeats, frame)
+    assert len(errors) > 50_000
+
+
+def test_perf_full_extract(benchmark, analysis):
+    frame = analysis.campaign.raw_frame()
+    result = benchmark.pedantic(extract, args=(frame,), rounds=2, iterations=1)
+    assert result.removed_node is not None

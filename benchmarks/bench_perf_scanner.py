@@ -1,0 +1,27 @@
+"""Performance bench: the bit-accurate scanner's verify throughput.
+
+The scan loop is the hot path of the bit-accurate simulator; it must be
+NumPy-bound (one vectorized compare per pass), not Python-bound.
+"""
+
+from repro.dram import BitSwizzle, make_device
+from repro.scanner import AlternatingPattern, MemoryScanner
+
+
+def test_perf_scanner_16mb_clean_pass(benchmark):
+    device = make_device(16, swizzle=BitSwizzle.identity())
+    scanner = MemoryScanner(device, AlternatingPattern(), node="05-05")
+
+    def one_session():
+        return scanner.run(start_hours=0.0, max_iterations=4)
+
+    result = benchmark(one_session)
+    assert result.errors == []
+    assert result.iterations == 4
+
+
+def test_perf_device_read_block(benchmark):
+    device = make_device(64, swizzle=BitSwizzle.identity())
+    device.fill(0xFFFFFFFF)
+    out = benchmark(device.read_block)
+    assert out.shape[0] == device.n_words

@@ -1,0 +1,19 @@
+"""Sec I/VI bench: extreme-scale projection of the measured rates."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec1_exascale_projection(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "sec1_exascale_projection", analysis)
+    save_result(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+    # The unprotected prototype cannot scale: at 100k nodes no useful
+    # work survives; ECC at 100k lands near the paper's 2-hour example.
+    assert rows[("unprotected", "100,000")][4] == "100.0%"
+    ecc_mtbf = float(rows[("ecc-crash", "100,000")][2].split()[0])
+    assert 1.0 < ecc_mtbf < 5.0
+    # Quarantine strictly dominates raw at every scale.
+    for n in ("923", "10,000", "100,000"):
+        raw = float(rows[("unprotected", n)][4].rstrip("%"))
+        q = float(rows[("quarantine", n)][4].rstrip("%"))
+        assert q <= raw

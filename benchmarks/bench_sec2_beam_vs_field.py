@@ -1,0 +1,17 @@
+"""Sec I/II bench: accelerated beam test vs the field campaign."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec2_beam_vs_field(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("sec2_beam_vs_field", analysis), rounds=1, iterations=1
+    )
+    save_result(result)
+    rows = dict(result.rows)
+    background_ratio = float(rows["background / prediction"].rstrip("x"))
+    total_ratio = float(rows["total / prediction"].replace(",", "").rstrip("x"))
+    # The beam gets the physics right (same order of magnitude) but
+    # misses the field total by orders of magnitude.
+    assert 0.3 < background_ratio < 5.0
+    assert total_ratio > 500.0

@@ -1,0 +1,19 @@
+"""Sec III-C bench: physical alignment of simultaneous corruptions."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec3c_alignment(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("sec3c_alignment", analysis), rounds=2, iterations=1
+    )
+    save_result(result)
+    rows = dict((r[0], r[1]) for r in result.rows)
+    aligned = float(rows["groups confined to one physical column"].rstrip("%"))
+    baseline = float(rows["random-pairing baseline (same column)"].rstrip("%"))
+    # Most groups are column-aligned, far beyond the random baseline, yet
+    # logically span gigabytes ("different regions of the memory").
+    assert aligned > 50.0
+    assert aligned > baseline * 3
+    spread_mb = float(rows["median logical spread within a group"].split()[0])
+    assert spread_mb > 100.0

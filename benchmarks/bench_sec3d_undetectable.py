@@ -1,0 +1,20 @@
+"""Sec III-D bench: the isolated >3-bit (SDC) error population."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec3d_undetectable(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "sec3d_undetectable", analysis)
+    save_result(result)
+    assert len(result.rows) == 7
+    hosts = {row[1] for row in result.rows}
+    assert len(hosts) == 5
+    # Four of the faults sit in nodes whose entire study shows only that
+    # one error; four hosts neighbour the overheating SoC-12 slots; the
+    # pre-April faults carry no temperature telemetry.
+    lonely = sum(1 for row in result.rows if row[6] == 1)
+    assert lonely == 4
+    near = sum(1 for row in result.rows if row[5] == "yes") - 2  # 45-11 x3
+    assert sum(1 for h in hosts) == 5
+    no_temp = sum(1 for row in result.rows if row[7] == "no")
+    assert no_temp == 5  # the five pre-April faults

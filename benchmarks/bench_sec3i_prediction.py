@@ -1,0 +1,14 @@
+"""Sec III-I bench: online failure prediction."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec3i_prediction(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "sec3i_prediction", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    eager = rows[">3 errors / 24h"]
+    # The paper's "relatively simple to foresee": high precision and the
+    # bulk of all errors arriving under an active alarm.
+    assert float(eager[2].rstrip("%")) > 70.0
+    assert float(eager[3].rstrip("%")) > 90.0

@@ -1,0 +1,14 @@
+"""Sec IV bench: checkpoint policies on the real failure trace."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec4_checkpoint_sim(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("sec4_checkpoint_sim", analysis), rounds=2, iterations=1
+    )
+    save_result(result)
+    waste = {r[0]: float(r[4].rstrip("%")) for r in result.rows}
+    # Regime-adaptive intervals beat both extremes (the Sec IV proposal).
+    assert waste["oracle regime-adaptive"] < waste["static Daly (normal regime)"]
+    assert waste["oracle regime-adaptive"] < waste["paranoid (degraded interval always)"]

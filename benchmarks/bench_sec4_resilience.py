@@ -1,0 +1,19 @@
+"""Sec IV bench: page retirement, adaptive checkpointing, placement."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec4_resilience(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "sec4_resilience", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    # Paper's dichotomy: retirement nearly cures the weak-bit nodes but
+    # cannot keep up with the degrading node's scattered corruption.
+    for weak in ("04-05", "58-02"):
+        assert float(rows[weak][3].rstrip("%")) > 90.0
+    assert float(rows["02-04"][3].rstrip("%")) < 80.0
+    # Adaptive checkpointing saves waste (note text carries the numbers).
+    ckpt_note = next(n for n in result.notes if "adaptive checkpoint" in n)
+    static = float(ckpt_note.split("waste")[1].split("%")[0])
+    adaptive = float(ckpt_note.split("vs")[-1].split("%")[0])
+    assert adaptive < static

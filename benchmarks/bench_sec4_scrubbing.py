@@ -1,0 +1,14 @@
+"""Sec IV bench: scrub-period sweep over the study's error stream."""
+
+from repro.experiments import run_experiment
+
+
+def test_sec4_scrubbing(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "sec4_scrubbing", analysis)
+    save_result(result)
+    counts = [r[1] for r in result.rows]
+    # Exposure grows monotonically with the scrub period, and even the
+    # tightest period cannot fully protect the weak-bit words.
+    assert counts == sorted(counts)
+    assert counts[0] > 0
+    assert counts[-1] > counts[0] * 3

@@ -1,0 +1,13 @@
+"""Table I bench: the complete per-word multi-bit corruption catalogue."""
+
+from repro.experiments import run_experiment
+from repro.faultinjection.catalogue import TABLE_I
+
+
+def test_table1_multibit(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "table1", analysis)
+    save_result(result)
+    # Every one of the paper's 18 patterns with exact occurrence counts.
+    assert len(result.rows) == len(TABLE_I)
+    assert all(r[3] == r[4] for r in result.rows), "occurrences must match paper"
+    assert f"{len(TABLE_I)}/{len(TABLE_I)} patterns match" in result.notes[0]

@@ -1,0 +1,20 @@
+"""Table II bench: system MTBF for different quarantine periods."""
+
+from repro.experiments import run_experiment
+
+
+def test_table2_quarantine(benchmark, analysis, save_result):
+    result = benchmark(run_experiment, "table2", analysis)
+    save_result(result)
+    rows = {r[0]: r for r in result.rows}
+    q0, q30 = rows[0], rows[30]
+    # Paper row 0: 4779 errors, 2.1 h MTBF; row 30: 65 errors, 156.9 h.
+    assert q0[1] > 3_000
+    assert abs(q0[5] - 2.1) < 0.7
+    assert q30[1] < q0[1] / 30
+    assert q30[5] > 100.0
+    # Node-day cost grows with the quarantine length but stays tiny.
+    assert q30[3] <= 400
+    # MTBF improves monotonically enough that 30 days is the best row.
+    mtbfs = [rows[q][5] for q in (0, 5, 10, 15, 20, 25, 30)]
+    assert mtbfs[-1] == max(mtbfs)

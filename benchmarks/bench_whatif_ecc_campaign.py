@@ -1,0 +1,19 @@
+"""What-if bench: the study's year replayed on a SECDED machine."""
+
+from repro.experiments import run_experiment
+
+
+def test_whatif_ecc_campaign(benchmark, analysis, save_result):
+    result = benchmark.pedantic(
+        run_experiment, args=("whatif_ecc_campaign", analysis), rounds=2, iterations=1
+    )
+    save_result(result)
+    rows = dict(result.rows)
+    corrected = rows["ECC corrections (invisible to users)"]
+    detected = rows["machine-check crashes (detected uncorrectable)"]
+    sdc = rows["silent corruptions escaping ECC"]
+    # The overwhelming majority of raw faults would have been silently
+    # corrected; ~76 doubles crash; a handful escape.
+    assert corrected > 50_000
+    assert 70 <= detected <= 90
+    assert 1 <= sdc <= 15

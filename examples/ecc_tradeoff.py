@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""ECC design study: what protection would the study's errors need?
+
+Replays the observed error population — every Table I multi-bit fault plus
+a sample of the single-bit majority — through three protection levels:
+nothing (the prototype), (39,32) Hamming SECDED, and a 4-bit-symbol
+chipkill code.  Every decode is performed by the real codecs in
+``repro.ecc`` (honest miscorrection included), so the SDC column is a
+measurement, not an assumption.
+
+Run:  python examples/ecc_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro.core import bitops
+from repro.core.events import MemoryError_
+from repro.ecc import CHIPKILL_32, SECDED_32, compare_schemes
+from repro.faultinjection.catalogue import TABLE_I
+
+
+def catalogue_errors() -> list[MemoryError_]:
+    errors = []
+    t = 0.0
+    for p in TABLE_I:
+        for _ in range(p.occurrences):
+            errors.append(
+                MemoryError_(
+                    node="xx-xx",
+                    first_seen_hours=t,
+                    last_seen_hours=t,
+                    virtual_address=0,
+                    physical_page=0,
+                    expected=p.expected,
+                    actual=p.corrupted,
+                )
+            )
+            t += 1.0
+    return errors
+
+
+def main() -> None:
+    errors = catalogue_errors()
+    schemes = compare_schemes(errors)
+
+    print("protection outcomes over the study's 85 multi-bit faults:\n")
+    print(f"{'scheme':>10} {'corrected':>10} {'detected':>9} {'SDC':>5}")
+    for name, summary in schemes.items():
+        print(
+            f"{name:>10} {summary.corrected:>10} {summary.detected:>9} "
+            f"{summary.sdc:>5}"
+        )
+
+    print("\nper-pattern detail (the paper's Table I through real codecs):")
+    print(f"{'expected':>12} {'corrupted':>12} {'bits':>5} {'SECDED':>13} {'chipkill':>13}")
+    for p in TABLE_I:
+        mask = p.expected ^ p.corrupted
+        s = SECDED_32.decode_flips(p.expected, mask).status.value
+        c = CHIPKILL_32.decode_flips(p.expected, mask).status.value
+        print(
+            f"{bitops.format_word(p.expected):>12} "
+            f"{bitops.format_word(p.corrupted):>12} {p.n_bits:>5} "
+            f"{s:>13} {c:>13}"
+        )
+
+    print(
+        "\ntakeaways: SECDED detects every double but corrects none of "
+        "them; the >3-bit faults can miscorrect or alias (SDC); the "
+        "symbol code corrects anything confined to one 4-bit chip, which "
+        "is why chipkill-class ECC is the field standard the related "
+        "work measures at ~42x lower failure rates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Operator forensics: diagnose failing nodes from their error logs.
+
+The study's Sec III-H showed that per-node error signatures separate root
+causes: thousands of scattered addresses point at a failing component,
+while a single identical corruption repeated for months is a weak bit —
+and each calls for a different remedy (replacement vs page retirement).
+
+This example runs the campaign, ranks the hottest nodes, prints their
+signatures, and evaluates page retirement on each.
+
+Run:  python examples/node_forensics.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import spatial
+from repro.analysis.report import StudyAnalysis
+from repro.faultinjection import (
+    paper_campaign_config,
+    quick_campaign_config,
+    run_campaign,
+)
+from repro.resilience import PageRetirementSimulator
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--top", type=int, default=5)
+    args = parser.parse_args()
+
+    config = quick_campaign_config() if args.quick else paper_campaign_config()
+    analysis = StudyAnalysis(run_campaign(config))
+    counts = analysis.errors_by_node
+
+    print(f"{len(analysis.errors):,} independent errors across "
+          f"{len(counts)} nodes\n")
+
+    conc = spatial.concentration_stats(
+        counts, analysis.campaign.registry.n_scanned
+    )
+    print(
+        f"spatial concentration: {conc.nodes_for_999} nodes "
+        f"({conc.node_fraction:.2%} of the machine) hold "
+        f"{conc.top_fraction:.2%} of all errors\n"
+    )
+
+    retire = PageRetirementSimulator(threshold=2)
+    per_node_retire = {s.node: s for s in retire.per_node(analysis.frame)}
+
+    header = (
+        f"{'node':>6} {'errors':>7} {'addresses':>10} {'patterns':>9} "
+        f"{'1->0':>6} {'diagnosis':>10} {'retirement helps':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    for node, n in spatial.top_nodes(counts, args.top):
+        f = spatial.node_forensics(analysis.errors, node)
+        r = per_node_retire.get(node)
+        helps = f"{r.avoided_fraction:.0%}" if r else "n/a"
+        print(
+            f"{node:>6} {n:>7,} {f.n_distinct_addresses:>10,} "
+            f"{f.n_distinct_patterns:>9} {f.one_to_zero_fraction:>6.0%} "
+            f"{f.likely_cause:>10} {helps:>17}"
+        )
+
+    print(
+        "\noperator guidance (per the paper): replace 'component' nodes, "
+        "retire pages on 'weak-bit' nodes, watch 'transient' nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

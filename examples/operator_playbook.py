@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Operator playbook: turn the study's findings into running policy.
+
+Given a year of error logs, this example derives the three operational
+levers the paper proposes in Sec IV:
+
+1. quarantine tuning — sweep the quarantine length (Table II) and pick
+   the knee of the MTBF-vs-availability curve;
+2. adaptive checkpointing — compute Daly-optimal intervals for the
+   normal and degraded regimes and the waste saved by switching;
+3. failure-aware placement — quantify how much a large job gains by
+   avoiding the handful of nodes with error history.
+
+Run:  python examples/operator_playbook.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import StudyAnalysis
+from repro.faultinjection import (
+    paper_campaign_config,
+    quick_campaign_config,
+    run_campaign,
+)
+from repro.resilience import (
+    FailureAwareScheduler,
+    RegimePolicy,
+    histories_from_counts,
+    table2,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--checkpoint-cost-min", type=float, default=3.0)
+    args = parser.parse_args()
+
+    config = quick_campaign_config() if args.quick else paper_campaign_config()
+    analysis = StudyAnalysis(run_campaign(config))
+
+    # 1. quarantine sweep (Table II).
+    print("1) quarantine sweep (permanently failing node excluded):\n")
+    outcomes = table2(
+        analysis.frame,
+        analysis.campaign.study_hours,
+        exclude_node=config.degrading.node,
+    )
+    print(f"{'days':>5} {'errors':>7} {'node-days':>10} {'MTBF (h)':>9} {'avail. loss':>12}")
+    for o in outcomes:
+        print(
+            f"{o.quarantine_days:>5.0f} {o.n_errors:>7} "
+            f"{o.node_days_in_quarantine:>10.0f} {o.system_mtbf_hours:>9.1f} "
+            f"{o.availability_loss:>12.3%}"
+        )
+    best = max(outcomes, key=lambda o: o.system_mtbf_hours)
+    print(
+        f"\n   recommended: {best.quarantine_days:.0f}-day quarantine "
+        f"({best.system_mtbf_hours:.0f} h MTBF at "
+        f"{best.availability_loss:.3%} availability cost)"
+    )
+
+    # 2. adaptive checkpointing.
+    reg = analysis.regimes
+    policy = RegimePolicy(
+        checkpoint_cost_hours=args.checkpoint_cost_min / 60.0,
+        mtbf_normal_hours=reg.mtbf_normal_hours,
+        mtbf_degraded_hours=max(reg.mtbf_degraded_hours, 0.1),
+    )
+    frac = reg.n_degraded / reg.n_days
+    print("\n2) checkpoint-interval adaptation:\n")
+    print(f"   normal regime MTBF {reg.mtbf_normal_hours:.0f} h  -> "
+          f"checkpoint every {policy.interval_normal:.1f} h")
+    print(f"   degraded regime MTBF {reg.mtbf_degraded_hours:.2f} h -> "
+          f"checkpoint every {policy.interval_degraded * 60:.0f} min")
+    print(
+        f"   waste with a static interval: {policy.static_waste(frac):.1%}; "
+        f"adapting per regime: {policy.adaptive_waste(frac):.1%}"
+    )
+
+    # 3. failure-aware placement.
+    print("\n3) failure-aware job placement:\n")
+    histories = histories_from_counts(
+        analysis.errors_by_node, analysis.campaign.monitored_hours_by_node()
+    )
+    scheduler = FailureAwareScheduler(histories, flag_threshold=2)
+    for job_nodes, job_hours in ((128, 12.0), (512, 24.0)):
+        cmp = scheduler.compare(job_nodes, job_hours, n_trials=300)
+        print(
+            f"   {job_nodes} nodes x {job_hours:.0f} h: "
+            f"P(failure) {cmp.p_fail_random:.2%} random -> "
+            f"{cmp.p_fail_aware:.2%} avoiding the "
+            f"{cmp.n_flagged_nodes} flagged nodes"
+        )
+
+
+if __name__ == "__main__":
+    main()

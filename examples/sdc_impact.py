@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""What silent data corruption does to a scientific result.
+
+The paper's motivation (Sec I): SDC "could lead to scientific results
+being produced that were unknowingly erroneous".  Using
+:mod:`repro.apps`, this example runs a Jacobi solver for a 2-D Poisson
+problem and flips one memory bit of the solution array mid-run — sweeping
+bit positions and injection times — then classifies each outcome as
+benign / silently wrong / visible blow-up.  The same flips are classified
+through the ECC models: every one reaches the application on the
+unprotected prototype, while SECDED would have corrected it.
+
+Run:  python examples/sdc_impact.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import (
+    Impact,
+    JacobiProblem,
+    bit_position_sweep,
+    injection_time_sweep,
+)
+from repro.ecc import SecdedOutcome, classify_word
+
+
+def main() -> None:
+    problem = JacobiProblem(n=64)
+
+    print("one bit of one solution cell, flipped at iteration 80:\n")
+    study = bit_position_sweep(problem, iterations=400, flip_iteration=80)
+    print(f"{'bit':>4} {'field':>10} {'rel. final error':>17} {'outcome':>10}")
+    for p in study.points:
+        field = "mantissa" if p.bit < 52 else ("sign" if p.bit == 63 else "exponent")
+        rel = "inf/nan" if not np.isfinite(p.relative_error) else f"{p.relative_error:.2e}"
+        print(f"{p.bit:>4} {field:>10} {rel:>17} {p.impact.value:>10}")
+    print(
+        f"\n{study.count(Impact.BENIGN)} benign, "
+        f"{study.count(Impact.SILENT)} silently wrong, "
+        f"{study.count(Impact.BLOWUP)} visible blow-ups "
+        f"({study.silent_fraction:.0%} of injections are the paper's "
+        "nightmare case: wrong science with no symptom)"
+    )
+
+    print("\nthe same bit (50) injected earlier vs later in the run:\n")
+    timing = injection_time_sweep(bit=50, problem=problem, iterations=400)
+    for p in timing.points:
+        rel = f"{p.relative_error:.2e}"
+        print(f"  flip at iteration {p.iteration:>3}: rel. error {rel:>10} -> {p.impact.value}")
+    print(
+        "\nlate flips survive: fewer contraction sweeps remain to wash "
+        "them out (impact is application- and phase-dependent)."
+    )
+
+    outcome = classify_word(0xFFFFFFFF, 0xFFFFFFFF ^ (1 << 20))
+    assert outcome is SecdedOutcome.CORRECTED
+    print(
+        "\nevery flip above reaches the application on the unprotected "
+        f"prototype; a SECDED DIMM corrects it ({outcome.value}) — the "
+        "gap the paper's raw-error-rate measurements quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of *Unprotected Computing* (SC'16).
+
+A full-system simulation and analysis library reproducing the SC'16 study
+of raw (ECC-less) DRAM error rates on a ~1000-node low-power prototype:
+
+* a simulated cluster, scheduler, environment and unprotected DRAM;
+* the paper's memory-scanner tool running bit-accurately on the simulation;
+* the error-extraction methodology and every statistical analysis;
+* ECC what-if models (SECDED, chipkill) and resilience policies
+  (quarantine, page retirement, adaptive checkpointing);
+* one experiment module per paper figure/table.
+
+Quickstart::
+
+    from repro import paper_campaign
+    result = paper_campaign(seed=7)
+    print(result.report().summary())
+"""
+
+__version__ = "1.0.0"
+
+
+def paper_campaign(seed: int | None = None):
+    """Run the paper-calibrated campaign and return its StudyAnalysis.
+
+    Convenience wrapper for the quickstart; see
+    :func:`repro.experiments.get_analysis` for the cached variant.
+    """
+    from .analysis.report import StudyAnalysis
+    from .core.rng import DEFAULT_SEED
+    from .faultinjection import paper_campaign_config, run_campaign
+
+    config = paper_campaign_config(DEFAULT_SEED if seed is None else seed)
+    return StudyAnalysis(run_campaign(config))
+
+
+__all__ = ["__version__", "paper_campaign"]

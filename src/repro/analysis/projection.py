@@ -1,0 +1,115 @@
+"""Extreme-scale projections from the measured error rates (Sec I / VI).
+
+The paper motivates itself with scaling arithmetic — "if each processor
+... has a mean time to failure of 25 years, then a supercomputer with one
+hundred thousand of those processors will have a mean time between
+failures of only two hours" — and closes hoping the data "could give us a
+glimpse of the failure rates for extreme scale systems".
+
+This module does that arithmetic with the *measured* rates: given the
+per-node error rate observed in the field (optionally after quarantine
+and/or under a protection scheme), project the machine-level MTBF across
+fleet sizes, and compute the Daly checkpoint efficiency an application
+would see at each scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..resilience.checkpoint import daly_interval, waste_fraction
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Projected behaviour at one fleet size."""
+
+    n_nodes: int
+    machine_mtbf_hours: float
+    checkpoint_interval_hours: float
+    waste_fraction: float
+
+    @property
+    def productive_fraction(self) -> float:
+        return 1.0 - self.waste_fraction
+
+
+@dataclass(frozen=True)
+class Projection:
+    """A scaling curve for one per-node failure rate."""
+
+    label: str
+    node_rate_per_hour: float
+    points: tuple[ScalePoint, ...]
+
+    def point(self, n_nodes: int) -> ScalePoint:
+        for p in self.points:
+            if p.n_nodes == n_nodes:
+                return p
+        raise KeyError(f"no projection at {n_nodes} nodes")
+
+
+def project(
+    node_rate_per_hour: float,
+    label: str,
+    fleet_sizes: tuple[int, ...] = (923, 10_000, 100_000, 1_000_000),
+    checkpoint_cost_hours: float = 0.05,
+) -> Projection:
+    """Project machine MTBF and checkpoint economics across fleet sizes.
+
+    Failures are treated as independent across nodes (the paper's own
+    MTTF/MTBF arithmetic); machine MTBF = 1 / (n * rate).
+    """
+    if node_rate_per_hour <= 0:
+        raise ValueError("node rate must be positive")
+    points = []
+    for n in fleet_sizes:
+        mtbf = 1.0 / (n * node_rate_per_hour)
+        interval = daly_interval(mtbf, checkpoint_cost_hours)
+        waste = waste_fraction(interval, mtbf, checkpoint_cost_hours)
+        points.append(
+            ScalePoint(
+                n_nodes=n,
+                machine_mtbf_hours=mtbf,
+                checkpoint_interval_hours=interval,
+                waste_fraction=waste,
+            )
+        )
+    return Projection(
+        label=label, node_rate_per_hour=node_rate_per_hour, points=tuple(points)
+    )
+
+
+def paper_processor_example(
+    mttf_years: float = 25.0, n_processors: int = 100_000
+) -> float:
+    """The paper's own Sec I example: machine MTBF in hours.
+
+    25-year processors at 10^5 scale -> ~2.2 hours.
+    """
+    return mttf_years * 365.25 * 24.0 / n_processors
+
+
+def measured_rates(
+    n_errors_raw: int,
+    n_errors_quarantined: int,
+    n_detected_under_ecc: int,
+    total_node_hours: float,
+) -> dict[str, float]:
+    """Per-node-hour failure rates under the three operating points.
+
+    * raw        — every independent error crashes/corrupts something
+                   (the unprotected prototype);
+    * quarantine — errors surviving the 30-day quarantine policy;
+    * ecc-crash  — only detected-uncorrectable errors stop the machine
+                   (corrected ones are invisible).
+    """
+    if total_node_hours <= 0:
+        raise ValueError("node-hours must be positive")
+    return {
+        "unprotected": n_errors_raw / total_node_hours,
+        "quarantine": max(n_errors_quarantined, 1) / total_node_hours,
+        "ecc-crash": max(n_detected_under_ecc, 1) / total_node_hours,
+    }

@@ -1,0 +1,123 @@
+"""Spatial structure of errors across the machine (Sec III-H, Figs 3, 12).
+
+Per-node error counts and their extreme concentration — the paper finds
+>99.9% of errors in <1% of nodes — plus the forensic signatures that
+distinguish the degrading node (thousands of addresses, ~30 patterns)
+from the weak-bit nodes (one identical corruption every time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.events import MemoryError_
+from ..logs.frame import ErrorFrame
+
+
+def errors_per_node(errors: list[MemoryError_]) -> dict[str, int]:
+    """Independent error count per node (the Fig 3 quantity)."""
+    return dict(Counter(e.node for e in errors))
+
+
+@dataclass(frozen=True)
+class ConcentrationStats:
+    """How concentrated errors are across nodes."""
+
+    n_nodes_with_errors: int
+    n_nodes_total: int
+    #: Smallest number of nodes covering >=99.9% of all errors.
+    nodes_for_999: int
+    #: Fraction of errors carried by those nodes.
+    top_fraction: float
+
+    @property
+    def node_fraction(self) -> float:
+        return self.nodes_for_999 / self.n_nodes_total if self.n_nodes_total else 0.0
+
+
+def concentration_stats(
+    counts: dict[str, int], n_nodes_total: int
+) -> ConcentrationStats:
+    """Quantify the ">99.9% of errors in <1% of nodes" claim."""
+    values = np.sort(np.array(list(counts.values()), dtype=np.int64))[::-1]
+    total = values.sum()
+    if total == 0:
+        return ConcentrationStats(0, n_nodes_total, 0, 0.0)
+    cum = np.cumsum(values)
+    k = int(np.searchsorted(cum, 0.999 * total) + 1)
+    return ConcentrationStats(
+        n_nodes_with_errors=int((values > 0).sum()),
+        n_nodes_total=n_nodes_total,
+        nodes_for_999=k,
+        top_fraction=float(cum[k - 1] / total),
+    )
+
+
+def top_nodes(counts: dict[str, int], k: int = 3) -> list[tuple[str, int]]:
+    """The k nodes with the most errors, descending (Fig 12's trio)."""
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+@dataclass(frozen=True)
+class NodeForensics:
+    """Per-node corruption signature (Sec III-H's diagnosis)."""
+
+    node: str
+    n_errors: int
+    n_distinct_addresses: int
+    n_distinct_patterns: int
+    #: Whether every error is byte-identical (same address, same pattern)
+    #: — the weak-bit signature.
+    all_identical: bool
+    #: Fraction of corrupted bits flipping 1->0.
+    one_to_zero_fraction: float
+
+    @property
+    def likely_cause(self) -> str:
+        """Heuristic diagnosis mirroring the paper's discussion."""
+        if self.all_identical:
+            return "weak-bit"  # one cell occasionally leaking charge
+        if self.n_distinct_addresses > 1000:
+            return "component"  # corruption outside the DRAM array itself
+        if self.n_errors == 1:
+            return "transient"
+        return "mixed"
+
+
+def node_forensics(errors: list[MemoryError_], node: str) -> NodeForensics:
+    """Build the Sec III-H signature for one node."""
+    mine = [e for e in errors if e.node == node]
+    addresses = {e.virtual_address for e in mine}
+    patterns = {(e.expected, e.actual) for e in mine}
+    identical = len(addresses) == 1 and len(patterns) == 1 and len(mine) > 1
+    otz = sum(e.flip_directions[0] for e in mine)
+    zto = sum(e.flip_directions[1] for e in mine)
+    return NodeForensics(
+        node=node,
+        n_errors=len(mine),
+        n_distinct_addresses=len(addresses),
+        n_distinct_patterns=len(patterns),
+        all_identical=identical,
+        one_to_zero_fraction=otz / (otz + zto) if (otz + zto) else 0.0,
+    )
+
+
+def daily_series_by_node(
+    frame: ErrorFrame, nodes: list[str], n_days: int
+) -> dict[str, np.ndarray]:
+    """Per-day error counts for selected nodes plus 'others' (Fig 12)."""
+    day = np.clip((frame.time_hours // 24.0).astype(np.int64), 0, n_days - 1)
+    out: dict[str, np.ndarray] = {}
+    selected = np.zeros(len(frame), dtype=bool)
+    for name in nodes:
+        if name in frame.node_names:
+            mask = frame.node_code == frame.node_names.index(name)
+        else:
+            mask = np.zeros(len(frame), dtype=bool)
+        selected |= mask
+        out[name] = np.bincount(day[mask], minlength=n_days)
+    out["others"] = np.bincount(day[~selected], minlength=n_days)
+    return out

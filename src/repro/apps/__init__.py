@@ -1,0 +1,33 @@
+"""Application substrate: how DRAM corruption reaches scientific results."""
+
+from .impact import (
+    Impact,
+    ImpactPoint,
+    ImpactStudy,
+    bit_position_sweep,
+    classify,
+    injection_time_sweep,
+)
+from .jacobi import (
+    BitFlip,
+    JacobiProblem,
+    SolveResult,
+    flip_float64_bit,
+    jacobi_solve,
+    relative_error,
+)
+
+__all__ = [
+    "BitFlip",
+    "Impact",
+    "ImpactPoint",
+    "ImpactStudy",
+    "JacobiProblem",
+    "SolveResult",
+    "bit_position_sweep",
+    "classify",
+    "flip_float64_bit",
+    "injection_time_sweep",
+    "jacobi_solve",
+    "relative_error",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands::
+
+    repro report                 # headline paper-vs-measured table
+    repro experiment fig06       # regenerate one figure/table
+    repro all                    # every experiment, paper order
+    repro list                   # available experiment ids
+    repro campaign --out DIR     # run the campaign, write per-node logs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.rng import DEFAULT_SEED
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Unprotected Computing: A Large-Scale Study "
+            "of DRAM Raw Error Rate on a Supercomputer' (SC'16)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="campaign random seed"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the small fast campaign instead of the paper-scale one",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="print the headline paper-vs-measured table")
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("all", help="run every experiment in paper order")
+    sub.add_parser(
+        "verify", help="check every quantitative paper claim (PASS/FAIL)"
+    )
+
+    exp = sub.add_parser("experiment", help="run one experiment")
+    exp.add_argument("exp_id", help="experiment id (see 'repro list')")
+
+    camp = sub.add_parser("campaign", help="run the campaign and dump logs")
+    camp.add_argument("--out", required=True, help="directory for per-node logs")
+
+    exp_csv = sub.add_parser("export", help="export every experiment as CSV")
+    exp_csv.add_argument("--out", required=True, help="directory for CSV files")
+
+    mon = sub.add_parser(
+        "monitor", help="review a log directory and print operational advice"
+    )
+    mon.add_argument("--dir", required=True, help="directory of <node>.log files")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    # Imports deferred so `repro list --help` stays instant.
+    from .experiments import EXPERIMENT_ORDER, get_analysis, run_all, run_experiment
+
+    if args.command == "list":
+        for exp_id in EXPERIMENT_ORDER:
+            print(exp_id)
+        return 0
+
+    if args.command == "monitor":
+        from pathlib import Path
+
+        from .core import timeutils
+        from .monitoring import monitor_directory
+
+        if not Path(args.dir).is_dir():
+            print(f"error: no such log directory: {args.dir}", file=sys.stderr)
+            return 2
+        count = 0
+        for advice in monitor_directory(args.dir):
+            when = timeutils.hours_to_datetime(advice.time_hours)
+            print(f"{when:%Y-%m-%d %H:%M} {advice.node} [{advice.kind}] {advice.reason}")
+            count += 1
+        print(f"{count} recommendations")
+        return 0
+
+    if args.command == "campaign":
+        from .faultinjection import (
+            paper_campaign_config,
+            quick_campaign_config,
+            run_campaign,
+        )
+
+        config = (
+            quick_campaign_config(args.seed)
+            if args.quick
+            else paper_campaign_config(args.seed)
+        )
+        result = run_campaign(config)
+        result.archive.write_directory(args.out)
+        print(
+            f"wrote logs for {len(result.archive.nodes)} nodes to {args.out} "
+            f"({result.n_raw_error_lines():,} raw error lines compressed "
+            f"into {result.archive.n_records():,} records)"
+        )
+        return 0
+
+    if args.command == "experiment" and args.exp_id not in EXPERIMENT_ORDER:
+        # Validate before paying for the campaign.
+        print(
+            f"error: unknown experiment {args.exp_id!r} "
+            f"(see 'repro list')",
+            file=sys.stderr,
+        )
+        return 2
+
+    analysis = get_analysis(args.seed, quick=args.quick)
+    if args.command == "report":
+        print(analysis.report().summary())
+        return 0
+    if args.command == "experiment":
+        print(run_experiment(args.exp_id, analysis).to_text())
+        return 0
+    if args.command == "all":
+        for result in run_all(analysis):
+            print(result.to_text())
+            print()
+        return 0
+    if args.command == "export":
+        from .experiments.export import export_all, export_report
+
+        paths = export_all(analysis, args.out)
+        report_path = export_report(analysis, args.out)
+        print(f"wrote {len(paths)} experiment CSVs and {report_path.name} to {args.out}")
+        return 0
+    if args.command == "verify":
+        from .experiments.verify import render, verify
+
+        results = verify(analysis)
+        print(render(results))
+        return 0 if all(r.passed for r in results) else 1
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

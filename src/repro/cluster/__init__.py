@@ -1,0 +1,40 @@
+"""Cluster substrate: the studied machine's topology, nodes and thermals."""
+
+from .node import Node, NodeRole, NodeState
+from .registry import ClusterRegistry, TopologyConfig, names
+from .thermal import ThermalPlacement, placement_for
+from .topology import (
+    BLADES_PER_CHASSIS,
+    CHASSIS_PER_RACK,
+    OVERHEATING_SOC,
+    SHUTDOWN_BLADE,
+    SOCS_PER_BLADE,
+    STUDY_BLADES,
+    STUDY_NODES,
+    TOTAL_BLADES,
+    TOTAL_NODES,
+    NodeId,
+    study_node_ids,
+)
+
+__all__ = [
+    "BLADES_PER_CHASSIS",
+    "CHASSIS_PER_RACK",
+    "ClusterRegistry",
+    "Node",
+    "NodeId",
+    "NodeRole",
+    "NodeState",
+    "OVERHEATING_SOC",
+    "SHUTDOWN_BLADE",
+    "SOCS_PER_BLADE",
+    "STUDY_BLADES",
+    "STUDY_NODES",
+    "ThermalPlacement",
+    "TopologyConfig",
+    "TOTAL_BLADES",
+    "TOTAL_NODES",
+    "names",
+    "placement_for",
+    "study_node_ids",
+]

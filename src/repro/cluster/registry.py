@@ -1,0 +1,150 @@
+"""Cluster registry: builds the studied machine and answers queries.
+
+The registry materializes the paper's population: 945 grid slots, of which
+9 are login nodes, a handful are dead hardware, and 923 end up continuously
+scanned.  It also renders per-node quantities into the 63x15 grids used by
+the paper's heat-map figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..core.errors import TopologyError
+from .node import Node, NodeRole
+from .topology import (
+    SHUTDOWN_BLADE,
+    SOCS_PER_BLADE,
+    STUDY_BLADES,
+    NodeId,
+    study_node_ids,
+)
+
+#: Number of login nodes (Sec II-A): first SoC of the first 9 blades.
+N_LOGIN_NODES = 9
+
+#: Dead nodes (permanent hardware failures, never scanned).  The paper
+#: reports 923 scanned of 945 slots: 945 - 9 login - 13 dead = 923.  The
+#: coordinates are not published; these are fixed, arbitrary picks spread
+#: over the machine (deterministic so every experiment sees one machine).
+DEFAULT_DEAD_NODES: tuple[str, ...] = (
+    "07-03", "11-14", "16-08", "22-01", "27-11", "31-05", "36-15",
+    "41-02", "45-09", "50-13", "54-06", "59-10", "62-04",
+)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """How the studied machine population is commissioned."""
+
+    n_login_nodes: int = N_LOGIN_NODES
+    dead_nodes: tuple[str, ...] = DEFAULT_DEAD_NODES
+    #: The SoC-12 slots are powered off for long stretches once their
+    #: overheating is recognized (study hours; ~June 2015 onward).
+    soc12_off_start_hours: float = 120 * 24.0
+    soc12_off_end_hours: float = 425 * 24.0
+    #: Blade 33 is shut down for a long period due to hardware issues.
+    blade33_off_start_hours: float = 60 * 24.0
+    blade33_off_end_hours: float = 300 * 24.0
+
+
+class ClusterRegistry:
+    """All nodes of the studied machine, indexed by :class:`NodeId`."""
+
+    def __init__(self, config: TopologyConfig | None = None):
+        self.config = config or TopologyConfig()
+        self._nodes: dict[NodeId, Node] = {}
+        self._build()
+
+    def _build(self) -> None:
+        cfg = self.config
+        dead = {NodeId.parse(n) for n in cfg.dead_nodes}
+        for node_id in study_node_ids():
+            if node_id.blade <= cfg.n_login_nodes and node_id.soc == 1:
+                role = NodeRole.LOGIN
+            elif node_id in dead:
+                role = NodeRole.DEAD
+            else:
+                role = NodeRole.COMPUTE
+            node = Node(node_id, role=role)
+            if role is NodeRole.COMPUTE:
+                if node_id.overheating_slot:
+                    node.add_off_interval(
+                        cfg.soc12_off_start_hours, cfg.soc12_off_end_hours
+                    )
+                if node_id.blade == SHUTDOWN_BLADE:
+                    node.add_off_interval(
+                        cfg.blade33_off_start_hours, cfg.blade33_off_end_hours
+                    )
+            self._nodes[node_id] = node
+
+    # -- basic queries ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self):
+        return iter(self._nodes.values())
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def get(self, node_id: NodeId | str) -> Node:
+        if isinstance(node_id, str):
+            node_id = NodeId.parse(node_id)
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TopologyError(f"node {node_id} not in the studied machine")
+
+    def nodes(self, role: NodeRole | None = None) -> list[Node]:
+        if role is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.role is role]
+
+    def scanned_nodes(self) -> list[Node]:
+        """The compute nodes that take part in the scanning study (923)."""
+        return self.nodes(NodeRole.COMPUTE)
+
+    @property
+    def n_scanned(self) -> int:
+        return len(self.scanned_nodes())
+
+    # -- heat-map grids ---------------------------------------------------
+
+    def grid(
+        self,
+        values: Mapping[str, float] | Callable[[Node], float],
+        fill: float = 0.0,
+        dtype=np.float64,
+    ) -> np.ndarray:
+        """Render a per-node quantity into the paper's 63x15 grid.
+
+        ``values`` is either a mapping from node name (``BB-SS``) to value,
+        or a callable evaluated on every node.  Slots for login/dead nodes
+        keep ``fill`` unless explicitly present in the mapping.
+        """
+        out = np.full((STUDY_BLADES, SOCS_PER_BLADE), fill, dtype=dtype)
+        if callable(values):
+            for node in self._nodes.values():
+                out[node.node_id.grid_index] = values(node)
+        else:
+            for name, value in values.items():
+                node_id = NodeId.parse(name)
+                if node_id not in self._nodes:
+                    raise TopologyError(f"grid value for unknown node {name}")
+                out[node_id.grid_index] = value
+        return out
+
+    def role_grid(self) -> np.ndarray:
+        """Grid of role codes: 0=compute, 1=login, 2=dead."""
+        codes = {NodeRole.COMPUTE: 0, NodeRole.LOGIN: 1, NodeRole.DEAD: 2}
+        return self.grid(lambda n: codes[n.role], dtype=np.int64)
+
+
+def names(nodes: Iterable[Node]) -> list[str]:
+    """Names (``BB-SS``) of an iterable of nodes."""
+    return [str(n.node_id) for n in nodes]

@@ -1,0 +1,64 @@
+"""Thermal placement model for the prototype.
+
+The paper observes: SoC-12 slots overheat due to rack position (and heat
+their neighbours), room temperature is kept between 18 and 26 C, most
+errors are logged at node temperatures of 30-40 C (the scanner barely
+loads the CPU), and a small error population sits above 60 C.
+
+This module assigns each node a static *thermal offset* from room
+temperature depending on its slot, which the environment model combines
+with the room temperature time series to produce the per-record
+temperature telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .topology import OVERHEATING_SOC, NodeId
+
+#: Baseline node-over-room offset while running only the scanner (deg C).
+IDLE_OFFSET_C = 12.0
+
+#: Extra offset for the overheating SoC-12 slots while they are on.
+OVERHEATING_EXTRA_C = 38.0
+
+#: Extra offset for slots adjacent to SoC 12 (heated by their neighbour).
+NEIGHBOR_EXTRA_C = 6.0
+
+#: Mild gradient along the blade: higher slot index sits higher in the
+#: chassis airflow and runs slightly warmer.
+SLOT_GRADIENT_C = 0.15
+
+
+@dataclass(frozen=True)
+class ThermalPlacement:
+    """Static thermal character of one slot."""
+
+    node_id: NodeId
+    offset_c: float
+
+    def node_temperature(self, room_c: float | np.ndarray) -> np.ndarray | float:
+        """Node temperature given room temperature(s)."""
+        return np.asarray(room_c) + self.offset_c
+
+
+def placement_for(node_id: NodeId) -> ThermalPlacement:
+    """Thermal placement of a slot from its coordinates."""
+    offset = IDLE_OFFSET_C + SLOT_GRADIENT_C * (node_id.soc - 1)
+    if node_id.soc == OVERHEATING_SOC:
+        offset += OVERHEATING_EXTRA_C
+    elif node_id.near_overheating_slot:
+        offset += NEIGHBOR_EXTRA_C
+    return ThermalPlacement(node_id, offset)
+
+
+def offsets_grid(n_blades: int, socs_per_blade: int) -> np.ndarray:
+    """Grid of static thermal offsets for the whole machine."""
+    out = np.empty((n_blades, socs_per_blade))
+    for blade in range(1, n_blades + 1):
+        for soc in range(1, socs_per_blade + 1):
+            out[blade - 1, soc - 1] = placement_for(NodeId(blade, soc)).offset_c
+    return out

@@ -1,0 +1,110 @@
+"""Physical topology of the Mont-Blanc-style prototype.
+
+The machine in the paper has 72 blades of 15 SoCs (1080 nodes) in 2 racks
+of 4 chassis of 9 blades.  One full chassis (9 blades) was dedicated to
+another study, leaving the 63 blades x 15 SoCs grid that every heat map in
+the paper (Figs 1-3) uses.  Nodes are named ``BB-SS`` (blade, SoC), both
+1-based, e.g. ``02-04`` — the hot node of Fig 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..core.errors import TopologyError
+
+#: Full machine dimensions.
+TOTAL_BLADES = 72
+SOCS_PER_BLADE = 15
+TOTAL_NODES = TOTAL_BLADES * SOCS_PER_BLADE  # 1080
+
+#: Blades per chassis and chassis per rack.
+BLADES_PER_CHASSIS = 9
+CHASSIS_PER_RACK = 4
+
+#: Blades taking part in the reliability study (one chassis excluded).
+STUDY_BLADES = 63
+STUDY_NODES = STUDY_BLADES * SOCS_PER_BLADE  # 945
+
+#: The SoC slot (1-based) that overheats due to its position in the rack.
+OVERHEATING_SOC = 12
+
+#: Blade shut down during the year due to hardware issues (Sec III-A).
+SHUTDOWN_BLADE = 33
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class NodeId:
+    """Blade/SoC coordinate of one node, 1-based on both axes."""
+
+    blade: int
+    soc: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.blade <= TOTAL_BLADES:
+            raise TopologyError(f"blade {self.blade} outside 1..{TOTAL_BLADES}")
+        if not 1 <= self.soc <= SOCS_PER_BLADE:
+            raise TopologyError(f"SoC {self.soc} outside 1..{SOCS_PER_BLADE}")
+
+    def __str__(self) -> str:
+        return f"{self.blade:02d}-{self.soc:02d}"
+
+    def __lt__(self, other: "NodeId") -> bool:
+        return (self.blade, self.soc) < (other.blade, other.soc)
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeId":
+        """Parse a ``BB-SS`` node name."""
+        try:
+            blade_s, soc_s = text.split("-")
+            return cls(int(blade_s), int(soc_s))
+        except (ValueError, TypeError) as exc:
+            raise TopologyError(f"malformed node id {text!r}") from exc
+
+    @property
+    def chassis(self) -> int:
+        """Chassis index (1-based) within the machine."""
+        return (self.blade - 1) // BLADES_PER_CHASSIS + 1
+
+    @property
+    def rack(self) -> int:
+        """Rack index (1-based)."""
+        return (self.chassis - 1) // CHASSIS_PER_RACK + 1
+
+    @property
+    def grid_index(self) -> tuple[int, int]:
+        """(row, col) position in the 63x15 heat-map grid, 0-based."""
+        return (self.blade - 1, self.soc - 1)
+
+    @property
+    def overheating_slot(self) -> bool:
+        """True for the SoC-12 position the admins had to power off."""
+        return self.soc == OVERHEATING_SOC
+
+    @property
+    def near_overheating_slot(self) -> bool:
+        """Physically adjacent to the overheating SoC-12 slot.
+
+        Sec III-D observes that nodes hosting isolated undetectable errors
+        sit near SoC 12; we define "near" as a SoC index within 1 slot.
+        """
+        return abs(self.soc - OVERHEATING_SOC) == 1
+
+    def neighbors(self) -> tuple["NodeId", ...]:
+        """Nodes in adjacent slots on the same blade (1-D blade layout)."""
+        out = []
+        for soc in (self.soc - 1, self.soc + 1):
+            if 1 <= soc <= SOCS_PER_BLADE:
+                out.append(NodeId(self.blade, soc))
+        return tuple(out)
+
+
+def study_node_ids() -> list[NodeId]:
+    """All 945 node coordinates in the study grid, row-major order."""
+    return [
+        NodeId(blade, soc)
+        for blade in range(1, STUDY_BLADES + 1)
+        for soc in range(1, SOCS_PER_BLADE + 1)
+    ]

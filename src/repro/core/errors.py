@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class TopologyError(ReproError):
+    """A cluster coordinate (blade/SoC/node id) does not exist."""
+
+
+class AllocationError(ReproError):
+    """The scanner could not allocate any memory on a node."""
+
+
+class LogFormatError(ReproError):
+    """A log line could not be parsed or serialized."""
+
+
+class ExtractionError(ReproError):
+    """The error-extraction pipeline received malformed input."""
+
+
+class EccError(ReproError):
+    """An ECC codec was used incorrectly (wrong word width, bad codeword)."""
+
+
+class SimulationError(ReproError):
+    """The campaign simulator reached an inconsistent state."""

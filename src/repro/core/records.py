@@ -1,0 +1,145 @@
+"""Log record types emitted by the memory scanner.
+
+The paper's scanning tool (Sec II-B) writes four kinds of entries into a
+per-node log file:
+
+* ``START`` — timestamp, amount of memory allocated, host name, temperature;
+* ``ERROR`` — timestamp, host name, virtual address, actual value, expected
+  value, temperature, physical page address;
+* ``END``   — timestamp, host name, temperature;
+* an allocation-failure entry in a separate file (timestamp, host name).
+
+These dataclasses are the in-memory form of those entries.  The campaign
+simulator adds one extension: ``ErrorRecord.repeat_count`` represents *N
+consecutive iterations* that re-detected the same faulty cell with the same
+expected/actual pair — exactly the sequence the paper's Sec II-C collapses
+into one fault.  The bit-accurate scanner always emits
+``repeat_count == 1`` records; the analysis pipeline treats a record with
+``repeat_count == N`` identically to N consecutive identical lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Union
+
+
+class RecordKind(str, Enum):
+    START = "START"
+    ERROR = "ERROR"
+    END = "END"
+    ALLOC_FAIL = "ALLOC_FAIL"
+
+
+@dataclass(frozen=True, slots=True)
+class StartRecord:
+    """Scanner began a scan session on a node."""
+
+    timestamp_hours: float
+    node: str
+    allocated_mb: int
+    temperature_c: float | None = None
+
+    kind = RecordKind.START
+
+
+@dataclass(frozen=True, slots=True)
+class ErrorRecord:
+    """One detected mismatch between expected and actual word values."""
+
+    timestamp_hours: float
+    node: str
+    virtual_address: int
+    physical_page: int
+    expected: int
+    actual: int
+    temperature_c: float | None = None
+    #: Number of consecutive iterations that re-detected this same cell
+    #: with the same expected/actual pair (>= 1).  See module docstring.
+    repeat_count: int = 1
+
+    kind = RecordKind.ERROR
+
+    def __post_init__(self) -> None:
+        if self.repeat_count < 1:
+            raise ValueError("repeat_count must be >= 1")
+        if self.expected == self.actual:
+            raise ValueError("ErrorRecord with no corruption (expected == actual)")
+
+    def with_repeat(self, repeat_count: int) -> "ErrorRecord":
+        return replace(self, repeat_count=repeat_count)
+
+
+@dataclass(frozen=True, slots=True)
+class EndRecord:
+    """Scanner exited cleanly (SIGTERM from the prologue script)."""
+
+    timestamp_hours: float
+    node: str
+    temperature_c: float | None = None
+
+    kind = RecordKind.END
+
+
+@dataclass(frozen=True, slots=True)
+class AllocFailRecord:
+    """The scanner could not allocate any memory on the node."""
+
+    timestamp_hours: float
+    node: str
+
+    kind = RecordKind.ALLOC_FAIL
+
+
+LogRecord = Union[StartRecord, ErrorRecord, EndRecord, AllocFailRecord]
+
+
+@dataclass(frozen=True, slots=True)
+class ScanSession:
+    """One START..END interval on a node, as reconstructed from logs.
+
+    ``truncated`` marks the hard-reboot case the paper describes: a START
+    followed by another START with no END.  Following the paper's
+    conservative accounting, a truncated session contributes **zero**
+    monitored hours.
+    """
+
+    node: str
+    start_hours: float
+    end_hours: float | None
+    allocated_mb: int
+    truncated: bool = False
+
+    @property
+    def monitored_hours(self) -> float:
+        """Hours of monitoring credited to this session (paper Sec II-B)."""
+        if self.truncated or self.end_hours is None:
+            return 0.0
+        return max(0.0, self.end_hours - self.start_hours)
+
+    @property
+    def terabyte_hours(self) -> float:
+        """TB-hours of memory analysed by this session (Figs 2 and 9)."""
+        return self.monitored_hours * self.allocated_mb / (1024.0 * 1024.0)
+
+    def covers(self, t_hours: float) -> bool:
+        if self.end_hours is None:
+            return False
+        return self.start_hours <= t_hours < self.end_hours
+
+
+@dataclass(frozen=True, slots=True)
+class ScanCoverage:
+    """Aggregate coverage of a node over the whole study."""
+
+    node: str
+    sessions: tuple[ScanSession, ...] = field(default_factory=tuple)
+
+    @property
+    def monitored_hours(self) -> float:
+        return float(sum(s.monitored_hours for s in self.sessions))
+
+    @property
+    def terabyte_hours(self) -> float:
+        return float(sum(s.terabyte_hours for s in self.sessions))

@@ -1,0 +1,146 @@
+"""Study-calendar time arithmetic.
+
+The whole library measures time as *float hours since the study epoch*
+(2015-02-01 00:00, local Barcelona time, matching the paper's monitoring
+window).  This module centralizes the conversions between that scalar
+representation, calendar dates, day indices and hour-of-day, both for
+scalars and for NumPy arrays, so that analysis code never re-implements
+calendar math.
+
+The paper classifies 425 days (348 normal + 77 degraded), which matches a
+window of 2015-02-01 .. 2016-03-31 inclusive; we adopt that window as the
+default study period.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The instant t=0.0 of the study, as a naive local datetime.
+STUDY_EPOCH = _dt.datetime(2015, 2, 1, 0, 0, 0)
+
+#: Default number of days in the study window (2015-02-01 .. 2016-03-31).
+STUDY_DAYS = 425
+
+#: Default number of hours in the study window.
+STUDY_HOURS = STUDY_DAYS * 24.0
+
+HOURS_PER_DAY = 24.0
+
+
+def datetime_to_hours(when: _dt.datetime) -> float:
+    """Convert a naive local datetime to float hours since the study epoch."""
+    return (when - STUDY_EPOCH).total_seconds() / 3600.0
+
+
+def hours_to_datetime(hours: float) -> _dt.datetime:
+    """Convert float hours since the study epoch back to a datetime."""
+    return STUDY_EPOCH + _dt.timedelta(hours=float(hours))
+
+
+def day_index(hours: float | np.ndarray) -> np.ndarray | int:
+    """Day number within the study (0-based) for a time in hours.
+
+    Works element-wise on arrays; negative times floor toward earlier days,
+    matching calendar semantics rather than truncation toward zero.
+    """
+    return np.floor_divide(np.asarray(hours), HOURS_PER_DAY).astype(np.int64)[()]
+
+
+def hour_of_day(hours: float | np.ndarray) -> np.ndarray | float:
+    """Local hour-of-day in [0, 24) for a time in hours since epoch."""
+    return np.mod(np.asarray(hours, dtype=np.float64), HOURS_PER_DAY)[()]
+
+
+def hour_of_day_bin(hours: float | np.ndarray) -> np.ndarray | int:
+    """Integer hour-of-day bin in 0..23 (used by Figs 5 and 6)."""
+    return np.asarray(hour_of_day(hours) // 1.0, dtype=np.int64)[()]
+
+
+def date_of(hours: float) -> _dt.date:
+    """Calendar date containing the given study time."""
+    return hours_to_datetime(hours).date()
+
+
+def day_start(day: int) -> float:
+    """Study time (hours) at which day ``day`` begins."""
+    return day * HOURS_PER_DAY
+
+
+def month_of(hours: float | np.ndarray) -> np.ndarray | int:
+    """Calendar month (1..12) for study times, vectorized.
+
+    Computed by mapping each day index through the epoch calendar; cheap for
+    the array sizes this library handles (<= millions of events).
+    """
+    days = np.atleast_1d(np.asarray(day_index(hours), dtype=np.int64))
+    # Vectorized month lookup through a per-day table covering the window.
+    max_day = int(days.max(initial=0)) + 1
+    table = np.empty(max(max_day, 1), dtype=np.int64)
+    d = STUDY_EPOCH.date()
+    for i in range(table.shape[0]):
+        table[i] = d.month
+        d += _dt.timedelta(days=1)
+    out = table[np.clip(days, 0, table.shape[0] - 1)]
+    if np.isscalar(hours) or np.asarray(hours).ndim == 0:
+        return int(out[0])
+    return out
+
+
+def fractional_year(hours: float) -> float:
+    """Fraction of the calendar year elapsed at the given study time.
+
+    Used by the solar-position model (declination varies over the year).
+    """
+    when = hours_to_datetime(hours)
+    start = _dt.datetime(when.year, 1, 1)
+    end = _dt.datetime(when.year + 1, 1, 1)
+    return (when - start).total_seconds() / (end - start).total_seconds()
+
+
+@dataclass(frozen=True)
+class StudyPeriod:
+    """A half-open observation window ``[start, end)`` in study hours."""
+
+    start_hours: float = 0.0
+    end_hours: float = STUDY_HOURS
+
+    def __post_init__(self) -> None:
+        if self.end_hours <= self.start_hours:
+            raise ValueError(
+                f"empty study period [{self.start_hours}, {self.end_hours})"
+            )
+
+    @property
+    def duration_hours(self) -> float:
+        return self.end_hours - self.start_hours
+
+    @property
+    def n_days(self) -> int:
+        """Number of (possibly partial) calendar days overlapped."""
+        first = int(day_index(self.start_hours))
+        last = int(day_index(np.nextafter(self.end_hours, self.start_hours)))
+        return last - first + 1
+
+    def contains(self, hours: float | np.ndarray) -> np.ndarray | bool:
+        h = np.asarray(hours)
+        return ((h >= self.start_hours) & (h < self.end_hours))[()]
+
+    def clip(self, start: float, end: float) -> tuple[float, float]:
+        """Intersect ``[start, end)`` with the period; may be empty."""
+        return (max(start, self.start_hours), min(end, self.end_hours))
+
+    def days(self) -> np.ndarray:
+        """All day indices overlapped by the period."""
+        first = int(day_index(self.start_hours))
+        last = int(day_index(np.nextafter(self.end_hours, self.start_hours)))
+        return np.arange(first, last + 1, dtype=np.int64)
+
+
+DEFAULT_PERIOD = StudyPeriod()
+
+#: Temperature telemetry only exists from April 2015 onward (paper Sec III-F).
+TEMPERATURE_LOGGING_START = datetime_to_hours(_dt.datetime(2015, 4, 1))

@@ -1,0 +1,41 @@
+"""Unit helpers used across the library.
+
+All memory sizes are tracked internally in megabytes (the scanner's
+allocation granularity is 10 MB); these helpers convert to the units the
+paper reports (GB nodes, terabyte-hours of scanning).
+"""
+
+from __future__ import annotations
+
+MB_PER_GB = 1024
+MB_PER_TB = 1024 * 1024
+
+#: Memory per node on the prototype (4 GB LPDDR).
+NODE_MEMORY_MB = 4 * MB_PER_GB
+
+#: Largest amount the scanner attempts to allocate (3 GB; rest is for OS).
+SCAN_TARGET_MB = 3 * MB_PER_GB
+
+#: Allocation back-off step when the 3 GB attempt fails (Sec II-B).
+ALLOC_BACKOFF_MB = 10
+
+#: The scanner works on 32-bit words.
+BYTES_PER_WORD = 4
+
+
+def mb_to_tb(mb: float) -> float:
+    return mb / MB_PER_TB
+
+
+def tb_to_mb(tb: float) -> float:
+    return tb * MB_PER_TB
+
+
+def mb_to_words(mb: int) -> int:
+    """Number of 32-bit words in a region of ``mb`` megabytes."""
+    return (int(mb) * 1024 * 1024) // BYTES_PER_WORD
+
+
+def terabyte_hours(mb: float, hours: float) -> float:
+    """TB-hours of memory analysis, the paper's coverage unit."""
+    return mb_to_tb(mb) * hours

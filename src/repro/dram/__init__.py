@@ -1,0 +1,35 @@
+"""Simulated ECC-less LPDDR DRAM substrate."""
+
+from .addressing import DEFAULT_SWIZZLE, PAGE_BYTES, WORDS_PER_PAGE, AddressMap, BitSwizzle
+from .cells import CellArray
+from .device import DeviceSpec, SimulatedDram, make_device
+from .faults import (
+    ColumnFault,
+    MultiCellEvent,
+    RowFault,
+    StuckCell,
+    TransientFlip,
+    WeakCell,
+    charge_loss_mask,
+)
+from .geometry import DramGeometry
+
+__all__ = [
+    "AddressMap",
+    "BitSwizzle",
+    "CellArray",
+    "ColumnFault",
+    "DEFAULT_SWIZZLE",
+    "DeviceSpec",
+    "DramGeometry",
+    "MultiCellEvent",
+    "PAGE_BYTES",
+    "RowFault",
+    "SimulatedDram",
+    "StuckCell",
+    "TransientFlip",
+    "WeakCell",
+    "WORDS_PER_PAGE",
+    "charge_loss_mask",
+    "make_device",
+]

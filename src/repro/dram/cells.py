@@ -1,0 +1,104 @@
+"""Backing store of the simulated device: the cell array.
+
+The cell array holds the current content of every 32-bit word plus the
+sparse overlays that persistent faults impose (stuck bits).  Reads and
+writes are fully vectorized over NumPy arrays; the stuck overlay is kept
+sparse (dict of word -> (mask, value)) because real devices have at most a
+handful of stuck words, so applying it costs O(#stuck) not O(#words).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+
+class CellArray:
+    """A linear array of 32-bit words with a sparse stuck-bit overlay."""
+
+    def __init__(self, n_words: int, fill: int = 0):
+        if n_words <= 0:
+            raise ConfigurationError("cell array needs at least one word")
+        self.n_words = int(n_words)
+        self._words = np.full(self.n_words, fill & 0xFFFFFFFF, dtype=np.uint32)
+        # word_index -> (stuck mask, stuck value within mask)
+        self._stuck: dict[int, tuple[int, int]] = {}
+
+    # -- write path ---------------------------------------------------------
+
+    def write(self, word_index: int, value: int) -> None:
+        """Store one word (stuck bits silently refuse the new value)."""
+        self._words[word_index] = np.uint32(value & 0xFFFFFFFF)
+
+    def fill(self, value: int) -> None:
+        """Store the same value into every word (the scanner's write pass)."""
+        self._words.fill(np.uint32(value & 0xFFFFFFFF))
+
+    def write_block(self, start: int, values: np.ndarray) -> None:
+        """Store a contiguous block of words."""
+        values = np.asarray(values, dtype=np.uint32)
+        self._words[start : start + values.shape[0]] = values
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, word_index: int) -> int:
+        """Read one word with the stuck overlay applied."""
+        raw = int(self._words[word_index])
+        stuck = self._stuck.get(int(word_index))
+        if stuck is not None:
+            mask, value = stuck
+            raw = (raw & ~mask | value) & 0xFFFFFFFF
+        return raw
+
+    def read_block(self, start: int = 0, count: int | None = None) -> np.ndarray:
+        """Read a contiguous block (a *copy*) with the stuck overlay applied.
+
+        Returns a copy rather than a view because the overlay must not
+        contaminate the backing store.
+        """
+        if count is None:
+            count = self.n_words - start
+        out = self._words[start : start + count].copy()
+        for idx, (mask, value) in self._stuck.items():
+            if start <= idx < start + count:
+                out[idx - start] = (int(out[idx - start]) & ~mask | value) & 0xFFFFFFFF
+        return out
+
+    # -- fault manipulation ---------------------------------------------------
+
+    def xor_word(self, word_index: int, flip_mask: int) -> None:
+        """Corrupt the stored value of one word (transient upset)."""
+        self._words[word_index] = np.uint32(
+            int(self._words[word_index]) ^ (flip_mask & 0xFFFFFFFF)
+        )
+
+    def set_bits(self, word_index: int, mask: int, value: int) -> None:
+        """Force selected stored bits to given levels (weak-cell firing)."""
+        raw = int(self._words[word_index])
+        self._words[word_index] = np.uint32((raw & ~mask | (value & mask)) & 0xFFFFFFFF)
+
+    def add_stuck(self, word_index: int, mask: int, value: int) -> None:
+        """Install (or merge) a stuck-bit overlay on one word."""
+        if not 0 <= word_index < self.n_words:
+            raise ConfigurationError("stuck word outside device")
+        mask &= 0xFFFFFFFF
+        value &= mask
+        old = self._stuck.get(int(word_index))
+        if old is not None:
+            old_mask, old_value = old
+            value = (old_value & ~mask) | value
+            mask = old_mask | mask
+        self._stuck[int(word_index)] = (mask, value)
+
+    def clear_stuck(self, word_index: int | None = None) -> None:
+        """Remove one stuck overlay, or all of them."""
+        if word_index is None:
+            self._stuck.clear()
+        else:
+            self._stuck.pop(int(word_index), None)
+
+    @property
+    def stuck_words(self) -> dict[int, tuple[int, int]]:
+        """Read-only view of the stuck overlay (word -> (mask, value))."""
+        return dict(self._stuck)

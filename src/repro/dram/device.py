@@ -1,0 +1,147 @@
+"""The simulated unprotected DRAM device.
+
+Ties together the cell array, geometry, bit swizzle and address map into
+the object the scanner actually reads and writes.  There is **no ECC
+anywhere in this path** — that is the whole point of the paper's prototype;
+the :mod:`repro.ecc` package is only used *after the fact* to classify what
+a protected system would have done with each observed corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .addressing import DEFAULT_SWIZZLE, AddressMap, BitSwizzle
+from .cells import CellArray
+from .faults import (
+    ColumnFault,
+    MultiCellEvent,
+    RowFault,
+    StuckCell,
+    TransientFlip,
+    WeakCell,
+)
+from .geometry import DramGeometry
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one node's scanned DRAM region."""
+
+    n_words: int
+    geometry: DramGeometry | None = None
+    swizzle: BitSwizzle = DEFAULT_SWIZZLE
+
+    def __post_init__(self) -> None:
+        if self.n_words <= 0:
+            raise ConfigurationError("device needs at least one word")
+        if self.geometry is not None and self.geometry.total_words < self.n_words:
+            raise ConfigurationError("geometry smaller than requested capacity")
+
+
+class SimulatedDram:
+    """An ECC-less DRAM region as seen through one scan session."""
+
+    def __init__(self, spec: DeviceSpec, address_map: AddressMap | None = None):
+        self.spec = spec
+        self.cells = CellArray(spec.n_words)
+        self.address_map = address_map or AddressMap(n_words=spec.n_words)
+        if self.address_map.n_words != spec.n_words:
+            raise ConfigurationError("address map does not cover the device")
+
+    @property
+    def n_words(self) -> int:
+        return self.spec.n_words
+
+    # -- scanner-facing API ---------------------------------------------------
+
+    def write_word(self, word_index: int, value: int) -> None:
+        self.cells.write(word_index, value)
+
+    def fill(self, value: int) -> None:
+        self.cells.fill(value)
+
+    def write_block(self, start: int, values: np.ndarray) -> None:
+        self.cells.write_block(start, values)
+
+    def read_word(self, word_index: int) -> int:
+        return self.cells.read(word_index)
+
+    def read_block(self, start: int = 0, count: int | None = None) -> np.ndarray:
+        return self.cells.read_block(start, count)
+
+    # -- fault application ------------------------------------------------------
+
+    def apply(self, fault) -> None:
+        """Apply any fault object from :mod:`repro.dram.faults`.
+
+        Transient masks are *physical-line* masks: they are routed through
+        the device's bit swizzle before touching logical storage, which is
+        how adjacent-line disturbances become non-adjacent logical flips.
+        """
+        if isinstance(fault, TransientFlip):
+            logical = self.spec.swizzle.physical_to_logical_mask(fault.flip_mask)
+            self.cells.xor_word(fault.word_index, logical)
+        elif isinstance(fault, StuckCell):
+            logical_mask = self.spec.swizzle.physical_to_logical_mask(fault.mask)
+            logical_value = self.spec.swizzle.physical_to_logical_mask(fault.value)
+            self.cells.add_stuck(fault.word_index, logical_mask, logical_value)
+        elif isinstance(fault, WeakCell):
+            self.cells.set_bits(
+                fault.word_index, fault.mask, fault.discharge_value << fault.bit
+            )
+        elif isinstance(fault, MultiCellEvent):
+            for flip in fault.flips:
+                self.apply(flip)
+        elif isinstance(fault, (RowFault, ColumnFault)):
+            if self.spec.geometry is None:
+                raise ConfigurationError(
+                    "row/column faults need a device with geometry attached"
+                )
+            logical_mask = self.spec.swizzle.physical_to_logical_mask(fault.mask)
+            logical_value = self.spec.swizzle.physical_to_logical_mask(fault.value)
+            if isinstance(fault, RowFault):
+                words = self.spec.geometry.row_words(fault.bank, fault.row)
+            else:
+                words = self.spec.geometry.column_words(fault.bank, fault.col)
+            for word in words:
+                if word < self.n_words:
+                    self.cells.add_stuck(int(word), logical_mask, logical_value)
+        else:
+            raise ConfigurationError(f"unknown fault type {type(fault).__name__}")
+
+    def apply_logical_flip(self, word_index: int, logical_mask: int) -> None:
+        """Corrupt logical bits directly, bypassing the swizzle.
+
+        Used when replaying a *catalogued* corruption (e.g. the Table I
+        patterns, which are already expressed in logical bits).
+        """
+        self.cells.xor_word(word_index, logical_mask)
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def virtual_address(self, word_index: int) -> int:
+        return int(self.address_map.virtual_address(word_index))
+
+    def physical_page(self, word_index: int) -> int:
+        return int(self.address_map.physical_page(word_index))
+
+
+def make_device(
+    mb: int,
+    swizzle: BitSwizzle = DEFAULT_SWIZZLE,
+    with_geometry: bool = False,
+    salt: int = 0,
+) -> SimulatedDram:
+    """Convenience constructor: a device of ``mb`` megabytes.
+
+    ``with_geometry`` attaches a bank/row/col geometry sized to the region
+    (needed only by multi-cell neighbourhood faults).
+    """
+    n_words = (int(mb) * 1024 * 1024) // 4
+    geometry = DramGeometry.for_capacity_mb(mb) if with_geometry else None
+    spec = DeviceSpec(n_words=n_words, geometry=geometry, swizzle=swizzle)
+    return SimulatedDram(spec, AddressMap(n_words=n_words, salt=salt))

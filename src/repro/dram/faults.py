@@ -1,0 +1,167 @@
+"""Fault taxonomy for the simulated device.
+
+These dataclasses describe *physical* faults; applying one to a
+:class:`~repro.dram.device.SimulatedDram` changes what subsequent reads
+return.  The taxonomy mirrors the phenomena the paper identifies:
+
+* :class:`TransientFlip` — a one-shot upset (cosmic-ray SEU): the stored
+  value is corrupted once; the scanner's next rewrite clears it.
+* :class:`StuckCell` — a cell (or group of bits in one word) that returns
+  a fixed value regardless of writes; produces the endless streams of
+  identical ERROR lines the removed faulty node emitted (>98% of raw logs).
+* :class:`WeakCell` — a manufacturing-variability cell that intermittently
+  leaks charge: each time it *fires* the stored bit decays toward its
+  discharge value; the 100%-identical-bit signature of nodes 04-05/58-02.
+* :class:`MultiCellEvent` — one particle strike corrupting several cells
+  in a physical neighbourhood; through the controller interleave and the
+  bit swizzle it appears as simultaneous errors at scattered logical
+  addresses (Sec III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bitops import WORD_BITS
+
+
+@dataclass(frozen=True)
+class TransientFlip:
+    """A one-shot XOR of ``flip_mask`` into the word at ``word_index``."""
+
+    word_index: int
+    flip_mask: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.flip_mask <= 0xFFFFFFFF:
+            raise ValueError("flip_mask must be a nonzero 32-bit mask")
+
+
+@dataclass(frozen=True)
+class StuckCell:
+    """Bits of one word permanently stuck at given values.
+
+    ``mask`` selects the stuck bits; ``value`` gives their stuck levels.
+    """
+
+    word_index: int
+    mask: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mask <= 0xFFFFFFFF:
+            raise ValueError("mask must be a nonzero 32-bit mask")
+        if self.value & ~self.mask & 0xFFFFFFFF:
+            raise ValueError("value has bits outside mask")
+
+
+@dataclass(frozen=True)
+class WeakCell:
+    """An intermittently leaking cell.
+
+    ``bit`` is the logical bit position; ``discharge_value`` is the level
+    the cell decays to when it fires (0 for a true cell losing charge,
+    1 for an anti-cell).  The firing schedule lives in the fault-injection
+    model; this object only describes the physics of one firing.
+    """
+
+    word_index: int
+    bit: int
+    discharge_value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < WORD_BITS:
+            raise ValueError("bit outside word")
+        if self.discharge_value not in (0, 1):
+            raise ValueError("discharge_value must be 0 or 1")
+
+    @property
+    def mask(self) -> int:
+        return 1 << self.bit
+
+
+@dataclass(frozen=True)
+class RowFault:
+    """A whole physical row failing (related work: Sridharan & Liberty).
+
+    Every word of one (bank, row) loses the same physical data lines;
+    expressed as a stuck fault over the row when applied to a device with
+    geometry attached.
+    """
+
+    bank: int
+    row: int
+    mask: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mask <= 0xFFFFFFFF:
+            raise ValueError("mask must be a nonzero 32-bit mask")
+        if self.value & ~self.mask & 0xFFFFFFFF:
+            raise ValueError("value has bits outside mask")
+
+
+@dataclass(frozen=True)
+class ColumnFault:
+    """A whole physical column failing (one bit line of one bank)."""
+
+    bank: int
+    col: int
+    mask: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mask <= 0xFFFFFFFF:
+            raise ValueError("mask must be a nonzero 32-bit mask")
+        if self.value & ~self.mask & 0xFFFFFFFF:
+            raise ValueError("value has bits outside mask")
+
+
+@dataclass(frozen=True)
+class MultiCellEvent:
+    """One physical event corrupting several words at the same instant."""
+
+    flips: tuple[TransientFlip, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.flips:
+            raise ValueError("MultiCellEvent needs at least one flip")
+        if len({f.word_index for f in self.flips}) != len(self.flips):
+            raise ValueError("MultiCellEvent flips must hit distinct words")
+
+    @property
+    def n_words(self) -> int:
+        return len(self.flips)
+
+    @property
+    def total_bits(self) -> int:
+        from ..core.bitops import popcount
+
+        return int(sum(popcount(f.flip_mask) for f in self.flips))
+
+
+def charge_loss_mask(
+    stored: int, n_bits: int, rng: np.random.Generator, p_one_to_zero: float = 0.9
+) -> int:
+    """Draw a flip mask with the paper's 1->0 dominance.
+
+    Each flipped bit is a charge-loss (1->0) flip with probability
+    ``p_one_to_zero`` — only possible on bits currently storing 1 — and a
+    0->1 flip otherwise.  If the stored word lacks bits in the wanted
+    direction, the other direction is used, so the requested number of
+    flips is always produced for words that have ``n_bits`` flippable bits.
+    """
+    stored &= 0xFFFFFFFF
+    ones = [b for b in range(WORD_BITS) if (stored >> b) & 1]
+    zeros = [b for b in range(WORD_BITS) if not (stored >> b) & 1]
+    mask = 0
+    for _ in range(n_bits):
+        want_loss = rng.random() < p_one_to_zero
+        pool = ones if (want_loss and ones) or not zeros else zeros
+        if not pool:
+            break
+        bit = pool.pop(int(rng.integers(len(pool))))
+        mask |= 1 << bit
+    return mask

@@ -1,0 +1,114 @@
+"""Geometric organization of the simulated LPDDR device.
+
+A node's scanned region is modelled as a linear array of 32-bit words that
+the memory controller maps onto (bank, row, column) coordinates.  The
+geometry matters for two of the paper's observations:
+
+* one physical disturbance (a neutron-induced charge cloud, a weak spot in
+  one chip) touches cells that are *physically* close — same row/column
+  neighbourhoods — yet the controller interleaving maps them to scattered
+  *logical* addresses, producing the "multiple single-bit errors in
+  different memory regions at the same instant" phenomenon of Sec III-C;
+* whole-row/whole-column faults (related work, Sridharan & Liberty) touch
+  many words sharing a coordinate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Bank/row/column organization of a scanned region.
+
+    The default models a 3 GB region as 8 banks of 32768 rows x 3072
+    columns of 32-bit words (8*32768*3072 words * 4 B = 3 GiB).
+    """
+
+    n_banks: int = 8
+    n_rows: int = 32768
+    n_cols: int = 3072
+
+    def __post_init__(self) -> None:
+        if min(self.n_banks, self.n_rows, self.n_cols) < 1:
+            raise ConfigurationError("geometry dimensions must be positive")
+
+    @property
+    def words_per_bank(self) -> int:
+        return self.n_rows * self.n_cols
+
+    @property
+    def total_words(self) -> int:
+        return self.n_banks * self.words_per_bank
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_words * 4
+
+    @classmethod
+    def for_capacity_mb(cls, mb: int, n_banks: int = 8, n_cols: int = 1024):
+        """A geometry covering at least ``mb`` megabytes with given shape."""
+        words = (int(mb) * 1024 * 1024) // 4
+        rows = max(1, -(-words // (n_banks * n_cols)))
+        return cls(n_banks=n_banks, n_rows=rows, n_cols=n_cols)
+
+    # -- coordinate transforms (vectorized) --------------------------------
+
+    def decompose(self, word_index: np.ndarray | int):
+        """(bank, row, col) of linear word indices, controller-interleaved.
+
+        Banks are interleaved at word granularity (standard practice for
+        bandwidth), so consecutive logical words hit different banks:
+        ``word -> bank = word % n_banks``, then row-major within the bank.
+        """
+        idx = np.asarray(word_index, dtype=np.int64)
+        if np.any((idx < 0) | (idx >= self.total_words)):
+            raise ConfigurationError("word index outside device")
+        bank = idx % self.n_banks
+        within = idx // self.n_banks
+        row = within // self.n_cols
+        col = within % self.n_cols
+        return bank[()], row[()], col[()]
+
+    def compose(self, bank, row, col) -> np.ndarray | int:
+        """Inverse of :meth:`decompose`."""
+        bank = np.asarray(bank, dtype=np.int64)
+        row = np.asarray(row, dtype=np.int64)
+        col = np.asarray(col, dtype=np.int64)
+        if np.any((bank < 0) | (bank >= self.n_banks)):
+            raise ConfigurationError("bank outside device")
+        if np.any((row < 0) | (row >= self.n_rows)):
+            raise ConfigurationError("row outside device")
+        if np.any((col < 0) | (col >= self.n_cols)):
+            raise ConfigurationError("col outside device")
+        return ((row * self.n_cols + col) * self.n_banks + bank)[()]
+
+    def row_words(self, bank: int, row: int) -> np.ndarray:
+        """All word indices stored in one physical row of one bank."""
+        cols = np.arange(self.n_cols, dtype=np.int64)
+        return np.asarray(self.compose(bank, row, cols))
+
+    def column_words(self, bank: int, col: int) -> np.ndarray:
+        """All word indices sharing one physical column of one bank."""
+        rows = np.arange(self.n_rows, dtype=np.int64)
+        return np.asarray(self.compose(bank, rows, col))
+
+    def physical_neighborhood(
+        self, word_index: int, radius: int = 2
+    ) -> np.ndarray:
+        """Word indices physically near a word (same bank, row/col window).
+
+        Used by the multi-region event model: a single particle strike
+        corrupts cells within a physical neighbourhood, which this method
+        maps back to scattered logical addresses.
+        """
+        bank, row, col = self.decompose(int(word_index))
+        rows = np.arange(max(0, row - radius), min(self.n_rows, row + radius + 1))
+        cols = np.arange(max(0, col - radius), min(self.n_cols, col + radius + 1))
+        rr, cc = np.meshgrid(rows, cols, indexing="ij")
+        return np.asarray(self.compose(bank, rr.ravel(), cc.ravel()))

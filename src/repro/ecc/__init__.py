@@ -1,0 +1,52 @@
+"""ECC what-if models: SECDED Hamming codes and chipkill symbol codes."""
+
+from .chipkill import CHIPKILL_32, ChipkillCode, ChipkillSpec
+from .classify import (
+    ProtectionOutcome,
+    ProtectionSummary,
+    classify_chipkill,
+    classify_secded,
+    classify_unprotected,
+    compare_schemes,
+)
+from .gf import GF16, GF2m
+from .hamming_batch import (
+    BatchSummary,
+    decode_flips_batch,
+    summarize,
+    syndromes,
+)
+from .hamming import (
+    SECDED_32,
+    SECDED_64,
+    DecodeResult,
+    DecodeStatus,
+    HammingSecded,
+)
+from .secded import SecdedOutcome, classify_bulk, classify_word
+
+__all__ = [
+    "BatchSummary",
+    "CHIPKILL_32",
+    "ChipkillCode",
+    "ChipkillSpec",
+    "DecodeResult",
+    "DecodeStatus",
+    "GF16",
+    "GF2m",
+    "HammingSecded",
+    "ProtectionOutcome",
+    "ProtectionSummary",
+    "SECDED_32",
+    "SECDED_64",
+    "SecdedOutcome",
+    "classify_bulk",
+    "classify_chipkill",
+    "classify_secded",
+    "classify_unprotected",
+    "classify_word",
+    "compare_schemes",
+    "decode_flips_batch",
+    "summarize",
+    "syndromes",
+]

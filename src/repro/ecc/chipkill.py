@@ -1,0 +1,163 @@
+"""Chipkill-style symbol ECC: single-symbol-correct, double-symbol-detect.
+
+Chipkill treats the codeword as b-bit symbols, one per DRAM chip, so the
+total failure of one chip (any corruption confined to one symbol) is
+correctable.  We implement the classic SSC-DSD construction as a shortened
+Reed-Solomon-style code over GF(2^b) with three check symbols:
+
+    c0 = sum(d_i),  c1 = sum(alpha^i * d_i),  c2 = sum(alpha^{2i} * d_i)
+
+which gives minimum symbol distance 4 (correct 1 symbol, detect 2).
+The decoder is honest for wider corruptions: >=3 corrupted symbols may
+miscorrect or alias, exactly like real hardware.
+
+The related-work claim the paper cites (Sridharan & Liberty: chipkill is
+~42x more reliable than SECDED in the field) is exercised by the
+`bench_ablation_ecc` benchmark, which replays the study's error population
+through both codecs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import EccError
+from .gf import GF2m
+from .hamming import DecodeResult, DecodeStatus
+
+
+@dataclass(frozen=True)
+class ChipkillSpec:
+    """Geometry of the symbol code."""
+
+    symbol_bits: int = 4
+    data_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.data_bits % self.symbol_bits:
+            raise EccError("data_bits must be a multiple of symbol_bits")
+
+    @property
+    def n_data_symbols(self) -> int:
+        return self.data_bits // self.symbol_bits
+
+    @property
+    def n_check_symbols(self) -> int:
+        return 3
+
+    @property
+    def n_symbols(self) -> int:
+        return self.n_data_symbols + self.n_check_symbols
+
+
+class ChipkillCode:
+    """SSC-DSD symbol code over GF(2^symbol_bits)."""
+
+    def __init__(self, spec: ChipkillSpec | None = None):
+        self.spec = spec or ChipkillSpec()
+        self.field = GF2m(self.spec.symbol_bits)
+        if self.spec.n_symbols >= self.field.order:
+            raise EccError("too many symbols for this field (code too long)")
+        self._idx = np.arange(self.spec.n_data_symbols, dtype=np.int64)
+
+    # -- symbol packing ---------------------------------------------------
+
+    def split_symbols(self, data: int) -> np.ndarray:
+        """Little-endian split of a data word into b-bit symbols."""
+        b = self.spec.symbol_bits
+        mask = (1 << b) - 1
+        return np.array(
+            [(int(data) >> (b * i)) & mask for i in range(self.spec.n_data_symbols)],
+            dtype=np.int64,
+        )
+
+    def join_symbols(self, symbols: np.ndarray) -> int:
+        b = self.spec.symbol_bits
+        out = 0
+        for i, s in enumerate(symbols):
+            out |= int(s) << (b * i)
+        return out
+
+    # -- encode / decode ------------------------------------------------------
+
+    def encode(self, data: int) -> np.ndarray:
+        """Codeword as an array of symbols: data symbols then 3 checks."""
+        if int(data) < 0 or int(data) >> self.spec.data_bits:
+            raise EccError(f"data does not fit in {self.spec.data_bits} bits")
+        d = self.split_symbols(data)
+        gf = self.field
+        c0 = int(np.bitwise_xor.reduce(d)) if d.size else 0
+        c1 = 0
+        c2 = 0
+        for i, di in enumerate(d):
+            c1 ^= int(gf.mul(int(di), int(gf.pow_alpha(i))))
+            c2 ^= int(gf.mul(int(di), int(gf.pow_alpha(2 * i))))
+        return np.concatenate([d, [c0, c1, c2]]).astype(np.int64)
+
+    def _syndromes(self, received: np.ndarray) -> tuple[int, int, int]:
+        gf = self.field
+        d = received[: self.spec.n_data_symbols]
+        c0, c1, c2 = (int(x) for x in received[self.spec.n_data_symbols :])
+        s0 = int(np.bitwise_xor.reduce(d)) ^ c0
+        s1 = c1
+        s2 = c2
+        for i, di in enumerate(d):
+            s1 ^= int(gf.mul(int(di), int(gf.pow_alpha(i))))
+            s2 ^= int(gf.mul(int(di), int(gf.pow_alpha(2 * i))))
+        return s0, s1, s2
+
+    def decode(self, received: np.ndarray) -> DecodeResult:
+        """Honest SSC-DSD decoding of a received symbol vector."""
+        received = np.asarray(received, dtype=np.int64)
+        if received.shape[0] != self.spec.n_symbols:
+            raise EccError("received vector has wrong symbol count")
+        gf = self.field
+        s0, s1, s2 = self._syndromes(received)
+        data = self.join_symbols(received[: self.spec.n_data_symbols])
+        if s0 == 0 and s1 == 0 and s2 == 0:
+            return DecodeResult(DecodeStatus.CLEAN, data)
+        # Hypothesis: single data-symbol error at position j with value e:
+        #   s0 = e, s1 = e*alpha^j, s2 = e*alpha^{2j}
+        if s0 != 0 and s1 != 0 and s2 != 0:
+            ratio1 = int(gf.div(s1, s0))
+            ratio2 = int(gf.div(s2, s1))
+            if ratio1 == ratio2 and ratio1 != 0:
+                j = int(gf.log_alpha(ratio1))
+                if j < self.spec.n_data_symbols:
+                    corrected = received.copy()
+                    corrected[j] = int(corrected[j]) ^ s0
+                    return DecodeResult(
+                        DecodeStatus.CORRECTED,
+                        self.join_symbols(corrected[: self.spec.n_data_symbols]),
+                        j,
+                    )
+        # Single *check*-symbol errors: exactly one syndrome nonzero.
+        nonzero = (s0 != 0) + (s1 != 0) + (s2 != 0)
+        if nonzero == 1:
+            return DecodeResult(DecodeStatus.CORRECTED, data, -1)
+        return DecodeResult(DecodeStatus.DETECTED, data)
+
+    def decode_flips(self, data: int, flip_mask_data: int) -> DecodeResult:
+        """Replay a logical data corruption through the chipkill codec."""
+        codeword = self.encode(data)
+        flips = self.split_symbols(flip_mask_data)
+        received = codeword.copy()
+        received[: self.spec.n_data_symbols] ^= flips
+        result = self.decode(received)
+        if result.status is DecodeStatus.CORRECTED and result.data != int(data):
+            return DecodeResult(
+                DecodeStatus.MISCORRECTED, result.data, result.corrected_position
+            )
+        if result.status is DecodeStatus.CLEAN and result.data != int(data):
+            return DecodeResult(DecodeStatus.UNDETECTED, result.data)
+        return result
+
+    def symbols_touched(self, flip_mask_data: int) -> int:
+        """How many data symbols a logical flip mask touches."""
+        return int(np.count_nonzero(self.split_symbols(flip_mask_data)))
+
+
+#: Default 32-bit-data chipkill codec with 4-bit symbols (x4 DRAM chips).
+CHIPKILL_32 = ChipkillCode()

@@ -1,0 +1,116 @@
+"""Finite-field arithmetic GF(2^m) for symbol-based ECC.
+
+Chipkill-style codes correct whole DRAM-chip failures by treating the
+codeword as symbols over GF(2^m) (one symbol per chip's data pins).  This
+module provides table-driven GF(2^m) arithmetic, vectorized over NumPy
+arrays, for the m values used by the chipkill model (m=4 by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import EccError
+
+#: Default primitive polynomials (bit i set = coefficient of x^i),
+#: excluding the leading x^m term, keyed by m.
+PRIMITIVE_POLYS = {
+    3: 0b011,   # x^3 + x + 1
+    4: 0b0011,  # x^4 + x + 1
+    8: 0b00011101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2m:
+    """The field GF(2^m) with log/antilog tables.
+
+    Addition is XOR; multiplication/division/power go through discrete
+    logs base the primitive element alpha = x.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if m < 2 or m > 16:
+            raise EccError("GF(2^m) supported for 2 <= m <= 16")
+        self.m = m
+        self.order = 1 << m
+        poly = primitive_poly if primitive_poly is not None else PRIMITIVE_POLYS.get(m)
+        if poly is None:
+            raise EccError(f"no default primitive polynomial for m={m}")
+        self.poly = poly
+
+        # Build antilog (exp) and log tables by repeated multiplication by x.
+        exp = np.zeros(2 * self.order, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        value = 1
+        seen = set()
+        for power in range(self.order - 1):
+            if value in seen:
+                # x has order < 2^m - 1: poly is not primitive.
+                raise EccError(f"poly 0x{poly:x} is not primitive for m={m}")
+            seen.add(value)
+            exp[power] = value
+            log[value] = power
+            value <<= 1
+            if value & self.order:
+                value = (value ^ self.order) ^ poly
+        if value != 1:
+            raise EccError(f"poly 0x{poly:x} is not primitive for m={m}")
+        # Duplicate for mod-free exponent lookups.
+        exp[self.order - 1 : 2 * (self.order - 1)] = exp[: self.order - 1]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar & vector operations (all accept ints or int arrays) -------
+
+    def add(self, a, b):
+        """Field addition (= subtraction) is bitwise XOR."""
+        return np.bitwise_xor(a, b)[()] if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else (a ^ b)
+
+    def mul(self, a, b):
+        """Field multiplication via log tables (vectorized)."""
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        self._check(a_arr)
+        self._check(b_arr)
+        nz = (a_arr != 0) & (b_arr != 0)
+        logs = self._log[np.where(nz, a_arr, 1)] + self._log[np.where(nz, b_arr, 1)]
+        out = np.where(nz, self._exp[logs], 0)
+        return out[()]
+
+    def div(self, a, b):
+        """Field division a / b; division by zero raises."""
+        a_arr = np.asarray(a, dtype=np.int64)
+        b_arr = np.asarray(b, dtype=np.int64)
+        self._check(a_arr)
+        self._check(b_arr)
+        if np.any(b_arr == 0):
+            raise EccError("division by zero in GF(2^m)")
+        nz = a_arr != 0
+        logs = (
+            self._log[np.where(nz, a_arr, 1)]
+            - self._log[b_arr]
+            + (self.order - 1)
+        )
+        out = np.where(nz, self._exp[logs % (self.order - 1)], 0)
+        return out[()]
+
+    def pow_alpha(self, k):
+        """alpha^k for integer exponent(s) k (alpha = the primitive element)."""
+        k_arr = np.asarray(k, dtype=np.int64)
+        return self._exp[np.mod(k_arr, self.order - 1)][()]
+
+    def log_alpha(self, a):
+        """Discrete log base alpha; log of zero raises."""
+        a_arr = np.asarray(a, dtype=np.int64)
+        self._check(a_arr)
+        if np.any(a_arr == 0):
+            raise EccError("log of zero in GF(2^m)")
+        return self._log[a_arr][()]
+
+    def _check(self, arr: np.ndarray) -> None:
+        if np.any((arr < 0) | (arr >= self.order)):
+            raise EccError(f"element outside GF(2^{self.m})")
+
+
+#: Shared GF(16) instance for the default chipkill symbol width.
+GF16 = GF2m(4)

@@ -1,0 +1,28 @@
+"""Environment substrate: sun, neutrons, temperature, academic calendar."""
+
+from .calendar import AcademicCalendar
+from .neutron import NeutronFluxModel, altitude_factor
+from .solar import (
+    BARCELONA,
+    Site,
+    is_daytime,
+    solar_declination_rad,
+    solar_elevation_deg,
+    solar_noon_hour,
+)
+from .temperature import ROOM_MAX_C, ROOM_MIN_C, TemperatureModel
+
+__all__ = [
+    "AcademicCalendar",
+    "BARCELONA",
+    "NeutronFluxModel",
+    "ROOM_MAX_C",
+    "ROOM_MIN_C",
+    "Site",
+    "TemperatureModel",
+    "altitude_factor",
+    "is_daytime",
+    "solar_declination_rad",
+    "solar_elevation_deg",
+    "solar_noon_hour",
+]

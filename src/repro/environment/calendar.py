@@ -1,0 +1,81 @@
+"""Academic calendar driving cluster utilization.
+
+The scanner only runs on *idle* nodes, so the amount of memory scanned per
+day (Fig 9) mirrors the inverse of cluster utilization.  The paper notes
+intense scanning in August, September and December (academic vacations)
+and lower scanning April-July (end of the academic year).  This module
+encodes that calendar as a utilization fraction per day, which the job
+generator consumes.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import timeutils
+
+
+def _span(start: _dt.date, end: _dt.date) -> tuple[int, int]:
+    """Day-index span [first, last] for a date range (inclusive)."""
+    first = (start - timeutils.STUDY_EPOCH.date()).days
+    last = (end - timeutils.STUDY_EPOCH.date()).days
+    return (first, last)
+
+
+#: (day-span, utilization) entries; later entries override earlier ones.
+#: Levels calibrated so total coverage lands on the paper's ~4.2M
+#: node-hours / ~12,135 TB-hours with the Fig 9 seasonal shape.
+DEFAULT_CALENDAR: tuple[tuple[tuple[int, int], float], ...] = (
+    # Baseline term-time utilization.
+    (_span(_dt.date(2015, 2, 1), _dt.date(2016, 3, 31)), 0.64),
+    # End of academic year: machine heavily used (Sec III-G, Apr-Jul dip
+    # in scanning).
+    (_span(_dt.date(2015, 4, 1), _dt.date(2015, 7, 20)), 0.82),
+    # Summer vacation: long idle stretches (Aug/Sep scanning peaks).
+    (_span(_dt.date(2015, 7, 21), _dt.date(2015, 9, 20)), 0.22),
+    # Autumn crunch (deadline season): the machine is busy exactly while
+    # the error rate peaks — the source of the Sec III-G anti-correlation.
+    (_span(_dt.date(2015, 10, 5), _dt.date(2015, 11, 27)), 0.74),
+    # Christmas break (December peak).
+    (_span(_dt.date(2015, 12, 15), _dt.date(2016, 1, 7)), 0.26),
+)
+
+
+@dataclass(frozen=True)
+class AcademicCalendar:
+    """Piecewise-constant cluster utilization over the study window."""
+
+    entries: tuple[tuple[tuple[int, int], float], ...] = DEFAULT_CALENDAR
+    weekend_factor: float = 0.60  # weekends are quieter
+    n_days: int = timeutils.STUDY_DAYS
+
+    def _base_table(self) -> np.ndarray:
+        table = np.full(self.n_days, 0.64, dtype=np.float64)
+        for (first, last), util in self.entries:
+            lo = max(first, 0)
+            hi = min(last, self.n_days - 1)
+            if hi >= lo:
+                table[lo : hi + 1] = util
+        return table
+
+    def utilization(self, day: int | np.ndarray) -> np.ndarray | float:
+        """Fraction of the cluster busy with jobs on a given study day."""
+        table = self._base_table()
+        days = np.asarray(day, dtype=np.int64)
+        util = table[np.clip(days, 0, self.n_days - 1)]
+        # Weekday of the epoch (2015-02-01) is Sunday (weekday()==6).
+        weekday = (6 + days) % 7
+        weekend = (weekday == 5) | (weekday == 6)
+        util = np.where(weekend, util * self.weekend_factor, util)
+        return util[()]
+
+    def idle_fraction(self, day: int | np.ndarray) -> np.ndarray | float:
+        """Fraction of node time available to the memory scanner."""
+        return (1.0 - np.asarray(self.utilization(day)))[()]
+
+    def utilization_series(self) -> np.ndarray:
+        """Per-day utilization over the whole study window."""
+        return np.asarray(self.utilization(np.arange(self.n_days)))

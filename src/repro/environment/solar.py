@@ -1,0 +1,119 @@
+"""Solar position model for the machine's site (Barcelona, ~100 m a.s.l.).
+
+Sec III-E of the paper correlates multi-bit error counts with the position
+of the sun in the sky (day:night ratio ~2:1, peak at local noon).  The
+fault-injection model needs a physical driver for that modulation, so we
+implement the standard NOAA-style solar elevation computation: declination
+and equation-of-time from the fractional year, then the hour-angle formula
+for elevation.  Accuracy of a fraction of a degree is ample for modulating
+a fault-rate model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import timeutils
+
+#: Site coordinates used by the study (Barcelona).
+BARCELONA_LATITUDE_DEG = 41.39
+BARCELONA_LONGITUDE_DEG = 2.17
+BARCELONA_ALTITUDE_M = 100.0
+
+#: Local civil time offset from UTC.  The study logs local timestamps; we
+#: use a fixed +1 h (CET) — neglecting DST shifts the noon peak by at most
+#: one bin, which is irrelevant to the shape of Fig 6.
+UTC_OFFSET_HOURS = 1.0
+
+
+@dataclass(frozen=True)
+class Site:
+    """A geographic site for solar computations."""
+
+    latitude_deg: float = BARCELONA_LATITUDE_DEG
+    longitude_deg: float = BARCELONA_LONGITUDE_DEG
+    altitude_m: float = BARCELONA_ALTITUDE_M
+    utc_offset_hours: float = UTC_OFFSET_HOURS
+
+
+BARCELONA = Site()
+
+
+def _fractional_year_rad(t_hours: np.ndarray) -> np.ndarray:
+    """Fractional year angle gamma (radians) for study times, vectorized.
+
+    Uses day-of-year + hour within day; exact leap handling is unnecessary
+    at the model's accuracy, so a 365.25-day year is used.
+    """
+    t = np.asarray(t_hours, dtype=np.float64)
+    # Day-of-year of the study epoch (2015-02-01) is 32 (1-based).
+    doy = 31.0 + t / 24.0  # 0-based day-of-year + fraction
+    return 2.0 * np.pi * np.mod(doy, 365.25) / 365.25
+
+
+def solar_declination_rad(t_hours: np.ndarray | float) -> np.ndarray | float:
+    """Solar declination (radians), Spencer's Fourier expansion."""
+    g = _fractional_year_rad(t_hours)
+    decl = (
+        0.006918
+        - 0.399912 * np.cos(g)
+        + 0.070257 * np.sin(g)
+        - 0.006758 * np.cos(2 * g)
+        + 0.000907 * np.sin(2 * g)
+        - 0.002697 * np.cos(3 * g)
+        + 0.00148 * np.sin(3 * g)
+    )
+    return decl[()] if isinstance(decl, np.ndarray) else decl
+
+
+def equation_of_time_minutes(t_hours: np.ndarray | float) -> np.ndarray | float:
+    """Equation of time (minutes), Spencer's expansion."""
+    g = _fractional_year_rad(t_hours)
+    eot = 229.18 * (
+        0.000075
+        + 0.001868 * np.cos(g)
+        - 0.032077 * np.sin(g)
+        - 0.014615 * np.cos(2 * g)
+        - 0.040849 * np.sin(2 * g)
+    )
+    return eot[()] if isinstance(eot, np.ndarray) else eot
+
+
+def solar_elevation_deg(
+    t_hours: np.ndarray | float, site: Site = BARCELONA
+) -> np.ndarray | float:
+    """Solar elevation angle (degrees) at study time(s) ``t_hours``.
+
+    Negative values mean the sun is below the horizon.
+    """
+    t = np.asarray(t_hours, dtype=np.float64)
+    decl = solar_declination_rad(t)
+    eot = equation_of_time_minutes(t)
+    local_clock = np.mod(t, 24.0)
+    # True solar time: clock time corrected for longitude and EoT.
+    solar_time = (
+        local_clock
+        + (site.longitude_deg / 15.0 - site.utc_offset_hours)
+        + np.asarray(eot) / 60.0
+    )
+    hour_angle = np.deg2rad(15.0 * (solar_time - 12.0))
+    lat = np.deg2rad(site.latitude_deg)
+    sin_elev = np.sin(lat) * np.sin(decl) + np.cos(lat) * np.cos(decl) * np.cos(
+        hour_angle
+    )
+    elev = np.rad2deg(np.arcsin(np.clip(sin_elev, -1.0, 1.0)))
+    return elev[()]
+
+
+def is_daytime(t_hours: np.ndarray | float, site: Site = BARCELONA):
+    """True where the sun is above the horizon."""
+    return np.asarray(solar_elevation_deg(t_hours, site)) > 0.0
+
+
+def solar_noon_hour(t_hours: float, site: Site = BARCELONA) -> float:
+    """Local clock hour of solar noon on the day containing ``t_hours``."""
+    day0 = float(timeutils.day_start(int(timeutils.day_index(t_hours))))
+    eot = float(equation_of_time_minutes(day0 + 12.0))
+    return 12.0 - (site.longitude_deg / 15.0 - site.utc_offset_hours) - eot / 60.0

@@ -1,0 +1,236 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+These do not reproduce paper artifacts directly; they test the *model
+mechanisms* behind the paper's explanations:
+
+* the DRAM bit swizzle is what turns adjacent physical-line disturbances
+  into the non-adjacent logical flips of Table I;
+* chipkill-class ECC handles the observed population far better than
+  SECDED (the related-work claim the paper cites);
+* quarantining on first abnormal behaviour beats waiting for a long
+  failure history (the paper's core Sec IV argument).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import StudyAnalysis
+from ..core import bitops
+from ..dram import BitSwizzle, TransientFlip, make_device
+from ..ecc import compare_schemes
+from ..resilience.quarantine import QuarantineSimulator
+from .base import ExperimentResult, register
+
+
+def _strike_distance_profile(swizzle: BitSwizzle, n: int = 400, seed: int = 7):
+    """Inject adjacent-physical-line strikes; measure logical adjacency."""
+    rng = np.random.default_rng(seed)
+    device = make_device(1, swizzle=swizzle)
+    adjacent = 0
+    gaps: list[int] = []
+    for _ in range(n):
+        device.fill(0xFFFFFFFF)
+        word = int(rng.integers(0, device.n_words))
+        line = int(rng.integers(0, 31))
+        device.apply(TransientFlip(word, 0b11 << line))  # two adjacent lines
+        mask = 0xFFFFFFFF ^ device.read_word(word)
+        if bitops.is_consecutive_mask(mask):
+            adjacent += 1
+        gaps.extend(bitops.adjacent_gaps(mask).tolist())
+    gaps_arr = np.array(gaps, dtype=np.float64)
+    return adjacent / n, float(gaps_arr.mean()), int(gaps_arr.max())
+
+
+@register("ablation_swizzle")
+def ablation_swizzle(analysis: StudyAnalysis) -> ExperimentResult:
+    """Swizzle on/off -> adjacency of observed multi-bit flips."""
+    rows = []
+    for label, swizzle in [
+        ("identity (no scrambling)", BitSwizzle.identity()),
+        ("interleaved stride 3 (default)", BitSwizzle.interleaved(3)),
+        ("interleaved stride 5", BitSwizzle.interleaved(5)),
+    ]:
+        frac_adjacent, mean_gap, max_gap = _strike_distance_profile(swizzle)
+        rows.append((label, f"{frac_adjacent:.1%}", round(mean_gap, 2), max_gap))
+    result = ExperimentResult(
+        exp_id="ablation_swizzle",
+        title="Bit swizzle ablation: adjacent-line strikes -> logical flips",
+        headers=("layout", "adjacent fraction", "mean gap", "max gap"),
+        rows=rows,
+    )
+    result.notes.append(
+        "paper: most multi-bit errors non-adjacent, 'could be due to DRAM "
+        "layout spreading the adjacent bits of the word'; without the "
+        "swizzle every adjacent-line strike stays adjacent"
+    )
+    return result
+
+
+@register("ablation_ecc")
+def ablation_ecc(analysis: StudyAnalysis) -> ExperimentResult:
+    """SECDED vs chipkill vs unprotected over the observed errors."""
+    multibit = [e for e in analysis.errors if e.is_multibit]
+    singles = [e for e in analysis.errors if not e.is_multibit][:2000]
+    population = multibit + singles
+    schemes = compare_schemes(population)
+    rows = []
+    for name, summary in schemes.items():
+        rows.append(
+            (
+                name,
+                summary.corrected,
+                summary.detected,
+                summary.sdc,
+                f"{summary.sdc_fraction:.2%}",
+            )
+        )
+    sdc_secded = schemes["secded"].sdc
+    sdc_ck = schemes["chipkill"].sdc
+    result = ExperimentResult(
+        exp_id="ablation_ecc",
+        title="Protection-scheme ablation over the observed error population",
+        headers=("scheme", "corrected", "detected", "sdc", "sdc fraction"),
+        rows=rows,
+    )
+    result.notes.append(
+        f"population: all {len(multibit)} multi-bit faults + "
+        f"{len(singles)} sampled single-bit faults"
+    )
+    result.notes.append(
+        f"SDC count SECDED={sdc_secded} vs chipkill={sdc_ck} "
+        "(related work: chipkill ~42x more reliable in the field)"
+    )
+    return result
+
+
+@register("ablation_ecc_overhead")
+def ablation_ecc_overhead(analysis: StudyAnalysis) -> ExperimentResult:
+    """Storage-overhead vs SDC frontier across protection schemes."""
+    from ..ecc.overhead import dominating_schemes, tradeoff_table
+
+    multibit = [e for e in analysis.errors if e.is_multibit]
+    singles = [e for e in analysis.errors if not e.is_multibit][:1000]
+    rows_data = tradeoff_table(multibit + singles)
+    frontier = {r.scheme for r in dominating_schemes(rows_data)}
+    rows = [
+        (
+            r.scheme,
+            f"{r.overhead:.1%}",
+            r.corrected,
+            r.detected,
+            r.sdc,
+            "yes" if r.scheme in frontier else "no",
+        )
+        for r in rows_data
+    ]
+    result = ExperimentResult(
+        exp_id="ablation_ecc_overhead",
+        title="Protection cost/reliability frontier over the observed errors",
+        headers=("scheme", "overhead", "corrected", "detected", "sdc", "Pareto"),
+        rows=rows,
+    )
+    result.notes.append(
+        "overhead = check bits per data bit; SDC measured by honest codec "
+        "replay of the study's error population (85 multi-bit + 1000 "
+        "sampled single-bit faults)"
+    )
+    return result
+
+
+@register("ablation_seed_stability")
+def ablation_seed_stability(analysis: StudyAnalysis) -> ExperimentResult:
+    """Do the emergent results survive different random seeds?
+
+    The Table I catalogue is calibrated-by-construction, but most of the
+    paper's statistics *emerge* from the generative models; this ablation
+    reruns the campaign under fresh seeds and checks the emergent claims
+    each time.  A reproduction that only worked at one seed would be
+    curve-fitting, not modeling.
+    """
+    from ..analysis.report import StudyAnalysis as _SA
+    from ..analysis import temporal
+    from ..faultinjection import paper_campaign_config, run_campaign
+
+    def emergent_checks(a: StudyAnalysis) -> dict[str, bool]:
+        report = a.report()
+        dn = temporal.day_night_stats(temporal.hourly_multibit(a.frame))
+        return {
+            "errors>55k": report.n_independent_errors > 55_000,
+            "coverage±5%": abs(report.total_terabyte_hours - 12_135) / 12_135 < 0.05,
+            "1->0~90%": 0.85 < report.one_to_zero_fraction < 0.95,
+            "sim>26k": report.n_simultaneous_corruptions > 26_000,
+            "regimes": 55 <= report.n_degraded_days <= 105,
+            # Only 85 multi-bit events exist, so the day:night ratio has a
+            # wide confidence interval seed to seed; the *direction* (more
+            # during daytime) is the stable claim.
+            "diurnal-direction": dn.day_night_ratio > 1.1,
+            "pearson<0": report.pearson_r < 0,
+        }
+
+    base_seed = analysis.campaign.config.seed
+    rows = []
+    for seed in (base_seed, base_seed + 1, base_seed + 2):
+        a = (
+            analysis
+            if seed == base_seed
+            else _SA(run_campaign(paper_campaign_config(seed)))
+        )
+        checks = emergent_checks(a)
+        rows.append(
+            (
+                seed,
+                sum(checks.values()),
+                len(checks),
+                ", ".join(k for k, ok in checks.items() if not ok) or "-",
+            )
+        )
+    result = ExperimentResult(
+        exp_id="ablation_seed_stability",
+        title="Seed stability of the emergent statistics",
+        headers=("seed", "claims passing", "claims total", "failing"),
+        rows=rows,
+    )
+    result.notes.append(
+        "each row is a full fresh campaign; the emergent claims must hold "
+        "without retuning (statistical fluctuation at the regime boundary "
+        "is the only tolerated slack)"
+    )
+    return result
+
+
+@register("ablation_quarantine_trigger")
+def ablation_quarantine_trigger(analysis: StudyAnalysis) -> ExperimentResult:
+    """Quarantine eagerness: first abnormal day vs long failure history."""
+    frame = analysis.frame.exclude_nodes(
+        [analysis.campaign.config.degrading.node]
+    )
+    study_hours = analysis.campaign.study_hours
+    rows = []
+    for label, threshold in [
+        ("eager (>3 errors in 24h, paper)", 3),
+        ("moderate (>10 errors in 24h)", 10),
+        ("long history (>50 errors in 24h)", 50),
+    ]:
+        sim = QuarantineSimulator(trigger_threshold=threshold)
+        outcome = sim.run(frame, quarantine_days=30.0, study_hours=study_hours)
+        rows.append(
+            (
+                label,
+                outcome.n_errors,
+                round(outcome.node_days_in_quarantine),
+                round(outcome.system_mtbf_hours, 1),
+            )
+        )
+    result = ExperimentResult(
+        exp_id="ablation_quarantine_trigger",
+        title="Quarantine trigger ablation (30-day quarantine)",
+        headers=("trigger", "errors", "node-days", "MTBF (h)"),
+        rows=rows,
+    )
+    result.notes.append(
+        "paper Sec IV: 'it is preferable to put the node in quarantine as "
+        "soon as it shows abnormal behaviour, instead of waiting for it to "
+        "create a long failure history'"
+    )
+    return result

@@ -1,0 +1,128 @@
+"""Experiment framework: results, registry, rendering.
+
+Every paper figure/table is one registered experiment: a function from a
+:class:`~repro.analysis.report.StudyAnalysis` to an
+:class:`ExperimentResult` holding the same rows/series the paper reports,
+renderable as text for the benchmark harness and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..analysis.report import StudyAnalysis
+
+
+@dataclass
+class ExperimentResult:
+    """Rows/series regenerating one paper figure or table."""
+
+    exp_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        widths = [len(h) for h in self.headers]
+        str_rows = [[_fmt(v) for v in row] for row in self.rows]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                if i < len(widths):
+                    widths[i] = max(widths[i], len(cell))
+        lines = [f"== {self.exp_id}: {self.title}"]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in str_rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):,}"
+    return str(value)
+
+
+ExperimentFn = Callable[[StudyAnalysis], ExperimentResult]
+
+#: Global experiment registry: exp id -> runner.
+REGISTRY: dict[str, ExperimentFn] = {}
+
+
+def register(exp_id: str):
+    """Decorator adding an experiment function to the registry."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if exp_id in REGISTRY:
+            raise ValueError(f"duplicate experiment id {exp_id}")
+        REGISTRY[exp_id] = fn
+        return fn
+
+    return wrap
+
+
+def render_heatmap(grid: np.ndarray, log_scale: bool = False) -> str:
+    """Coarse ASCII rendering of a 63x15 machine grid.
+
+    One character per node: '.' for zero, then ascending intensity
+    buckets — the textual cousin of the paper's heat-map figures.
+    """
+    palette = ".123456789#"
+    g = np.asarray(grid, dtype=np.float64)
+    out_lines = []
+    positive = g[g > 0]
+    if positive.size == 0:
+        vmax = 1.0
+        vmin = 0.0
+    elif log_scale:
+        g = np.where(g > 0, np.log10(g + 1.0), 0.0)
+        vmax = float(g.max())
+        vmin = 0.0
+    else:
+        vmax = float(positive.max())
+        vmin = 0.0
+    span = max(vmax - vmin, 1e-12)
+    for row in g:
+        chars = []
+        for v in row:
+            if v <= 0:
+                chars.append(".")
+            else:
+                idx = 1 + int((v - vmin) / span * (len(palette) - 2))
+                chars.append(palette[min(idx, len(palette) - 1)])
+        out_lines.append("".join(chars))
+    return "\n".join(out_lines)
+
+
+def monthly_totals(daily: np.ndarray) -> list[tuple[str, float]]:
+    """Aggregate a per-day series into per-month rows (study calendar)."""
+    import datetime as _dt
+
+    from ..core import timeutils
+
+    daily = np.asarray(daily)
+    totals: dict[str, float] = {}
+    order: list[str] = []
+    date = timeutils.STUDY_EPOCH.date()
+    for day in range(daily.shape[0]):
+        key = f"{date.year}-{date.month:02d}"
+        if key not in totals:
+            totals[key] = 0.0
+            order.append(key)
+        totals[key] += float(daily[day])
+        date += _dt.timedelta(days=1)
+    return [(k, totals[k]) for k in order]

@@ -1,0 +1,57 @@
+"""Export experiment results as machine-readable CSV files.
+
+Downstream plotting/pipelines want the raw series rather than rendered
+text; this module writes one CSV per experiment (headers + rows) plus a
+``notes.txt`` companion carrying the annotations.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..analysis.report import StudyAnalysis
+from .base import ExperimentResult
+from .runner import EXPERIMENT_ORDER, run_all
+
+
+def export_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write one experiment's rows to ``<directory>/<exp_id>.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.exp_id}.csv"
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+    if result.notes:
+        notes_path = directory / f"{result.exp_id}.notes.txt"
+        notes_path.write_text("\n".join(result.notes) + "\n", encoding="utf-8")
+    return path
+
+
+def export_all(
+    analysis: StudyAnalysis, directory: str | Path
+) -> list[Path]:
+    """Every experiment's CSV, in paper order."""
+    paths = []
+    for result in run_all(analysis):
+        paths.append(export_result(result, directory))
+    return paths
+
+
+def export_report(analysis: StudyAnalysis, directory: str | Path) -> Path:
+    """The headline paper-vs-measured table as CSV."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "headline_report.csv"
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("metric", "paper", "measured"))
+        for row in analysis.report().rows():
+            writer.writerow(row)
+    return path
+
+
+__all__ = ["EXPERIMENT_ORDER", "export_all", "export_report", "export_result"]

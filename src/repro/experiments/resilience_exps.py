@@ -1,0 +1,268 @@
+"""Table II and Sec IV: quarantine, page retirement, checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.report import StudyAnalysis
+from ..resilience import (
+    FailureAwareScheduler,
+    PageRetirementSimulator,
+    RegimePolicy,
+    histories_from_counts,
+    regime_policy,
+    simulate_checkpointing,
+    static_policy,
+    sweep_trigger,
+    table2,
+)
+from .base import ExperimentResult, register
+
+#: Paper's Table II for side-by-side rendering.
+_PAPER_TABLE2 = {
+    0: (4779, 0, 2.1),
+    5: (131, 90, 77.9),
+    10: (95, 100, 107.4),
+    15: (77, 135, 132.5),
+    20: (67, 140, 152.2),
+    25: (73, 150, 139.7),
+    30: (65, 180, 156.9),
+}
+
+
+@register("table2")
+def table2_quarantine(analysis: StudyAnalysis) -> ExperimentResult:
+    """Table II: system MTBF for different quarantine periods."""
+    outcomes = table2(
+        analysis.frame,
+        analysis.campaign.study_hours,
+        exclude_node=analysis.campaign.config.degrading.node,
+    )
+    rows = []
+    for o in outcomes:
+        paper_err, paper_nd, paper_mtbf = _PAPER_TABLE2[int(o.quarantine_days)]
+        rows.append(
+            (
+                int(o.quarantine_days),
+                o.n_errors,
+                paper_err,
+                round(o.node_days_in_quarantine),
+                paper_nd,
+                round(o.system_mtbf_hours, 1),
+                paper_mtbf,
+            )
+        )
+    last = outcomes[-1]
+    result = ExperimentResult(
+        exp_id="table2",
+        title="System MTBF for different quarantine periods",
+        headers=(
+            "quarantine (days)",
+            "errors",
+            "paper",
+            "node-days",
+            "paper",
+            "MTBF (h)",
+            "paper",
+        ),
+        rows=rows,
+    )
+    result.notes.append(
+        f"availability loss at 30 days: {last.availability_loss:.3%} "
+        "(paper: 'lower than 0.1% for the whole system')"
+    )
+    result.notes.append(
+        f"MTBF improvement 0 -> 30 days: "
+        f"{outcomes[-1].system_mtbf_hours / outcomes[0].system_mtbf_hours:.0f}x "
+        "(paper: 'almost three orders of magnitude' counting error-rate "
+        "reduction on degraded days)"
+    )
+    return result
+
+
+@register("sec3i_prediction")
+def sec3i_prediction(analysis: StudyAnalysis) -> ExperimentResult:
+    """Sec III-I operationalized: online failure prediction from the
+    spatio-temporal correlation of errors."""
+    frame = analysis.frame
+    reports = sweep_trigger(frame, triggers=[2, 3, 10, 30])
+    rows = []
+    for r in reports:
+        rows.append(
+            (
+                f">{r.config.trigger_count} errors / 24h",
+                r.n_alarms,
+                f"{r.precision:.0%}",
+                f"{r.coverage:.1%}",
+            )
+        )
+    result = ExperimentResult(
+        exp_id="sec3i_prediction",
+        title="Online failure prediction (alarm = burst within 24h)",
+        headers=("trigger", "alarms", "precision", "error coverage"),
+        rows=rows,
+    )
+    result.notes.append(
+        "paper: 'when a node starts having errors, many subsequent errors "
+        "are observed in the following hours ... it is relatively simple "
+        "to foresee future failures'; precision = alarms followed by a "
+        ">=10-error storm, coverage = fraction of all errors arriving "
+        "inside an active alarm"
+    )
+    return result
+
+
+@register("sec4_checkpoint_sim")
+def sec4_checkpoint_sim(analysis: StudyAnalysis) -> ExperimentResult:
+    """Checkpoint policies replayed against the real failure trace.
+
+    An application spanning the machine runs for the whole study; its
+    failure instants are the extracted error times (permanently failing
+    node excluded, as operators would have replaced it).  Policies:
+    Daly-static at the normal-regime interval, oracle regime-adaptive,
+    and a paranoid constant-short interval.
+    """
+    reg = analysis.regimes
+    frame = analysis.frame.exclude_nodes(
+        [analysis.campaign.config.degrading.node]
+    )
+    failures = np.sort(frame.time_hours)
+    policy = RegimePolicy(
+        checkpoint_cost_hours=0.05,
+        mtbf_normal_hours=reg.mtbf_normal_hours,
+        mtbf_degraded_hours=max(reg.mtbf_degraded_hours, 0.11),
+    )
+    work = analysis.campaign.study_hours * 0.60
+    policies = [
+        ("static Daly (normal regime)", static_policy(policy.interval_normal)),
+        (
+            "oracle regime-adaptive",
+            regime_policy(
+                reg.degraded_days, policy.interval_normal, policy.interval_degraded
+            ),
+        ),
+        ("paranoid (degraded interval always)", static_policy(policy.interval_degraded)),
+    ]
+    rows = []
+    results = {}
+    for label, p in policies:
+        sim = simulate_checkpointing(
+            failures, work_hours=work, policy=p, checkpoint_cost_hours=0.05
+        )
+        results[label] = sim
+        rows.append(
+            (
+                label,
+                sim.n_checkpoints,
+                sim.n_failures,
+                round(sim.rework_hours, 1),
+                f"{sim.waste_fraction:.2%}",
+            )
+        )
+    result = ExperimentResult(
+        exp_id="sec4_checkpoint_sim",
+        title="Checkpoint policies on the real failure trace (event-driven)",
+        headers=("policy", "checkpoints", "failures hit", "rework (h)", "waste"),
+        rows=rows,
+    )
+    adaptive = results["oracle regime-adaptive"]
+    static = results["static Daly (normal regime)"]
+    result.notes.append(
+        f"adapting the interval to the regime saves "
+        f"{static.waste_fraction - adaptive.waste_fraction:+.2%} waste vs "
+        "a static Daly interval (the Sec IV proposal, validated event-"
+        "by-event rather than by the closed-form model)"
+    )
+    return result
+
+
+@register("sec4_scrubbing")
+def sec4_scrubbing(analysis: StudyAnalysis) -> ExperimentResult:
+    """Scrubbing-period tuning: stop correctable faults accumulating.
+
+    The weak-bit nodes hammer a single word thousands of times; with
+    SECDED but no scrubbing, any two hits between rewrites pile up into
+    an uncorrectable double.  Sweeping the scrub period over the study's
+    error stream shows the exposure.
+    """
+    from ..resilience.scrubbing import optimal_scrub_period, scrub_sweep
+
+    frame = analysis.frame
+    periods = [0.5, 2.0, 12.0, 48.0, 24.0 * 14]
+    rows = []
+    for result in scrub_sweep(frame, periods):
+        rows.append(
+            (
+                f"{result.scrub_period_hours:g} h",
+                result.n_accumulations,
+                f"{result.accumulation_fraction:.2%}",
+                result.worst_word_hits,
+            )
+        )
+    # Analytic recommendation for the healthy background population.
+    bg_rate = analysis.campaign.config.background.rate_per_node_hour
+    words = 805_306_368
+    recommended = optimal_scrub_period(bg_rate / words, words)
+    result = ExperimentResult(
+        exp_id="sec4_scrubbing",
+        title="Scrub-period sweep over the study's error stream",
+        headers=("scrub period", "same-word accumulations", "fraction", "worst word hits"),
+        rows=rows,
+    )
+    result.notes.append(
+        "an accumulation = >=2 faults on one word between scrubs; SECDED "
+        "would have faced an uncorrectable double there"
+    )
+    result.notes.append(
+        f"analytic period keeping background accumulation under 1%/month "
+        f"on a healthy 3 GB node: {recommended:,.0f} h (background faults "
+        "are so rare that scrubbing exists for the weak/degrading cases)"
+    )
+    return result
+
+
+@register("sec4_resilience")
+def sec4_resilience(analysis: StudyAnalysis) -> ExperimentResult:
+    """Sec IV quantified: page retirement + adaptive checkpointing +
+    failure-aware placement."""
+    retire = PageRetirementSimulator(threshold=2)
+    per_node = retire.per_node(analysis.frame)
+    rows = [
+        (s.node, s.n_errors + s.n_avoided, s.n_pages_retired, f"{s.avoided_fraction:.1%}")
+        for s in per_node[:5]
+    ]
+    reg = analysis.regimes
+    policy = RegimePolicy(
+        checkpoint_cost_hours=0.05,
+        mtbf_normal_hours=reg.mtbf_normal_hours,
+        mtbf_degraded_hours=max(reg.mtbf_degraded_hours, 0.11),
+    )
+    frac_degraded = reg.n_degraded / reg.n_days
+    hist = histories_from_counts(
+        analysis.errors_by_node, analysis.campaign.monitored_hours_by_node()
+    )
+    sched = FailureAwareScheduler(hist)
+    comparison = sched.compare(job_nodes=256, job_hours=24.0, n_trials=400)
+    result = ExperimentResult(
+        exp_id="sec4_resilience",
+        title="Resilience directions quantified (page retirement rows)",
+        headers=("node", "errors", "pages retired", "avoided"),
+        rows=rows,
+    )
+    result.notes.append(
+        "paper: page retirement helps weak-bit nodes, not multi-region "
+        "corruption; measured avoided fractions above show the split"
+    )
+    result.notes.append(
+        f"adaptive checkpoint interval: {policy.interval_normal:.1f} h normal "
+        f"-> {policy.interval_degraded:.2f} h degraded; waste "
+        f"{policy.static_waste(frac_degraded):.1%} static vs "
+        f"{policy.adaptive_waste(frac_degraded):.1%} adaptive"
+    )
+    result.notes.append(
+        f"failure-aware placement (256 nodes x 24 h): P(fail) "
+        f"{comparison.p_fail_random:.2%} random -> "
+        f"{comparison.p_fail_aware:.2%} aware "
+        f"({comparison.n_flagged_nodes} flagged nodes)"
+    )
+    return result

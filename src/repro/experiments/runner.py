@@ -1,0 +1,98 @@
+"""Experiment runner: campaign/analysis caching and batch execution.
+
+The paper-scale campaign takes ~15 s; every experiment shares one cached
+:class:`StudyAnalysis` per seed so a full figure sweep costs one campaign.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..analysis.report import StudyAnalysis
+from ..core.rng import DEFAULT_SEED
+from ..faultinjection.campaign import run_campaign
+from ..faultinjection.config import paper_campaign_config, quick_campaign_config
+from .base import REGISTRY, ExperimentResult
+
+# Importing these modules populates the registry.
+from . import (  # noqa: F401  (import for side effects)
+    ablations,
+    coverage_figs,
+    error_figs,
+    future_work,
+    multibit_figs,
+    resilience_exps,
+    sdc_exps,
+    temperature_figs,
+)
+
+#: Order in which `run_all` executes (paper order).
+EXPERIMENT_ORDER: tuple[str, ...] = (
+    "headline",
+    "fig01",
+    "fig02",
+    "fig03",
+    "table1",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "sec1_exascale_projection",
+    "sec2_beam_vs_field",
+    "sec3c_alignment",
+    "sec3d_undetectable",
+    "sec3g_pearson",
+    "sec3i_prediction",
+    "sec4_resilience",
+    "sec4_checkpoint_sim",
+    "sec4_scrubbing",
+    "whatif_ecc_campaign",
+    "ablation_swizzle",
+    "ablation_ecc",
+    "ablation_ecc_overhead",
+    "ablation_quarantine_trigger",
+    "ablation_seed_stability",
+    "futurework_stress",
+    "futurework_swap",
+)
+
+
+@lru_cache(maxsize=4)
+def get_analysis(seed: int = DEFAULT_SEED, quick: bool = False) -> StudyAnalysis:
+    """The shared analysis for a seed (campaign runs once, then cached)."""
+    config = (
+        quick_campaign_config(seed) if quick else paper_campaign_config(seed)
+    )
+    return StudyAnalysis(run_campaign(config))
+
+
+def run_experiment(
+    exp_id: str, analysis: StudyAnalysis | None = None, seed: int = DEFAULT_SEED
+) -> ExperimentResult:
+    """Run one registered experiment."""
+    if exp_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(REGISTRY)}"
+        )
+    if analysis is None:
+        analysis = get_analysis(seed)
+    return REGISTRY[exp_id](analysis)
+
+
+def run_all(
+    analysis: StudyAnalysis | None = None, seed: int = DEFAULT_SEED
+) -> list[ExperimentResult]:
+    """Every experiment, in paper order."""
+    if analysis is None:
+        analysis = get_analysis(seed)
+    missing = set(REGISTRY) - set(EXPERIMENT_ORDER)
+    if missing:
+        raise RuntimeError(f"experiments missing from EXPERIMENT_ORDER: {missing}")
+    return [REGISTRY[e](analysis) for e in EXPERIMENT_ORDER]

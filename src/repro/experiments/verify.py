@@ -1,0 +1,195 @@
+"""The reproduction certificate: every paper claim checked in one pass.
+
+``repro verify`` evaluates the quantitative claims of the paper against
+the current campaign and prints PASS/FAIL per claim — the quickest way
+to confirm an environment (or a code change) still reproduces the study.
+Each claim is a named predicate over the shared analysis; tolerances
+follow EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..analysis import multibit, spatial, temporal
+from ..analysis.report import StudyAnalysis
+from ..faultinjection.catalogue import TABLE_I
+from ..resilience import table2
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable paper statement."""
+
+    claim_id: str
+    text: str
+    check: Callable[[StudyAnalysis], bool]
+
+
+def _claims() -> list[Claim]:
+    return [
+        Claim(
+            "raw-lines",
+            ">25 million raw error log lines",
+            lambda a: a.extraction.n_raw_lines > 25_000_000,
+        ),
+        Claim(
+            "dominant-node",
+            "one faulty node produced >98% of raw lines and is removed",
+            lambda a: a.extraction.removed_node is not None
+            and a.extraction.removed_node_raw_lines / a.extraction.n_raw_lines > 0.98,
+        ),
+        Claim(
+            "independent-errors",
+            ">55,000 independent memory errors",
+            lambda a: a.extraction.n_errors > 55_000,
+        ),
+        Claim(
+            "coverage",
+            "~4.2M node-hours and ~12,135 TB-hours scanned",
+            lambda a: abs(a.campaign.total_node_hours() - 4.2e6) / 4.2e6 < 0.05
+            and abs(a.campaign.total_terabyte_hours() - 12_135) / 12_135 < 0.05,
+        ),
+        Claim(
+            "table1",
+            "all 18 Table I patterns with exact occurrence counts",
+            lambda a: {
+                (r.expected, r.corrupted): r.occurrences
+                for r in multibit.reconstruct_table1(a.errors)
+            }
+            == {(p.expected, p.corrupted): p.occurrences for p in TABLE_I},
+        ),
+        Claim(
+            "multibit-split",
+            "85 multi-bit faults: 76 double-bit, 9 beyond",
+            lambda a: sum(1 for e in a.errors if e.is_multibit) == 85
+            and sum(1 for e in a.errors if e.n_bits == 2) == 76,
+        ),
+        Claim(
+            "flip-direction",
+            "~90% of corrupted bits flip 1->0",
+            lambda a: 0.85
+            < multibit.flip_direction_stats(a.errors).one_to_zero_fraction
+            < 0.95,
+        ),
+        Claim(
+            "bit-distance",
+            "mean corrupted-bit distance ~3, max 11",
+            lambda a: (
+                lambda d: abs(d.mean_distance - 3.0) < 0.4 and d.max_distance == 11
+            )(multibit.bit_distance_stats(a.errors, weighted_by_occurrence=True)),
+        ),
+        Claim(
+            "simultaneity",
+            ">26,000 simultaneous corruptions, max 36 bits per event",
+            lambda a: a.sim_stats.n_simultaneous_corruptions > 26_000
+            and a.sim_stats.max_bits_per_event == 36,
+        ),
+        Claim(
+            "companions",
+            "44+ double+single, 2 triple+single, 1 double+double groups",
+            lambda a: a.sim_stats.doubles_with_single >= 44
+            and a.sim_stats.triples_with_single == 2
+            and a.sim_stats.double_double_groups >= 1,
+        ),
+        Claim(
+            "concentration",
+            ">99.9% of errors in <1% of the nodes",
+            lambda a: (
+                lambda c: c.top_fraction >= 0.999 and c.node_fraction < 0.01
+            )(
+                spatial.concentration_stats(
+                    a.errors_by_node, a.campaign.registry.n_scanned
+                )
+            ),
+        ),
+        Claim(
+            "hot-node",
+            "node 02-04: >50,000 errors, >11,000 addresses, ramp to >1000/day",
+            lambda a: a.errors_by_node.get("02-04", 0) > 50_000
+            and spatial.node_forensics(a.errors, "02-04").n_distinct_addresses
+            > 11_000,
+        ),
+        Claim(
+            "weak-bits",
+            "nodes 04-05 and 58-02: every error identical (one weak bit)",
+            lambda a: all(
+                spatial.node_forensics(a.errors, n).all_identical
+                for n in ("04-05", "58-02")
+            ),
+        ),
+        Claim(
+            "diurnal",
+            "multi-bit errors ~2x during daytime with a midday peak",
+            lambda a: (
+                lambda dn: 1.5 < dn.day_night_ratio < 3.5 and 9 <= dn.peak_hour <= 15
+            )(temporal.day_night_stats(temporal.hourly_multibit(a.frame))),
+        ),
+        Claim(
+            "single-bit-flat",
+            "single-bit errors homogeneous over the day",
+            lambda a: (
+                lambda s: float(np.std(s) / np.mean(s)) < 0.5
+            )(temporal.hourly_histogram(a.frame)[1]),
+        ),
+        Claim(
+            "regimes",
+            "~77 degraded days; MTBF ~167h normal vs ~0.39h degraded",
+            lambda a: 60 <= a.regimes.n_degraded <= 100
+            and abs(a.regimes.mtbf_normal_hours - 167) / 167 < 0.15
+            and abs(a.regimes.mtbf_degraded_hours - 0.39) < 0.2,
+        ),
+        Claim(
+            "undetectable",
+            "7 isolated >3-bit faults in 5 quiet nodes, 4 single-error hosts",
+            lambda a: (
+                lambda u: len(u) == 7
+                and len({e.node for e in u}) == 5
+                and sum(1 for e in u if a.errors_by_node[e.node] == 1) == 4
+            )([e for e in a.errors if e.n_bits > 3]),
+        ),
+        Claim(
+            "pearson",
+            "weak anti-correlation between scanning volume and errors",
+            lambda a: -0.3 < a.pearson.r < -0.05 and a.pearson.p_value < 0.05,
+        ),
+        Claim(
+            "quarantine",
+            "30-day quarantine: errors cut >30x at <0.1% availability loss",
+            lambda a: (
+                lambda rows: rows[-1].n_errors < rows[0].n_errors / 30
+                and rows[-1].availability_loss < 0.001
+            )(table2(a.frame, a.campaign.study_hours)),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    claim: Claim
+    passed: bool
+
+
+def verify(analysis: StudyAnalysis) -> list[VerificationResult]:
+    """Evaluate every claim; exceptions count as failures."""
+    results = []
+    for claim in _claims():
+        try:
+            passed = bool(claim.check(analysis))
+        except Exception:
+            passed = False
+        results.append(VerificationResult(claim=claim, passed=passed))
+    return results
+
+
+def render(results: list[VerificationResult]) -> str:
+    lines = []
+    for r in results:
+        mark = "PASS" if r.passed else "FAIL"
+        lines.append(f"[{mark}] {r.claim.claim_id:<20} {r.claim.text}")
+    n_pass = sum(1 for r in results if r.passed)
+    lines.append(f"\n{n_pass}/{len(results)} paper claims reproduced")
+    return "\n".join(lines)

@@ -1,0 +1,340 @@
+"""The year-scale campaign simulator.
+
+Orchestrates every substrate into the study the paper ran:
+
+1. commission the machine (:mod:`repro.cluster`);
+2. generate each node's scan sessions from the scheduler + daemon
+   stochastics, including the catalogue's pinned sessions and the
+   degrading node's monitoring gaps;
+3. run every fault model against the session tracks;
+4. render observations into scanner ERROR records (addresses through the
+   per-node address map, temperatures through the environment model) and
+   collect them into a per-node log archive.
+
+The result object carries both the logs (what the study's disks held) and
+the session tracks (ground-truth coverage), which the analysis package
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from ..cluster.node import NodeRole
+from ..cluster.registry import ClusterRegistry
+from ..cluster.topology import OVERHEATING_SOC, NodeId
+from ..core.records import EndRecord, ErrorRecord, StartRecord
+from ..core.rng import RngFactory
+from ..core.units import SCAN_TARGET_MB
+from ..dram.addressing import AddressMap
+from ..environment.temperature import TemperatureModel
+from ..logs.frame import ErrorFrame
+from ..logs.store import LogArchive
+from ..scheduler.batch import BatchScheduler
+from ..scheduler.jobs import IdleWindow
+from .config import CampaignConfig, paper_campaign_config
+from .models import (
+    Observation,
+    gen_background,
+    gen_degrading,
+    gen_stuck_node,
+    gen_weak_bit,
+    plan_catalogue,
+    resolve_catalogue,
+)
+from .sessions import (
+    PATTERN_ALTERNATING,
+    PATTERN_COUNTING,
+    SessionTrack,
+    build_session_track,
+    subtract_gaps,
+)
+
+#: Words in a full 3 GB scan buffer (address-map capacity).
+_FULL_WORDS = (SCAN_TARGET_MB * 1024 * 1024) // 4
+
+
+@dataclass
+class CampaignResult:
+    """Everything a simulated study produced."""
+
+    config: CampaignConfig
+    registry: ClusterRegistry
+    tracks: dict[str, SessionTrack]
+    archive: LogArchive
+    n_observations: int
+    _frames: dict = field(default_factory=dict, repr=False)
+
+    # -- raw-log level -------------------------------------------------------
+
+    def n_raw_error_lines(self) -> int:
+        """The paper's ">25 million error logs" figure."""
+        return self.archive.n_raw_error_lines()
+
+    def raw_frame(self) -> ErrorFrame:
+        """All ERROR records as an array table (pre-extraction)."""
+        if "raw" not in self._frames:
+            self._frames["raw"] = ErrorFrame.from_records(
+                self.archive.error_records()
+            ).sorted_by_time()
+        return self._frames["raw"]
+
+    # -- coverage level -----------------------------------------------------
+
+    def monitored_hours_by_node(self) -> dict[str, float]:
+        return {n: t.monitored_hours for n, t in self.tracks.items()}
+
+    def terabyte_hours_by_node(self) -> dict[str, float]:
+        return {n: t.terabyte_hours for n, t in self.tracks.items()}
+
+    def total_node_hours(self) -> float:
+        return float(sum(t.monitored_hours for t in self.tracks.values()))
+
+    def total_terabyte_hours(self) -> float:
+        return float(sum(t.terabyte_hours for t in self.tracks.values()))
+
+    def daily_terabyte_hours(self) -> np.ndarray:
+        out = np.zeros(self.config.n_days, dtype=np.float64)
+        for track in self.tracks.values():
+            out += track.daily_terabyte_hours(self.config.n_days)
+        return out
+
+    @cached_property
+    def study_hours(self) -> float:
+        return self.config.n_days * 24.0
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the campaign (config, tracks, logs) to a directory.
+
+        Pickle is appropriate here: the artifact is a local checkpoint of
+        a deterministic simulation, not an interchange format — the log
+        directory written by :meth:`LogArchive.write_directory` remains
+        the portable representation.
+        """
+        import pickle
+        from pathlib import Path
+
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "config": self.config,
+            "tracks": self.tracks,
+            "archive": self.archive,
+            "n_observations": self.n_observations,
+        }
+        with open(directory / "campaign.pkl", "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "CampaignResult":
+        """Reload a campaign saved with :meth:`save`."""
+        import pickle
+        from pathlib import Path
+
+        from ..cluster.registry import ClusterRegistry
+
+        with open(Path(path) / "campaign.pkl", "rb") as fh:
+            payload = pickle.load(fh)
+        return cls(
+            config=payload["config"],
+            registry=ClusterRegistry(payload["config"].topology),
+            tracks=payload["tracks"],
+            archive=payload["archive"],
+            n_observations=payload["n_observations"],
+        )
+
+
+def _forced_windows(
+    plans, node: str
+) -> list[IdleWindow]:
+    """Pinned session intervals for a node, as idle windows."""
+    return [
+        IdleWindow(p.pinned[0], p.pinned[1])
+        for p in plans
+        if p.node == node and p.pinned is not None
+    ]
+
+
+def _insert_pinned(
+    track: SessionTrack, plans, node: str
+) -> SessionTrack:
+    """Append a node's pinned sessions to its stochastic track."""
+    pinned = [p for p in plans if p.node == node and p.pinned is not None]
+    if not pinned:
+        return track
+    starts = np.concatenate([track.starts, [p.pinned[0] for p in pinned]])
+    ends = np.concatenate([track.ends, [p.pinned[1] for p in pinned]])
+    alloc = np.concatenate(
+        [track.alloc_mb, np.full(len(pinned), SCAN_TARGET_MB, dtype=np.int64)]
+    )
+    pattern_codes = [
+        PATTERN_COUNTING if p.pattern.uses_counting_pattern else PATTERN_ALTERNATING
+        for p in pinned
+    ]
+    pattern = np.concatenate([track.pattern, np.asarray(pattern_codes, dtype=np.int8)])
+    order = np.argsort(starts, kind="stable")
+    return SessionTrack(
+        node=node,
+        starts=starts[order],
+        ends=ends[order],
+        alloc_mb=alloc[order],
+        pattern=pattern[order],
+        n_truncated=track.n_truncated,
+    )
+
+
+def run_campaign(
+    config: CampaignConfig | None = None, materialize_lifecycle: bool = False
+) -> CampaignResult:
+    """Simulate the full study and return its logs and coverage.
+
+    ``materialize_lifecycle`` additionally writes START/END records into
+    the archive (memory-heavy at paper scale; useful for round-trip tests
+    on small configurations).
+    """
+    config = config or paper_campaign_config()
+    config.validate()
+    rngs = RngFactory(config.seed)
+    registry = ClusterRegistry(config.topology)
+    scheduler = BatchScheduler(
+        registry,
+        config.calendar,
+        config.activity,
+        rng_factory=rngs,
+        n_days=config.n_days,
+    )
+    temperature = TemperatureModel(seed=config.seed)
+    plan_rng = rngs.get("catalogue/plan")
+    plans = plan_catalogue(config, plan_rng)
+    reserved = config.reserved_nodes()
+
+    gap_hours = {
+        config.degrading.node: [
+            (g0 * 24.0, g1 * 24.0) for g0, g1 in config.degrading.monitoring_gaps
+        ]
+    }
+
+    # -- phase 1: session tracks -------------------------------------------------
+    tracks: dict[str, SessionTrack] = {}
+    for node in registry.scanned_nodes():
+        name = str(node.node_id)
+        windows = scheduler.node_windows(node)
+        windows = subtract_gaps(windows, gap_hours.get(name, []))
+        pinned_intervals = [
+            (w.start_hours, w.end_hours) for w in _forced_windows(plans, name)
+        ]
+        windows = subtract_gaps(windows, pinned_intervals)
+        track = build_session_track(
+            name,
+            windows,
+            rngs.get(f"daemon/{name}"),
+            p_full_alloc=config.p_full_alloc,
+            p_alloc_fail=config.p_alloc_fail,
+            leak_mean_mb=config.leak_mean_mb,
+            p_truncation=config.p_truncation,
+            p_counting=0.0 if name in reserved else config.p_counting,
+        )
+        tracks[name] = _insert_pinned(track, plans, name)
+
+    # -- phase 2: fault models ------------------------------------------------------
+    observations: list[Observation] = []
+    weak_nodes = {w.node for w in config.weak_bits}
+    for node in registry.scanned_nodes():
+        name = str(node.node_id)
+        if name in reserved and name not in weak_nodes:
+            continue
+        track = tracks[name]
+        if track.n_sessions == 0:
+            continue
+        if name in weak_nodes:
+            cfg = next(w for w in config.weak_bits if w.node == name)
+            observations.extend(
+                gen_weak_bit(track, cfg, rngs.get(f"weak/{name}"), config.n_days)
+            )
+            continue
+        bg = config.background
+        rate = bg.rate_per_node_hour
+        if node.node_id.soc == OVERHEATING_SOC:
+            rate *= bg.overheating_rate_multiplier
+        if rate != bg.rate_per_node_hour:
+            from dataclasses import replace as _replace
+
+            bg = _replace(bg, rate_per_node_hour=rate)
+        observations.extend(gen_background(track, bg, rngs.get(f"bg/{name}")))
+
+    stuck_track = tracks.get(config.stuck.node)
+    if stuck_track is not None:
+        observations.extend(
+            gen_stuck_node(stuck_track, config.stuck, rngs.get("stuck"))
+        )
+    deg_track = tracks.get(config.degrading.node)
+    if deg_track is not None:
+        observations.extend(
+            gen_degrading(
+                deg_track, config.degrading, rngs.get("degrading"), config.n_days
+            )
+        )
+    observations.extend(
+        resolve_catalogue(plans, tracks, config, rngs.get("catalogue/resolve"))
+    )
+
+    # -- phase 3: render observations into log records ---------------------------------
+    archive = LogArchive()
+    node_maps: dict[str, AddressMap] = {}
+    node_ids: dict[str, NodeId] = {}
+    for obs in observations:
+        amap = node_maps.get(obs.node)
+        if amap is None:
+            amap = AddressMap(
+                n_words=_FULL_WORDS, salt=hash(obs.node) & 0x7FFFFFFF
+            )
+            node_maps[obs.node] = amap
+            node_ids[obs.node] = NodeId.parse(obs.node)
+        temp = temperature.reading(node_ids[obs.node], obs.time_hours)
+        archive.append(
+            ErrorRecord(
+                timestamp_hours=obs.time_hours,
+                node=obs.node,
+                virtual_address=int(amap.virtual_address(obs.word_index)),
+                physical_page=int(amap.physical_page(obs.word_index)),
+                expected=obs.expected,
+                actual=obs.actual,
+                temperature_c=temp,
+                repeat_count=obs.repeat_count,
+            )
+        )
+
+    if materialize_lifecycle:
+        for name, track in tracks.items():
+            node_id = NodeId.parse(name)
+            for i in range(track.n_sessions):
+                t0, t1 = float(track.starts[i]), float(track.ends[i])
+                archive.append(
+                    StartRecord(
+                        timestamp_hours=t0,
+                        node=name,
+                        allocated_mb=int(track.alloc_mb[i]),
+                        temperature_c=temperature.reading(node_id, t0),
+                    )
+                )
+                archive.append(
+                    EndRecord(
+                        timestamp_hours=t1,
+                        node=name,
+                        temperature_c=temperature.reading(node_id, t1),
+                    )
+                )
+    archive.sort()
+
+    return CampaignResult(
+        config=config,
+        registry=registry,
+        tracks=tracks,
+        archive=archive,
+        n_observations=len(observations),
+    )

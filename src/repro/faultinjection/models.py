@@ -1,0 +1,579 @@
+"""Fault models: each error population the study observed, as a generator.
+
+Every model emits :class:`Observation` protos — (node, detection time,
+word index, expected, actual, repeat count) — *already filtered by
+scanning coverage*: an upset on an unmonitored node at an unmonitored
+hour was invisible to the study, so models draw event times inside the
+node's session track.
+
+The populations, mapped to the paper:
+
+* background singles  — isolated SEUs over the healthy machine (Fig 3's
+  scattered single-error nodes; "all other nodes combined <30 errors");
+* stuck node          — the removed node producing >98% of raw log lines;
+* degrading node      — 02-04's August-to-November ramp with multi-word
+  glitch groups (Figs 11/12, Sec III-C simultaneity);
+* weak bits           — 04-05 / 58-02, one identical bit every time
+  (Sec III-H), bursty enough to create the 77 degraded days (Fig 13);
+* catalogue           — the 85 Table I multi-bit faults, verbatim, with
+  solar-modulated timing (Fig 6) and the Sec III-C/III-D placement
+  constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bitops import WORD_BITS
+from ..dram.geometry import DramGeometry
+from ..environment.neutron import NeutronFluxModel
+from .catalogue import TABLE_I, MultiBitPattern
+from .config import (
+    BackgroundConfig,
+    CampaignConfig,
+    DegradingNodeConfig,
+    StuckNodeConfig,
+    WeakBitConfig,
+)
+from .sessions import BASE_ITER_HOURS, PATTERN_ALTERNATING, SessionTrack
+
+#: Word values of the alternating pattern.
+_ALL_ONES = 0xFFFFFFFF
+_ALL_ZEROS = 0x00000000
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One error the scanner will log (pre-address-mapping)."""
+
+    node: str
+    time_hours: float
+    word_index: int
+    expected: int
+    actual: int
+    repeat_count: int = 1
+
+
+def _single_bit_words(
+    rng: np.random.Generator,
+    n: int,
+    p_one_to_zero: float,
+    bit_pool: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Draw (expected, actual) pairs for n single-bit flips.
+
+    A 1->0 (charge loss) flip is only visible while the scanner holds the
+    all-ones value, a 0->1 flip while it holds all-zeros, so the flip
+    direction determines the expected word.
+    """
+    bits = (
+        rng.integers(0, WORD_BITS, size=n)
+        if bit_pool is None
+        else rng.choice(bit_pool, size=n)
+    )
+    one_to_zero = rng.random(n) < p_one_to_zero
+    expected = np.where(one_to_zero, _ALL_ONES, _ALL_ZEROS).astype(np.uint64)
+    masks = np.left_shift(np.uint64(1), bits.astype(np.uint64))
+    actual = np.bitwise_xor(expected, masks)
+    return expected, actual
+
+
+# ---------------------------------------------------------------------------
+# background singles
+# ---------------------------------------------------------------------------
+
+def gen_background(
+    track: SessionTrack,
+    cfg: BackgroundConfig,
+    rng: np.random.Generator,
+    n_words: int = 800_000_000,
+) -> list[Observation]:
+    """Isolated single-bit upsets on one healthy node."""
+    hours = track.monitored_hours
+    n = int(rng.poisson(cfg.rate_per_node_hour * hours))
+    if n == 0:
+        return []
+    t_event = track.sample_covered(rng, n, -np.inf, np.inf)
+    t_det = np.atleast_1d(track.detection_time(t_event))
+    expected, actual = _single_bit_words(rng, t_det.shape[0], cfg.p_one_to_zero)
+    words = rng.integers(0, n_words, size=t_det.shape[0])
+    return [
+        Observation(track.node, float(t), int(w), int(e), int(a))
+        for t, w, e, a in zip(t_det, words, expected, actual)
+        if np.isfinite(t)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# the stuck (removed) node
+# ---------------------------------------------------------------------------
+
+def gen_stuck_node(
+    track: SessionTrack, cfg: StuckNodeConfig, rng: np.random.Generator
+) -> list[Observation]:
+    """The faulty node: every verify pass re-logs every stuck word.
+
+    A stuck-low cell mismatches whenever the expected value has that bit
+    set — every second iteration under the alternating pattern — so each
+    (session, address) pair compresses to one record whose repeat count
+    is half the session's iterations.
+    """
+    words = rng.choice(750_000_000, size=cfg.n_addresses, replace=False)
+    bits = rng.integers(0, WORD_BITS, size=cfg.n_addresses)
+    out: list[Observation] = []
+    for s in range(track.n_sessions):
+        iters = track.iterations_in_session(s)
+        mismatches = iters // 2
+        if mismatches < 1:
+            continue
+        if int(track.pattern[s]) != PATTERN_ALTERNATING:
+            continue  # counting sessions: mismatch pattern varies; skip
+        start = float(track.starts[s])
+        period = float(track.iter_hours[s])
+        for a in range(cfg.n_addresses):
+            mask = 1 << int(bits[a])
+            # First mismatch happens on the first all-ones verify pass.
+            t_first = start + 2.0 * period
+            out.append(
+                Observation(
+                    node=track.node,
+                    time_hours=t_first,
+                    word_index=int(words[a]),
+                    expected=_ALL_ONES,
+                    actual=_ALL_ONES ^ mask,
+                    repeat_count=int(mismatches),
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the degrading node (02-04)
+# ---------------------------------------------------------------------------
+
+def _group_sizes(
+    rng: np.random.Generator, n_events: int, cfg: DegradingNodeConfig
+) -> np.ndarray:
+    """Corruptions per glitch event: 1 with p_isolated, else geometric>=2."""
+    sizes = np.ones(n_events, dtype=np.int64)
+    grouped = rng.random(n_events) >= cfg.p_isolated
+    n_grouped = int(grouped.sum())
+    if n_grouped:
+        # Geometric on {2, 3, ...} with the configured mean.
+        p = 1.0 / max(cfg.group_size_mean - 1.0, 1e-9)
+        extra = rng.geometric(min(p, 1.0), size=n_grouped)
+        sizes[grouped] = np.clip(1 + extra, 2, cfg.max_group_bits)
+    return sizes
+
+
+def degrading_day_rates(cfg: DegradingNodeConfig, n_days: int) -> np.ndarray:
+    """Observed glitch-event rate per study day (exponential ramp)."""
+    rates = np.zeros(n_days, dtype=np.float64)
+    span = cfg.ramp_end_day - cfg.onset_day
+    growth = np.log(cfg.final_rate_per_day / cfg.initial_rate_per_day) / span
+    days = np.arange(cfg.onset_day, min(n_days, cfg.ramp_end_day))
+    # Rates are per *event*; each event corrupts ~E[group size] words, so
+    # scale down to make the per-day corruption counts land on the ramp.
+    mean_size = cfg.p_isolated + (1.0 - cfg.p_isolated) * cfg.group_size_mean
+    rates[days] = (
+        cfg.initial_rate_per_day
+        * np.exp(growth * (days - cfg.onset_day))
+        / mean_size
+    )
+    # After the ramp the node keeps failing at its final rate ("without
+    # any sign of improvement") — monitoring gaps hide it from the study.
+    if cfg.ramp_end_day < n_days:
+        rates[cfg.ramp_end_day :] = cfg.final_rate_per_day / mean_size
+    return rates
+
+
+def gen_degrading(
+    track: SessionTrack,
+    cfg: DegradingNodeConfig,
+    rng: np.random.Generator,
+    n_days: int,
+) -> list[Observation]:
+    """Node 02-04's glitch events (including multi-word groups)."""
+    rates = degrading_day_rates(cfg, n_days)
+    out: list[Observation] = []
+    bit_pool = np.array(cfg.bit_pool, dtype=np.int64)
+    # The defective component touches a few physical bit-line columns in
+    # one bank; the controller's layout scatters a column's words across
+    # the whole logical address space (Sec III-C's alignment hypothesis:
+    # physically aligned, logically "different regions of the memory").
+    geometry = DramGeometry()
+    cols = rng.choice(geometry.n_cols, size=cfg.n_defective_columns, replace=False)
+    col_words = [
+        np.asarray(geometry.column_words(cfg.defective_bank, int(c))) for c in cols
+    ]
+    all_words = np.concatenate(col_words)
+    address_pool = rng.choice(
+        all_words, size=min(cfg.n_addresses, all_words.size), replace=False
+    )
+    pool_by_col = [np.intersect1d(address_pool, words) for words in col_words]
+    # Pick the day of the one maximal event ("up to 36 bits"), weighted by
+    # the node's intensity so it lands in the heavy period.
+    max_event_day = -1
+    if getattr(cfg, "inject_max_event", False) and rates.sum() > 0:
+        max_event_day = int(rng.choice(n_days, p=rates / rates.sum()))
+    for day in np.flatnonzero(rates > 0):
+        n_events = int(rng.poisson(rates[day]))
+        if n_events == 0:
+            continue
+        t_events = track.sample_covered(
+            rng, n_events, day * 24.0, (day + 1) * 24.0
+        )
+        if t_events.size == 0:
+            continue
+        t_det = np.atleast_1d(track.detection_time(t_events))
+        sizes = _group_sizes(rng, t_det.shape[0], cfg)
+        if day == max_event_day and sizes.size:
+            sizes[0] = cfg.max_group_bits
+        for t, k in zip(t_det, sizes):
+            if not np.isfinite(t):
+                continue
+            expected, actual = _single_bit_words(
+                rng, int(k), cfg.p_one_to_zero, bit_pool
+            )
+            if int(k) > 1 and rng.random() < cfg.p_column_aligned:
+                # Multi-word glitch confined to one physical column.
+                pool = pool_by_col[int(rng.integers(len(pool_by_col)))]
+                words = rng.choice(pool, size=min(int(k), pool.size), replace=False)
+            else:
+                words = rng.choice(address_pool, size=int(k), replace=False)
+            for i in range(int(k)):
+                out.append(
+                    Observation(
+                        node=track.node,
+                        time_hours=float(t),
+                        word_index=int(words[i]),
+                        expected=int(expected[i]),
+                        actual=int(actual[i]),
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# weak-bit nodes (04-05, 58-02)
+# ---------------------------------------------------------------------------
+
+def gen_weak_bit(
+    track: SessionTrack,
+    cfg: WeakBitConfig,
+    rng: np.random.Generator,
+    n_days: int,
+) -> list[Observation]:
+    """Intermittent firings of one weak cell, in bursty episodes.
+
+    Every error is byte-identical modulo timestamp: same address, same
+    bit, same direction — the Sec III-H signature.
+    """
+    mask = 1 << cfg.bit
+    expected = _ALL_ONES
+    actual = _ALL_ONES ^ mask
+    out: list[Observation] = []
+    hi = max(n_days - cfg.episode_span_days, 1)
+    # Stratified episode placement: evenly spaced quantiles plus jitter.
+    # (Pure uniform draws clump, making the machine-wide degraded-day
+    # count wildly seed-sensitive.)
+    k = cfg.n_episodes
+    quantiles = (np.arange(k) + 0.5) / k
+    jitter = rng.uniform(-0.5 / k, 0.5 / k, size=k)
+    episode_starts = (quantiles + jitter) * hi
+    if cfg.episode_window_days is not None:
+        w0, w1 = cfg.episode_window_days
+        w1 = min(w1, hi)
+        if w1 > w0:
+            in_window = rng.random(k) < cfg.p_episode_in_window
+            n_in = int(in_window.sum())
+            if n_in:
+                q = (np.arange(n_in) + 0.5) / n_in
+                jit = rng.uniform(-0.5 / n_in, 0.5 / n_in, size=n_in)
+                episode_starts[in_window] = w0 + (q + jit) * (w1 - w0)
+    # Sparse trickle firings over the whole study (the weak cell leaks
+    # occasionally even between episodes): these land on quiet days and
+    # provide most of the Sec III-I "~50 errors during normal days".
+    trickle = getattr(cfg, "trickle_rate_per_day", 0.0)
+    n_trickle = int(rng.poisson(trickle * n_days))
+    if n_trickle:
+        t_tr = track.sample_covered(rng, n_trickle, 0.0, n_days * 24.0)
+        for t in np.atleast_1d(track.detection_time(t_tr)):
+            if np.isfinite(t):
+                out.append(
+                    Observation(
+                        node=track.node,
+                        time_hours=float(t),
+                        word_index=cfg.word_index,
+                        expected=expected,
+                        actual=actual,
+                    )
+                )
+    for ep_start in episode_starts:
+        n_bursts = 1 + int(rng.poisson(cfg.bursts_per_episode - 1))
+        burst_offsets = rng.uniform(0, cfg.episode_span_days, size=n_bursts)
+        for off in burst_offsets:
+            b_start_day = ep_start + off
+            b_len = rng.uniform(cfg.burst_days_min, cfg.burst_days_max)
+            rate = rng.uniform(cfg.burst_rate_per_day_min, cfg.burst_rate_per_day_max)
+            n = int(rng.poisson(rate * b_len))
+            if n == 0:
+                continue
+            t_events = track.sample_covered(
+                rng, n, b_start_day * 24.0, (b_start_day + b_len) * 24.0
+            )
+            if t_events.size == 0:
+                continue
+            t_det = np.atleast_1d(track.detection_time(t_events))
+            repeats = 1 + rng.poisson(cfg.mean_repeat - 1.0, size=t_det.shape[0])
+            for t, rep in zip(t_det, repeats):
+                if np.isfinite(t):
+                    out.append(
+                        Observation(
+                            node=track.node,
+                            time_hours=float(t),
+                            word_index=cfg.word_index,
+                            expected=expected,
+                            actual=actual,
+                            repeat_count=int(rep),
+                        )
+                    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table I catalogue
+# ---------------------------------------------------------------------------
+
+def _solar_weighted_time(
+    track: SessionTrack,
+    flux: NeutronFluxModel,
+    rng: np.random.Generator,
+    t0: float,
+    t1: float,
+    max_tries: int = 400,
+) -> float | None:
+    """One covered time in [t0, t1) weighted by the neutron-flux profile."""
+    for _ in range(max_tries):
+        cand = track.sample_covered(rng, 1, t0, t1)
+        if cand.size == 0:
+            return None
+        t = float(cand[0])
+        if rng.random() < float(flux.relative_flux(t)) / flux.max_flux:
+            det = track.detection_time(t)
+            if np.isfinite(det):
+                return float(det)
+    return None
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One Table I fault occurrence, fully or partially placed.
+
+    Counting-pattern rows get a *pinned session*: a dedicated counting
+    scan session long enough that the expected value's iteration index is
+    reached exactly at ``event_time``.  Alternating rows either carry a
+    target day (the Sec III-D fixed-day faults) or are sampled from the
+    host's natural sessions at campaign time (``event_time is None``).
+    """
+
+    pattern: MultiBitPattern
+    node: str
+    pinned: tuple[float, float] | None = None
+    event_time: float | None = None
+    on_degrading: bool = False
+
+
+def _flux_weighted_hour(
+    flux: NeutronFluxModel, rng: np.random.Generator, day: int
+) -> float:
+    """An hour-of-day on ``day`` weighted by the neutron-flux profile."""
+    t0 = day * 24.0
+    for _ in range(200):
+        t = t0 + rng.uniform(0.0, 24.0)
+        if rng.random() < float(flux.relative_flux(t)) / flux.max_flux:
+            return t
+    return t0 + 12.0
+
+
+def plan_catalogue(
+    config: CampaignConfig, rng: np.random.Generator
+) -> list[PlannedFault]:
+    """Place all 85 Table I fault occurrences (pre-track planning phase)."""
+    placement = config.placement
+    flux = NeutronFluxModel(day_night_ratio=config.multibit_day_night_ratio)
+    recurring = dict(placement.recurring_nodes)
+    undetectable = [p for p in TABLE_I if p.n_bits > 3]
+    plans: list[PlannedFault] = []
+    # Track pinned intervals per node to avoid overlapping pins.
+    pins: dict[str, list[tuple[float, float]]] = {}
+
+    def pin_counting(pattern: MultiBitPattern, node: str, day: int) -> PlannedFault:
+        needed = (pattern.counting_iteration + 1) * BASE_ITER_HOURS
+        for _ in range(200):
+            t_event = _flux_weighted_hour(flux, rng, day)
+            start = t_event - needed
+            end = t_event + 8.0 * BASE_ITER_HOURS
+            if start < 0.0:
+                day_retry = int(np.ceil(needed / 24.0)) + 1
+                t_event = _flux_weighted_hour(flux, rng, day_retry)
+                start, end = t_event - needed, t_event + 8.0 * BASE_ITER_HOURS
+            taken = pins.setdefault(node, [])
+            if all(end <= s or start >= e for s, e in taken):
+                taken.append((start, end))
+                return PlannedFault(
+                    pattern, node, pinned=(start, end), event_time=t_event
+                )
+            day = int(rng.integers(0, config.n_days))
+        raise RuntimeError(f"could not pin counting session on {node}")
+
+    def pin_alternating(pattern: MultiBitPattern, node: str, day: int) -> PlannedFault:
+        t_event = _flux_weighted_hour(flux, rng, day)
+        start = max(0.0, t_event - 2.0)
+        # Snap the detection to an iteration boundary of the pinned session.
+        k = np.ceil((t_event - start) / BASE_ITER_HOURS)
+        t_event = start + float(k) * BASE_ITER_HOURS
+        end = t_event + 1.5
+        pins.setdefault(node, []).append((start, end))
+        return PlannedFault(pattern, node, pinned=(start, end), event_time=t_event)
+
+    for pattern in TABLE_I:
+        if pattern.n_bits > 3:
+            continue
+        key = (pattern.expected, pattern.corrupted)
+        node = recurring.get(key)
+        if node is None:
+            raise ValueError(f"no placement for Table I pattern {key}")
+        on_degrading = node == config.degrading.node
+        for _ in range(pattern.occurrences):
+            if pattern.uses_counting_pattern:
+                day = int(rng.integers(0, config.n_days))
+                plans.append(pin_counting(pattern, node, day))
+            else:
+                plans.append(
+                    PlannedFault(pattern, node, on_degrading=on_degrading)
+                )
+
+    for (idx, node), day in zip(
+        placement.undetectable_hosts, placement.undetectable_days
+    ):
+        pattern = undetectable[idx]
+        if pattern.uses_counting_pattern:
+            plans.append(pin_counting(pattern, node, day))
+        else:
+            plans.append(pin_alternating(pattern, node, day))
+    return plans
+
+
+def sample_degrading_day(
+    cfg: DegradingNodeConfig, rng: np.random.Generator, n_days: int
+) -> int:
+    """A study day drawn proportionally to the degrading node's ramp.
+
+    The paper's November multi-bit cluster (Fig 11) tracks the node's
+    single-bit degradation, so its word-level multi-bit faults follow the
+    same intensity.
+    """
+    rates = degrading_day_rates(cfg, n_days)
+    observable = np.ones(n_days, dtype=bool)
+    for g0, g1 in cfg.monitoring_gaps:
+        observable[g0 : min(g1, n_days)] = False
+    weights = rates * observable
+    total = weights.sum()
+    if total <= 0:
+        return int(rng.integers(0, n_days))
+    return int(rng.choice(n_days, p=weights / total))
+
+
+def resolve_catalogue(
+    plans: list[PlannedFault],
+    tracks: dict[str, SessionTrack],
+    config: CampaignConfig,
+    rng: np.random.Generator,
+) -> list[Observation]:
+    """Turn planned faults into observations against the final tracks.
+
+    Handles the Sec III-C bookkeeping: 44 of the degrading node's doubles
+    (and both triples) get a simultaneous single-bit companion; one pair
+    of doubles shares a timestamp.
+    """
+    placement = config.placement
+    deg = config.degrading
+    flux = NeutronFluxModel(day_night_ratio=config.multibit_day_night_ratio)
+    out: list[Observation] = []
+    companion_budget = {
+        2: placement.doubles_with_companion,
+        3: placement.triples_with_companion,
+    }
+    pair_budget = placement.double_double_pairs
+    pending_pair: PlannedFault | None = None
+
+    def emit(plan: PlannedFault, t: float) -> Observation:
+        obs = Observation(
+            node=plan.node,
+            time_hours=t,
+            word_index=int(rng.integers(0, 700_000_000)),
+            expected=plan.pattern.expected,
+            actual=plan.pattern.corrupted,
+        )
+        out.append(obs)
+        return obs
+
+    for plan in plans:
+        track = tracks.get(plan.node)
+        if track is None or track.n_sessions == 0:
+            continue
+        if plan.event_time is not None:
+            t = plan.event_time
+        elif plan.on_degrading:
+            day = sample_degrading_day(deg, rng, config.n_days)
+            t_found = _solar_weighted_time(
+                track, flux, rng, day * 24.0, (day + 1) * 24.0
+            )
+            if t_found is None:
+                t_found = _solar_weighted_time(track, flux, rng, -np.inf, np.inf)
+            if t_found is None:
+                continue
+            t = t_found
+        else:
+            t_found = _solar_weighted_time(track, flux, rng, -np.inf, np.inf)
+            if t_found is None:
+                continue
+            t = t_found
+
+        if plan.on_degrading and plan.pattern.n_bits == 2:
+            if pending_pair is not None:
+                emit(plan, t)
+                emit(pending_pair, t)  # the double+double simultaneity
+                pending_pair = None
+                pair_budget -= 1
+                continue
+            if pair_budget > 0 and companion_budget[2] == 0:
+                # All companions assigned; hold this one for pairing.
+                pending_pair = plan
+                continue
+        obs = emit(plan, t)
+        if plan.on_degrading and companion_budget.get(plan.pattern.n_bits, 0) > 0:
+            companion_budget[plan.pattern.n_bits] -= 1
+            expected, actual = _single_bit_words(
+                rng, 1, deg.p_one_to_zero, np.array(deg.bit_pool, dtype=np.int64)
+            )
+            out.append(
+                Observation(
+                    node=plan.node,
+                    time_hours=obs.time_hours,
+                    word_index=int(rng.integers(0, 700_000_000)),
+                    expected=int(expected[0]),
+                    actual=int(actual[0]),
+                )
+            )
+    if pending_pair is not None:
+        # Partner never arrived (tiny campaigns): emit it standalone.
+        t_found = _solar_weighted_time(
+            tracks[pending_pair.node], flux, rng, -np.inf, np.inf
+        )
+        if t_found is not None:
+            emit(pending_pair, t_found)
+    return out

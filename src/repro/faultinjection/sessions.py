@@ -1,0 +1,279 @@
+"""Vectorized scan-session tracks for the year-scale campaign.
+
+A :class:`SessionTrack` holds every scan session of one node as parallel
+NumPy arrays (start, end, allocated MB, pattern, iteration period), plus
+the sampling primitives the fault models need: locate the session covering
+a time, sample uniform times inside covered time, round an event time up
+to the scanner iteration that detects it.
+
+Tracks are built from the scheduler's idle windows with the daemon's
+stochastic layer (allocation backoff, rare hard-reboot truncations)
+applied in bulk rather than per-window objects — the paper-scale campaign
+has ~10^6 windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.records import ScanSession
+from ..core.units import ALLOC_BACKOFF_MB, SCAN_TARGET_MB
+from ..scheduler.jobs import IdleWindow
+
+#: Pattern codes stored in the track arrays.
+PATTERN_ALTERNATING = 0
+PATTERN_COUNTING = 1
+
+#: Wall-clock duration of one full scan pass over 3 GB, in hours (~10 s —
+#: a streaming write+verify of 3 GB on the prototype's LPDDR).
+BASE_ITER_HOURS = 10.0 / 3600.0
+
+
+@dataclass
+class SessionTrack:
+    """All (non-truncated) scan sessions of one node, as arrays."""
+
+    node: str
+    starts: np.ndarray       # f8, sorted
+    ends: np.ndarray         # f8
+    alloc_mb: np.ndarray     # i8
+    pattern: np.ndarray      # i1 (PATTERN_*)
+    #: number of truncated (hard-reboot) sessions dropped from the arrays;
+    #: they contribute zero monitored hours per the paper's accounting.
+    n_truncated: int = 0
+
+    def __post_init__(self) -> None:
+        if not (
+            self.starts.shape
+            == self.ends.shape
+            == self.alloc_mb.shape
+            == self.pattern.shape
+        ):
+            raise ValueError("session track arrays must be parallel")
+        if np.any(self.ends <= self.starts):
+            raise ValueError("sessions must have positive duration")
+        if self.starts.size > 1 and np.any(np.diff(self.starts) < 0):
+            raise ValueError("sessions must be sorted by start time")
+
+    # -- basic quantities --------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.starts.shape[0])
+
+    @property
+    def durations(self) -> np.ndarray:
+        return self.ends - self.starts
+
+    @property
+    def iter_hours(self) -> np.ndarray:
+        """Iteration period per session (scales with allocated memory)."""
+        return BASE_ITER_HOURS * self.alloc_mb / SCAN_TARGET_MB
+
+    @property
+    def monitored_hours(self) -> float:
+        return float(self.durations.sum())
+
+    @property
+    def terabyte_hours(self) -> float:
+        return float((self.durations * self.alloc_mb).sum() / (1024.0 * 1024.0))
+
+    # -- queries ------------------------------------------------------------
+
+    def locate(self, t_hours: np.ndarray | float) -> np.ndarray | int:
+        """Index of the session covering each time, -1 if uncovered."""
+        t = np.asarray(t_hours, dtype=np.float64)
+        idx = np.searchsorted(self.starts, t, side="right") - 1
+        valid = (idx >= 0) & (t < self.ends[np.clip(idx, 0, None)])
+        return np.where(valid, idx, -1)[()]
+
+    def covered(self, t_hours) -> np.ndarray | bool:
+        return (np.asarray(self.locate(t_hours)) >= 0)[()]
+
+    def clip_to(self, t0: float, t1: float):
+        """(starts, ends, original indices) of session pieces within [t0, t1)."""
+        s = np.clip(self.starts, t0, t1)
+        e = np.clip(self.ends, t0, t1)
+        keep = e > s
+        return s[keep], e[keep], np.flatnonzero(keep)
+
+    def sample_covered(
+        self, rng: np.random.Generator, n: int, t0: float, t1: float
+    ) -> np.ndarray:
+        """``n`` times uniform over covered time within [t0, t1).
+
+        Returns fewer than ``n`` (possibly zero) samples when the node has
+        no coverage in the interval.
+        """
+        s, e, _ = self.clip_to(t0, t1)
+        if s.size == 0:
+            return np.empty(0, dtype=np.float64)
+        durations = e - s
+        cum = np.cumsum(durations)
+        total = cum[-1]
+        u = rng.random(n) * total
+        idx = np.searchsorted(cum, u, side="right")
+        offset = u - (cum[idx] - durations[idx])
+        return s[idx] + offset
+
+    def detection_time(self, t_event: np.ndarray | float):
+        """When the scanner *logs* an event occurring at ``t_event``.
+
+        The mismatch is noticed at the end of the verify pass in flight:
+        the event time rounded up to the session's next iteration
+        boundary (clamped inside the session).  Uncovered events map to
+        NaN.
+        """
+        t = np.atleast_1d(np.asarray(t_event, dtype=np.float64))
+        idx = np.atleast_1d(np.asarray(self.locate(t)))
+        out = np.full(t.shape, np.nan)
+        valid = idx >= 0
+        if np.any(valid):
+            i = idx[valid]
+            start = self.starts[i]
+            period = self.iter_hours[i]
+            k = np.floor((t[valid] - start) / period) + 1.0
+            det = start + k * period
+            out[valid] = np.minimum(det, np.nextafter(self.ends[i], 0.0))
+        if np.isscalar(t_event) or np.asarray(t_event).ndim == 0:
+            return float(out[0])
+        return out
+
+    def iterations_in_session(self, index: int) -> int:
+        """Number of verify passes completed in session ``index``."""
+        return int(self.durations[index] / self.iter_hours[index])
+
+    def to_sessions(self) -> list[ScanSession]:
+        """Materialize ScanSession objects (small campaigns / tests)."""
+        return [
+            ScanSession(
+                node=self.node,
+                start_hours=float(self.starts[i]),
+                end_hours=float(self.ends[i]),
+                allocated_mb=int(self.alloc_mb[i]),
+            )
+            for i in range(self.n_sessions)
+        ]
+
+    def daily_terabyte_hours(self, n_days: int) -> np.ndarray:
+        """TB-hours of scanning attributed to each study day (Fig 9)."""
+        out = np.zeros(n_days, dtype=np.float64)
+        for i in range(self.n_sessions):
+            start, end = float(self.starts[i]), float(self.ends[i])
+            mb = float(self.alloc_mb[i])
+            day = int(start // 24.0)
+            while start < end and day < n_days:
+                day_end = (day + 1) * 24.0
+                piece = min(end, day_end) - start
+                if day >= 0:
+                    out[day] += piece * mb / (1024.0 * 1024.0)
+                start = day_end
+                day += 1
+        return out
+
+
+def merge_touching(windows: list[IdleWindow], tol: float = 1e-9) -> list[IdleWindow]:
+    """Merge idle windows that touch (full-idle days joining at midnight).
+
+    This is what lets vacation stretches become multi-day scan sessions —
+    needed both for realism and for the long counting-pattern sessions
+    behind several Table I rows.
+    """
+    if not windows:
+        return []
+    windows = sorted(windows, key=lambda w: w.start_hours)
+    merged = [windows[0]]
+    for w in windows[1:]:
+        last = merged[-1]
+        if w.start_hours <= last.end_hours + tol:
+            merged[-1] = IdleWindow(last.start_hours, max(last.end_hours, w.end_hours))
+        else:
+            merged.append(w)
+    return merged
+
+
+def subtract_gaps(
+    windows: list[IdleWindow], gaps: list[tuple[float, float]]
+) -> list[IdleWindow]:
+    """Remove monitoring-gap intervals from idle windows.
+
+    Models periods during which a node simply was not being scanned (the
+    02-04 silence from late November onward in Fig 12).
+    """
+    if not gaps:
+        return list(windows)
+    out: list[IdleWindow] = []
+    for w in windows:
+        pieces = [(w.start_hours, w.end_hours)]
+        for g0, g1 in gaps:
+            next_pieces = []
+            for p0, p1 in pieces:
+                if g1 <= p0 or g0 >= p1:
+                    next_pieces.append((p0, p1))
+                    continue
+                if p0 < g0:
+                    next_pieces.append((p0, g0))
+                if g1 < p1:
+                    next_pieces.append((g1, p1))
+            pieces = next_pieces
+        out.extend(IdleWindow(p0, p1) for p0, p1 in pieces if p1 > p0)
+    return out
+
+
+def build_session_track(
+    node: str,
+    windows: list[IdleWindow],
+    rng: np.random.Generator,
+    p_full_alloc: float = 0.92,
+    p_alloc_fail: float = 0.002,
+    leak_mean_mb: float = 400.0,
+    p_truncation: float = 0.004,
+    p_counting: float = 0.05,
+) -> SessionTrack:
+    """Vectorized daemon pass: windows -> session track.
+
+    Implements the same stochastic layer as
+    :class:`repro.scanner.daemon.ScannerDaemon` but in bulk: allocation
+    size with the 3 GB / -10 MB backoff against an exponential leak,
+    rare total allocation failures, rare hard-reboot truncations (dropped
+    and counted), and the scan-pattern choice per session.
+    """
+    windows = merge_touching(windows)
+    n = len(windows)
+    if n == 0:
+        empty = np.empty(0)
+        return SessionTrack(
+            node,
+            empty,
+            empty.copy(),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int8),
+        )
+    starts = np.array([w.start_hours for w in windows])
+    ends = np.array([w.end_hours for w in windows])
+
+    u = rng.random(n)
+    fail = u < p_alloc_fail
+    leak = u < p_alloc_fail + (1.0 - p_full_alloc - p_alloc_fail)
+    leak_mb = rng.exponential(leak_mean_mb, size=n)
+    available = np.where(leak, SCAN_TARGET_MB - leak_mb, float(SCAN_TARGET_MB))
+    # The backoff loop starts at 3 GB and steps down by 10 MB, so requests
+    # live on the grid {3072 - 10k}; it lands on the largest grid value
+    # that fits the available memory.
+    deficit = np.maximum(0.0, SCAN_TARGET_MB - available)
+    steps = np.ceil(deficit / ALLOC_BACKOFF_MB)
+    alloc = (SCAN_TARGET_MB - steps * ALLOC_BACKOFF_MB).astype(np.int64)
+    truncated = rng.random(n) < p_truncation
+    keep = (~fail) & (~truncated) & (alloc > 0)
+
+    pattern = np.where(rng.random(n) < p_counting, PATTERN_COUNTING, PATTERN_ALTERNATING)
+    return SessionTrack(
+        node=node,
+        starts=starts[keep],
+        ends=ends[keep],
+        alloc_mb=alloc[keep],
+        pattern=pattern[keep].astype(np.int8),
+        n_truncated=int(truncated.sum()),
+    )

@@ -1,0 +1,7 @@
+"""Log formats, per-node archives, and the array-backed error table."""
+
+from .format import format_record, parse_line
+from .frame import ErrorFrame
+from .store import LogArchive
+
+__all__ = ["ErrorFrame", "LogArchive", "format_record", "parse_line"]

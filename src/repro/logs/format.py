@@ -1,0 +1,122 @@
+"""Serialization of scanner log records to text lines and back.
+
+One record per line, ``KIND|key=value|...`` with a stable field order.
+Timestamps are hours since the study epoch with nanosecond-scale decimal
+precision; addresses and word values are hex.  ``parse_line`` is the exact
+inverse of ``format_record`` (property-tested).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import LogFormatError
+from ..core.records import (
+    AllocFailRecord,
+    EndRecord,
+    ErrorRecord,
+    LogRecord,
+    StartRecord,
+)
+
+_FIELD_SEP = "|"
+# repr() of a float is the shortest string that round-trips exactly, so
+# parse(format(record)) == record holds bit-for-bit.
+_TS_FMT = "{!r}"
+
+
+def _fmt_temp(temp: float | None) -> str:
+    return "na" if temp is None else f"{temp:.2f}"
+
+
+def _parse_temp(text: str) -> float | None:
+    return None if text == "na" else float(text)
+
+
+def format_record(record: LogRecord) -> str:
+    """Render one record as its log line."""
+    ts = _TS_FMT.format(record.timestamp_hours)
+    if isinstance(record, StartRecord):
+        return _FIELD_SEP.join(
+            [
+                "START",
+                f"t={ts}",
+                f"node={record.node}",
+                f"mb={record.allocated_mb}",
+                f"temp={_fmt_temp(record.temperature_c)}",
+            ]
+        )
+    if isinstance(record, ErrorRecord):
+        return _FIELD_SEP.join(
+            [
+                "ERROR",
+                f"t={ts}",
+                f"node={record.node}",
+                f"va=0x{record.virtual_address:x}",
+                f"pp=0x{record.physical_page:x}",
+                f"exp=0x{record.expected:08x}",
+                f"act=0x{record.actual:08x}",
+                f"temp={_fmt_temp(record.temperature_c)}",
+                f"rep={record.repeat_count}",
+            ]
+        )
+    if isinstance(record, EndRecord):
+        return _FIELD_SEP.join(
+            [
+                "END",
+                f"t={ts}",
+                f"node={record.node}",
+                f"temp={_fmt_temp(record.temperature_c)}",
+            ]
+        )
+    if isinstance(record, AllocFailRecord):
+        return _FIELD_SEP.join(["ALLOC_FAIL", f"t={ts}", f"node={record.node}"])
+    raise LogFormatError(f"unknown record type {type(record).__name__}")
+
+
+def _fields(line: str) -> dict[str, str]:
+    parts = line.strip().split(_FIELD_SEP)
+    out: dict[str, str] = {"_kind": parts[0]}
+    for part in parts[1:]:
+        try:
+            key, value = part.split("=", 1)
+        except ValueError as exc:
+            raise LogFormatError(f"malformed field {part!r} in {line!r}") from exc
+        out[key] = value
+    return out
+
+
+def parse_line(line: str) -> LogRecord:
+    """Parse one log line back into its record (inverse of format_record)."""
+    if not line.strip():
+        raise LogFormatError("empty log line")
+    f = _fields(line)
+    kind = f["_kind"]
+    try:
+        if kind == "START":
+            return StartRecord(
+                timestamp_hours=float(f["t"]),
+                node=f["node"],
+                allocated_mb=int(f["mb"]),
+                temperature_c=_parse_temp(f["temp"]),
+            )
+        if kind == "ERROR":
+            return ErrorRecord(
+                timestamp_hours=float(f["t"]),
+                node=f["node"],
+                virtual_address=int(f["va"], 16),
+                physical_page=int(f["pp"], 16),
+                expected=int(f["exp"], 16),
+                actual=int(f["act"], 16),
+                temperature_c=_parse_temp(f["temp"]),
+                repeat_count=int(f.get("rep", "1")),
+            )
+        if kind == "END":
+            return EndRecord(
+                timestamp_hours=float(f["t"]),
+                node=f["node"],
+                temperature_c=_parse_temp(f["temp"]),
+            )
+        if kind == "ALLOC_FAIL":
+            return AllocFailRecord(timestamp_hours=float(f["t"]), node=f["node"])
+    except (KeyError, ValueError) as exc:
+        raise LogFormatError(f"cannot parse {line!r}: {exc}") from exc
+    raise LogFormatError(f"unknown record kind {kind!r}")

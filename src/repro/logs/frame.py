@@ -1,0 +1,176 @@
+"""Array-backed error table for vectorized analysis.
+
+The analysis package operates on millions of error observations; a list of
+dataclasses would make every histogram a Python loop.  :class:`ErrorFrame`
+is a thin structure-of-arrays: one NumPy column per field, node names
+interned to integer codes, and derived per-row quantities (flipped-bit
+counts, flip directions) computed once with :mod:`repro.core.bitops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core import bitops
+from ..core.events import MemoryError_
+from ..core.records import ErrorRecord
+
+
+@dataclass
+class ErrorFrame:
+    """Structure-of-arrays view of an error population."""
+
+    time_hours: np.ndarray          # f8
+    node_code: np.ndarray           # i4 index into node_names
+    node_names: list[str]           # code -> name
+    expected: np.ndarray            # u4
+    actual: np.ndarray              # u4
+    virtual_address: np.ndarray     # i8
+    physical_page: np.ndarray       # i8
+    temperature_c: np.ndarray       # f4, NaN when not logged
+    repeat_count: np.ndarray        # i8
+    _n_bits: np.ndarray | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return int(self.time_hours.shape[0])
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[ErrorRecord]) -> "ErrorFrame":
+        records = list(records)
+        return cls._build(
+            records,
+            lambda r: (
+                r.timestamp_hours,
+                r.node,
+                r.expected,
+                r.actual,
+                r.virtual_address,
+                r.physical_page,
+                r.temperature_c,
+                r.repeat_count,
+            ),
+        )
+
+    @classmethod
+    def from_errors(cls, errors: Iterable[MemoryError_]) -> "ErrorFrame":
+        """Build from extracted independent errors (one row per fault)."""
+        errors = list(errors)
+        return cls._build(
+            errors,
+            lambda e: (
+                e.first_seen_hours,
+                e.node,
+                e.expected,
+                e.actual,
+                e.virtual_address,
+                e.physical_page,
+                e.temperature_c,
+                e.raw_log_count,
+            ),
+        )
+
+    @classmethod
+    def _build(cls, rows: Sequence, extract) -> "ErrorFrame":
+        n = len(rows)
+        time_hours = np.empty(n, dtype=np.float64)
+        expected = np.empty(n, dtype=np.uint32)
+        actual = np.empty(n, dtype=np.uint32)
+        va = np.empty(n, dtype=np.int64)
+        pp = np.empty(n, dtype=np.int64)
+        temp = np.full(n, np.nan, dtype=np.float32)
+        repeat = np.empty(n, dtype=np.int64)
+        codes = np.empty(n, dtype=np.int32)
+        names: list[str] = []
+        index: dict[str, int] = {}
+        for i, row in enumerate(rows):
+            t, node, exp, act, v, p, tc, rep = extract(row)
+            code = index.get(node)
+            if code is None:
+                code = len(names)
+                index[node] = code
+                names.append(node)
+            codes[i] = code
+            time_hours[i] = t
+            expected[i] = exp & 0xFFFFFFFF
+            actual[i] = act & 0xFFFFFFFF
+            va[i] = v
+            pp[i] = p
+            if tc is not None:
+                temp[i] = tc
+            repeat[i] = rep
+        return cls(
+            time_hours=time_hours,
+            node_code=codes,
+            node_names=names,
+            expected=expected,
+            actual=actual,
+            virtual_address=va,
+            physical_page=pp,
+            temperature_c=temp,
+            repeat_count=repeat,
+        )
+
+    # -- derived columns -------------------------------------------------------
+
+    @property
+    def n_bits(self) -> np.ndarray:
+        """Flipped-bit count per row (cached)."""
+        if self._n_bits is None:
+            self._n_bits = np.asarray(
+                bitops.n_flipped_bits(self.expected, self.actual)
+            ).reshape(-1)
+        return self._n_bits
+
+    @property
+    def flip_mask(self) -> np.ndarray:
+        return np.bitwise_xor(self.expected, self.actual)
+
+    def node_name(self, code: int) -> str:
+        return self.node_names[int(code)]
+
+    def codes_for(self, names: Iterable[str]) -> np.ndarray:
+        """Codes of the given node names (absent names are skipped)."""
+        lookup = {n: i for i, n in enumerate(self.node_names)}
+        return np.array(
+            [lookup[n] for n in names if n in lookup], dtype=np.int32
+        )
+
+    # -- filtering ---------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "ErrorFrame":
+        """Row subset (node interning table is shared, not recompacted)."""
+        mask = np.asarray(mask)
+        return ErrorFrame(
+            time_hours=self.time_hours[mask],
+            node_code=self.node_code[mask],
+            node_names=self.node_names,
+            expected=self.expected[mask],
+            actual=self.actual[mask],
+            virtual_address=self.virtual_address[mask],
+            physical_page=self.physical_page[mask],
+            temperature_c=self.temperature_c[mask],
+            repeat_count=self.repeat_count[mask],
+        )
+
+    def exclude_nodes(self, names: Iterable[str]) -> "ErrorFrame":
+        """Drop all rows belonging to the given nodes."""
+        codes = set(int(c) for c in self.codes_for(names))
+        if not codes:
+            return self
+        keep = ~np.isin(self.node_code, list(codes))
+        return self.select(keep)
+
+    def multibit_only(self) -> "ErrorFrame":
+        return self.select(self.n_bits >= 2)
+
+    def singlebit_only(self) -> "ErrorFrame":
+        return self.select(self.n_bits == 1)
+
+    def sorted_by_time(self) -> "ErrorFrame":
+        order = np.argsort(self.time_hours, kind="stable")
+        return self.select(order)

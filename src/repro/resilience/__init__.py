@@ -1,0 +1,73 @@
+"""Resilience policies evaluated in the paper's Sec IV."""
+
+from .checkpoint import (
+    RegimePolicy,
+    daly_interval,
+    paper_policy,
+    waste_fraction,
+    young_interval,
+)
+from .checkpoint_sim import (
+    CheckpointSimResult,
+    alarm_policy,
+    regime_policy,
+    simulate_checkpointing,
+    static_policy,
+)
+from .prediction import (
+    Alarm,
+    PredictionReport,
+    PredictorConfig,
+    SpatioTemporalPredictor,
+    sweep_trigger,
+)
+from .page_retirement import (
+    NodeRetirementStats,
+    PageRetirementSimulator,
+    RetirementOutcome,
+)
+from .quarantine import (
+    DEFAULT_TRIGGER_THRESHOLD,
+    QuarantineOutcome,
+    QuarantineSimulator,
+    TABLE_II_PERIODS,
+    table2,
+)
+from .scheduler_policy import (
+    FailureAwareScheduler,
+    NodeHistory,
+    PlacementComparison,
+    histories_from_counts,
+    job_failure_probability,
+)
+
+__all__ = [
+    "Alarm",
+    "CheckpointSimResult",
+    "DEFAULT_TRIGGER_THRESHOLD",
+    "FailureAwareScheduler",
+    "PredictionReport",
+    "PredictorConfig",
+    "SpatioTemporalPredictor",
+    "alarm_policy",
+    "regime_policy",
+    "simulate_checkpointing",
+    "static_policy",
+    "sweep_trigger",
+    "NodeHistory",
+    "NodeRetirementStats",
+    "PageRetirementSimulator",
+    "PlacementComparison",
+    "QuarantineOutcome",
+    "QuarantineSimulator",
+    "RegimePolicy",
+    "RetirementOutcome",
+    "TABLE_II_PERIODS",
+    "daly_interval",
+    "histories_from_counts",
+    "job_failure_probability",
+    "paper_policy",
+    "table2",
+    "waste_fraction",
+    "young_interval",
+]

@@ -1,0 +1,120 @@
+"""Failure-aware job placement (paper Sec III-H).
+
+"Spatial correlation information can be added into the scheduler
+algorithm to avoid large high priority jobs running in nodes with a long
+history of failures.  A more aggressive approach would be to run only
+short debugging jobs on those nodes."
+
+Given per-node error histories, compute per-node error rates and the
+failure probability of an n-node, h-hour job under different placement
+policies; the spatial concentration of errors (>99.9% in <1% of nodes)
+makes avoidance nearly free and very effective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeHistory:
+    """Error history of one node over its monitored time."""
+
+    node: str
+    n_errors: int
+    monitored_hours: float
+
+    @property
+    def rate_per_hour(self) -> float:
+        if self.monitored_hours <= 0:
+            return 0.0
+        return self.n_errors / self.monitored_hours
+
+
+def job_failure_probability(
+    rates_per_hour: np.ndarray, job_hours: float
+) -> float:
+    """P(any selected node errors during the job), independent Poisson."""
+    rates_per_hour = np.asarray(rates_per_hour, dtype=np.float64)
+    return float(1.0 - np.exp(-rates_per_hour.sum() * job_hours))
+
+
+@dataclass(frozen=True)
+class PlacementComparison:
+    """Failure probability under random vs failure-aware placement."""
+
+    job_nodes: int
+    job_hours: float
+    p_fail_random: float
+    p_fail_aware: float
+    n_flagged_nodes: int
+
+    @property
+    def improvement_factor(self) -> float:
+        if self.p_fail_aware <= 0:
+            return np.inf
+        return self.p_fail_random / self.p_fail_aware
+
+
+class FailureAwareScheduler:
+    """Chooses job nodes preferring those with clean histories."""
+
+    def __init__(self, histories: list[NodeHistory], flag_threshold: int = 2):
+        #: Nodes with at least ``flag_threshold`` errors are flagged and
+        #: avoided for production jobs.
+        self.histories = sorted(histories, key=lambda h: (h.rate_per_hour, h.node))
+        self.flag_threshold = flag_threshold
+
+    @property
+    def flagged(self) -> list[NodeHistory]:
+        return [h for h in self.histories if h.n_errors >= self.flag_threshold]
+
+    @property
+    def clean(self) -> list[NodeHistory]:
+        return [h for h in self.histories if h.n_errors < self.flag_threshold]
+
+    def compare(
+        self,
+        job_nodes: int,
+        job_hours: float,
+        rng: np.random.Generator | None = None,
+        n_trials: int = 2000,
+    ) -> PlacementComparison:
+        """Monte-Carlo random placement vs avoid-flagged placement."""
+        rng = rng or np.random.default_rng(0)
+        rates = np.array([h.rate_per_hour for h in self.histories])
+        n = len(self.histories)
+        if job_nodes > n:
+            raise ValueError("job larger than the machine")
+        # Random placement: average failure probability over trials.
+        p_random = 0.0
+        for _ in range(n_trials):
+            pick = rng.choice(n, size=job_nodes, replace=False)
+            p_random += job_failure_probability(rates[pick], job_hours)
+        p_random /= n_trials
+        # Aware placement: cleanest nodes first (histories pre-sorted).
+        aware_rates = rates[:job_nodes]
+        p_aware = job_failure_probability(aware_rates, job_hours)
+        return PlacementComparison(
+            job_nodes=job_nodes,
+            job_hours=job_hours,
+            p_fail_random=p_random,
+            p_fail_aware=p_aware,
+            n_flagged_nodes=len(self.flagged),
+        )
+
+
+def histories_from_counts(
+    errors_by_node: dict[str, int], hours_by_node: dict[str, float]
+) -> list[NodeHistory]:
+    """Assemble per-node histories from analysis outputs."""
+    return [
+        NodeHistory(
+            node=node,
+            n_errors=errors_by_node.get(node, 0),
+            monitored_hours=hours,
+        )
+        for node, hours in hours_by_node.items()
+    ]

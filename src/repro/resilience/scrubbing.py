@@ -1,0 +1,124 @@
+"""Memory-scrubbing model: correctable faults accumulating into SDC.
+
+SECDED corrects one flipped bit per word, but a *latent* corrected-able
+error that is never written back can meet a second fault in the same
+word, turning two correctable singles into an uncorrectable double.
+Scrubbing — a background sweep that reads, corrects and rewrites every
+word — bounds the latency window during which accumulation can happen.
+
+This module gives both views:
+
+* the analytic accumulation probability for a uniform fault rate and a
+  scrub period (the standard birthday-style bound), and
+* a replay over an observed error stream: how many of the study's
+  same-word error recurrences would have accumulated into uncorrectable
+  state under a given scrub period (the weak-bit nodes are the stress
+  case: thousands of hits on one word).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..logs.frame import ErrorFrame
+
+
+def accumulation_probability(
+    rate_per_word_hour: float, scrub_period_hours: float, n_words: int
+) -> float:
+    """P(any word collects >=2 faults within one scrub period).
+
+    Poisson faults per word per period: lambda = rate * period; per-word
+    P(>=2) = 1 - e^-l (1 + l); across words via the complement product.
+    """
+    if rate_per_word_hour < 0 or scrub_period_hours <= 0 or n_words <= 0:
+        raise ValueError("rates/periods/words must be positive")
+    lam = rate_per_word_hour * scrub_period_hours
+    p_word = 1.0 - np.exp(-lam) * (1.0 + lam)
+    # log-space product for numerical sanity at large n_words.
+    return float(1.0 - np.exp(n_words * np.log1p(-min(p_word, 1.0 - 1e-15))))
+
+
+def optimal_scrub_period(
+    rate_per_word_hour: float,
+    n_words: int,
+    target_probability: float = 0.01,
+    horizon_hours: float = 24.0 * 30,
+) -> float:
+    """Longest scrub period keeping accumulation below target per horizon.
+
+    Binary search over the period; longer periods cost less bandwidth but
+    raise the per-horizon accumulation probability.
+    """
+    lo, hi = 1e-3, horizon_hours
+    for _ in range(64):
+        mid = np.sqrt(lo * hi)
+        periods = horizon_hours / mid
+        p_once = accumulation_probability(rate_per_word_hour, mid, n_words)
+        p_horizon = 1.0 - (1.0 - p_once) ** periods
+        if p_horizon > target_probability:
+            hi = mid
+        else:
+            lo = mid
+    return float(lo)
+
+
+@dataclass(frozen=True)
+class ScrubReplayResult:
+    """Replay of an error stream under SECDED + scrubbing."""
+
+    scrub_period_hours: float
+    n_errors: int
+    #: Faults landing on a word already faulty since the last scrub —
+    #: each is an uncorrectable-accumulation exposure for SECDED.
+    n_accumulations: int
+    worst_word_hits: int
+
+    @property
+    def accumulation_fraction(self) -> float:
+        return self.n_accumulations / self.n_errors if self.n_errors else 0.0
+
+
+def replay_scrubbing(
+    frame: ErrorFrame, scrub_period_hours: float
+) -> ScrubReplayResult:
+    """Count same-word fault accumulations within scrub windows.
+
+    Every error is a fault landing in a word; the word's latent state is
+    cleared at each scrub tick (global, phase 0).  Two or more faults on
+    one (node, address) inside a single window would defeat SECDED.
+    """
+    if scrub_period_hours <= 0:
+        raise ValueError("scrub period must be positive")
+    order = np.argsort(frame.time_hours, kind="stable")
+    times = frame.time_hours[order]
+    nodes = frame.node_code[order]
+    addresses = frame.virtual_address[order]
+    window = np.floor(times / scrub_period_hours).astype(np.int64)
+
+    hits: dict[tuple[int, int, int], int] = defaultdict(int)
+    worst: dict[tuple[int, int], int] = defaultdict(int)
+    accumulations = 0
+    for node, addr, win in zip(nodes, addresses, window):
+        key = (int(node), int(addr), int(win))
+        hits[key] += 1
+        if hits[key] >= 2:
+            accumulations += 1
+        word_key = (int(node), int(addr))
+        worst[word_key] = max(worst[word_key], hits[key])
+    return ScrubReplayResult(
+        scrub_period_hours=scrub_period_hours,
+        n_errors=int(times.shape[0]),
+        n_accumulations=accumulations,
+        worst_word_hits=max(worst.values()) if worst else 0,
+    )
+
+
+def scrub_sweep(
+    frame: ErrorFrame, periods_hours: list[float]
+) -> list[ScrubReplayResult]:
+    """Accumulation counts across scrub periods (the tuning curve)."""
+    return [replay_scrubbing(frame, p) for p in periods_hours]

@@ -1,0 +1,22 @@
+"""The memory-scanning tool: patterns, allocation, scan loop, lifecycle."""
+
+from .allocator import AllocationResult, LeakModel, allocate_with_backoff
+from .daemon import DaemonConfig, ScannerDaemon, SessionOutcome
+from .patterns import AlternatingPattern, CountingPattern, ScanPattern, pattern_by_name
+from .tool import MemoryScanner, ScanResult, schedule_hook
+
+__all__ = [
+    "AllocationResult",
+    "AlternatingPattern",
+    "CountingPattern",
+    "DaemonConfig",
+    "LeakModel",
+    "MemoryScanner",
+    "ScanPattern",
+    "ScanResult",
+    "ScannerDaemon",
+    "SessionOutcome",
+    "allocate_with_backoff",
+    "pattern_by_name",
+    "schedule_hook",
+]

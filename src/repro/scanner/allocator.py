@@ -1,0 +1,78 @@
+"""The scanner's memory-allocation strategy (paper Sec II-B).
+
+The tool asks for 3 GB (the most an application can get on a 4 GB node);
+if the allocation fails — typically because a previous job leaked memory —
+it retries with 10 MB less, down to zero.  Success yields the allocated
+size; total failure is logged separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import AllocationError
+from ..core.units import ALLOC_BACKOFF_MB, SCAN_TARGET_MB
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of the backoff loop."""
+
+    allocated_mb: int
+    attempts: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.allocated_mb > 0
+
+
+def allocate_with_backoff(available_mb: int) -> AllocationResult:
+    """Run the 3 GB / -10 MB backoff loop against ``available_mb`` of free RAM.
+
+    Deterministic given the free-memory amount; raises
+    :class:`AllocationError` when even 10 MB cannot be had (the tool then
+    writs the separate failure log).
+    """
+    available_mb = int(available_mb)
+    request = SCAN_TARGET_MB
+    attempts = 0
+    while request > 0:
+        attempts += 1
+        if request <= available_mb:
+            return AllocationResult(allocated_mb=request, attempts=attempts)
+        request -= ALLOC_BACKOFF_MB
+    raise AllocationError(
+        f"could not allocate any memory (free: {available_mb} MB)"
+    )
+
+
+@dataclass(frozen=True)
+class LeakModel:
+    """Stochastic model of memory leaked by the previous job.
+
+    Most sessions find the full 3 GB available; a minority inherit a
+    leak and get less; rarely the node is so exhausted that allocation
+    fails entirely.
+    """
+
+    p_full: float = 0.92
+    p_alloc_fail: float = 0.002
+    #: Leak size distribution when a leak is present (MB, exponential).
+    leak_mean_mb: float = 400.0
+
+    def available_mb(self, rng: np.random.Generator) -> int:
+        """Draw the free memory a fresh scanner session observes."""
+        u = rng.random()
+        if u < self.p_alloc_fail:
+            # Below the smallest request on the 3072-10k grid (2 MB).
+            return int(rng.integers(0, 2))
+        if u < self.p_alloc_fail + (1.0 - self.p_full - self.p_alloc_fail):
+            leak = float(rng.exponential(self.leak_mean_mb))
+            return max(0, int(SCAN_TARGET_MB - leak))
+        return SCAN_TARGET_MB
+
+    def draw_allocation(self, rng: np.random.Generator) -> AllocationResult:
+        """Sample a session's allocation outcome (may raise AllocationError)."""
+        return allocate_with_backoff(self.available_mb(rng))

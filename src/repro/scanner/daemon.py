@@ -1,0 +1,128 @@
+"""Scanner lifecycle on a node: sessions, SIGTERM, hard reboots.
+
+The daemon view of the scanner: the job scheduler's epilogue starts it
+when a node goes idle, the prologue SIGTERMs it when a job arrives.  A
+clean stop logs END; a hard reboot leaves no END — producing the
+START-after-START sequence the paper handles by crediting *zero* monitored
+hours to the truncated session (a deliberate underestimate).
+
+This module turns idle windows into :class:`ScanSession` bookkeeping plus
+START/END records, sampling allocation size and rare truncations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.errors import AllocationError
+from ..core.records import (
+    AllocFailRecord,
+    EndRecord,
+    ErrorRecord,
+    ScanSession,
+    StartRecord,
+)
+from .allocator import LeakModel
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Stochastic behaviour of the scanning daemon."""
+
+    leak_model: LeakModel = LeakModel()
+    #: Probability that a session ends with a hard reboot (no END record).
+    p_hard_reboot: float = 0.004
+    #: Minimum idle window worth starting the scanner for (hours).
+    min_window_hours: float = 0.05
+
+
+@dataclass
+class SessionOutcome:
+    """One idle window's worth of daemon activity."""
+
+    session: ScanSession | None
+    records: list
+
+    @property
+    def monitored_hours(self) -> float:
+        return self.session.monitored_hours if self.session else 0.0
+
+
+class ScannerDaemon:
+    """Produces scan sessions for idle windows on one node."""
+
+    def __init__(
+        self,
+        node: str,
+        config: DaemonConfig | None = None,
+        temperature=None,
+    ):
+        self.node = node
+        self.config = config or DaemonConfig()
+        self._temperature = temperature or (lambda t: None)
+
+    def run_window(
+        self, start_hours: float, end_hours: float, rng: np.random.Generator
+    ) -> SessionOutcome:
+        """Simulate the daemon through one idle window ``[start, end)``."""
+        cfg = self.config
+        if end_hours - start_hours < cfg.min_window_hours:
+            return SessionOutcome(session=None, records=[])
+
+        try:
+            alloc = cfg.leak_model.draw_allocation(rng)
+        except AllocationError:
+            rec = AllocFailRecord(timestamp_hours=start_hours, node=self.node)
+            return SessionOutcome(session=None, records=[rec])
+
+        truncated = bool(rng.random() < cfg.p_hard_reboot)
+        start_rec = StartRecord(
+            timestamp_hours=start_hours,
+            node=self.node,
+            allocated_mb=alloc.allocated_mb,
+            temperature_c=self._temperature(start_hours),
+        )
+        records: list = [start_rec]
+        if truncated:
+            # Hard reboot somewhere inside the window: no END is written.
+            session = ScanSession(
+                node=self.node,
+                start_hours=start_hours,
+                end_hours=None,
+                allocated_mb=alloc.allocated_mb,
+                truncated=True,
+            )
+        else:
+            records.append(
+                EndRecord(
+                    timestamp_hours=end_hours,
+                    node=self.node,
+                    temperature_c=self._temperature(end_hours),
+                )
+            )
+            session = ScanSession(
+                node=self.node,
+                start_hours=start_hours,
+                end_hours=end_hours,
+                allocated_mb=alloc.allocated_mb,
+                truncated=False,
+            )
+        return SessionOutcome(session=session, records=records)
+
+
+def sessions_to_records(outcomes: list[SessionOutcome]) -> list:
+    """Flatten session outcomes into chronological records."""
+    records: list = []
+    for outcome in outcomes:
+        records.extend(outcome.records)
+    records.sort(key=lambda r: r.timestamp_hours)
+    return records
+
+
+def merge_error_records(records: list, errors: list[ErrorRecord]) -> list:
+    """Interleave ERROR records into a START/END stream chronologically."""
+    merged = list(records) + list(errors)
+    merged.sort(key=lambda r: (r.timestamp_hours, r.kind.value))
+    return merged

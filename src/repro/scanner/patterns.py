@@ -1,0 +1,66 @@
+"""Write patterns used by the memory scanner (paper Sec II-B).
+
+The study's tool mostly used the *alternating* strategy: write every word
+with 0x00000000, verify, rewrite with 0xFFFFFFFF, verify, and so on — to
+stress every bit position equally in both charge states.  A second
+strategy starts at 0x00000001 and increments the expected value by one
+every iteration.  Both log identical information on error.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ScanPattern(ABC):
+    """Deterministic sequence of expected word values, one per iteration."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def value_at(self, iteration: int) -> int:
+        """Word value written (and later expected) at iteration ``i >= 0``."""
+
+    def values(self, n: int) -> list[int]:
+        return [self.value_at(i) for i in range(n)]
+
+
+class AlternatingPattern(ScanPattern):
+    """0x00000000 / 0xFFFFFFFF alternation (the study's main strategy)."""
+
+    name = "alternating"
+
+    ZERO = 0x00000000
+    ONES = 0xFFFFFFFF
+
+    def value_at(self, iteration: int) -> int:
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        return self.ZERO if iteration % 2 == 0 else self.ONES
+
+
+class CountingPattern(ScanPattern):
+    """Start at 0x00000001 and increment by 1 each iteration (mod 2^32).
+
+    Produces the small expected values seen in several Table I rows
+    (0x000016bb, 0x000003c1, ...).
+    """
+
+    name = "counting"
+
+    def __init__(self, start: int = 0x00000001):
+        self.start = int(start) & 0xFFFFFFFF
+
+    def value_at(self, iteration: int) -> int:
+        if iteration < 0:
+            raise ValueError("iteration must be >= 0")
+        return (self.start + iteration) & 0xFFFFFFFF
+
+
+def pattern_by_name(name: str) -> ScanPattern:
+    """Factory used by configs and the CLI."""
+    if name == AlternatingPattern.name:
+        return AlternatingPattern()
+    if name == CountingPattern.name:
+        return CountingPattern()
+    raise ValueError(f"unknown scan pattern {name!r}")

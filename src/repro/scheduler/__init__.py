@@ -1,0 +1,12 @@
+"""Job-scheduler substrate: idle-window generation for scanner runs."""
+
+from .batch import BatchScheduler, ScheduledScan
+from .jobs import ActivityConfig, DailyActivityGenerator, IdleWindow
+
+__all__ = [
+    "ActivityConfig",
+    "BatchScheduler",
+    "DailyActivityGenerator",
+    "IdleWindow",
+    "ScheduledScan",
+]

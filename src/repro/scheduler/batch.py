@@ -1,0 +1,78 @@
+"""The batch scheduler orchestrating scanning across the machine.
+
+Combines the cluster registry (which nodes exist, when they are powered
+off) with per-node daily activity to produce, for every scanned node, the
+idle windows during which the epilogue script launches the memory scanner.
+This is the layer that creates the coverage structure of Figs 1, 2 and 9:
+login nodes get nothing, SoC-12 slots lose their powered-off months,
+blade 33 loses its downtime, everyone else accumulates ~5000 hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..cluster.node import Node
+from ..cluster.registry import ClusterRegistry
+from ..core.rng import RngFactory
+from ..environment.calendar import AcademicCalendar
+from .jobs import ActivityConfig, DailyActivityGenerator, IdleWindow
+
+
+@dataclass(frozen=True)
+class ScheduledScan:
+    """An idle window on a specific node, ready for the scanner daemon."""
+
+    node: str
+    window: IdleWindow
+
+
+class BatchScheduler:
+    """Produces every scheduled scan window of the study."""
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        calendar: AcademicCalendar | None = None,
+        activity: ActivityConfig | None = None,
+        rng_factory: RngFactory | None = None,
+        n_days: int | None = None,
+    ):
+        self.registry = registry
+        self.calendar = calendar or AcademicCalendar()
+        self.rng_factory = rng_factory or RngFactory()
+        if n_days is None:
+            self._generator = DailyActivityGenerator(self.calendar, activity)
+        else:
+            self._generator = DailyActivityGenerator(
+                self.calendar, activity, n_days=n_days
+            )
+
+    def node_windows(self, node: Node) -> list[IdleWindow]:
+        """Idle windows for one node, clipped to its powered-on intervals."""
+        if not node.scannable:
+            return []
+        rng = self.rng_factory.fresh(f"scheduler/{node.node_id}")
+        raw = self._generator.idle_windows(rng)
+        windows: list[IdleWindow] = []
+        for w in raw:
+            for on_start, on_end in node.on_windows(w.start_hours, w.end_hours):
+                if on_end > on_start:
+                    windows.append(IdleWindow(on_start, on_end))
+        return windows
+
+    def all_scans(self) -> Iterator[ScheduledScan]:
+        """Every scan window across the machine (node-major order)."""
+        for node in self.registry.scanned_nodes():
+            name = str(node.node_id)
+            for window in self.node_windows(node):
+                yield ScheduledScan(node=name, window=window)
+
+    def total_idle_hours(self) -> float:
+        """Total scheduled scanning hours over the machine (pre-daemon)."""
+        return sum(
+            w.duration_hours
+            for node in self.registry.scanned_nodes()
+            for w in self.node_windows(node)
+        )

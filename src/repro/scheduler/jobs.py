@@ -1,0 +1,132 @@
+"""Per-node daily job activity -> idle windows for the scanner.
+
+The scanner runs exactly when a node is idle, so scanning coverage is the
+complement of job load.  For each node-day the generator draws a total
+idle budget around the calendar's idle fraction and splits it into a few
+idle windows separated by job bursts.  All random draws for a node's whole
+year are vectorized up front; the per-day assembly is plain float
+arithmetic, keeping the 923-node x 425-day campaign cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import timeutils
+from ..environment.calendar import AcademicCalendar
+
+
+@dataclass(frozen=True)
+class ActivityConfig:
+    """Shape of daily activity cycles."""
+
+    #: Mean number of idle windows per day (when there is idle time).
+    mean_windows: float = 2.0
+    #: Standard deviation of the daily idle-fraction jitter.
+    idle_jitter: float = 0.06
+    max_windows: int = 4
+    #: Probability scale for a *fully idle* day (no jobs at all) when the
+    #: calendar is deep in vacation.  Fully idle days produce windows that
+    #: span midnight-to-midnight; consecutive ones merge into the
+    #: multi-day scan sessions seen during August/December (and needed by
+    #: the long counting-pattern sessions behind several Table I rows).
+    p_zero_jobs_scale: float = 0.8
+    #: Idle fraction above which zero-job days start appearing.
+    zero_jobs_threshold: float = 0.60
+
+
+@dataclass(frozen=True)
+class IdleWindow:
+    """One idle interval on one node, in absolute study hours."""
+
+    start_hours: float
+    end_hours: float
+
+    @property
+    def duration_hours(self) -> float:
+        return self.end_hours - self.start_hours
+
+
+class DailyActivityGenerator:
+    """Draws idle windows for one node across the whole study."""
+
+    def __init__(
+        self,
+        calendar: AcademicCalendar,
+        config: ActivityConfig | None = None,
+        n_days: int = timeutils.STUDY_DAYS,
+    ):
+        self.calendar = calendar
+        self.config = config or ActivityConfig()
+        self.n_days = int(n_days)
+
+    def idle_windows(self, rng: np.random.Generator) -> list[IdleWindow]:
+        """All idle windows for one node over the study, chronological."""
+        cfg = self.config
+        days = np.arange(self.n_days)
+        idle_frac = np.asarray(self.calendar.idle_fraction(days), dtype=np.float64)
+        jitter = rng.normal(0.0, cfg.idle_jitter, size=self.n_days)
+        idle_hours = np.clip((idle_frac + jitter) * 24.0, 0.0, 24.0)
+        n_windows = np.clip(
+            rng.poisson(cfg.mean_windows, size=self.n_days), 0, cfg.max_windows
+        )
+        # A day with idle time gets at least one window.
+        n_windows = np.where((idle_hours > 0.2) & (n_windows == 0), 1, n_windows)
+        # Deep-vacation days may see no jobs at all: one full-day window.
+        p_zero = cfg.p_zero_jobs_scale * np.clip(
+            (idle_frac - cfg.zero_jobs_threshold) / (1.0 - cfg.zero_jobs_threshold),
+            0.0,
+            1.0,
+        )
+        zero_jobs = rng.random(self.n_days) < p_zero
+        # Pre-draw the split proportions for the maximum window count.
+        split_draws = rng.random(size=(self.n_days, cfg.max_windows))
+        gap_draws = rng.random(size=(self.n_days, cfg.max_windows + 1))
+        # Each day's busy/idle layout is rotated by a uniform phase so
+        # scanning coverage is flat in hour-of-day; without this, every
+        # day starts with a job gap at midnight and coverage (hence
+        # observed error counts, Fig 5) would show a spurious diurnal bell.
+        phase_draws = rng.random(size=self.n_days) * 24.0
+
+        windows: list[IdleWindow] = []
+        for day in range(self.n_days):
+            t0 = timeutils.day_start(day)
+            if zero_jobs[day]:
+                windows.append(IdleWindow(t0, t0 + 24.0))
+                continue
+            k = int(n_windows[day])
+            idle = float(idle_hours[day])
+            if k == 0 or idle <= 0.0:
+                continue
+            busy = 24.0 - idle
+            # Proportions of the idle budget per window.
+            w = split_draws[day, :k] + 0.25  # avoid degenerate slivers
+            w = w / w.sum() * idle
+            # Proportions of the busy budget per gap (k+1 gaps).
+            g = gap_draws[day, : k + 1] + 0.10
+            g = g / g.sum() * busy
+            phase = float(phase_draws[day])
+            cursor = 0.0
+            for i in range(k):
+                cursor += float(g[i])
+                start = (cursor + phase) % 24.0
+                duration = float(w[i])
+                if start + duration <= 24.0:
+                    windows.append(IdleWindow(t0 + start, t0 + start + duration))
+                else:
+                    windows.append(IdleWindow(t0 + start, t0 + 24.0))
+                    windows.append(
+                        IdleWindow(t0, t0 + (start + duration - 24.0))
+                    )
+                cursor += duration
+        windows.sort(key=lambda w: w.start_hours)
+        return windows
+
+    def expected_idle_hours(self) -> float:
+        """Calendar-implied idle hours over the study (no jitter)."""
+        days = np.arange(self.n_days)
+        return float(
+            np.sum(np.asarray(self.calendar.idle_fraction(days)) * 24.0)
+        )

@@ -1,0 +1,88 @@
+"""Physical-alignment analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.alignment import alignment_stats, logical_spread
+from repro.core.events import MemoryError_, SimultaneityGroup
+from repro.dram.addressing import AddressMap
+from repro.dram.geometry import DramGeometry
+
+GEO = DramGeometry(n_banks=4, n_rows=256, n_cols=64)
+AMAP = AddressMap(n_words=GEO.total_words)
+
+
+def err(word_index, node="02-04", t=1.0):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=int(AMAP.virtual_address(int(word_index))),
+        physical_page=0,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFE,
+    )
+
+
+def group(words, t=1.0):
+    return SimultaneityGroup(
+        node="02-04", timestamp_hours=t, errors=tuple(err(w, t=t) for w in words)
+    )
+
+
+class TestAlignment:
+    def test_column_aligned_population(self):
+        """Groups built from one physical column are detected as aligned."""
+        rng = np.random.default_rng(0)
+        col = np.asarray(GEO.column_words(bank=1, col=7))
+        groups = [
+            group(rng.choice(col, size=3, replace=False), t=float(i))
+            for i in range(40)
+        ]
+        stats = alignment_stats(groups, GEO, AMAP, rng=np.random.default_rng(1))
+        assert stats.fraction_same_column == 1.0
+        assert stats.fraction_same_bank == 1.0
+
+    def test_random_population_unaligned(self):
+        rng = np.random.default_rng(2)
+        groups = [
+            group(rng.choice(GEO.total_words, size=3, replace=False), t=float(i))
+            for i in range(40)
+        ]
+        stats = alignment_stats(groups, GEO, AMAP, rng=np.random.default_rng(3))
+        assert stats.fraction_same_column < 0.2
+        assert stats.column_alignment_ratio < 5.0
+
+    def test_enrichment_vs_baseline(self):
+        """Aligned groups must be enriched over random pairing of the
+        very same addresses."""
+        rng = np.random.default_rng(4)
+        cols = [np.asarray(GEO.column_words(1, c)) for c in (3, 9, 20, 41)]
+        groups = []
+        for i in range(60):
+            pool = cols[i % 4]
+            groups.append(group(rng.choice(pool, size=3, replace=False), t=float(i)))
+        stats = alignment_stats(groups, GEO, AMAP, rng=np.random.default_rng(5))
+        assert stats.fraction_same_column == 1.0
+        assert stats.baseline_same_column < 0.6
+        assert stats.column_alignment_ratio > 1.5
+
+    def test_empty(self):
+        stats = alignment_stats([], GEO, AMAP)
+        assert stats.n_groups == 0
+
+    def test_singletons_ignored(self):
+        stats = alignment_stats([group([5])], GEO, AMAP)
+        assert stats.n_groups == 0
+
+
+class TestSpread:
+    def test_column_groups_span_memory(self):
+        """Column-mates are physically adjacent but logically far apart."""
+        col = np.asarray(GEO.column_words(bank=0, col=0))
+        g = group([col[0], col[-1]])
+        spread = logical_spread([g])
+        assert spread > GEO.total_words  # > 1/4 of the byte span
+
+    def test_no_groups(self):
+        assert logical_spread([]) == 0.0

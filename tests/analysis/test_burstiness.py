@@ -1,0 +1,47 @@
+"""Burstiness (inter-arrival) statistics tests."""
+
+import numpy as np
+
+from repro.analysis.temporal import burstiness_stats
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def frame_at(times):
+    return ErrorFrame.from_records(
+        [
+            ErrorRecord(float(t), "01-01", i, 0, 0xFFFFFFFF, 0xFFFFFFFE)
+            for i, t in enumerate(times)
+        ]
+    )
+
+
+class TestBurstiness:
+    def test_poisson_process_not_bursty(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(1.0, size=5000))
+        stats = burstiness_stats(frame_at(times), n_days=int(times[-1] // 24) + 1)
+        assert 0.8 < stats.cv_interarrival < 1.2
+        assert 0.5 < stats.fano_factor_daily < 2.0
+        assert not stats.is_bursty
+
+    def test_bursty_process_detected(self):
+        rng = np.random.default_rng(1)
+        times = []
+        for burst_start in (100.0, 500.0, 900.0):
+            times.extend(burst_start + rng.uniform(0, 2.0, size=200))
+        stats = burstiness_stats(frame_at(sorted(times)), n_days=50)
+        assert stats.cv_interarrival > 1.5
+        assert stats.fano_factor_daily > 2.0
+        assert stats.is_bursty
+
+    def test_degenerate_input(self):
+        stats = burstiness_stats(frame_at([1.0]), n_days=10)
+        assert stats.cv_interarrival == 0.0
+
+    def test_study_stream_is_bursty(self, quick_analysis):
+        """The campaign's error stream shows the Sec III-I clustering."""
+        stats = burstiness_stats(
+            quick_analysis.frame, quick_analysis.campaign.config.n_days
+        )
+        assert stats.is_bursty

@@ -1,0 +1,83 @@
+"""Correlation analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    scanned_vs_errors,
+    temperature_correlation,
+    temperature_histogram,
+)
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def rec(t, temp, mask=0x1):
+    return ErrorRecord(
+        timestamp_hours=t,
+        node="01-01",
+        virtual_address=0,
+        physical_page=0,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFF ^ mask,
+        temperature_c=temp,
+    )
+
+
+class TestPearson:
+    def test_perfect_anticorrelation(self):
+        x = np.arange(100, dtype=float)
+        result = scanned_vs_errors(x, -x)
+        assert result.r == pytest.approx(-1.0)
+        assert result.p_value < 1e-10
+        assert not result.is_weak
+
+    def test_independent_series_weak(self):
+        rng = np.random.default_rng(0)
+        result = scanned_vs_errors(rng.random(400), rng.random(400))
+        assert result.is_weak
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            scanned_vs_errors(np.zeros(3), np.zeros(4))
+
+
+class TestTemperatureHistogram:
+    def test_binning(self):
+        frame = ErrorFrame.from_records(
+            [rec(1.0, 33.0), rec(2.0, 34.0), rec(3.0, 71.0), rec(4.0, None)]
+        )
+        hist = temperature_histogram(frame)
+        assert hist.n_without_temperature == 1
+        assert hist.total().sum() == 3
+        assert hist.fraction_in_range(30, 40) == pytest.approx(2 / 3)
+        assert hist.fraction_in_range(60, 100) == pytest.approx(1 / 3)
+
+    def test_multibit_only(self):
+        frame = ErrorFrame.from_records(
+            [rec(1.0, 33.0), rec(2.0, 35.0, mask=0x8400)]
+        )
+        hist = temperature_histogram(frame, multibit_only=True)
+        assert hist.total().sum() == 1
+
+    def test_empty_frame(self):
+        hist = temperature_histogram(ErrorFrame.from_records([]))
+        assert hist.total().sum() == 0
+
+
+class TestTemperatureCorrelation:
+    def test_insufficient_data(self):
+        frame = ErrorFrame.from_records([rec(1.0, 33.0)])
+        assert temperature_correlation(frame) is None
+
+    def test_constant_series(self):
+        frame = ErrorFrame.from_records([rec(float(i), 33.0) for i in range(5)])
+        result = temperature_correlation(frame)
+        assert result.r == 0.0
+
+    def test_computes_r(self):
+        records = [rec(float(i), 30.0 + i) for i in range(10)]
+        records += [rec(20.0 + i, 60.0 + i, mask=0x8400) for i in range(5)]
+        result = temperature_correlation(ErrorFrame.from_records(records))
+        assert result is not None
+        assert -1.0 <= result.r <= 1.0

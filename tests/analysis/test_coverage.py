@@ -1,0 +1,61 @@
+"""Coverage reconstruction tests (START/END -> sessions)."""
+
+import pytest
+
+from repro.analysis.coverage import (
+    CoverageSummary,
+    coverage_from_records,
+    sessions_from_records,
+)
+from repro.core.records import EndRecord, StartRecord
+
+
+def start(t, mb=3072, node="05-05"):
+    return StartRecord(t, node, mb, None)
+
+
+def end(t, node="05-05"):
+    return EndRecord(t, node, None)
+
+
+class TestSessionReconstruction:
+    def test_clean_pairs(self):
+        sessions = sessions_from_records([start(0.0), end(5.0), start(6.0), end(9.0)])
+        assert len(sessions) == 2
+        assert sessions[0].monitored_hours == 5.0
+        assert sessions[1].monitored_hours == 3.0
+
+    def test_start_after_start_truncates(self):
+        """Paper Sec II-B: hard reboot leaves START-START; the first
+        session gets zero credit."""
+        sessions = sessions_from_records([start(0.0), start(6.0), end(9.0)])
+        assert len(sessions) == 2
+        assert sessions[0].truncated
+        assert sessions[0].monitored_hours == 0.0
+        assert sessions[1].monitored_hours == 3.0
+
+    def test_trailing_start_truncated(self):
+        sessions = sessions_from_records([start(0.0), end(2.0), start(3.0)])
+        assert sessions[-1].truncated
+
+    def test_allocation_size_carried(self):
+        sessions = sessions_from_records([start(0.0, mb=2992), end(4.0)])
+        assert sessions[0].allocated_mb == 2992
+        assert sessions[0].terabyte_hours == pytest.approx(4.0 * 2992 / 1024**2)
+
+    def test_coverage_object(self):
+        cov = coverage_from_records([start(0.0), end(10.0)])
+        assert cov.node == "05-05"
+        assert cov.monitored_hours == 10.0
+
+
+class TestSummary:
+    def test_aggregates(self):
+        summary = CoverageSummary(
+            hours_by_node={"a": 10.0, "b": 0.0, "c": 20.0},
+            tbh_by_node={"a": 1.0, "b": 0.0, "c": 2.0},
+        )
+        assert summary.total_node_hours == 30.0
+        assert summary.total_terabyte_hours == 3.0
+        assert summary.n_nodes_scanned == 2
+        assert summary.median_node_hours() == 15.0

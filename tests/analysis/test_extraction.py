@@ -1,0 +1,120 @@
+"""Extraction methodology tests: handcrafted known answers + properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.analysis.extraction import (
+    collapse_repeats,
+    extract,
+    find_dominant_node,
+)
+
+
+def rec(t, node="01-02", va=0x30, mask=0x1, expected=0xFFFFFFFF, rep=1):
+    return ErrorRecord(
+        timestamp_hours=t,
+        node=node,
+        virtual_address=va,
+        physical_page=0x80,
+        expected=expected,
+        actual=expected ^ mask,
+        repeat_count=rep,
+    )
+
+
+def frame_of(records):
+    return ErrorFrame.from_records(records)
+
+
+class TestCollapse:
+    def test_consecutive_same_fault_merges(self):
+        """Paper Sec II-C: thousands of consecutive logs = one error."""
+        records = [rec(t=1.0 + i * 0.003) for i in range(100)]
+        errors = collapse_repeats(frame_of(records))
+        assert len(errors) == 1
+        assert errors[0].raw_log_count == 100
+        assert errors[0].first_seen_hours == pytest.approx(1.0)
+        assert errors[0].last_seen_hours == pytest.approx(1.0 + 99 * 0.003)
+
+    def test_gap_splits_faults(self):
+        records = [rec(t=1.0), rec(t=5.0)]
+        errors = collapse_repeats(frame_of(records), merge_window_hours=0.05)
+        assert len(errors) == 2
+
+    def test_different_addresses_distinct(self):
+        records = [rec(t=1.0, va=0x30), rec(t=1.001, va=0x34)]
+        assert len(collapse_repeats(frame_of(records))) == 2
+
+    def test_different_masks_distinct(self):
+        records = [rec(t=1.0, mask=0x1), rec(t=1.001, mask=0x2)]
+        assert len(collapse_repeats(frame_of(records))) == 2
+
+    def test_different_nodes_distinct(self):
+        records = [rec(t=1.0, node="01-02"), rec(t=1.0, node="01-03")]
+        assert len(collapse_repeats(frame_of(records))) == 2
+
+    def test_repeat_counts_accumulate(self):
+        records = [rec(t=1.0, rep=10), rec(t=1.01, rep=5)]
+        errors = collapse_repeats(frame_of(records))
+        assert len(errors) == 1
+        assert errors[0].raw_log_count == 15
+
+    def test_weak_bit_firings_stay_distinct(self):
+        """Firings 20 minutes apart are separate errors (Sec III-H counts
+        thousands of them on the weak-bit nodes)."""
+        records = [rec(t=i * 0.33) for i in range(10)]
+        assert len(collapse_repeats(frame_of(records))) == 10
+
+    def test_empty(self):
+        assert collapse_repeats(frame_of([])) == []
+
+    def test_unsorted_input_handled(self):
+        records = [rec(t=1.01), rec(t=1.0), rec(t=1.02)]
+        errors = collapse_repeats(frame_of(records))
+        assert len(errors) == 1
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=40))
+    def test_error_count_bounded_by_records(self, times):
+        records = [rec(t=t) for t in sorted(times)]
+        errors = collapse_repeats(frame_of(records))
+        assert 1 <= len(errors) <= len(records)
+        assert sum(e.raw_log_count for e in errors) == len(records)
+
+
+class TestDominantNode:
+    def test_identifies_98_percent_node(self):
+        records = [rec(t=1.0, node="21-09", rep=10_000)] + [
+            rec(t=float(i), node="01-02") for i in range(2, 30)
+        ]
+        assert find_dominant_node(frame_of(records)) == "21-09"
+
+    def test_no_dominant_node(self):
+        records = [rec(t=1.0, node="01-02"), rec(t=2.0, node="01-03")]
+        assert find_dominant_node(frame_of(records)) is None
+
+    def test_empty(self):
+        assert find_dominant_node(frame_of([])) is None
+
+
+class TestExtract:
+    def test_full_pipeline(self):
+        records = (
+            [rec(t=1.0 + i * 0.003, node="21-09", rep=1000) for i in range(50)]
+            + [rec(t=10.0, node="01-02"), rec(t=20.0, node="01-03")]
+        )
+        result = extract(frame_of(records))
+        assert result.removed_node == "21-09"
+        assert result.n_errors == 2
+        assert result.removed_node_errors == 1
+        assert result.n_raw_lines == 50 * 1000 + 2
+        assert result.removed_node_raw_lines == 50_000
+
+    def test_frame_matches_errors(self):
+        records = [rec(t=1.0), rec(t=5.0, va=0x40)]
+        result = extract(frame_of(records))
+        assert len(result.frame()) == result.n_errors

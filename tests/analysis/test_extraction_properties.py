@@ -1,0 +1,79 @@
+"""Property-based extraction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.extraction import collapse_repeats, extract
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+@st.composite
+def raw_streams(draw):
+    """Random raw error records over few nodes/addresses/masks."""
+    n = draw(st.integers(1, 60))
+    records = []
+    for _ in range(n):
+        records.append(
+            ErrorRecord(
+                timestamp_hours=draw(st.floats(0.0, 50.0, allow_nan=False)),
+                node=draw(st.sampled_from(["01-01", "01-02"])),
+                virtual_address=draw(st.sampled_from([0x30, 0x40, 0x50])),
+                physical_page=0x80,
+                expected=0xFFFFFFFF,
+                actual=0xFFFFFFFF ^ draw(st.sampled_from([0x1, 0x2])),
+                repeat_count=draw(st.integers(1, 100)),
+            )
+        )
+    return ErrorFrame.from_records(records)
+
+
+class TestExtractionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(raw_streams())
+    def test_raw_line_conservation(self, frame):
+        """Every raw line lands in exactly one independent error."""
+        errors = collapse_repeats(frame)
+        assert sum(e.raw_log_count for e in errors) == int(frame.repeat_count.sum())
+
+    @settings(max_examples=80, deadline=None)
+    @given(raw_streams())
+    def test_error_count_bounds(self, frame):
+        errors = collapse_repeats(frame)
+        assert 1 <= len(errors) <= len(frame)
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw_streams())
+    def test_idempotent_on_extracted_stream(self, frame):
+        """Re-extracting the independent errors changes nothing: they are
+        already maximally collapsed (same signature implies gap > window)."""
+        errors = collapse_repeats(frame, merge_window_hours=0.05)
+        refed = ErrorFrame.from_errors(errors)
+        again = collapse_repeats(refed, merge_window_hours=0.05)
+        assert len(again) == len(errors)
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw_streams(), st.floats(0.0, 10.0, allow_nan=False))
+    def test_wider_window_merges_more(self, frame, extra):
+        narrow = collapse_repeats(frame, merge_window_hours=0.01)
+        wide = collapse_repeats(frame, merge_window_hours=0.01 + extra)
+        assert len(wide) <= len(narrow)
+
+    @settings(max_examples=60, deadline=None)
+    @given(raw_streams())
+    def test_time_ordering(self, frame):
+        errors = collapse_repeats(frame)
+        times = [e.first_seen_hours for e in errors]
+        assert times == sorted(times)
+        for e in errors:
+            assert e.first_seen_hours <= e.last_seen_hours
+
+    @settings(max_examples=40, deadline=None)
+    @given(raw_streams())
+    def test_extract_consistency(self, frame):
+        result = extract(frame)
+        if result.removed_node is None:
+            assert result.n_errors == len(collapse_repeats(frame))
+        else:
+            assert result.removed_node_raw_lines > 0.98 * result.n_raw_lines

@@ -1,0 +1,106 @@
+"""Multi-bit structure reconstruction tests."""
+
+import pytest
+
+from repro.analysis.multibit import (
+    bit_distance_stats,
+    corrupted_bit_histogram,
+    flip_direction_stats,
+    lsb_fraction,
+    multibit_nonconsecutive_fraction,
+    reconstruct_table1,
+)
+from repro.core.events import MemoryError_
+from repro.faultinjection.catalogue import TABLE_I
+
+
+def err(expected, actual, t=1.0, node="01-01"):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=0,
+        physical_page=0,
+        expected=expected,
+        actual=actual,
+    )
+
+
+def catalogue_population():
+    """One error instance per Table I occurrence."""
+    errors = []
+    t = 0.0
+    for p in TABLE_I:
+        for _ in range(p.occurrences):
+            errors.append(err(p.expected, p.corrupted, t=t))
+            t += 1.0
+    return errors
+
+
+class TestTableReconstruction:
+    def test_reconstructs_exact_catalogue(self):
+        rows = reconstruct_table1(catalogue_population())
+        assert len(rows) == 18
+        by_key = {(r.expected, r.corrupted): r for r in rows}
+        for p in TABLE_I:
+            row = by_key[(p.expected, p.corrupted)]
+            assert row.occurrences == p.occurrences
+            assert row.n_bits == p.n_bits
+            assert row.consecutive == p.consecutive
+
+    def test_single_bit_excluded(self):
+        errors = [err(0xFFFFFFFF, 0xFFFFFFFE)]
+        assert reconstruct_table1(errors) == []
+
+    def test_row_format(self):
+        rows = reconstruct_table1(catalogue_population())
+        text = rows[0].format()
+        assert "0x" in text
+
+
+class TestDistances:
+    def test_weighted_matches_paper(self):
+        stats = bit_distance_stats(
+            catalogue_population(), weighted_by_occurrence=True
+        )
+        assert stats.mean_distance == pytest.approx(3.05, abs=0.1)
+        assert stats.max_distance == 11
+
+    def test_unweighted_per_pattern(self):
+        stats = bit_distance_stats(catalogue_population())
+        assert stats.mean_distance == pytest.approx(1.98, abs=0.05)
+
+    def test_empty(self):
+        stats = bit_distance_stats([])
+        assert stats.mean_distance == 0.0
+        assert stats.max_distance == 0
+
+
+class TestDirections:
+    def test_all_ones_population(self):
+        errors = [err(0xFFFFFFFF, 0xFFFF7BFF)]  # two 1->0 flips
+        stats = flip_direction_stats(errors)
+        assert stats.one_to_zero == 2
+        assert stats.zero_to_one == 0
+        assert stats.one_to_zero_fraction == 1.0
+
+    def test_mixed(self):
+        errors = [err(0xFFFFFFFF, 0xFFFFFFFE), err(0x0, 0x1)]
+        stats = flip_direction_stats(errors)
+        assert stats.one_to_zero == 1
+        assert stats.zero_to_one == 1
+
+
+class TestShapeMetrics:
+    def test_nonconsecutive_majority(self):
+        frac = multibit_nonconsecutive_fraction(catalogue_population())
+        assert frac > 0.5  # "the majority of multi-bit errors"
+
+    def test_lsb_concentration(self):
+        frac = lsb_fraction(catalogue_population())
+        assert frac > 0.8  # "majority ... in the least significant bits"
+
+    def test_histogram_covers_flipped_positions(self):
+        hist = corrupted_bit_histogram([err(0xFFFFFFFF, 0xFFFF7BFF)])
+        assert hist[10] == 1 and hist[15] == 1
+        assert hist.sum() == 2

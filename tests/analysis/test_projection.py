@@ -1,0 +1,62 @@
+"""Exascale projection tests."""
+
+import pytest
+
+from repro.analysis.projection import (
+    measured_rates,
+    paper_processor_example,
+    project,
+)
+
+
+class TestPaperExample:
+    def test_sec1_arithmetic(self):
+        """25-year processors at 100k scale -> ~2.2 h machine MTBF
+        (the paper rounds to 'only two hours')."""
+        assert paper_processor_example() == pytest.approx(2.19, abs=0.05)
+
+
+class TestProject:
+    def test_mtbf_scales_inversely(self):
+        proj = project(1e-4, "x", fleet_sizes=(100, 1000))
+        assert proj.points[0].machine_mtbf_hours == pytest.approx(
+            10 * proj.points[1].machine_mtbf_hours
+        )
+
+    def test_waste_grows_with_scale(self):
+        proj = project(1e-4, "x", fleet_sizes=(100, 10_000, 1_000_000))
+        wastes = [p.waste_fraction for p in proj.points]
+        assert wastes == sorted(wastes)
+
+    def test_point_lookup(self):
+        proj = project(1e-4, "x", fleet_sizes=(100,))
+        assert proj.point(100).n_nodes == 100
+        with pytest.raises(KeyError):
+            proj.point(7)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            project(0.0, "x")
+
+    def test_million_nodes_unprotected_unusable(self):
+        """At the raw measured rate (~1.3e-3 /node-h) a million-node
+        machine fails every ~2.7 seconds: no productive work."""
+        proj = project(1.3e-3, "raw", fleet_sizes=(1_000_000,))
+        assert proj.points[0].machine_mtbf_hours < 0.01
+        assert proj.points[0].waste_fraction > 0.9
+
+
+class TestMeasuredRates:
+    def test_rates(self):
+        rates = measured_rates(5000, 80, 76, 4.2e6)
+        assert rates["unprotected"] == pytest.approx(5000 / 4.2e6)
+        assert rates["quarantine"] < rates["unprotected"]
+        assert rates["ecc-crash"] < rates["unprotected"]
+
+    def test_zero_protected_counts_clamped(self):
+        rates = measured_rates(100, 0, 0, 1e6)
+        assert rates["quarantine"] > 0
+
+    def test_invalid_hours(self):
+        with pytest.raises(ValueError):
+            measured_rates(1, 1, 1, 0.0)

@@ -1,0 +1,107 @@
+"""Simultaneity grouping tests."""
+
+import numpy as np
+
+from repro.analysis.simultaneity import (
+    fig4_data,
+    group_simultaneous,
+    simultaneity_stats,
+    simultaneous_mask,
+)
+from repro.core.events import MemoryError_
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def err(t, node="02-04", mask=0x1, expected=0xFFFFFFFF, va=0x30):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=va,
+        physical_page=0,
+        expected=expected,
+        actual=expected ^ mask,
+    )
+
+
+class TestGrouping:
+    def test_same_timestamp_same_node_groups(self):
+        errors = [err(1.0, va=0x10), err(1.0, va=0x20), err(2.0, va=0x30)]
+        groups = group_simultaneous(errors)
+        sizes = sorted(g.size for g in groups)
+        assert sizes == [1, 2]
+
+    def test_same_timestamp_different_node_not_grouped(self):
+        errors = [err(1.0, node="01-01"), err(1.0, node="01-02")]
+        groups = group_simultaneous(errors)
+        assert all(g.size == 1 for g in groups)
+
+    def test_chronological_order(self):
+        errors = [err(5.0), err(1.0, va=0x99)]
+        groups = group_simultaneous(errors)
+        assert groups[0].timestamp_hours == 1.0
+
+
+class TestStats:
+    def test_counts(self):
+        errors = [
+            err(1.0, va=0x10),
+            err(1.0, va=0x20),        # pair of singles
+            err(2.0, va=0x30, mask=0x8400),  # lone double
+            err(3.0, va=0x40, mask=0x8400),
+            err(3.0, va=0x50),        # double + single
+        ]
+        stats = simultaneity_stats(group_simultaneous(errors))
+        assert stats.n_simultaneous_groups == 2
+        assert stats.n_simultaneous_corruptions == 4
+        assert stats.doubles_with_single == 1
+        assert stats.max_bits_per_event == 3
+
+    def test_triple_and_double_double(self):
+        errors = [
+            err(1.0, va=0x10, mask=0x700),  # triple
+            err(1.0, va=0x20),              # + single
+            err(2.0, va=0x30, mask=0x8400),
+            err(2.0, va=0x40, mask=0x8400),  # double + double
+        ]
+        stats = simultaneity_stats(group_simultaneous(errors))
+        assert stats.triples_with_single == 1
+        assert stats.double_double_groups == 1
+
+
+class TestFig4:
+    def test_per_word_vs_per_node(self):
+        errors = [
+            err(1.0, va=0x10),
+            err(1.0, va=0x20),               # 2 singles -> per-node 2 bits
+            err(2.0, va=0x30, mask=0x8400),  # one double word
+        ]
+        data = fig4_data(errors)
+        assert data.per_word == {1: 2, 2: 1}
+        assert data.per_node == {2: 2}  # group of 2 bits + lone double
+
+    def test_total_corruptions_conserved(self):
+        """The paper: totals stay constant between the two views."""
+        errors = [err(float(i // 3), va=0x10 * i) for i in range(12)]
+        data = fig4_data(errors)
+        word_bits = sum(k * v for k, v in data.per_word.items())
+        node_bits = sum(k * v for k, v in data.per_node.items())
+        assert word_bits == node_bits
+
+
+class TestVectorizedMask:
+    def test_matches_group_view(self):
+        records = [
+            ErrorRecord(1.0, "02-04", 0x10, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+            ErrorRecord(1.0, "02-04", 0x20, 0, 0xFFFFFFFF, 0xFFFFFFFD),
+            ErrorRecord(2.0, "02-04", 0x30, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+            ErrorRecord(1.0, "01-01", 0x40, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+        ]
+        frame = ErrorFrame.from_records(records)
+        mask = simultaneous_mask(frame)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_empty(self):
+        frame = ErrorFrame.from_records([])
+        assert simultaneous_mask(frame).shape == (0,)

@@ -1,0 +1,96 @@
+"""Spatial analysis tests."""
+
+import numpy as np
+
+from repro.analysis.spatial import (
+    concentration_stats,
+    daily_series_by_node,
+    errors_per_node,
+    node_forensics,
+    top_nodes,
+)
+from repro.core.events import MemoryError_
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def err(node, t=1.0, va=0x30, mask=0x1):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=va,
+        physical_page=0,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFF ^ mask,
+    )
+
+
+class TestCounts:
+    def test_errors_per_node(self):
+        errors = [err("a"), err("a"), err("b")]
+        assert errors_per_node(errors) == {"a": 2, "b": 1}
+
+    def test_top_nodes(self):
+        counts = {"a": 5, "b": 9, "c": 1}
+        assert top_nodes(counts, 2) == [("b", 9), ("a", 5)]
+
+
+class TestConcentration:
+    def test_paper_like_concentration(self):
+        counts = {"hot": 50_000, "warm1": 2_500, "warm2": 2_500}
+        counts.update({f"n{i}": 1 for i in range(25)})
+        stats = concentration_stats(counts, n_nodes_total=923)
+        assert stats.nodes_for_999 <= 9  # <1% of 923
+        assert stats.top_fraction >= 0.999
+        assert stats.node_fraction < 0.01
+
+    def test_uniform_distribution_not_concentrated(self):
+        counts = {f"n{i}": 10 for i in range(100)}
+        stats = concentration_stats(counts, 923)
+        assert stats.nodes_for_999 == 100
+
+    def test_empty(self):
+        stats = concentration_stats({}, 923)
+        assert stats.nodes_for_999 == 0
+
+
+class TestForensics:
+    def test_weak_bit_signature(self):
+        errors = [err("04-05", t=float(i), va=0x40, mask=1 << 17) for i in range(50)]
+        f = node_forensics(errors, "04-05")
+        assert f.all_identical
+        assert f.likely_cause == "weak-bit"
+        assert f.one_to_zero_fraction == 1.0
+
+    def test_component_signature(self):
+        errors = [
+            err("02-04", t=float(i), va=0x100 * i, mask=1 << (i % 14))
+            for i in range(2000)
+        ]
+        f = node_forensics(errors, "02-04")
+        assert not f.all_identical
+        assert f.n_distinct_addresses == 2000
+        assert f.likely_cause == "component"
+
+    def test_transient_signature(self):
+        f = node_forensics([err("05-05")], "05-05")
+        assert f.likely_cause == "transient"
+
+
+class TestDailySeries:
+    def test_series_split(self):
+        records = [
+            ErrorRecord(10.0, "a", 0, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+            ErrorRecord(30.0, "a", 0, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+            ErrorRecord(30.0, "b", 0, 0, 0xFFFFFFFF, 0xFFFFFFFE),
+        ]
+        frame = ErrorFrame.from_records(records)
+        series = daily_series_by_node(frame, ["a"], n_days=3)
+        assert series["a"].tolist() == [1, 1, 0]
+        assert series["others"].tolist() == [0, 1, 0]
+
+    def test_missing_node_empty_series(self):
+        frame = ErrorFrame.from_records([])
+        series = daily_series_by_node(frame, ["zz"], n_days=2)
+        assert series["zz"].tolist() == [0, 0]

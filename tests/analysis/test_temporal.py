@@ -1,0 +1,118 @@
+"""Temporal analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import (
+    classify_regimes,
+    daily_histogram,
+    daily_multibit,
+    day_night_stats,
+    hourly_histogram,
+    hourly_multibit,
+    mtbf_stats,
+)
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def rec(t, node="01-01", mask=0x1):
+    return ErrorRecord(
+        timestamp_hours=t,
+        node=node,
+        virtual_address=0,
+        physical_page=0,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFF ^ mask,
+    )
+
+
+class TestHourly:
+    def test_histogram_bins(self):
+        frame = ErrorFrame.from_records(
+            [rec(0.5), rec(24.5), rec(12.2, mask=0x8400)]
+        )
+        hist = hourly_histogram(frame)
+        assert hist[1][0] == 2  # two singles at hour 0
+        assert hist[2][12] == 1
+
+    def test_bucket_6plus(self):
+        frame = ErrorFrame.from_records([rec(1.0, mask=0xFF)])  # 8 bits
+        hist = hourly_histogram(frame)
+        assert 6 in hist
+
+    def test_hourly_multibit_only(self):
+        frame = ErrorFrame.from_records([rec(1.5), rec(1.5, mask=0x8400)])
+        out = hourly_multibit(frame)
+        assert out.sum() == 1
+        assert out[1] == 1
+
+    def test_day_night_stats(self):
+        hourly = np.zeros(24, dtype=np.int64)
+        hourly[12] = 10
+        hourly[2] = 5
+        stats = day_night_stats(hourly)
+        assert stats.day_count == 10
+        assert stats.night_count == 5
+        assert stats.peak_hour == 12
+        assert stats.day_night_ratio == pytest.approx(2.0)
+
+
+class TestDaily:
+    def test_daily_histogram(self):
+        frame = ErrorFrame.from_records([rec(1.0), rec(25.0), rec(26.0)])
+        hist = daily_histogram(frame, n_days=3)
+        assert hist[1].tolist() == [1, 2, 0]
+
+    def test_daily_multibit(self):
+        frame = ErrorFrame.from_records([rec(1.0), rec(49.0, mask=0x8400)])
+        assert daily_multibit(frame, 3).tolist() == [0, 0, 1]
+
+
+class TestRegimes:
+    def test_classification_threshold(self):
+        """A day is degraded with MORE than 3 errors (paper: <=3 normal)."""
+        records = [rec(0.1), rec(0.2), rec(0.3)]  # day 0: exactly 3
+        records += [rec(24.1), rec(24.2), rec(24.3), rec(24.4)]  # day 1: 4
+        frame = ErrorFrame.from_records(records)
+        reg = classify_regimes(frame, n_days=2)
+        assert reg.degraded_days.tolist() == [False, True]
+        assert reg.n_degraded == 1
+        assert reg.errors_on_normal_days == 3
+        assert reg.errors_on_degraded_days == 4
+
+    def test_exclusion_of_permanent_failure(self):
+        records = [rec(0.1 * i, node="02-04") for i in range(1, 10)]
+        records += [rec(0.5, node="01-01")]
+        frame = ErrorFrame.from_records(records)
+        reg = classify_regimes(frame, n_days=1, exclude_node="02-04")
+        assert reg.n_degraded == 0
+        assert reg.errors_on_normal_days == 1
+
+    def test_mtbf_values(self):
+        records = [rec(24.0 * i + 0.5) for i in range(10)]  # 1/day, 10 days
+        frame = ErrorFrame.from_records(records)
+        reg = classify_regimes(frame, n_days=10)
+        assert reg.mtbf_normal_hours == pytest.approx(24.0)
+        assert np.isinf(reg.mtbf_degraded_hours)
+
+    def test_paper_numbers_consistency(self):
+        """348 normal days with 50 errors -> 167 h, as the paper derives."""
+        assert 348 * 24.0 / 50 == pytest.approx(167.0, abs=0.1)
+        assert 77 * 24.0 / 4779 == pytest.approx(0.39, abs=0.01)
+
+
+class TestMtbf:
+    def test_cluster_interval(self):
+        stats = mtbf_stats(
+            n_errors=55_000,
+            n_nodes=923,
+            total_node_hours=4.2e6,
+            study_hours=425 * 24.0,
+        )
+        assert stats.cluster_mtbf_minutes == pytest.approx(11.1, abs=0.3)
+        assert stats.node_mtbf_hours == pytest.approx(76.4, abs=0.5)
+
+    def test_no_errors(self):
+        stats = mtbf_stats(0, 923, 1e6, 1e4)
+        assert np.isinf(stats.node_mtbf_hours)

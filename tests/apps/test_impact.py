@@ -1,0 +1,62 @@
+"""SDC impact study tests."""
+
+import pytest
+
+from repro.apps.impact import (
+    Impact,
+    bit_position_sweep,
+    classify,
+    injection_time_sweep,
+)
+from repro.apps.jacobi import JacobiProblem
+
+
+class TestClassify:
+    def test_benign(self):
+        assert classify(1e-12, 1e-9) is Impact.BENIGN
+
+    def test_silent(self):
+        assert classify(1e-3, 1e-9) is Impact.SILENT
+
+    def test_blowup(self):
+        assert classify(float("nan"), 1e-9) is Impact.BLOWUP
+        assert classify(float("inf"), 1e-9) is Impact.BLOWUP
+
+
+class TestBitSweep:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return bit_position_sweep(
+            JacobiProblem(n=32), iterations=200, flip_iteration=60
+        )
+
+    def test_all_positions_covered(self, study):
+        assert len(study.points) == len(set(p.bit for p in study.points))
+
+    def test_low_bits_benign(self, study):
+        low = [p for p in study.points if p.bit < 30]
+        assert all(p.impact is Impact.BENIGN for p in low)
+
+    def test_high_bits_harmful(self, study):
+        high = [p for p in study.points if p.bit >= 56]
+        assert any(p.impact is not Impact.BENIGN for p in high)
+
+    def test_silent_errors_exist(self, study):
+        """The paper's motivating case must be reachable: finite wrong
+        answers with no visible symptom."""
+        assert study.count(Impact.SILENT) >= 1
+
+    def test_error_grows_with_bit_significance(self, study):
+        by_bit = {p.bit: p.relative_error for p in study.points}
+        finite = {b: e for b, e in by_bit.items() if e == e and e != float("inf")}
+        assert finite[4] <= finite[48] or finite[4] == 0.0
+
+
+class TestTimeSweep:
+    def test_late_flips_hurt_more(self):
+        study = injection_time_sweep(
+            bit=50, problem=JacobiProblem(n=32), iterations=200,
+            flip_iterations=(20, 190),
+        )
+        early, late = study.points
+        assert late.relative_error >= early.relative_error

@@ -1,0 +1,75 @@
+"""Jacobi solver + fault-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.jacobi import (
+    BitFlip,
+    JacobiProblem,
+    flip_float64_bit,
+    jacobi_solve,
+    relative_error,
+)
+
+
+class TestBitFlips:
+    def test_flip_is_involution(self):
+        x = 3.14159
+        assert flip_float64_bit(flip_float64_bit(x, 17), 17) == x
+
+    def test_sign_bit(self):
+        assert flip_float64_bit(2.0, 63) == -2.0
+
+    def test_low_mantissa_tiny_change(self):
+        x = 1.0
+        y = flip_float64_bit(x, 0)
+        assert x != y
+        assert abs(x - y) < 1e-15
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_float64_bit(1.0, 64)
+
+
+class TestSolver:
+    def test_clean_solve_converges(self):
+        problem = JacobiProblem(n=32)
+        short = jacobi_solve(problem, 50)
+        long = jacobi_solve(problem, 500)
+        assert long.residual < short.residual
+        assert not long.diverged
+
+    def test_boundary_stays_zero(self):
+        result = jacobi_solve(JacobiProblem(n=32), 100)
+        assert np.all(result.solution[0, :] == 0)
+        assert np.all(result.solution[:, -1] == 0)
+
+    def test_deterministic(self):
+        a = jacobi_solve(JacobiProblem(n=32), 100)
+        b = jacobi_solve(JacobiProblem(n=32), 100)
+        assert np.array_equal(a.solution, b.solution)
+
+    def test_injected_flip_changes_run(self):
+        problem = JacobiProblem(n=32)
+        clean = jacobi_solve(problem, 100)
+        flipped = jacobi_solve(
+            problem, 100, flips=(BitFlip(10, 10, 55, iteration=50),)
+        )
+        assert relative_error(flipped, clean) > 0.0
+
+    def test_low_bit_flip_washes_out(self):
+        problem = JacobiProblem(n=32)
+        clean = jacobi_solve(problem, 400)
+        flipped = jacobi_solve(
+            problem, 400, flips=(BitFlip(10, 10, 0, iteration=50),)
+        )
+        assert relative_error(flipped, clean) < 1e-9
+
+    def test_exponent_flip_can_destroy_result(self):
+        problem = JacobiProblem(n=32)
+        clean = jacobi_solve(problem, 200)
+        flipped = jacobi_solve(
+            problem, 200, flips=(BitFlip(10, 10, 62, iteration=100),)
+        )
+        rel = relative_error(flipped, clean)
+        assert not np.isfinite(rel) or rel > 1.0

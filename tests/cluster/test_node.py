@@ -1,0 +1,58 @@
+"""Node state/off-interval tests."""
+
+import pytest
+
+from repro.cluster.node import Node, NodeRole
+from repro.cluster.topology import NodeId
+
+
+def make_node(role=NodeRole.COMPUTE):
+    return Node(NodeId(5, 5), role=role)
+
+
+class TestOffIntervals:
+    def test_is_off(self):
+        node = make_node()
+        node.add_off_interval(10.0, 20.0)
+        assert node.is_off(10.0)
+        assert node.is_off(19.99)
+        assert not node.is_off(20.0)
+        assert not node.is_off(5.0)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            make_node().add_off_interval(5.0, 5.0)
+
+    def test_on_windows_simple(self):
+        node = make_node()
+        node.add_off_interval(10.0, 20.0)
+        assert node.on_windows(0.0, 30.0) == [(0.0, 10.0), (20.0, 30.0)]
+
+    def test_on_windows_nested_queries(self):
+        node = make_node()
+        node.add_off_interval(10.0, 20.0)
+        assert node.on_windows(12.0, 18.0) == []
+        assert node.on_windows(15.0, 25.0) == [(20.0, 25.0)]
+
+    def test_on_windows_multiple_gaps(self):
+        node = make_node()
+        node.add_off_interval(10.0, 20.0)
+        node.add_off_interval(30.0, 40.0)
+        assert node.on_windows(0.0, 50.0) == [
+            (0.0, 10.0),
+            (20.0, 30.0),
+            (40.0, 50.0),
+        ]
+
+    def test_off_hours(self):
+        node = make_node()
+        node.add_off_interval(10.0, 20.0)
+        assert node.off_hours(0.0, 30.0) == pytest.approx(10.0)
+
+    def test_login_node_never_on(self):
+        node = make_node(NodeRole.LOGIN)
+        assert node.on_windows(0.0, 100.0) == []
+        assert not node.scannable
+
+    def test_dead_node_not_scannable(self):
+        assert not make_node(NodeRole.DEAD).scannable

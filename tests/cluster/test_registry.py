@@ -1,0 +1,74 @@
+"""Cluster registry population and grid tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import NodeRole
+from repro.cluster.registry import ClusterRegistry, TopologyConfig
+from repro.cluster.topology import NodeId
+from repro.core.errors import TopologyError
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return ClusterRegistry()
+
+
+class TestPopulation:
+    def test_counts_match_paper(self, registry):
+        """945 slots = 9 login + 13 dead + 923 scanned (paper Sec II-A)."""
+        assert len(registry) == 945
+        assert len(registry.nodes(NodeRole.LOGIN)) == 9
+        assert len(registry.nodes(NodeRole.DEAD)) == 13
+        assert registry.n_scanned == 923
+
+    def test_login_nodes_are_first_soc(self, registry):
+        for node in registry.nodes(NodeRole.LOGIN):
+            assert node.node_id.soc == 1
+            assert node.node_id.blade <= 9
+
+    def test_get_by_name(self, registry):
+        assert registry.get("02-04").node_id == NodeId(2, 4)
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(TopologyError):
+            registry.get("72-01")  # outside the study grid
+
+    def test_soc12_slots_have_off_interval(self, registry):
+        node = registry.get("05-12")
+        assert node.off_intervals, "overheating slot should be powered off"
+
+    def test_blade33_has_off_interval(self, registry):
+        node = registry.get("33-05")
+        assert node.off_intervals
+
+
+class TestGrids:
+    def test_grid_from_mapping(self, registry):
+        grid = registry.grid({"02-04": 7.0})
+        assert grid.shape == (63, 15)
+        assert grid[1, 3] == 7.0
+        assert grid.sum() == 7.0
+
+    def test_grid_rejects_unknown_node(self, registry):
+        with pytest.raises(TopologyError):
+            registry.grid({"70-01": 1.0})
+
+    def test_grid_from_callable(self, registry):
+        grid = registry.grid(lambda n: 1.0)
+        assert grid.sum() == 945
+
+    def test_role_grid(self, registry):
+        roles = registry.role_grid()
+        assert (roles == 1).sum() == 9
+        assert (roles == 2).sum() == 13
+
+    def test_custom_config(self):
+        config = TopologyConfig(dead_nodes=("10-10",), n_login_nodes=2)
+        registry = ClusterRegistry(config)
+        assert registry.n_scanned == 945 - 2 - 1
+
+    def test_deterministic(self):
+        a = ClusterRegistry().role_grid()
+        b = ClusterRegistry().role_grid()
+        assert np.array_equal(a, b)

@@ -1,0 +1,35 @@
+"""Thermal placement model tests."""
+
+from repro.cluster.thermal import offsets_grid, placement_for
+from repro.cluster.topology import NodeId
+
+
+def test_overheating_slot_is_hottest():
+    hot = placement_for(NodeId(5, 12))
+    normal = placement_for(NodeId(5, 5))
+    assert hot.offset_c > normal.offset_c + 30
+
+def test_neighbors_warmer_than_baseline():
+    neighbor = placement_for(NodeId(5, 11))
+    normal = placement_for(NodeId(5, 5))
+    assert neighbor.offset_c > normal.offset_c
+    assert neighbor.offset_c < placement_for(NodeId(5, 12)).offset_c
+
+
+def test_idle_node_temperature_band():
+    """Scanner-only load at 22 C room -> node in the paper's 30-40 C band."""
+    placement = placement_for(NodeId(5, 5))
+    temp = placement.node_temperature(22.0)
+    assert 30.0 <= temp <= 40.0
+
+
+def test_overheating_node_above_60():
+    placement = placement_for(NodeId(5, 12))
+    assert placement.node_temperature(22.0) > 60.0
+
+
+def test_offsets_grid_shape():
+    grid = offsets_grid(63, 15)
+    assert grid.shape == (63, 15)
+    # SoC-12 column is the hottest everywhere.
+    assert (grid.argmax(axis=1) == 11).all()

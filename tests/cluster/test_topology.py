@@ -1,0 +1,80 @@
+"""Topology coordinate tests."""
+
+import pytest
+
+from repro.cluster.topology import (
+    SOCS_PER_BLADE,
+    STUDY_BLADES,
+    STUDY_NODES,
+    TOTAL_NODES,
+    NodeId,
+    study_node_ids,
+)
+from repro.core.errors import TopologyError
+
+
+class TestDimensions:
+    def test_machine_has_1080_nodes(self):
+        assert TOTAL_NODES == 1080
+
+    def test_study_grid_is_63_by_15(self):
+        assert STUDY_BLADES == 63
+        assert SOCS_PER_BLADE == 15
+        assert STUDY_NODES == 945
+
+    def test_study_node_ids_complete(self):
+        ids = study_node_ids()
+        assert len(ids) == 945
+        assert len(set(ids)) == 945
+
+
+class TestNodeId:
+    def test_str_format(self):
+        assert str(NodeId(2, 4)) == "02-04"
+        assert str(NodeId(58, 2)) == "58-02"
+
+    def test_parse_roundtrip(self):
+        for name in ("02-04", "04-05", "58-02", "63-15"):
+            assert str(NodeId.parse(name)) == name
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TopologyError):
+            NodeId.parse("x")
+        with pytest.raises(TopologyError):
+            NodeId.parse("99-99")
+
+    def test_bounds(self):
+        with pytest.raises(TopologyError):
+            NodeId(0, 1)
+        with pytest.raises(TopologyError):
+            NodeId(1, 16)
+
+    def test_chassis_and_rack(self):
+        assert NodeId(1, 1).chassis == 1
+        assert NodeId(9, 1).chassis == 1
+        assert NodeId(10, 1).chassis == 2
+        assert NodeId(36, 1).rack == 1
+        assert NodeId(37, 1).rack == 2
+
+    def test_grid_index(self):
+        assert NodeId(1, 1).grid_index == (0, 0)
+        assert NodeId(63, 15).grid_index == (62, 14)
+
+    def test_overheating_slot(self):
+        assert NodeId(5, 12).overheating_slot
+        assert not NodeId(5, 11).overheating_slot
+
+    def test_near_overheating(self):
+        assert NodeId(5, 11).near_overheating_slot
+        assert NodeId(5, 13).near_overheating_slot
+        assert not NodeId(5, 12).near_overheating_slot
+        assert not NodeId(5, 10).near_overheating_slot
+
+    def test_neighbors(self):
+        assert NodeId(1, 1).neighbors() == (NodeId(1, 2),)
+        assert NodeId(1, 15).neighbors() == (NodeId(1, 14),)
+        assert set(NodeId(1, 7).neighbors()) == {NodeId(1, 6), NodeId(1, 8)}
+
+    def test_ordering(self):
+        assert NodeId(1, 2) < NodeId(2, 1)
+        assert sorted([NodeId(2, 1), NodeId(1, 2)])[0] == NodeId(1, 2)

@@ -1,0 +1,69 @@
+"""MemoryError_ and SimultaneityGroup semantics."""
+
+import pytest
+
+from repro.core.events import MemoryError_, SimultaneityGroup
+
+
+def make_error(expected=0xFFFFFFFF, actual=0xFFFF7BFF, node="02-04", t=1.0):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=0x30000000,
+        physical_page=0x80000,
+        expected=expected,
+        actual=actual,
+    )
+
+
+class TestMemoryError:
+    def test_n_bits(self):
+        assert make_error().n_bits == 2
+        assert make_error(actual=0xFFFFFFFE).n_bits == 1
+
+    def test_multibit_flag(self):
+        assert make_error().is_multibit
+        assert not make_error(actual=0xFFFFFFFE).is_multibit
+
+    def test_consecutive(self):
+        assert not make_error().consecutive  # bits 10, 15
+        assert make_error(actual=0xFFFFF3FF).consecutive  # bits 10, 11
+
+    def test_flip_directions(self):
+        assert make_error().flip_directions == (2, 0)
+        assert make_error(expected=0, actual=0b11).flip_directions == (0, 2)
+
+    def test_undetectable_threshold(self):
+        """Sec III-D considers >3-bit errors the undetectable class."""
+        assert not make_error(expected=0xFFFFFFFF, actual=0xFFFFF1FF).undetectable_by_secded  # 3 bits
+        assert make_error(expected=0x2957, actual=0x2958).undetectable_by_secded  # 4 bits
+
+    def test_duration(self):
+        e = MemoryError_(
+            node="01-01",
+            first_seen_hours=1.0,
+            last_seen_hours=3.5,
+            virtual_address=0,
+            physical_page=0,
+            expected=0,
+            actual=1,
+        )
+        assert e.duration_hours == pytest.approx(2.5)
+
+
+class TestSimultaneityGroup:
+    def test_profile_sorted(self):
+        group = SimultaneityGroup(
+            node="02-04",
+            timestamp_hours=1.0,
+            errors=(make_error(), make_error(actual=0xFFFFFFFE)),
+        )
+        assert group.bit_profile == (1, 2)
+        assert group.total_bits == 3
+        assert group.is_simultaneous
+
+    def test_singleton_not_simultaneous(self):
+        group = SimultaneityGroup("02-04", 1.0, (make_error(),))
+        assert not group.is_simultaneous
+        assert group.size == 1

@@ -1,0 +1,72 @@
+"""Record dataclass semantics, including the paper's zero-credit rule."""
+
+import pytest
+
+from repro.core.records import ErrorRecord, ScanCoverage, ScanSession
+
+
+def make_error(**kw):
+    defaults = dict(
+        timestamp_hours=1.0,
+        node="02-04",
+        virtual_address=0x30000000,
+        physical_page=0x80000,
+        expected=0xFFFFFFFF,
+        actual=0xFFFF7BFF,
+    )
+    defaults.update(kw)
+    return ErrorRecord(**defaults)
+
+
+class TestErrorRecord:
+    def test_basic(self):
+        rec = make_error()
+        assert rec.repeat_count == 1
+
+    def test_rejects_no_corruption(self):
+        with pytest.raises(ValueError):
+            make_error(actual=0xFFFFFFFF)
+
+    def test_rejects_bad_repeat(self):
+        with pytest.raises(ValueError):
+            make_error(repeat_count=0)
+
+    def test_with_repeat(self):
+        rec = make_error().with_repeat(17)
+        assert rec.repeat_count == 17
+        assert rec.expected == 0xFFFFFFFF
+
+
+class TestScanSession:
+    def test_monitored_hours(self):
+        s = ScanSession("01-01", 0.0, 10.0, allocated_mb=3072)
+        assert s.monitored_hours == 10.0
+
+    def test_truncated_session_counts_zero_hours(self):
+        """Paper Sec II-B: hard-reboot sessions get a conservative 0 h."""
+        s = ScanSession("01-01", 0.0, None, allocated_mb=3072, truncated=True)
+        assert s.monitored_hours == 0.0
+        assert s.terabyte_hours == 0.0
+
+    def test_terabyte_hours(self):
+        s = ScanSession("01-01", 0.0, 1024.0, allocated_mb=1024)
+        assert s.terabyte_hours == pytest.approx(1.0)
+
+    def test_covers(self):
+        s = ScanSession("01-01", 5.0, 10.0, allocated_mb=100)
+        assert s.covers(5.0)
+        assert s.covers(9.99)
+        assert not s.covers(10.0)
+        assert not s.covers(4.0)
+
+
+class TestScanCoverage:
+    def test_aggregates(self):
+        sessions = (
+            ScanSession("01-01", 0.0, 5.0, allocated_mb=3072),
+            ScanSession("01-01", 6.0, 8.0, allocated_mb=3072),
+            ScanSession("01-01", 9.0, None, allocated_mb=3072, truncated=True),
+        )
+        cov = ScanCoverage(node="01-01", sessions=sessions)
+        assert cov.monitored_hours == 7.0
+        assert cov.terabyte_hours == pytest.approx(7.0 * 3.0 / 1024.0)

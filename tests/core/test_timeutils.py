@@ -1,0 +1,92 @@
+"""Study-calendar arithmetic tests."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import timeutils as tu
+
+HOURS = st.floats(min_value=0.0, max_value=tu.STUDY_HOURS - 1e-6, allow_nan=False)
+
+
+class TestConversions:
+    def test_epoch_is_february_2015(self):
+        assert tu.STUDY_EPOCH == dt.datetime(2015, 2, 1)
+
+    def test_datetime_roundtrip(self):
+        when = dt.datetime(2015, 11, 14, 13, 30)
+        assert tu.hours_to_datetime(tu.datetime_to_hours(when)) == when
+
+    @given(HOURS)
+    def test_hours_roundtrip(self, h):
+        assert tu.datetime_to_hours(tu.hours_to_datetime(h)) == pytest.approx(
+            h, abs=1e-6
+        )
+
+    def test_day_index(self):
+        assert tu.day_index(0.0) == 0
+        assert tu.day_index(23.99) == 0
+        assert tu.day_index(24.0) == 1
+
+    def test_day_index_vectorized(self):
+        out = tu.day_index(np.array([0.0, 25.0, 49.0]))
+        assert out.tolist() == [0, 1, 2]
+
+    @given(HOURS)
+    def test_hour_of_day_in_range(self, h):
+        hod = tu.hour_of_day(h)
+        assert 0.0 <= hod < 24.0
+
+    def test_month_of(self):
+        assert tu.month_of(0.0) == 2  # February 2015
+        assert tu.month_of(tu.datetime_to_hours(dt.datetime(2015, 11, 5))) == 11
+        assert tu.month_of(tu.datetime_to_hours(dt.datetime(2016, 1, 5))) == 1
+
+    def test_month_of_vectorized(self):
+        hs = np.array([0.0, 28 * 24.0])  # Feb 1 and Mar 1
+        assert tu.month_of(hs).tolist() == [2, 3]
+
+    def test_date_of(self):
+        assert tu.date_of(24.0 * 27) == dt.date(2015, 2, 28)
+        assert tu.date_of(24.0 * 28) == dt.date(2015, 3, 1)
+
+    def test_fractional_year_midsummer(self):
+        h = tu.datetime_to_hours(dt.datetime(2015, 7, 2, 12))
+        assert 0.45 < tu.fractional_year(h) < 0.55
+
+
+class TestStudyPeriod:
+    def test_default_window(self):
+        period = tu.StudyPeriod()
+        assert period.duration_hours == 425 * 24.0
+        assert period.n_days == 425
+
+    def test_empty_period_rejected(self):
+        with pytest.raises(ValueError):
+            tu.StudyPeriod(10.0, 10.0)
+
+    def test_contains(self):
+        period = tu.StudyPeriod(10.0, 20.0)
+        assert period.contains(10.0)
+        assert not period.contains(20.0)
+        assert not period.contains(9.99)
+
+    def test_contains_vectorized(self):
+        period = tu.StudyPeriod(10.0, 20.0)
+        out = period.contains(np.array([5.0, 15.0, 25.0]))
+        assert out.tolist() == [False, True, False]
+
+    def test_clip(self):
+        period = tu.StudyPeriod(10.0, 20.0)
+        assert period.clip(5.0, 15.0) == (10.0, 15.0)
+        assert period.clip(12.0, 30.0) == (12.0, 20.0)
+
+    def test_days_span(self):
+        period = tu.StudyPeriod(12.0, 60.0)  # mid day0 .. mid day2
+        assert period.days().tolist() == [0, 1, 2]
+
+    def test_temperature_logging_starts_in_april(self):
+        assert tu.date_of(tu.TEMPERATURE_LOGGING_START) == dt.date(2015, 4, 1)

@@ -1,0 +1,30 @@
+"""Memory-unit helper tests."""
+
+import pytest
+
+from repro.core import units
+
+
+def test_node_memory_is_4gb():
+    assert units.NODE_MEMORY_MB == 4096
+
+
+def test_scan_target_is_3gb():
+    assert units.SCAN_TARGET_MB == 3072
+
+
+def test_backoff_is_10mb():
+    assert units.ALLOC_BACKOFF_MB == 10
+
+
+def test_mb_tb_roundtrip():
+    assert units.tb_to_mb(units.mb_to_tb(12345.0)) == pytest.approx(12345.0)
+
+
+def test_words_in_3gb():
+    assert units.mb_to_words(3072) == 3 * 1024**3 // 4
+
+
+def test_terabyte_hours():
+    # 3 GB scanned for 1024/3 hours = 1 TBh.
+    assert units.terabyte_hours(3072, 1024.0 / 3.0) == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Bit swizzle and address map tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitops
+from repro.core.errors import ConfigurationError
+from repro.dram.addressing import (
+    DEFAULT_SWIZZLE,
+    WORDS_PER_PAGE,
+    AddressMap,
+    BitSwizzle,
+)
+
+MASKS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestSwizzle:
+    def test_identity_is_noop(self):
+        identity = BitSwizzle.identity()
+        assert identity.physical_to_logical_mask(0xDEADBEEF) == 0xDEADBEEF
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            BitSwizzle(tuple([0] * 32))
+
+    def test_interleaved_rejects_even_stride(self):
+        with pytest.raises(ConfigurationError):
+            BitSwizzle.interleaved(2)
+
+    @given(MASKS)
+    def test_roundtrip(self, mask):
+        swz = DEFAULT_SWIZZLE
+        assert swz.physical_to_logical_mask(
+            swz.logical_to_physical_mask(mask)
+        ) == mask
+
+    @given(MASKS)
+    def test_popcount_preserved(self, mask):
+        swz = DEFAULT_SWIZZLE
+        assert bitops.popcount(swz.physical_to_logical_mask(mask)) == bitops.popcount(
+            mask
+        )
+
+    def test_adjacent_lines_become_nonadjacent_bits(self):
+        """The paper's layout-scrambling explanation for Table I."""
+        logical = DEFAULT_SWIZZLE.physical_to_logical_mask(0b11)
+        assert not bitops.is_consecutive_mask(logical)
+
+    def test_inverse_is_inverse(self):
+        swz = DEFAULT_SWIZZLE
+        inv = swz.inverse
+        for logical, physical in enumerate(swz.perm):
+            assert inv[physical] == logical
+
+
+class TestAddressMap:
+    def test_virtual_roundtrip(self):
+        amap = AddressMap(n_words=1000)
+        for idx in (0, 1, 999):
+            assert amap.word_index(amap.virtual_address(idx)) == idx
+
+    def test_out_of_range(self):
+        amap = AddressMap(n_words=10)
+        with pytest.raises(ConfigurationError):
+            amap.virtual_address(10)
+
+    def test_physical_pages_in_range(self):
+        amap = AddressMap(n_words=WORDS_PER_PAGE * 10)
+        pages = {int(amap.physical_page(i * WORDS_PER_PAGE)) for i in range(10)}
+        base = amap.physical_frame_base
+        assert all(base <= p < base + 10 for p in pages)
+        assert len(pages) == 10  # permutation: distinct pages stay distinct
+
+    def test_same_page_same_frame(self):
+        amap = AddressMap(n_words=WORDS_PER_PAGE * 4)
+        assert amap.physical_page(0) == amap.physical_page(WORDS_PER_PAGE - 1)
+
+    def test_salt_changes_backing(self):
+        a = AddressMap(n_words=WORDS_PER_PAGE * 50, salt=1)
+        b = AddressMap(n_words=WORDS_PER_PAGE * 50, salt=2)
+        pages_a = [int(a.physical_page(i * WORDS_PER_PAGE)) for i in range(50)]
+        pages_b = [int(b.physical_page(i * WORDS_PER_PAGE)) for i in range(50)]
+        assert pages_a != pages_b

@@ -1,0 +1,86 @@
+"""Cell array read/write/overlay tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dram.cells import CellArray
+
+
+class TestBasicIO:
+    def test_fill_and_read(self):
+        cells = CellArray(16)
+        cells.fill(0xFFFFFFFF)
+        assert cells.read(7) == 0xFFFFFFFF
+
+    def test_write_single(self):
+        cells = CellArray(16)
+        cells.write(3, 0x12345678)
+        assert cells.read(3) == 0x12345678
+        assert cells.read(2) == 0
+
+    def test_write_block(self):
+        cells = CellArray(16)
+        cells.write_block(4, np.arange(4, dtype=np.uint32))
+        assert cells.read_block(4, 4).tolist() == [0, 1, 2, 3]
+
+    def test_read_block_is_copy(self):
+        cells = CellArray(8)
+        block = cells.read_block()
+        block[0] = 99
+        assert cells.read(0) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CellArray(0)
+
+
+class TestFaultPrimitives:
+    def test_xor_word(self):
+        cells = CellArray(8)
+        cells.fill(0xFFFFFFFF)
+        cells.xor_word(2, 0x8400)
+        assert cells.read(2) == 0xFFFF7BFF
+
+    def test_set_bits(self):
+        cells = CellArray(8)
+        cells.fill(0xFFFFFFFF)
+        cells.set_bits(1, mask=1 << 17, value=0)
+        assert cells.read(1) == 0xFFFFFFFF ^ (1 << 17)
+
+
+class TestStuckOverlay:
+    def test_stuck_survives_writes(self):
+        cells = CellArray(8)
+        cells.add_stuck(5, mask=0b1, value=0b0)
+        cells.write(5, 0xFFFFFFFF)
+        assert cells.read(5) == 0xFFFFFFFE
+
+    def test_stuck_applies_in_block_reads(self):
+        cells = CellArray(8)
+        cells.fill(0xFFFFFFFF)
+        cells.add_stuck(2, mask=0b10, value=0b00)
+        block = cells.read_block()
+        assert block[2] == 0xFFFFFFFD
+        assert block[3] == 0xFFFFFFFF
+
+    def test_stuck_merge(self):
+        cells = CellArray(8)
+        cells.add_stuck(0, mask=0b01, value=0b01)
+        cells.add_stuck(0, mask=0b10, value=0b00)
+        cells.write(0, 0x0)
+        assert cells.read(0) == 0b01
+        cells.write(0, 0xFFFFFFFF)
+        assert cells.read(0) == 0xFFFFFFFD
+
+    def test_clear_stuck(self):
+        cells = CellArray(8)
+        cells.add_stuck(1, mask=0b1, value=0b0)
+        cells.clear_stuck(1)
+        cells.write(1, 0xFFFFFFFF)
+        assert cells.read(1) == 0xFFFFFFFF
+
+    def test_out_of_range_stuck(self):
+        cells = CellArray(8)
+        with pytest.raises(ConfigurationError):
+            cells.add_stuck(8, mask=1, value=0)

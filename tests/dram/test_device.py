@@ -1,0 +1,99 @@
+"""Simulated DRAM device + fault application tests."""
+
+import pytest
+
+from repro.core import bitops
+from repro.core.errors import ConfigurationError
+from repro.dram import (
+    BitSwizzle,
+    MultiCellEvent,
+    StuckCell,
+    TransientFlip,
+    WeakCell,
+    make_device,
+)
+from repro.dram.device import DeviceSpec, SimulatedDram
+
+
+class TestConstruction:
+    def test_make_device_size(self):
+        device = make_device(2)
+        assert device.n_words == 2 * 1024 * 1024 // 4
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(n_words=0)
+
+    def test_with_geometry(self):
+        device = make_device(1, with_geometry=True)
+        assert device.spec.geometry is not None
+        assert device.spec.geometry.total_words >= device.n_words
+
+
+class TestFaults:
+    def test_transient_routes_through_swizzle(self):
+        device = make_device(1)  # default interleaved swizzle
+        device.fill(0xFFFFFFFF)
+        device.apply(TransientFlip(10, 0b11))
+        mask = 0xFFFFFFFF ^ device.read_word(10)
+        assert bitops.popcount(mask) == 2
+        assert not bitops.is_consecutive_mask(mask)
+
+    def test_transient_identity_swizzle(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        device.fill(0xFFFFFFFF)
+        device.apply(TransientFlip(10, 0b11))
+        assert device.read_word(10) == 0xFFFFFFFC
+
+    def test_transient_cleared_by_rewrite(self):
+        device = make_device(1)
+        device.fill(0xFFFFFFFF)
+        device.apply(TransientFlip(4, 0b1))
+        device.fill(0x00000000)
+        assert device.read_word(4) == 0
+
+    def test_stuck_survives_rewrite(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        device.apply(StuckCell(3, mask=0b1, value=0b0))
+        device.fill(0xFFFFFFFF)
+        assert device.read_word(3) == 0xFFFFFFFE
+
+    def test_weak_cell_discharge(self):
+        device = make_device(1)
+        device.fill(0xFFFFFFFF)
+        device.apply(WeakCell(6, bit=17, discharge_value=0))
+        assert device.read_word(6) == 0xFFFFFFFF ^ (1 << 17)
+
+    def test_multicell_event(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        device.fill(0xFFFFFFFF)
+        event = MultiCellEvent(
+            flips=(TransientFlip(1, 0b1), TransientFlip(9, 0b1))
+        )
+        device.apply(event)
+        assert device.read_word(1) == 0xFFFFFFFE
+        assert device.read_word(9) == 0xFFFFFFFE
+        assert event.total_bits == 2
+
+    def test_multicell_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            MultiCellEvent(flips=(TransientFlip(1, 1), TransientFlip(1, 2)))
+
+    def test_apply_logical_flip_bypasses_swizzle(self):
+        device = make_device(1)
+        device.fill(0xFFFFFFFF)
+        device.apply_logical_flip(0, 0x8400)
+        assert device.read_word(0) == 0xFFFF7BFF
+
+    def test_unknown_fault_rejected(self):
+        device = make_device(1)
+        with pytest.raises(ConfigurationError):
+            device.apply(object())
+
+
+class TestAddressing:
+    def test_virtual_and_page(self):
+        device = make_device(1)
+        va = device.virtual_address(100)
+        assert va == device.address_map.virtual_base + 400
+        assert device.physical_page(100) >= 0

@@ -1,0 +1,63 @@
+"""Fault taxonomy validation + charge-loss mask distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitops
+from repro.dram.faults import (
+    StuckCell,
+    TransientFlip,
+    WeakCell,
+    charge_loss_mask,
+)
+
+
+class TestValidation:
+    def test_transient_rejects_zero_mask(self):
+        with pytest.raises(ValueError):
+            TransientFlip(0, 0)
+
+    def test_stuck_value_within_mask(self):
+        with pytest.raises(ValueError):
+            StuckCell(0, mask=0b01, value=0b10)
+
+    def test_weak_bit_range(self):
+        with pytest.raises(ValueError):
+            WeakCell(0, bit=32)
+        with pytest.raises(ValueError):
+            WeakCell(0, bit=1, discharge_value=2)
+
+    def test_weak_mask(self):
+        assert WeakCell(0, bit=5).mask == 0b100000
+
+
+class TestChargeLossMask:
+    def test_requested_bits_produced(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 5):
+            mask = charge_loss_mask(0xFFFFFFFF, n, rng)
+            assert bitops.popcount(mask) == n
+
+    def test_all_ones_word_flips_down(self):
+        rng = np.random.default_rng(0)
+        mask = charge_loss_mask(0xFFFFFFFF, 3, rng, p_one_to_zero=1.0)
+        # All flips must be on set bits (1 -> 0).
+        assert mask & 0xFFFFFFFF == mask
+
+    def test_all_zeros_word_flips_up(self):
+        rng = np.random.default_rng(0)
+        mask = charge_loss_mask(0x00000000, 2, rng, p_one_to_zero=1.0)
+        assert bitops.popcount(mask) == 2  # falls back to 0->1
+
+    def test_direction_statistics(self):
+        """~90% of flips drawn on a mixed word lose charge."""
+        rng = np.random.default_rng(1)
+        stored = 0x0F0F0F0F
+        one_to_zero = 0
+        total = 0
+        for _ in range(3000):
+            mask = charge_loss_mask(stored, 1, rng, p_one_to_zero=0.9)
+            total += 1
+            if mask & stored:
+                one_to_zero += 1
+        assert 0.86 < one_to_zero / total < 0.94

@@ -1,0 +1,77 @@
+"""DRAM geometry coordinate-transform tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.dram.geometry import DramGeometry
+
+SMALL = DramGeometry(n_banks=4, n_rows=16, n_cols=8)
+
+
+class TestCapacity:
+    def test_default_is_3gb(self):
+        assert DramGeometry().total_bytes == 3 * 1024**3
+
+    def test_for_capacity_covers(self):
+        geo = DramGeometry.for_capacity_mb(100)
+        assert geo.total_bytes >= 100 * 1024 * 1024
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(n_banks=0)
+
+
+class TestTransforms:
+    @given(st.integers(min_value=0, max_value=SMALL.total_words - 1))
+    def test_roundtrip(self, idx):
+        bank, row, col = SMALL.decompose(idx)
+        assert SMALL.compose(bank, row, col) == idx
+
+    def test_bank_interleave(self):
+        """Consecutive words hit consecutive banks (controller interleave)."""
+        banks = [int(SMALL.decompose(i)[0]) for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SMALL.decompose(SMALL.total_words)
+        with pytest.raises(ConfigurationError):
+            SMALL.compose(4, 0, 0)
+
+    def test_vectorized(self):
+        idx = np.arange(SMALL.total_words)
+        bank, row, col = SMALL.decompose(idx)
+        back = SMALL.compose(bank, row, col)
+        assert np.array_equal(back, idx)
+
+
+class TestStructures:
+    def test_row_words_share_row(self):
+        words = SMALL.row_words(bank=1, row=3)
+        assert words.shape == (SMALL.n_cols,)
+        banks, rows, _ = SMALL.decompose(words)
+        assert (np.asarray(banks) == 1).all()
+        assert (np.asarray(rows) == 3).all()
+
+    def test_column_words_share_column(self):
+        words = SMALL.column_words(bank=2, col=5)
+        assert words.shape == (SMALL.n_rows,)
+        banks, _, cols = SMALL.decompose(words)
+        assert (np.asarray(banks) == 2).all()
+        assert (np.asarray(cols) == 5).all()
+
+    def test_neighborhood_scatters_logically(self):
+        """Physically close cells map to distant logical addresses."""
+        center = SMALL.compose(0, 8, 4)
+        hood = SMALL.physical_neighborhood(int(center), radius=1)
+        assert hood.shape == (9,)
+        spread = hood.max() - hood.min()
+        assert spread > 9  # not logically contiguous
+
+    def test_neighborhood_clips_at_edges(self):
+        corner = SMALL.compose(0, 0, 0)
+        hood = SMALL.physical_neighborhood(int(corner), radius=1)
+        assert hood.shape == (4,)

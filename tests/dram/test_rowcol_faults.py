@@ -1,0 +1,73 @@
+"""Row/column fault tests (related-work fault modes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dram import BitSwizzle, ColumnFault, RowFault, make_device
+from repro.dram.device import DeviceSpec, SimulatedDram
+from repro.dram.geometry import DramGeometry
+
+
+def small_device():
+    geo = DramGeometry(n_banks=2, n_rows=8, n_cols=4)
+    spec = DeviceSpec(
+        n_words=geo.total_words, geometry=geo, swizzle=BitSwizzle.identity()
+    )
+    from repro.dram.addressing import AddressMap
+
+    return SimulatedDram(spec, AddressMap(n_words=geo.total_words)), geo
+
+
+class TestRowFault:
+    def test_whole_row_stuck(self):
+        device, geo = small_device()
+        device.apply(RowFault(bank=1, row=3, mask=0b1, value=0b0))
+        device.fill(0xFFFFFFFF)
+        row = geo.row_words(1, 3)
+        for w in row:
+            assert device.read_word(int(w)) == 0xFFFFFFFE
+        # Other rows untouched.
+        other = geo.row_words(1, 4)
+        assert device.read_word(int(other[0])) == 0xFFFFFFFF
+
+    def test_row_fault_needs_geometry(self):
+        device = make_device(1)  # no geometry
+        with pytest.raises(ConfigurationError):
+            device.apply(RowFault(bank=0, row=0, mask=1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowFault(bank=0, row=0, mask=0)
+        with pytest.raises(ValueError):
+            RowFault(bank=0, row=0, mask=0b01, value=0b10)
+
+
+class TestColumnFault:
+    def test_whole_column_stuck(self):
+        device, geo = small_device()
+        device.apply(ColumnFault(bank=0, col=2, mask=0b10, value=0b00))
+        device.fill(0xFFFFFFFF)
+        col = geo.column_words(0, 2)
+        for w in col:
+            assert device.read_word(int(w)) == 0xFFFFFFFD
+
+    def test_column_words_scattered_logically(self):
+        """Column-mates are far apart in the logical address space."""
+        _, geo = small_device()
+        col = np.asarray(geo.column_words(0, 0))
+        assert col.max() - col.min() > geo.n_cols * geo.n_banks
+
+    def test_scanner_sees_column_fault(self):
+        """The scanner reports a column fault as simultaneous errors at
+        scattered addresses — the Sec III-C observable."""
+        from repro.scanner import AlternatingPattern, MemoryScanner
+
+        device, geo = small_device()
+        device.apply(ColumnFault(bank=0, col=1, mask=0b1, value=0b0))
+        scanner = MemoryScanner(device, AlternatingPattern(), node="05-05")
+        result = scanner.run(start_hours=0.0, max_iterations=2)
+        # One mismatch per word of the column, all at one timestamp.
+        assert len(result.errors) == geo.n_rows
+        times = {e.timestamp_hours for e in result.errors}
+        assert len(times) == 1

@@ -1,0 +1,105 @@
+"""Chipkill SSC-DSD codec tests."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EccError
+from repro.ecc.chipkill import CHIPKILL_32, ChipkillCode, ChipkillSpec
+from repro.ecc.hamming import DecodeStatus
+
+WORDS = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestSpec:
+    def test_default_geometry(self):
+        assert CHIPKILL_32.spec.n_data_symbols == 8
+        assert CHIPKILL_32.spec.n_symbols == 11
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(EccError):
+            ChipkillSpec(symbol_bits=5, data_bits=32)
+
+    def test_too_long_code_rejected(self):
+        with pytest.raises(EccError):
+            ChipkillCode(ChipkillSpec(symbol_bits=3, data_bits=33 * 3))
+
+
+class TestSymbols:
+    @given(WORDS)
+    def test_split_join_roundtrip(self, data):
+        assert CHIPKILL_32.join_symbols(CHIPKILL_32.split_symbols(data)) == data
+
+    def test_symbols_touched(self):
+        assert CHIPKILL_32.symbols_touched(0x0000000F) == 1
+        assert CHIPKILL_32.symbols_touched(0x000000FF) == 2
+        assert CHIPKILL_32.symbols_touched(0x8400) == 2  # bits 10, 15
+
+
+class TestCleanPath:
+    @given(WORDS)
+    def test_roundtrip(self, data):
+        result = CHIPKILL_32.decode(CHIPKILL_32.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == data
+
+
+class TestSingleSymbol:
+    def test_every_single_symbol_error_corrected(self):
+        """SSC guarantee: any corruption confined to one data symbol."""
+        data = 0xDEADBEEF
+        for sym in range(CHIPKILL_32.spec.n_data_symbols):
+            for err in range(1, 16):
+                mask = err << (4 * sym)
+                result = CHIPKILL_32.decode_flips(data, mask)
+                assert result.status is DecodeStatus.CORRECTED, (sym, err)
+                assert result.data == data
+
+    def test_check_symbol_error_corrected(self):
+        data = 0x12345678
+        cw = CHIPKILL_32.encode(data)
+        for check in range(8, 11):
+            received = cw.copy()
+            received[check] ^= 0b101
+            result = CHIPKILL_32.decode(received)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_whole_chip_failure_corrected(self):
+        """A dead x4 chip (full symbol) is exactly what chipkill targets."""
+        result = CHIPKILL_32.decode_flips(0xCAFEBABE, 0xF0000000)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 0xCAFEBABE
+
+
+class TestDoubleSymbol:
+    def test_double_symbol_detected(self):
+        random.seed(3)
+        data = 0xA5A5A5A5
+        for _ in range(200):
+            s1, s2 = random.sample(range(8), 2)
+            e1 = random.randrange(1, 16)
+            e2 = random.randrange(1, 16)
+            mask = (e1 << (4 * s1)) | (e2 << (4 * s2))
+            result = CHIPKILL_32.decode_flips(data, mask)
+            assert result.status is DecodeStatus.DETECTED, (s1, s2, e1, e2)
+
+    def test_table1_nonadjacent_double_corrected_when_one_symbol(self):
+        """0x000016bb -> 0x000016b8 flips bits 0,1 (one symbol): chipkill
+        corrects what SECDED can only detect."""
+        result = CHIPKILL_32.decode_flips(0x000016BB, 0x16BB ^ 0x16B8)
+        assert result.status is DecodeStatus.CORRECTED
+
+
+class TestValidation:
+    def test_wrong_length_rejected(self):
+        import numpy as np
+
+        with pytest.raises(EccError):
+            CHIPKILL_32.decode(np.zeros(5, dtype=np.int64))
+
+    def test_data_too_wide(self):
+        with pytest.raises(EccError):
+            CHIPKILL_32.encode(1 << 32)

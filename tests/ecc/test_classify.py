@@ -1,0 +1,89 @@
+"""Error-population classification tests (secded fast path + schemes)."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MemoryError_
+from repro.ecc import (
+    SecdedOutcome,
+    classify_bulk,
+    classify_chipkill,
+    classify_secded,
+    classify_unprotected,
+    classify_word,
+    compare_schemes,
+)
+
+
+def err(expected, actual, node="01-01", t=1.0):
+    return MemoryError_(
+        node=node,
+        first_seen_hours=t,
+        last_seen_hours=t,
+        virtual_address=0,
+        physical_page=0,
+        expected=expected,
+        actual=actual,
+    )
+
+
+class TestClassifyWord:
+    def test_single_corrected(self):
+        assert classify_word(0xFFFFFFFF, 0xFFFFFFFE) is SecdedOutcome.CORRECTED
+
+    def test_double_detected(self):
+        assert classify_word(0xFFFFFFFF, 0xFFFF7BFF) is SecdedOutcome.DETECTED
+
+    def test_nine_bit_sdc(self):
+        assert classify_word(0x00000058, 0xE6006358) is SecdedOutcome.SDC
+
+    def test_no_corruption_rejected(self):
+        with pytest.raises(ValueError):
+            classify_word(5, 5)
+
+
+class TestClassifyBulk:
+    def test_mixed_population(self):
+        expected = np.array([0xFFFFFFFF, 0xFFFFFFFF, 0x58], dtype=np.uint64)
+        actual = np.array([0xFFFFFFFE, 0xFFFF7BFF, 0xE6006358], dtype=np.uint64)
+        out = classify_bulk(expected, actual)
+        assert out[0] is SecdedOutcome.CORRECTED
+        assert out[1] is SecdedOutcome.DETECTED
+        assert out[2] is SecdedOutcome.SDC
+
+    def test_rejects_clean_rows(self):
+        with pytest.raises(ValueError):
+            classify_bulk(np.array([1]), np.array([1]))
+
+
+class TestSchemes:
+    def test_secded_summary_counts(self):
+        errors = [
+            err(0xFFFFFFFF, 0xFFFFFFFE),
+            err(0xFFFFFFFF, 0xFFFF7BFF),
+            err(0x00000058, 0xE6006358),
+        ]
+        summary = classify_secded(errors)
+        assert summary.corrected == 1
+        assert summary.detected == 1
+        assert summary.sdc == 1
+        assert summary.total == 3
+        assert summary.sdc_fraction == pytest.approx(1 / 3)
+
+    def test_unprotected_everything_sdc(self):
+        errors = [err(0xFFFFFFFF, 0xFFFFFFFE)]
+        summary = classify_unprotected(errors)
+        assert summary.sdc == 1
+
+    def test_chipkill_beats_secded_on_study_patterns(self):
+        """Over the Table I catalogue, chipkill leaves fewer SDC."""
+        from repro.faultinjection.catalogue import TABLE_I
+
+        errors = [err(p.expected, p.corrupted) for p in TABLE_I]
+        schemes = compare_schemes(errors)
+        assert schemes["chipkill"].sdc <= schemes["secded"].sdc
+        assert schemes["none"].sdc == len(errors)
+
+    def test_chipkill_corrects_single_bit(self):
+        summary = classify_chipkill([err(0xFFFFFFFF, 0xFFFFFFFE)])
+        assert summary.corrected == 1

@@ -1,0 +1,85 @@
+"""GF(2^m) field-axiom tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import EccError
+from repro.ecc.gf import GF16, GF2m
+
+ELEMS = st.integers(min_value=0, max_value=15)
+NONZERO = st.integers(min_value=1, max_value=15)
+
+
+class TestConstruction:
+    def test_known_fields_build(self):
+        for m in (3, 4, 8):
+            GF2m(m)
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(EccError):
+            GF2m(1)
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive.
+        with pytest.raises(EccError):
+            GF2m(4, primitive_poly=0b1111)
+
+
+class TestAxioms:
+    @given(ELEMS, ELEMS)
+    def test_mul_commutative(self, a, b):
+        assert GF16.mul(a, b) == GF16.mul(b, a)
+
+    @given(ELEMS, ELEMS, ELEMS)
+    def test_mul_associative(self, a, b, c):
+        assert GF16.mul(GF16.mul(a, b), c) == GF16.mul(a, GF16.mul(b, c))
+
+    @given(ELEMS, ELEMS, ELEMS)
+    def test_distributive(self, a, b, c):
+        left = GF16.mul(a, b ^ c)
+        right = GF16.mul(a, b) ^ GF16.mul(a, c)
+        assert left == right
+
+    @given(ELEMS)
+    def test_multiplicative_identity(self, a):
+        assert GF16.mul(a, 1) == a
+
+    @given(ELEMS)
+    def test_zero_annihilates(self, a):
+        assert GF16.mul(a, 0) == 0
+
+    @given(NONZERO, NONZERO)
+    def test_div_inverts_mul(self, a, b):
+        assert GF16.div(GF16.mul(a, b), b) == a
+
+    def test_div_by_zero(self):
+        with pytest.raises(EccError):
+            GF16.div(3, 0)
+
+    @given(NONZERO)
+    def test_log_exp_roundtrip(self, a):
+        assert GF16.pow_alpha(GF16.log_alpha(a)) == a
+
+    def test_log_zero_rejected(self):
+        with pytest.raises(EccError):
+            GF16.log_alpha(0)
+
+    def test_alpha_generates_field(self):
+        seen = {int(GF16.pow_alpha(k)) for k in range(15)}
+        assert seen == set(range(1, 16))
+
+
+class TestVectorized:
+    def test_mul_arrays(self):
+        a = np.arange(16)
+        b = np.full(16, 3)
+        out = GF16.mul(a, b)
+        assert out.shape == (16,)
+        assert out[0] == 0
+        assert out[1] == 3
+
+    def test_out_of_field_rejected(self):
+        with pytest.raises(EccError):
+            GF16.mul(16, 1)

@@ -1,0 +1,55 @@
+"""Academic-calendar utilization tests."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.core import timeutils as tu
+from repro.environment.calendar import AcademicCalendar
+
+
+def day_of(month, day, year=2015):
+    return (dt.date(year, month, day) - tu.STUDY_EPOCH.date()).days
+
+
+class TestUtilization:
+    def test_vacation_quieter_than_term(self):
+        cal = AcademicCalendar()
+        august = cal.utilization(day_of(8, 12))  # a Wednesday
+        march = cal.utilization(day_of(3, 11))   # a Wednesday
+        assert august < march
+
+    def test_spring_crunch_busier_than_baseline(self):
+        cal = AcademicCalendar()
+        may = cal.utilization(day_of(5, 13))     # Wednesday
+        february = cal.utilization(day_of(2, 11))
+        assert may > february
+
+    def test_weekends_quieter(self):
+        cal = AcademicCalendar()
+        saturday = cal.utilization(day_of(3, 14))
+        wednesday = cal.utilization(day_of(3, 11))
+        assert saturday < wednesday
+
+    def test_epoch_weekday_alignment(self):
+        """2015-02-01 was a Sunday; weekend discount must apply to day 0."""
+        cal = AcademicCalendar()
+        assert cal.utilization(0) < cal.utilization(2)
+
+    def test_idle_fraction_complements(self):
+        cal = AcademicCalendar()
+        days = np.arange(425)
+        util = np.asarray(cal.utilization(days))
+        idle = np.asarray(cal.idle_fraction(days))
+        assert np.allclose(util + idle, 1.0)
+
+    def test_series_shape(self):
+        series = AcademicCalendar().utilization_series()
+        assert series.shape == (425,)
+        assert (series >= 0).all() and (series <= 1).all()
+
+    def test_december_break_quiet(self):
+        cal = AcademicCalendar()
+        christmas = cal.utilization(day_of(12, 22))
+        november = cal.utilization(day_of(11, 18))
+        assert christmas < november

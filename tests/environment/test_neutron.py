@@ -1,0 +1,58 @@
+"""Neutron-flux model tests."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import timeutils as tu
+from repro.environment.neutron import NeutronFluxModel, altitude_factor
+
+
+def hours_at(month, day, hour):
+    return tu.datetime_to_hours(dt.datetime(2015, month, day, hour))
+
+
+class TestAltitude:
+    def test_sea_level_reference(self):
+        assert altitude_factor(0.0) == pytest.approx(1.0)
+
+    def test_doubles_every_1500m(self):
+        assert altitude_factor(1500.0) == pytest.approx(2.0, rel=1e-6)
+        assert altitude_factor(3000.0) == pytest.approx(4.0, rel=1e-6)
+
+    def test_barcelona_near_sea_level(self):
+        assert altitude_factor(100.0) == pytest.approx(1.047, abs=0.01)
+
+
+class TestDiurnalFlux:
+    def test_night_is_floor(self):
+        model = NeutronFluxModel()
+        assert model.relative_flux(hours_at(6, 21, 2)) == pytest.approx(1.0)
+
+    def test_noon_is_peak(self):
+        model = NeutronFluxModel()
+        fluxes = [float(model.relative_flux(hours_at(6, 21, h))) for h in range(24)]
+        assert int(np.argmax(fluxes)) in (12, 13, 14)
+        assert max(fluxes) <= model.max_flux + 1e-9
+
+    def test_summer_noon_beats_winter_noon(self):
+        model = NeutronFluxModel()
+        assert model.relative_flux(hours_at(6, 21, 13)) > model.relative_flux(
+            hours_at(12, 21, 13)
+        )
+
+    def test_mean_flux_between_floor_and_peak(self):
+        model = NeutronFluxModel()
+        mean = model.mean_flux(0.0, 24.0 * 30)
+        assert 1.0 < mean < model.max_flux
+
+    def test_thinning_ratio_roughly_calibrated(self):
+        """Event counts thinned by this flux show a daytime excess."""
+        model = NeutronFluxModel()
+        ts = np.linspace(0.0, 24.0 * 365, 200_000)
+        flux = np.asarray(model.relative_flux(ts))
+        hour = ts % 24.0
+        day = flux[(hour >= 7) & (hour < 18)].sum()
+        night = flux[(hour < 7) | (hour >= 18)].sum()
+        assert 1.6 < day / night < 3.0  # paper observes ~2x

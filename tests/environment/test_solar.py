@@ -1,0 +1,66 @@
+"""Solar-position model sanity tests (standard astronomy facts)."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core import timeutils as tu
+from repro.environment import solar
+
+
+def hours_at(month, day, hour, minute=0, year=2015):
+    return tu.datetime_to_hours(dt.datetime(year, month, day, hour, minute))
+
+
+class TestElevation:
+    def test_summer_noon_high(self):
+        # Barcelona lat 41.4: max elevation ~ 90 - 41.4 + 23.4 ~ 72 deg.
+        elev = solar.solar_elevation_deg(hours_at(6, 21, 13))
+        assert 68.0 < elev < 74.0
+
+    def test_winter_noon_low(self):
+        # Winter solstice noon: ~ 90 - 41.4 - 23.4 ~ 25 deg.
+        elev = solar.solar_elevation_deg(hours_at(12, 21, 13))
+        assert 21.0 < elev < 29.0
+
+    def test_midnight_below_horizon(self):
+        for month in (3, 6, 9, 12):
+            assert solar.solar_elevation_deg(hours_at(month, 15, 1)) < 0.0
+
+    def test_equinox_noon(self):
+        # Equinox noon elevation ~ 90 - latitude.
+        elev = solar.solar_elevation_deg(hours_at(3, 20, 13))
+        assert abs(elev - (90.0 - 41.39)) < 3.0
+
+    def test_vectorized(self):
+        ts = np.array([hours_at(6, 21, h) for h in range(24)])
+        elevs = solar.solar_elevation_deg(ts)
+        assert elevs.shape == (24,)
+        assert int(np.argmax(elevs)) in (12, 13, 14)
+
+    def test_monotone_morning(self):
+        ts = np.array([hours_at(6, 21, h) for h in range(6, 13)])
+        elevs = np.asarray(solar.solar_elevation_deg(ts))
+        assert (np.diff(elevs) > 0).all()
+
+
+class TestDaytime:
+    def test_summer_days_longer(self):
+        hours = np.arange(24)
+        june = np.array([hours_at(6, 21, h) for h in hours])
+        december = np.array([hours_at(12, 21, h) for h in hours])
+        assert solar.is_daytime(june).sum() > solar.is_daytime(december).sum()
+
+    def test_solar_noon_near_13h_local(self):
+        # CET without DST handling: solar noon ~ 12.9 h for Barcelona.
+        noon = solar.solar_noon_hour(hours_at(6, 21, 0))
+        assert 12.0 < noon < 14.0
+
+
+class TestDeclination:
+    def test_declination_range(self):
+        ts = np.linspace(0.0, 365 * 24.0, 1000)
+        decl = np.rad2deg(np.asarray(solar.solar_declination_rad(ts)))
+        assert decl.max() == pytest.approx(23.4, abs=0.5)
+        assert decl.min() == pytest.approx(-23.4, abs=0.5)

@@ -1,0 +1,59 @@
+"""Temperature field tests."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro.cluster.topology import NodeId
+from repro.core import timeutils as tu
+from repro.environment.temperature import ROOM_MAX_C, ROOM_MIN_C, TemperatureModel
+
+
+def hours_at(month, day, hour, year=2015):
+    return tu.datetime_to_hours(dt.datetime(year, month, day, hour))
+
+
+class TestRoom:
+    def test_room_stays_in_hvac_band(self):
+        model = TemperatureModel()
+        ts = np.linspace(0.0, 425 * 24.0, 50_000)
+        room = np.asarray(model.room_temperature(ts))
+        assert room.min() >= ROOM_MIN_C
+        assert room.max() <= ROOM_MAX_C
+
+
+class TestNode:
+    def test_normal_node_in_30_40_band(self):
+        model = TemperatureModel()
+        temps = [
+            float(model.node_temperature(NodeId(5, 5), hours_at(m, 10, 14)))
+            for m in range(2, 13)
+        ]
+        assert all(28.0 < t < 42.0 for t in temps)
+
+    def test_overheating_node_above_60(self):
+        model = TemperatureModel()
+        t = float(model.node_temperature(NodeId(5, 12), hours_at(5, 10, 14)))
+        assert t > 60.0
+
+    def test_jitter_is_deterministic(self):
+        model = TemperatureModel()
+        a = model.node_temperature(NodeId(5, 5), 100.0)
+        b = model.node_temperature(NodeId(5, 5), 100.0)
+        assert a == b
+
+    def test_jitter_differs_across_nodes(self):
+        model = TemperatureModel()
+        a = float(model.node_temperature(NodeId(5, 5), 100.0))
+        b = float(model.node_temperature(NodeId(5, 6), 100.0))
+        assert a != b
+
+
+class TestTelemetryWindow:
+    def test_no_reading_before_april(self):
+        model = TemperatureModel()
+        assert model.reading(NodeId(5, 5), hours_at(3, 15, 12)) is None
+
+    def test_reading_from_april(self):
+        model = TemperatureModel()
+        assert model.reading(NodeId(5, 5), hours_at(4, 15, 12)) is not None

@@ -1,0 +1,71 @@
+"""Experiment registry tests on the paper-scale campaign."""
+
+import pytest
+
+from repro.experiments import EXPERIMENT_ORDER, REGISTRY, run_all, run_experiment
+from repro.experiments.base import ExperimentResult, render_heatmap
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
+            "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+            "table1", "table2", "headline",
+            "sec3c_alignment", "sec3d_undetectable", "sec3g_pearson",
+            "sec3i_prediction", "sec4_resilience", "sec4_checkpoint_sim",
+            "ablation_swizzle", "ablation_ecc", "ablation_ecc_overhead",
+            "ablation_quarantine_trigger",
+            "futurework_stress", "futurework_swap",
+        }
+        assert expected <= set(REGISTRY)
+        assert set(EXPERIMENT_ORDER) == set(REGISTRY)
+
+    def test_unknown_experiment_rejected(self, paper_analysis):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", paper_analysis)
+
+
+class TestAllExperimentsRun:
+    def test_run_all(self, paper_analysis):
+        results = run_all(paper_analysis)
+        assert len(results) == len(EXPERIMENT_ORDER)
+        for result in results:
+            assert isinstance(result, ExperimentResult)
+            text = result.to_text()
+            assert result.exp_id in text
+            assert result.rows, f"{result.exp_id} produced no rows"
+
+
+class TestRendering:
+    def test_heatmap_shape(self):
+        import numpy as np
+
+        grid = np.zeros((4, 5))
+        grid[1, 2] = 3.0
+        text = render_heatmap(grid)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == 5 for line in lines)
+        assert lines[0] == "....."
+        assert lines[1][2] != "."
+
+    def test_log_scale(self):
+        import numpy as np
+
+        grid = np.array([[0.0, 1.0, 100000.0]])
+        text = render_heatmap(grid, log_scale=True)
+        assert text[0] == "."
+        assert text[2] != text[1]
+
+    def test_result_text_layout(self):
+        result = ExperimentResult(
+            exp_id="x",
+            title="t",
+            headers=("a", "b"),
+            rows=[(1, "yy"), (22222, "z")],
+            notes=["n1"],
+        )
+        text = result.to_text()
+        assert "note: n1" in text
+        assert "22,222" in text

@@ -1,0 +1,36 @@
+"""CSV export tests (quick analysis to stay fast)."""
+
+import csv
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.export import export_report, export_result
+
+
+class TestExport:
+    def test_export_result_roundtrip(self, quick_analysis, tmp_path):
+        result = run_experiment("table1", quick_analysis)
+        path = export_result(result, tmp_path)
+        assert path.name == "table1.csv"
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert tuple(rows[0]) == result.headers
+        assert len(rows) - 1 == len(result.rows)
+        # Notes written alongside.
+        assert (tmp_path / "table1.notes.txt").exists()
+
+    def test_export_report(self, quick_analysis, tmp_path):
+        path = export_report(quick_analysis, tmp_path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["metric", "paper", "measured"]
+        assert len(rows) > 15
+
+    def test_values_survive_csv(self, quick_analysis, tmp_path):
+        result = run_experiment("fig06", quick_analysis)
+        path = export_result(result, tmp_path)
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))[1:]
+        total = sum(int(r[1]) for r in rows)
+        assert total == sum(r[1] for r in result.rows)

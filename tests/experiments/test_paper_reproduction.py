@@ -1,0 +1,184 @@
+"""Paper-reproduction acceptance tests.
+
+These assert the *shape* targets of DESIGN.md section 4 on the
+paper-calibrated campaign: who wins, by roughly what factor, where the
+structure lies.  Tolerances are generous enough to survive seed-level
+noise but tight enough that a broken model fails.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import multibit, spatial, temporal
+from repro.cluster.topology import NodeId
+from repro.faultinjection.catalogue import TABLE_I
+from repro.resilience import table2
+
+
+@pytest.fixture(scope="module")
+def report(paper_analysis):
+    return paper_analysis.report()
+
+
+class TestHeadline:
+    def test_raw_lines_over_25m(self, report):
+        assert report.n_raw_error_lines > 25_000_000
+
+    def test_dominant_node_over_98pct(self, report):
+        assert report.removed_node_line_fraction > 0.98
+
+    def test_independent_errors_over_55k(self, report):
+        assert 55_000 < report.n_independent_errors < 65_000
+
+    def test_node_hours_near_4_2m(self, report):
+        assert report.total_node_hours == pytest.approx(4.2e6, rel=0.05)
+
+    def test_tbh_near_12135(self, report):
+        assert report.total_terabyte_hours == pytest.approx(12_135, rel=0.05)
+
+    def test_923_nodes(self, report):
+        assert report.n_nodes_scanned == 923
+
+    def test_cluster_error_every_10min(self, report):
+        assert 8.0 < report.cluster_mtbf_minutes < 13.0
+
+
+class TestTable1:
+    def test_exact_multibit_catalogue(self, paper_analysis):
+        rows = multibit.reconstruct_table1(paper_analysis.errors)
+        reconstructed = {
+            (r.expected, r.corrupted): (r.occurrences, r.consecutive)
+            for r in rows
+        }
+        assert len(rows) == len(TABLE_I)
+        for p in TABLE_I:
+            occ, consecutive = reconstructed[(p.expected, p.corrupted)]
+            assert occ == p.occurrences
+            assert consecutive == p.consecutive
+
+    def test_85_76_9_split(self, report):
+        assert report.n_multibit_per_word == 85
+        assert report.n_double_bit == 76
+        assert report.n_beyond_double == 9
+
+    def test_flip_direction_90pct(self, report):
+        assert 0.85 < report.one_to_zero_fraction < 0.95
+
+    def test_bit_distances(self, report):
+        assert report.mean_bit_distance == pytest.approx(3.0, abs=0.3)
+        assert report.max_bit_distance == 11
+
+    def test_nonconsecutive_majority(self, paper_analysis):
+        assert multibit.multibit_nonconsecutive_fraction(paper_analysis.errors) > 0.5
+
+
+class TestSimultaneity:
+    def test_over_26k_simultaneous(self, report):
+        assert report.n_simultaneous_corruptions > 26_000
+
+    def test_max_event_36_bits(self, report):
+        assert report.max_bits_per_event == 36
+
+    def test_companion_counts(self, paper_analysis):
+        sim = paper_analysis.sim_stats
+        # 44 deliberate companions, plus a few accidental same-iteration
+        # collisions on the degrading node (also present in real data).
+        assert 44 <= sim.doubles_with_single <= 50
+        assert sim.triples_with_single == 2
+        assert sim.double_double_groups >= 1
+
+
+class TestSpatial:
+    def test_concentration(self, paper_analysis):
+        conc = spatial.concentration_stats(
+            paper_analysis.errors_by_node,
+            paper_analysis.campaign.registry.n_scanned,
+        )
+        assert conc.node_fraction < 0.01
+        assert conc.top_fraction >= 0.999
+
+    def test_top_node_is_02_04(self, paper_analysis):
+        top = spatial.top_nodes(paper_analysis.errors_by_node, 3)
+        assert top[0][0] == "02-04"
+        assert top[0][1] > 50_000
+        assert {top[1][0], top[2][0]} == {"04-05", "58-02"}
+
+    def test_weak_bit_forensics(self, paper_analysis):
+        for node in ("04-05", "58-02"):
+            f = spatial.node_forensics(paper_analysis.errors, node)
+            assert f.all_identical, f"{node} must show one identical error"
+
+    def test_degrading_node_forensics(self, paper_analysis):
+        f = spatial.node_forensics(paper_analysis.errors, "02-04")
+        assert f.n_distinct_addresses > 11_000
+        assert 20 < f.n_distinct_patterns < 45  # "almost 30"
+
+    def test_others_under_40_errors(self, paper_analysis):
+        counts = dict(paper_analysis.errors_by_node)
+        for node in ("02-04", "04-05", "58-02"):
+            counts.pop(node, None)
+        assert sum(counts.values()) < 40  # paper: <30
+
+
+class TestTemporal:
+    def test_diurnal_multibit(self, paper_analysis):
+        hourly = temporal.hourly_multibit(paper_analysis.frame)
+        dn = temporal.day_night_stats(hourly)
+        assert 1.5 < dn.day_night_ratio < 3.5  # paper: ~2x
+        assert 10 <= dn.peak_hour <= 15       # paper: noon peak
+
+    def test_single_bit_flat(self, paper_analysis):
+        hist = temporal.hourly_histogram(paper_analysis.frame)
+        single = hist[1]
+        cv = float(np.std(single) / np.mean(single))
+        assert cv < 0.5
+
+    def test_regimes(self, report):
+        assert 60 <= report.n_degraded_days <= 100      # paper: 77
+        assert report.mtbf_normal_hours == pytest.approx(167.0, rel=0.15)
+        assert report.mtbf_degraded_hours == pytest.approx(0.39, rel=0.5)
+
+    def test_undetectable_isolation(self, paper_analysis):
+        undet = [e for e in paper_analysis.errors if e.n_bits > 3]
+        assert len(undet) == 7
+        hosts = {e.node for e in undet}
+        assert len(hosts) == 5
+        counts = paper_analysis.errors_by_node
+        # Hosts have no other errors at all.
+        lonely = sum(1 for e in undet if counts[e.node] == 1)
+        assert lonely == 4
+        near = sum(1 for h in hosts if NodeId.parse(h).near_overheating_slot)
+        assert near == 4
+
+
+class TestPearson:
+    def test_weak_anticorrelation(self, paper_analysis):
+        p = paper_analysis.pearson
+        assert -0.3 < p.r < -0.05
+        assert p.p_value < 0.05
+
+
+class TestTable2:
+    def test_quarantine_sweep_shape(self, paper_analysis):
+        outcomes = table2(
+            paper_analysis.frame, paper_analysis.campaign.study_hours
+        )
+        errors = [o.n_errors for o in outcomes]
+        mtbfs = [o.system_mtbf_hours for o in outcomes]
+        # No quarantine: thousands of errors, ~2 h MTBF.
+        assert errors[0] > 3_000
+        assert mtbfs[0] == pytest.approx(2.1, rel=0.3)
+        # 30 days: errors collapse by >30x, MTBF >100 h.
+        assert errors[-1] < errors[0] / 30
+        assert mtbfs[-1] > 100.0
+        # Availability cost stays under the paper's 0.1%.
+        assert outcomes[-1].availability_loss < 0.001
+
+
+class TestTemperature:
+    def test_mass_in_30_40(self, paper_analysis):
+        from repro.analysis.correlation import temperature_histogram
+
+        hist = temperature_histogram(paper_analysis.frame)
+        assert hist.fraction_in_range(30, 40) > 0.5
+        assert 0.0 < hist.fraction_in_range(60, 200) < 0.05

@@ -1,0 +1,68 @@
+"""Accelerated beam test simulation tests."""
+
+import pytest
+
+from repro.faultinjection.beam import (
+    BeamTestConfig,
+    BeamTestResult,
+    compare_with_field,
+    run_beam_test,
+)
+
+
+@pytest.fixture(scope="module")
+def beam_result():
+    # Small config keeps the module fast while staying statistically
+    # meaningful (~100 upsets expected).
+    return run_beam_test(
+        BeamTestConfig(device_mb=4, n_devices=2, exposure_hours=1.0)
+    )
+
+
+class TestBeamRun:
+    def test_upsets_observed(self, beam_result):
+        assert beam_result.n_upsets > 20
+
+    def test_rate_recovers_truth(self, beam_result):
+        """The accelerated rate divided by the acceleration returns the
+        configured physics within sampling error."""
+        config = BeamTestConfig()
+        predicted = beam_result.predicted_field_rate
+        truth = config.field_rate_per_bit_hour
+        assert 0.5 * truth < predicted < 2.0 * truth
+
+    def test_deterministic(self):
+        a = run_beam_test(BeamTestConfig(device_mb=2, n_devices=1, exposure_hours=0.5))
+        b = run_beam_test(BeamTestConfig(device_mb=2, n_devices=1, exposure_hours=0.5))
+        assert a.n_upsets == b.n_upsets
+
+    def test_more_flux_more_upsets(self):
+        low = run_beam_test(
+            BeamTestConfig(device_mb=2, n_devices=1, exposure_hours=0.5, acceleration=5e9)
+        )
+        high = run_beam_test(
+            BeamTestConfig(device_mb=2, n_devices=1, exposure_hours=0.5, acceleration=4e10)
+        )
+        assert high.n_upsets > low.n_upsets * 3
+
+
+class TestComparison:
+    def test_comparison_math(self):
+        beam = BeamTestResult(
+            n_upsets=100, bit_hours_accelerated=1e9, acceleration=1e8
+        )
+        cmp = compare_with_field(
+            beam,
+            background_errors=10,
+            total_errors=10_000,
+            field_bit_hours=1e16,
+        )
+        assert cmp.beam_predicted_rate == pytest.approx(1e-15)
+        assert cmp.field_background_rate == pytest.approx(1e-15)
+        assert cmp.background_ratio == pytest.approx(1.0)
+        assert cmp.total_underestimate == pytest.approx(1000.0)
+
+    def test_invalid_field_hours(self):
+        beam = BeamTestResult(1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            compare_with_field(beam, 1, 1, 0.0)

@@ -1,0 +1,29 @@
+"""Campaign save/load round-trip tests."""
+
+import numpy as np
+
+from repro.faultinjection.campaign import CampaignResult
+
+
+class TestPersistence:
+    def test_roundtrip(self, quick_campaign, tmp_path):
+        quick_campaign.save(tmp_path / "ckpt")
+        loaded = CampaignResult.load(tmp_path / "ckpt")
+        assert loaded.config == quick_campaign.config
+        assert loaded.n_observations == quick_campaign.n_observations
+        assert loaded.n_raw_error_lines() == quick_campaign.n_raw_error_lines()
+        # Tracks identical.
+        for node, track in quick_campaign.tracks.items():
+            other = loaded.tracks[node]
+            assert np.array_equal(track.starts, other.starts)
+            assert np.array_equal(track.alloc_mb, other.alloc_mb)
+
+    def test_analysis_agrees_after_reload(self, quick_campaign, tmp_path):
+        from repro.analysis.report import StudyAnalysis
+
+        quick_campaign.save(tmp_path / "ckpt")
+        loaded = CampaignResult.load(tmp_path / "ckpt")
+        a = StudyAnalysis(quick_campaign).extraction
+        b = StudyAnalysis(loaded).extraction
+        assert a.n_errors == b.n_errors
+        assert a.removed_node == b.removed_node

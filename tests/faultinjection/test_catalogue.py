@@ -1,0 +1,72 @@
+"""Table I catalogue integrity tests (transcription-level checks)."""
+
+import pytest
+
+from repro.core import bitops
+from repro.faultinjection.catalogue import (
+    TABLE_I,
+    MultiBitPattern,
+    beyond_double_faults,
+    double_bit_faults,
+    total_multibit_faults,
+    undetectable_patterns,
+)
+
+
+class TestPaperTotals:
+    def test_85_total_faults(self):
+        assert total_multibit_faults() == 85
+
+    def test_76_double_bit(self):
+        assert double_bit_faults() == 76
+
+    def test_9_beyond_double(self):
+        assert beyond_double_faults() == 9
+
+    def test_18_distinct_patterns(self):
+        assert len(TABLE_I) == 18
+
+    def test_7_undetectable(self):
+        undet = undetectable_patterns()
+        assert len(undet) == 7
+        assert sum(p.occurrences for p in undet) == 7
+        assert sorted(p.n_bits for p in undet) == [4, 4, 4, 5, 6, 8, 9]
+
+
+class TestRowConsistency:
+    def test_all_rows_self_consistent(self):
+        for p in TABLE_I:
+            p.validate()  # popcount + consecutive flags match the masks
+
+    def test_max_bits_is_nine(self):
+        assert max(p.n_bits for p in TABLE_I) == 9
+
+    def test_max_distance_is_eleven(self):
+        gaps = [int(bitops.adjacent_gaps(p.flip_mask).max()) for p in TABLE_I if p.n_bits > 1]
+        assert max(gaps) == 11
+
+    def test_occurrence_weighted_mean_distance_near_three(self):
+        """The paper's 'average distance of 3 bits' is occurrence-weighted."""
+        total = 0.0
+        count = 0
+        for p in TABLE_I:
+            gaps = bitops.adjacent_gaps(p.flip_mask)
+            total += float(gaps.sum()) * p.occurrences
+            count += gaps.size * p.occurrences
+        assert 2.8 < total / count < 3.2
+
+    def test_counting_rows_identified(self):
+        counting = [p for p in TABLE_I if p.uses_counting_pattern]
+        assert len(counting) == 8
+        for p in counting:
+            assert p.counting_iteration == p.expected - 1
+
+    def test_alternating_row_rejects_counting_iteration(self):
+        row = next(p for p in TABLE_I if not p.uses_counting_pattern)
+        with pytest.raises(ValueError):
+            row.counting_iteration
+
+    def test_validation_catches_bad_rows(self):
+        bad = MultiBitPattern(3, 0xFFFFFFFF, 0xFFFF7BFF, 1, False)  # really 2 bits
+        with pytest.raises(ValueError):
+            bad.validate()

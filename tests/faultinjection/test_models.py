@@ -1,0 +1,201 @@
+"""Fault-model tests against synthetic session tracks."""
+
+import numpy as np
+import pytest
+
+from repro.faultinjection.config import (
+    BackgroundConfig,
+    DegradingNodeConfig,
+    StuckNodeConfig,
+    WeakBitConfig,
+    paper_campaign_config,
+)
+from repro.faultinjection.models import (
+    degrading_day_rates,
+    gen_background,
+    gen_degrading,
+    gen_stuck_node,
+    gen_weak_bit,
+    plan_catalogue,
+)
+from repro.faultinjection.sessions import SessionTrack
+
+
+def full_coverage_track(node="05-05", n_days=120):
+    """One giant session covering the whole window (simplest coverage)."""
+    return SessionTrack(
+        node=node,
+        starts=np.array([0.0]),
+        ends=np.array([n_days * 24.0]),
+        alloc_mb=np.array([3072], dtype=np.int64),
+        pattern=np.zeros(1, dtype=np.int8),
+    )
+
+
+class TestBackground:
+    def test_rate_calibration(self):
+        track = full_coverage_track()
+        cfg = BackgroundConfig(rate_per_node_hour=0.01)
+        rng = np.random.default_rng(0)
+        obs = gen_background(track, cfg, rng)
+        expected = 0.01 * track.monitored_hours
+        assert 0.7 * expected < len(obs) < 1.3 * expected
+
+    def test_all_single_bit(self):
+        track = full_coverage_track()
+        obs = gen_background(
+            track, BackgroundConfig(rate_per_node_hour=0.01), np.random.default_rng(1)
+        )
+        for o in obs:
+            assert bin(o.expected ^ o.actual).count("1") == 1
+
+    def test_direction_dominance(self):
+        track = full_coverage_track()
+        cfg = BackgroundConfig(rate_per_node_hour=0.05, p_one_to_zero=0.9)
+        obs = gen_background(track, cfg, np.random.default_rng(2))
+        one_to_zero = sum(1 for o in obs if o.expected == 0xFFFFFFFF)
+        assert 0.82 < one_to_zero / len(obs) < 0.96
+
+
+class TestStuckNode:
+    def test_repeats_per_session(self):
+        track = SessionTrack(
+            node="21-09",
+            starts=np.array([0.0, 100.0]),
+            ends=np.array([10.0, 110.0]),
+            alloc_mb=np.array([3072, 3072], dtype=np.int64),
+            pattern=np.zeros(2, dtype=np.int8),
+        )
+        cfg = StuckNodeConfig(n_addresses=4)
+        obs = gen_stuck_node(track, cfg, np.random.default_rng(0))
+        # 2 sessions x 4 addresses.
+        assert len(obs) == 8
+        iters = track.iterations_in_session(0)
+        for o in obs:
+            assert o.repeat_count == iters // 2
+            assert o.expected == 0xFFFFFFFF
+
+    def test_addresses_stable_across_sessions(self):
+        track = SessionTrack(
+            node="21-09",
+            starts=np.array([0.0, 100.0]),
+            ends=np.array([10.0, 110.0]),
+            alloc_mb=np.array([3072, 3072], dtype=np.int64),
+            pattern=np.zeros(2, dtype=np.int8),
+        )
+        obs = gen_stuck_node(track, StuckNodeConfig(n_addresses=3), np.random.default_rng(1))
+        first = {o.word_index for o in obs[:3]}
+        second = {o.word_index for o in obs[3:]}
+        assert first == second
+
+
+class TestDegrading:
+    def test_ramp_shape(self):
+        cfg = DegradingNodeConfig(onset_day=10, ramp_end_day=50, monitoring_gaps=())
+        rates = degrading_day_rates(cfg, 60)
+        assert rates[9] == 0.0
+        assert rates[10] > 0.0
+        assert rates[49] > rates[10] * 50
+        assert rates[55] == rates[59]  # plateau
+
+    def test_counts_grow(self):
+        cfg = DegradingNodeConfig(onset_day=10, ramp_end_day=50, monitoring_gaps=())
+        track = full_coverage_track("02-04", n_days=60)
+        obs = gen_degrading(track, cfg, np.random.default_rng(0), 60)
+        days = np.array([int(o.time_hours // 24.0) for o in obs])
+        early = ((days >= 10) & (days < 20)).sum()
+        late = ((days >= 40) & (days < 50)).sum()
+        assert late > early * 10
+
+    def test_simultaneity_groups_share_timestamps(self):
+        cfg = DegradingNodeConfig(
+            onset_day=0, ramp_end_day=30, monitoring_gaps=(), p_isolated=0.0
+        )
+        track = full_coverage_track("02-04", n_days=30)
+        obs = gen_degrading(track, cfg, np.random.default_rng(1), 30)
+        times = {}
+        for o in obs:
+            times.setdefault(o.time_hours, []).append(o)
+        group_sizes = [len(v) for v in times.values()]
+        assert max(group_sizes) >= 2
+
+    def test_max_event_injected(self):
+        cfg = DegradingNodeConfig(
+            onset_day=0, ramp_end_day=30, monitoring_gaps=(), inject_max_event=True
+        )
+        track = full_coverage_track("02-04", n_days=30)
+        obs = gen_degrading(track, cfg, np.random.default_rng(2), 30)
+        times = {}
+        for o in obs:
+            times.setdefault(o.time_hours, []).append(o)
+        assert max(len(v) for v in times.values()) == cfg.max_group_bits
+
+    def test_bit_pool_respected(self):
+        cfg = DegradingNodeConfig(onset_day=0, ramp_end_day=20, monitoring_gaps=())
+        track = full_coverage_track("02-04", n_days=20)
+        obs = gen_degrading(track, cfg, np.random.default_rng(3), 20)
+        for o in obs:
+            bit = (o.expected ^ o.actual).bit_length() - 1
+            assert bit in cfg.bit_pool
+
+
+class TestWeakBit:
+    def test_all_errors_identical(self):
+        cfg = WeakBitConfig(node="04-05", bit=17, word_index=123,
+                            episode_window_days=None)
+        track = full_coverage_track("04-05")
+        obs = gen_weak_bit(track, cfg, np.random.default_rng(0), 120)
+        assert obs, "bursts must produce errors"
+        assert len({(o.word_index, o.expected, o.actual) for o in obs}) == 1
+        assert obs[0].expected ^ obs[0].actual == 1 << 17
+
+    def test_bursty_distribution(self):
+        cfg = WeakBitConfig(node="04-05", bit=3, word_index=5,
+                            episode_window_days=None)
+        track = full_coverage_track("04-05")
+        obs = gen_weak_bit(track, cfg, np.random.default_rng(1), 120)
+        days = np.bincount(
+            np.array([int(o.time_hours // 24) for o in obs]), minlength=120
+        )
+        # Errors concentrated in a minority of days.
+        busy_days = (days > 0).sum()
+        assert busy_days < 70
+
+    def test_repeat_counts(self):
+        cfg = WeakBitConfig(node="04-05", bit=3, word_index=5, mean_repeat=3.0,
+                            episode_window_days=None)
+        track = full_coverage_track("04-05")
+        obs = gen_weak_bit(track, cfg, np.random.default_rng(2), 120)
+        mean_rep = np.mean([o.repeat_count for o in obs])
+        assert 2.0 < mean_rep < 4.0
+
+
+class TestCataloguePlan:
+    def test_every_occurrence_planned(self):
+        config = paper_campaign_config()
+        rng = np.random.default_rng(0)
+        plans = plan_catalogue(config, rng)
+        assert len(plans) == 85
+
+    def test_counting_rows_pinned(self):
+        config = paper_campaign_config()
+        plans = plan_catalogue(config, np.random.default_rng(1))
+        for p in plans:
+            if p.pattern.uses_counting_pattern:
+                assert p.pinned is not None
+                start, end = p.pinned
+                needed = (p.pattern.counting_iteration + 1) * (10.0 / 3600.0)
+                assert end - start >= needed
+                assert p.event_time == pytest.approx(start + needed)
+
+    def test_pins_do_not_overlap_per_node(self):
+        config = paper_campaign_config()
+        plans = plan_catalogue(config, np.random.default_rng(2))
+        by_node = {}
+        for p in plans:
+            if p.pinned:
+                by_node.setdefault(p.node, []).append(p.pinned)
+        for intervals in by_node.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2 + 1e-9

@@ -1,0 +1,75 @@
+"""Stochastic process tests."""
+
+import numpy as np
+import pytest
+
+from repro.faultinjection.processes import (
+    nhpp_times,
+    piecewise_poisson_times,
+    poisson_times,
+)
+
+
+class TestPoisson:
+    def test_count_near_expectation(self):
+        rng = np.random.default_rng(0)
+        times = poisson_times(2.0, 0.0, 1000.0, rng)
+        assert 1800 < times.size < 2200
+
+    def test_times_sorted_in_range(self):
+        rng = np.random.default_rng(1)
+        times = poisson_times(1.0, 10.0, 20.0, rng)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 10.0 and times.max() < 20.0
+
+    def test_empty_cases(self):
+        rng = np.random.default_rng(2)
+        assert poisson_times(0.0, 0.0, 10.0, rng).size == 0
+        assert poisson_times(1.0, 10.0, 10.0, rng).size == 0
+
+
+class TestNhpp:
+    def test_rate_modulation(self):
+        """A day/night rate function yields ~the right count split."""
+        rng = np.random.default_rng(3)
+
+        def rate(t):
+            return np.where((t % 24.0 > 8) & (t % 24.0 < 16), 4.0, 1.0)
+
+        times = nhpp_times(rate, 4.0, 0.0, 24.0 * 200, rng)
+        hod = times % 24.0
+        day = ((hod > 8) & (hod < 16)).sum()
+        night = times.size - day
+        # Expected ratio: (4*8)/(1*16) = 2.
+        assert 1.6 < day / night < 2.5
+
+    def test_bound_violation_detected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            nhpp_times(lambda t: np.full_like(t, 5.0), 2.0, 0.0, 100.0, rng)
+
+    def test_empty(self):
+        rng = np.random.default_rng(5)
+        assert nhpp_times(lambda t: t * 0 + 1, 1.0, 5.0, 5.0, rng).size == 0
+
+
+class TestPiecewise:
+    def test_day_rates_respected(self):
+        rng = np.random.default_rng(6)
+        rates = np.array([0.0, 100.0, 0.0, 50.0])
+        times = piecewise_poisson_times(rates, rng)
+        days = (times // 24.0).astype(int)
+        counts = np.bincount(days, minlength=4)
+        assert counts[0] == 0 and counts[2] == 0
+        assert 70 < counts[1] < 130
+        assert 30 < counts[3] < 75
+
+    def test_day_offset(self):
+        rng = np.random.default_rng(7)
+        times = piecewise_poisson_times(np.array([50.0]), rng, day0=10)
+        assert (times >= 240.0).all() and (times < 264.0).all()
+
+    def test_sorted(self):
+        rng = np.random.default_rng(8)
+        times = piecewise_poisson_times(np.full(10, 20.0), rng)
+        assert (np.diff(times) >= 0).all()

@@ -1,0 +1,155 @@
+"""Session-track tests: merging, gaps, sampling, detection timing."""
+
+import numpy as np
+import pytest
+
+from repro.faultinjection.sessions import (
+    BASE_ITER_HOURS,
+    PATTERN_ALTERNATING,
+    SessionTrack,
+    build_session_track,
+    merge_touching,
+    subtract_gaps,
+)
+from repro.scheduler.jobs import IdleWindow
+
+
+def track(starts, ends, alloc=3072):
+    n = len(starts)
+    return SessionTrack(
+        node="05-05",
+        starts=np.array(starts, dtype=np.float64),
+        ends=np.array(ends, dtype=np.float64),
+        alloc_mb=np.full(n, alloc, dtype=np.int64),
+        pattern=np.zeros(n, dtype=np.int8),
+    )
+
+
+class TestMergeTouching:
+    def test_merges_midnight_joins(self):
+        windows = [IdleWindow(0.0, 24.0), IdleWindow(24.0, 48.0)]
+        merged = merge_touching(windows)
+        assert merged == [IdleWindow(0.0, 48.0)]
+
+    def test_keeps_gaps(self):
+        windows = [IdleWindow(0.0, 5.0), IdleWindow(6.0, 10.0)]
+        assert len(merge_touching(windows)) == 2
+
+    def test_handles_overlap(self):
+        windows = [IdleWindow(0.0, 10.0), IdleWindow(5.0, 12.0)]
+        assert merge_touching(windows) == [IdleWindow(0.0, 12.0)]
+
+    def test_empty(self):
+        assert merge_touching([]) == []
+
+
+class TestSubtractGaps:
+    def test_punches_hole(self):
+        windows = [IdleWindow(0.0, 10.0)]
+        out = subtract_gaps(windows, [(3.0, 5.0)])
+        assert out == [IdleWindow(0.0, 3.0), IdleWindow(5.0, 10.0)]
+
+    def test_swallows_window(self):
+        assert subtract_gaps([IdleWindow(4.0, 6.0)], [(0.0, 10.0)]) == []
+
+    def test_no_gaps(self):
+        windows = [IdleWindow(0.0, 1.0)]
+        assert subtract_gaps(windows, []) == windows
+
+
+class TestTrackQueries:
+    def test_locate(self):
+        t = track([0.0, 10.0], [5.0, 20.0])
+        assert t.locate(2.0) == 0
+        assert t.locate(5.0) == -1
+        assert t.locate(15.0) == 1
+        assert t.locate(25.0) == -1
+
+    def test_locate_vectorized(self):
+        t = track([0.0, 10.0], [5.0, 20.0])
+        out = t.locate(np.array([2.0, 7.0, 11.0]))
+        assert out.tolist() == [0, -1, 1]
+
+    def test_monitored_and_tbh(self):
+        t = track([0.0], [1024.0 / 3.0], alloc=3072)
+        assert t.monitored_hours == pytest.approx(1024.0 / 3.0)
+        assert t.terabyte_hours == pytest.approx(1.0)
+
+    def test_sample_covered_within_sessions(self):
+        t = track([0.0, 100.0], [10.0, 110.0])
+        rng = np.random.default_rng(0)
+        samples = t.sample_covered(rng, 500, -np.inf, np.inf)
+        assert samples.shape == (500,)
+        assert (np.asarray(t.locate(samples)) >= 0).all()
+
+    def test_sample_covered_respects_interval(self):
+        t = track([0.0, 100.0], [10.0, 110.0])
+        rng = np.random.default_rng(1)
+        samples = t.sample_covered(rng, 200, 100.0, 105.0)
+        assert (samples >= 100.0).all() and (samples < 105.0).all()
+
+    def test_sample_covered_empty(self):
+        t = track([0.0], [10.0])
+        rng = np.random.default_rng(2)
+        assert t.sample_covered(rng, 5, 20.0, 30.0).size == 0
+
+    def test_detection_time_rounds_up(self):
+        t = track([0.0], [10.0])
+        period = float(t.iter_hours[0])
+        det = t.detection_time(period * 2.5)
+        assert det == pytest.approx(period * 3.0)
+
+    def test_detection_time_uncovered_nan(self):
+        t = track([0.0], [10.0])
+        assert np.isnan(t.detection_time(50.0))
+
+    def test_detection_clamped_inside_session(self):
+        t = track([0.0], [10.0])
+        det = t.detection_time(10.0 - 1e-9)
+        assert det < 10.0
+
+    def test_iterations_in_session(self):
+        t = track([0.0], [10.0])
+        assert t.iterations_in_session(0) == int(10.0 / BASE_ITER_HOURS)
+
+    def test_daily_tbh_split(self):
+        t = track([12.0], [36.0], alloc=3072)  # spans days 0 and 1
+        daily = t.daily_terabyte_hours(3)
+        assert daily[0] == pytest.approx(12.0 * 3.0 / 1024.0)
+        assert daily[1] == pytest.approx(12.0 * 3.0 / 1024.0)
+        assert daily[2] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            track([0.0], [0.0])
+
+
+class TestBuildTrack:
+    def test_build_basic(self):
+        rng = np.random.default_rng(0)
+        windows = [IdleWindow(float(i * 10), float(i * 10 + 5)) for i in range(200)]
+        t = build_session_track("05-05", windows, rng, p_truncation=0.0)
+        assert t.n_sessions == 200
+        assert (t.alloc_mb <= 3072).all()
+        assert (t.alloc_mb > 0).all()
+
+    def test_truncation_drops_sessions(self):
+        rng = np.random.default_rng(1)
+        windows = [IdleWindow(float(i * 10), float(i * 10 + 5)) for i in range(500)]
+        t = build_session_track("05-05", windows, rng, p_truncation=0.5)
+        assert t.n_truncated > 100
+        assert t.n_sessions + t.n_truncated <= 500
+
+    def test_counting_fraction(self):
+        rng = np.random.default_rng(2)
+        windows = [IdleWindow(float(i * 10), float(i * 10 + 5)) for i in range(1000)]
+        t = build_session_track(
+            "05-05", windows, rng, p_truncation=0.0, p_counting=0.3
+        )
+        frac = float((t.pattern != PATTERN_ALTERNATING).mean())
+        assert 0.2 < frac < 0.4
+
+    def test_empty_windows(self):
+        t = build_session_track("05-05", [], np.random.default_rng(0))
+        assert t.n_sessions == 0
+        assert t.monitored_hours == 0.0

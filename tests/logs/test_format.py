@@ -1,0 +1,90 @@
+"""Log line serialization tests, including the parse/format inverse."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import LogFormatError
+from repro.core.records import (
+    AllocFailRecord,
+    EndRecord,
+    ErrorRecord,
+    StartRecord,
+)
+from repro.logs.format import format_record, parse_line
+
+NODE = st.integers(1, 63).flatmap(
+    lambda b: st.integers(1, 15).map(lambda s: f"{b:02d}-{s:02d}")
+)
+TS = st.floats(min_value=0.0, max_value=425 * 24.0, allow_nan=False).map(
+    lambda t: round(t, 9)
+)
+TEMP = st.one_of(st.none(), st.floats(18.0, 95.0).map(lambda t: round(t, 2)))
+WORD = st.integers(0, 0xFFFFFFFF)
+
+
+class TestKnownLines:
+    def test_start_line(self):
+        rec = StartRecord(1.5, "02-04", 3072, 34.25)
+        line = format_record(rec)
+        assert line.startswith("START|t=1.5")
+        assert "mb=3072" in line
+        assert parse_line(line) == rec
+
+    def test_error_line_hex_fields(self):
+        rec = ErrorRecord(2.0, "02-04", 0x30000000, 0x80001, 0xFFFFFFFF, 0xFFFF7BFF)
+        line = format_record(rec)
+        assert "exp=0xffffffff" in line
+        assert "act=0xffff7bff" in line
+        assert parse_line(line) == rec
+
+    def test_end_line_missing_temp(self):
+        rec = EndRecord(3.0, "02-04", None)
+        line = format_record(rec)
+        assert "temp=na" in line
+        assert parse_line(line) == rec
+
+    def test_alloc_fail_line(self):
+        rec = AllocFailRecord(4.0, "02-04")
+        assert parse_line(format_record(rec)) == rec
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line", ["", "BOGUS|t=1|node=x", "ERROR|t=notanumber|node=01-01", "ERROR|junk"]
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(LogFormatError):
+            parse_line(line)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(LogFormatError):
+            parse_line("ERROR|t=1.0|node=01-01")
+
+
+class TestRoundtripProperties:
+    @given(TS, NODE, st.integers(2, 3072), TEMP)
+    def test_start_roundtrip(self, t, node, mb, temp):
+        rec = StartRecord(t, node, mb, temp)
+        assert parse_line(format_record(rec)) == rec
+
+    @given(TS, NODE, WORD, WORD, TEMP, st.integers(1, 10**7))
+    def test_error_roundtrip(self, t, node, expected, actual, temp, rep):
+        if expected == actual:
+            actual ^= 1
+        rec = ErrorRecord(
+            timestamp_hours=t,
+            node=node,
+            virtual_address=0x30000000 + 4,
+            physical_page=0x80000,
+            expected=expected,
+            actual=actual,
+            temperature_c=temp,
+            repeat_count=rep,
+        )
+        assert parse_line(format_record(rec)) == rec
+
+    @given(TS, NODE, TEMP)
+    def test_end_roundtrip(self, t, node, temp):
+        rec = EndRecord(t, node, temp)
+        assert parse_line(format_record(rec)) == rec

@@ -1,0 +1,74 @@
+"""Array-backed error table tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MemoryError_
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+
+
+def records():
+    return [
+        ErrorRecord(2.0, "02-04", 0x30, 0x80, 0xFFFFFFFF, 0xFFFF7BFF, 33.0, 1),
+        ErrorRecord(1.0, "01-02", 0x34, 0x81, 0xFFFFFFFF, 0xFFFFFFFE, None, 7),
+        ErrorRecord(3.0, "02-04", 0x38, 0x82, 0x0, 0x1, 35.0, 2),
+    ]
+
+
+@pytest.fixture
+def frame():
+    return ErrorFrame.from_records(records())
+
+
+class TestConstruction:
+    def test_length(self, frame):
+        assert len(frame) == 3
+
+    def test_node_interning(self, frame):
+        assert set(frame.node_names) == {"02-04", "01-02"}
+        assert frame.node_name(frame.node_code[0]) == "02-04"
+
+    def test_missing_temperature_is_nan(self, frame):
+        assert np.isnan(frame.temperature_c[1])
+        assert frame.temperature_c[0] == pytest.approx(33.0)
+
+    def test_from_errors(self):
+        errors = [
+            MemoryError_("02-04", 1.0, 2.0, 0x30, 0x80, 0xFFFFFFFF, 0xFFFFFFFE, 9)
+        ]
+        frame = ErrorFrame.from_errors(errors)
+        assert frame.repeat_count[0] == 9
+
+
+class TestDerived:
+    def test_n_bits(self, frame):
+        assert frame.n_bits.tolist() == [2, 1, 1]
+
+    def test_flip_mask(self, frame):
+        assert frame.flip_mask[0] == 0x8400
+
+
+class TestFiltering:
+    def test_select(self, frame):
+        sub = frame.select(frame.n_bits == 1)
+        assert len(sub) == 2
+
+    def test_exclude_nodes(self, frame):
+        sub = frame.exclude_nodes(["02-04"])
+        assert len(sub) == 1
+        assert frame.node_name(sub.node_code[0]) == "01-02"
+
+    def test_exclude_unknown_node_noop(self, frame):
+        assert len(frame.exclude_nodes(["63-15"])) == 3
+
+    def test_multibit_only(self, frame):
+        assert len(frame.multibit_only()) == 1
+
+    def test_sorted_by_time(self, frame):
+        s = frame.sorted_by_time()
+        assert s.time_hours.tolist() == [1.0, 2.0, 3.0]
+
+    def test_codes_for(self, frame):
+        codes = frame.codes_for(["01-02", "not-present"])
+        assert codes.shape == (1,)

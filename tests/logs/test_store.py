@@ -1,0 +1,75 @@
+"""Per-node archive tests, including directory round-trips."""
+
+from repro.core.records import EndRecord, ErrorRecord, StartRecord
+from repro.logs.store import LogArchive
+
+
+def make_archive():
+    archive = LogArchive()
+    archive.extend(
+        [
+            StartRecord(0.0, "01-02", 3072, None),
+            ErrorRecord(1.0, "01-02", 0x30, 0x80, 0xFFFFFFFF, 0xFFFFFFFE, None, 5),
+            EndRecord(2.0, "01-02", None),
+            ErrorRecord(0.5, "02-04", 0x40, 0x81, 0x0, 0x1, 33.0, 1),
+        ]
+    )
+    return archive
+
+
+class TestArchive:
+    def test_nodes_sorted(self):
+        assert make_archive().nodes == ["01-02", "02-04"]
+
+    def test_counts(self):
+        archive = make_archive()
+        assert archive.n_records() == 4
+        assert archive.n_raw_error_lines() == 6  # repeat 5 + repeat 1
+
+    def test_error_records_filter(self):
+        archive = make_archive()
+        assert len(list(archive.error_records())) == 2
+        assert len(list(archive.error_records("01-02"))) == 1
+
+    def test_sort(self):
+        archive = LogArchive()
+        archive.append(ErrorRecord(5.0, "01-02", 0, 0, 0, 1))
+        archive.append(ErrorRecord(1.0, "01-02", 0, 0, 0, 1))
+        archive.sort()
+        times = [r.timestamp_hours for r in archive.records("01-02")]
+        assert times == [1.0, 5.0]
+
+    def test_directory_roundtrip(self, tmp_path):
+        archive = make_archive()
+        archive.write_directory(tmp_path / "logs")
+        loaded = LogArchive.read_directory(tmp_path / "logs")
+        assert loaded.nodes == archive.nodes
+        for node in archive.nodes:
+            assert loaded.records(node) == archive.records(node)
+
+    def test_one_file_per_node(self, tmp_path):
+        make_archive().write_directory(tmp_path)
+        names = sorted(p.name for p in tmp_path.glob("*.log"))
+        assert names == ["01-02.log", "02-04.log"]
+
+    def test_gzip_roundtrip(self, tmp_path):
+        archive = make_archive()
+        archive.write_directory(tmp_path, compress=True)
+        names = sorted(p.name for p in tmp_path.glob("*.gz"))
+        assert names == ["01-02.log.gz", "02-04.log.gz"]
+        loaded = LogArchive.read_directory(tmp_path)
+        assert loaded.n_records() == archive.n_records()
+        for node in archive.nodes:
+            assert loaded.records(node) == archive.records(node)
+
+    def test_gzip_smaller_for_repetitive_logs(self, tmp_path):
+        archive = LogArchive()
+        for i in range(2000):
+            archive.append(
+                ErrorRecord(float(i), "01-02", 0x30, 0x80, 0xFFFFFFFF, 0xFFFFFFFE)
+            )
+        archive.write_directory(tmp_path / "plain")
+        archive.write_directory(tmp_path / "gz", compress=True)
+        plain = (tmp_path / "plain" / "01-02.log").stat().st_size
+        gz = (tmp_path / "gz" / "01-02.log.gz").stat().st_size
+        assert gz < plain / 5

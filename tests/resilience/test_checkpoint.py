@@ -1,0 +1,75 @@
+"""Checkpoint-interval theory tests."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import (
+    RegimePolicy,
+    daly_interval,
+    paper_policy,
+    waste_fraction,
+    young_interval,
+)
+
+
+class TestIntervals:
+    def test_young_formula(self):
+        assert young_interval(100.0, 0.5) == pytest.approx(np.sqrt(100.0))
+
+    def test_daly_close_to_young_for_small_delta(self):
+        y = young_interval(1000.0, 0.01)
+        d = daly_interval(1000.0, 0.01)
+        assert abs(d - y) / y < 0.05
+
+    def test_daly_degenerate_regime(self):
+        # delta >= 2M: checkpoint constantly.
+        assert daly_interval(0.01, 0.05) == 0.05
+
+    def test_interval_grows_with_mtbf(self):
+        assert daly_interval(1000.0, 0.1) > daly_interval(10.0, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            young_interval(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            daly_interval(1.0, 0.0)
+
+
+class TestWaste:
+    def test_optimal_interval_near_minimum(self):
+        m, delta = 167.0, 0.05
+        t_opt = daly_interval(m, delta)
+        w_opt = waste_fraction(t_opt, m, delta)
+        for t in (t_opt * 0.3, t_opt * 3.0):
+            assert waste_fraction(t, m, delta) >= w_opt
+
+    def test_waste_capped_at_one(self):
+        assert waste_fraction(100.0, 0.01, 0.05) == 1.0
+
+    def test_zero_interval_total_waste(self):
+        assert waste_fraction(0.0, 100.0, 0.1) == 1.0
+
+
+class TestRegimePolicy:
+    def test_paper_policy_intervals(self):
+        policy = paper_policy(checkpoint_cost_hours=0.05)
+        # Normal regime (167 h): interval of a few hours.
+        assert 2.0 < policy.interval_normal < 8.0
+        # Degraded regime (0.39 h): minutes.
+        assert policy.interval_degraded < 0.5
+
+    def test_adaptation_saves_waste(self):
+        """The Sec IV argument: adapting the interval to the degraded
+        regime always beats keeping the normal-regime interval."""
+        policy = paper_policy()
+        for frac in (0.05, 0.18, 0.5):
+            assert policy.saving(frac) > 0.0
+
+    def test_no_degraded_time_no_saving(self):
+        policy = paper_policy()
+        assert policy.saving(0.0) == pytest.approx(0.0)
+
+    def test_static_waste_severe_when_degraded(self):
+        policy = paper_policy()
+        # With the normal interval, degraded days make ~no progress.
+        assert policy.static_waste(1.0) == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,141 @@
+"""Event-driven checkpoint simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import daly_interval, waste_fraction
+from repro.resilience.checkpoint_sim import (
+    alarm_policy,
+    regime_policy,
+    simulate_checkpointing,
+    static_policy,
+)
+
+
+class TestBasicMechanics:
+    def test_no_failures_waste_is_checkpoints_only(self):
+        sim = simulate_checkpointing(
+            np.empty(0),
+            work_hours=100.0,
+            policy=static_policy(10.0),
+            checkpoint_cost_hours=1.0,
+        )
+        assert sim.work_hours == 100.0
+        assert sim.n_failures == 0
+        assert sim.n_checkpoints == 10
+        assert sim.wall_hours == pytest.approx(110.0)
+        assert sim.waste_fraction == pytest.approx(10.0 / 110.0)
+
+    def test_single_failure_loses_segment(self):
+        sim = simulate_checkpointing(
+            np.array([5.0]),
+            work_hours=20.0,
+            policy=static_policy(10.0),
+            checkpoint_cost_hours=1.0,
+            restart_cost_hours=0.5,
+        )
+        # Failure at t=5 loses 5 h of the first segment.
+        assert sim.n_failures == 1
+        assert sim.rework_hours == pytest.approx(5.0)
+        assert sim.work_hours == 20.0
+        # wall = 5 (lost) + 0.5 (restart) + 2*(10+1) = 27.5
+        assert sim.wall_hours == pytest.approx(27.5)
+
+    def test_failure_during_checkpoint_repeats_segment(self):
+        sim = simulate_checkpointing(
+            np.array([10.5]),  # inside the first checkpoint write
+            work_hours=10.0,
+            policy=static_policy(10.0),
+            checkpoint_cost_hours=1.0,
+            restart_cost_hours=0.0,
+        )
+        assert sim.n_failures == 1
+        assert sim.work_hours == 10.0
+        assert sim.wall_hours == pytest.approx(10.5 + 11.0)
+
+    def test_progress_under_failure_storm(self):
+        """Even a dense failure trace cannot deadlock the simulator."""
+        failures = np.arange(0.0, 1000.0, 0.3)
+        sim = simulate_checkpointing(
+            failures,
+            work_hours=10.0,
+            policy=static_policy(0.1),
+            checkpoint_cost_hours=0.01,
+        )
+        assert sim.work_hours == pytest.approx(10.0)
+
+
+class TestAgainstDaly:
+    def test_waste_matches_model_for_poisson_failures(self):
+        """On exponential failures the simulator's waste approaches the
+        first-order model at the Daly-optimal interval."""
+        rng = np.random.default_rng(0)
+        mtbf = 50.0
+        delta = 0.2
+        failures = np.cumsum(rng.exponential(mtbf, size=4000))
+        t_opt = daly_interval(mtbf, delta)
+        sim = simulate_checkpointing(
+            failures,
+            work_hours=20_000.0,
+            policy=static_policy(t_opt),
+            checkpoint_cost_hours=delta,
+            restart_cost_hours=0.0,
+        )
+        model = waste_fraction(t_opt, mtbf, delta)
+        assert sim.waste_fraction == pytest.approx(model, abs=0.035)
+
+    def test_optimal_interval_beats_extremes(self):
+        rng = np.random.default_rng(1)
+        mtbf, delta = 30.0, 0.2
+        failures = np.cumsum(rng.exponential(mtbf, size=3000))
+        t_opt = daly_interval(mtbf, delta)
+
+        def run(interval):
+            return simulate_checkpointing(
+                failures,
+                work_hours=10_000.0,
+                policy=static_policy(interval),
+                checkpoint_cost_hours=delta,
+            ).waste_fraction
+
+        w_opt = run(t_opt)
+        assert w_opt < run(t_opt * 8)
+        assert w_opt < run(t_opt / 8)
+
+
+class TestAdaptivePolicies:
+    def test_regime_policy_switches(self):
+        degraded = np.zeros(10, dtype=bool)
+        degraded[3] = True
+        policy = regime_policy(degraded, 5.0, 0.5)
+        assert policy(24.0 * 2 + 1.0) == 5.0
+        assert policy(24.0 * 3 + 1.0) == 0.5
+        assert policy(24.0 * 50) == 5.0  # outside the vector
+
+    def test_alarm_policy_switches(self):
+        policy = alarm_policy([(10.0, 20.0)], 5.0, 0.5)
+        assert policy(5.0) == 5.0
+        assert policy(15.0) == 0.5
+        assert policy(25.0) == 5.0
+
+    def test_adaptive_beats_static_on_bursty_trace(self):
+        """Failures concentrated in known windows: adapting wins."""
+        rng = np.random.default_rng(2)
+        degraded = np.zeros(100, dtype=bool)
+        degraded[40:50] = True
+        bursts = 40 * 24.0 + rng.uniform(0, 240.0, size=500)
+        quiet = rng.uniform(0, 2400.0, size=5)
+        failures = np.sort(np.concatenate([bursts, quiet]))
+        adaptive = simulate_checkpointing(
+            failures,
+            work_hours=1500.0,
+            policy=regime_policy(degraded, 8.0, 0.3),
+            checkpoint_cost_hours=0.05,
+        )
+        static = simulate_checkpointing(
+            failures,
+            work_hours=1500.0,
+            policy=static_policy(8.0),
+            checkpoint_cost_hours=0.05,
+        )
+        assert adaptive.waste_fraction < static.waste_fraction

@@ -1,0 +1,70 @@
+"""Page-retirement simulator tests."""
+
+import pytest
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.resilience.page_retirement import PageRetirementSimulator
+
+
+def rec(t, node="04-05", page=7):
+    return ErrorRecord(
+        timestamp_hours=t,
+        node=node,
+        virtual_address=0x30,
+        physical_page=page,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFE,
+    )
+
+
+class TestRetirement:
+    def test_weak_bit_page_cured(self):
+        """A single weak page: everything after the threshold is avoided."""
+        frame = ErrorFrame.from_records([rec(float(i)) for i in range(100)])
+        out = PageRetirementSimulator(threshold=2).run(frame)
+        assert out.n_errors_observed == 2
+        assert out.n_errors_avoided == 98
+        assert out.n_pages_retired == 1
+        assert out.avoided_fraction == pytest.approx(0.98)
+
+    def test_scattered_pages_not_cured(self):
+        """One error per page (the degrading-node pattern): nothing avoided."""
+        frame = ErrorFrame.from_records(
+            [rec(float(i), page=i) for i in range(100)]
+        )
+        out = PageRetirementSimulator(threshold=2).run(frame)
+        assert out.n_errors_avoided == 0
+        assert out.n_pages_retired == 0
+
+    def test_same_page_different_node_independent(self):
+        records = [rec(1.0, node="a", page=7), rec(2.0, node="b", page=7)]
+        out = PageRetirementSimulator(threshold=2).run(
+            ErrorFrame.from_records(records)
+        )
+        assert out.n_pages_retired == 0
+
+    def test_memory_cost_tracked(self):
+        frame = ErrorFrame.from_records([rec(float(i)) for i in range(10)])
+        out = PageRetirementSimulator(threshold=2).run(frame)
+        assert out.memory_retired_mb_per_node["04-05"] == pytest.approx(
+            4.0 / 1024.0
+        )
+
+    def test_threshold_one_retires_immediately(self):
+        frame = ErrorFrame.from_records([rec(1.0), rec(2.0)])
+        out = PageRetirementSimulator(threshold=1).run(frame)
+        assert out.n_errors_observed == 1
+        assert out.n_errors_avoided == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            PageRetirementSimulator(threshold=0)
+
+    def test_per_node_breakdown(self):
+        records = [rec(float(i), node="weak", page=3) for i in range(20)]
+        records += [rec(float(i), node="scattered", page=i) for i in range(20)]
+        sim = PageRetirementSimulator(threshold=2)
+        stats = {s.node: s for s in sim.per_node(ErrorFrame.from_records(records))}
+        assert stats["weak"].avoided_fraction > 0.8
+        assert stats["scattered"].avoided_fraction == 0.0

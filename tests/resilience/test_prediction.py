@@ -1,0 +1,78 @@
+"""Failure-prediction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.resilience.prediction import (
+    PredictorConfig,
+    SpatioTemporalPredictor,
+    sweep_trigger,
+)
+
+
+def storm(node, start, count, spacing=0.2):
+    return [
+        ErrorRecord(
+            timestamp_hours=start + i * spacing,
+            node=node,
+            virtual_address=i,
+            physical_page=0,
+            expected=0xFFFFFFFF,
+            actual=0xFFFFFFFE,
+        )
+        for i in range(count)
+    ]
+
+
+def frame_of(records):
+    return ErrorFrame.from_records(records)
+
+
+class TestPredictor:
+    def test_storm_triggers_true_alarm(self):
+        frame = frame_of(storm("a", 10.0, 40))
+        report = SpatioTemporalPredictor().run(frame)
+        assert report.n_alarms == 1
+        assert report.n_true_alarms == 1
+        assert report.precision == 1.0
+        # Errors 5..40 arrive inside the alarm horizon.
+        assert report.n_errors_in_alarms == 36
+
+    def test_sparse_errors_no_alarm(self):
+        records = [storm("a", t, 1)[0] for t in (0.0, 100.0, 200.0, 300.0)]
+        report = SpatioTemporalPredictor().run(frame_of(records))
+        assert report.n_alarms == 0
+        assert report.coverage == 0.0
+
+    def test_false_alarm_counted(self):
+        """A short flurry that stops right after the trigger = false alarm."""
+        frame = frame_of(storm("a", 10.0, 5))
+        report = SpatioTemporalPredictor().run(frame)
+        assert report.n_alarms == 1
+        assert report.n_true_alarms == 0
+        assert report.precision == 0.0
+
+    def test_nodes_independent(self):
+        records = storm("a", 10.0, 40) + storm("b", 10.05, 40)
+        report = SpatioTemporalPredictor().run(frame_of(records))
+        assert report.n_alarms == 2
+
+    def test_alarm_rearms_after_horizon(self):
+        records = storm("a", 10.0, 30) + storm("a", 100.0, 30)
+        report = SpatioTemporalPredictor().run(frame_of(records))
+        assert report.n_alarms == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PredictorConfig(trigger_count=0)
+        with pytest.raises(ValueError):
+            PredictorConfig(window_hours=0.0)
+
+    def test_trigger_sweep_monotone_alarms(self):
+        records = []
+        for start in np.arange(0.0, 2000.0, 120.0):
+            records += storm("a", float(start), 20)
+        reports = sweep_trigger(frame_of(records), triggers=[2, 10])
+        assert reports[0].n_alarms >= reports[1].n_alarms

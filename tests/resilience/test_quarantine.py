@@ -1,0 +1,89 @@
+"""Quarantine simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.resilience.quarantine import QuarantineSimulator, table2
+
+
+def burst(node, day, count, start_hour=6.0):
+    """`count` errors on one node within a few hours of one day."""
+    return [
+        ErrorRecord(
+            timestamp_hours=day * 24.0 + start_hour + i * 0.1,
+            node=node,
+            virtual_address=i,
+            physical_page=0,
+            expected=0xFFFFFFFF,
+            actual=0xFFFFFFFE,
+        )
+        for i in range(count)
+    ]
+
+
+def frame_of(records):
+    return ErrorFrame.from_records(records)
+
+
+class TestSimulator:
+    def test_zero_quarantine_counts_everything(self):
+        frame = frame_of(burst("a", 0, 50))
+        sim = QuarantineSimulator()
+        out = sim.run(frame, quarantine_days=0.0, study_hours=240.0)
+        assert out.n_errors == 50
+        assert out.n_avoided == 0
+        assert out.node_days_in_quarantine == 0.0
+
+    def test_trigger_cuts_burst(self):
+        """Errors 5..50 of a burst are avoided once the node quarantines."""
+        frame = frame_of(burst("a", 0, 50))
+        out = QuarantineSimulator().run(frame, 5.0, study_hours=240.0)
+        assert out.n_errors == 4  # the trigger window (threshold 3 + 1)
+        assert out.n_avoided == 46
+        assert out.n_quarantine_entries == 1
+
+    def test_quarantine_expires(self):
+        records = burst("a", 0, 10) + burst("a", 40, 10)
+        out = QuarantineSimulator().run(frame_of(records), 5.0, study_hours=2000.0)
+        # Second burst is outside the 5-day quarantine: triggers again.
+        assert out.n_quarantine_entries == 2
+        assert out.n_errors == 8
+
+    def test_long_quarantine_covers_second_burst(self):
+        records = burst("a", 0, 10) + burst("a", 20, 10)
+        out = QuarantineSimulator().run(frame_of(records), 30.0, study_hours=2000.0)
+        assert out.n_quarantine_entries == 1
+        assert out.n_errors == 4
+        assert out.n_avoided == 16
+
+    def test_nodes_independent(self):
+        records = burst("a", 0, 10) + burst("b", 0, 2)
+        out = QuarantineSimulator().run(frame_of(records), 10.0, study_hours=480.0)
+        assert out.n_errors == 4 + 2  # b never triggers
+
+    def test_mtbf_monotone_in_quarantine_length(self):
+        records = []
+        for day in (0, 15, 30, 45):
+            records += burst("a", day, 30)
+        frame = frame_of(records)
+        sim = QuarantineSimulator()
+        outcomes = sim.sweep(frame, [0, 5, 30], study_hours=1500.0)
+        mtbfs = [o.system_mtbf_hours for o in outcomes]
+        assert mtbfs[0] < mtbfs[1] <= mtbfs[2]
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            QuarantineSimulator(trigger_threshold=0)
+
+
+class TestTable2:
+    def test_excludes_node(self):
+        records = burst("02-04", 0, 100) + burst("a", 1, 10)
+        outcomes = table2(frame_of(records), study_hours=480.0)
+        assert outcomes[0].n_errors == 10  # only node a's errors remain
+
+    def test_default_periods(self):
+        outcomes = table2(frame_of(burst("a", 0, 10)), study_hours=480.0)
+        assert [o.quarantine_days for o in outcomes] == [0, 5, 10, 15, 20, 25, 30]

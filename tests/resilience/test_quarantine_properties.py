@@ -1,0 +1,85 @@
+"""Property-based quarantine invariants (hypothesis over random streams)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.resilience.quarantine import QuarantineSimulator
+
+STUDY_HOURS = 1000.0
+
+
+@st.composite
+def error_streams(draw):
+    """Random multi-node error streams with bursts and singletons."""
+    n_nodes = draw(st.integers(1, 4))
+    records = []
+    for node in range(n_nodes):
+        n_events = draw(st.integers(0, 30))
+        times = draw(
+            st.lists(
+                st.floats(0.0, STUDY_HOURS - 1.0, allow_nan=False),
+                min_size=n_events,
+                max_size=n_events,
+            )
+        )
+        for i, t in enumerate(sorted(times)):
+            records.append(
+                ErrorRecord(
+                    timestamp_hours=t,
+                    node=f"{node+1:02d}-01",
+                    virtual_address=i,
+                    physical_page=0,
+                    expected=0xFFFFFFFF,
+                    actual=0xFFFFFFFE,
+                )
+            )
+    return ErrorFrame.from_records(records)
+
+
+class TestQuarantineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(error_streams(), st.floats(0.0, 60.0, allow_nan=False))
+    def test_conservation(self, frame, q_days):
+        """Observed + avoided always equals the stream size."""
+        sim = QuarantineSimulator()
+        out = sim.run(frame, q_days, STUDY_HOURS)
+        assert out.n_errors + out.n_avoided == len(frame)
+
+    @settings(max_examples=60, deadline=None)
+    @given(error_streams())
+    def test_zero_quarantine_is_identity(self, frame):
+        sim = QuarantineSimulator()
+        out = sim.run(frame, 0.0, STUDY_HOURS)
+        assert out.n_errors == len(frame)
+        assert out.node_days_in_quarantine == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(error_streams())
+    def test_longer_quarantine_never_more_errors(self, frame):
+        """Extending the quarantine can only remove further errors."""
+        sim = QuarantineSimulator()
+        outcomes = sim.sweep(frame, [1.0, 5.0, 20.0, 60.0], STUDY_HOURS)
+        errors = [o.n_errors for o in outcomes]
+        assert errors == sorted(errors, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(error_streams(), st.floats(0.5, 60.0, allow_nan=False))
+    def test_quarantine_bounded_by_study(self, frame, q_days):
+        """Node-days in quarantine can never exceed nodes x study span."""
+        sim = QuarantineSimulator()
+        out = sim.run(frame, q_days, STUDY_HOURS)
+        n_nodes = len(set(frame.node_code.tolist())) if len(frame) else 0
+        assert out.node_days_in_quarantine <= n_nodes * STUDY_HOURS / 24.0 + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(error_streams(), st.floats(0.5, 60.0, allow_nan=False))
+    def test_trigger_errors_always_observed(self, frame, q_days):
+        """A node's first trigger_threshold+1 errors are never avoided."""
+        sim = QuarantineSimulator(trigger_threshold=3)
+        out = sim.run(frame, q_days, STUDY_HOURS)
+        per_node = np.bincount(frame.node_code) if len(frame) else np.array([])
+        min_observed = int(np.minimum(per_node, 4).sum()) if per_node.size else 0
+        assert out.n_errors >= min(min_observed, len(frame))

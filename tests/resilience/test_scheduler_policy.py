@@ -1,0 +1,57 @@
+"""Failure-aware placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.scheduler_policy import (
+    FailureAwareScheduler,
+    NodeHistory,
+    histories_from_counts,
+    job_failure_probability,
+)
+
+
+def histories(n_clean=50, n_flagged=3):
+    out = [NodeHistory(f"c{i}", 0, 5000.0) for i in range(n_clean)]
+    out += [NodeHistory(f"f{i}", 500, 5000.0) for i in range(n_flagged)]
+    return out
+
+
+class TestFailureProbability:
+    def test_zero_rates(self):
+        assert job_failure_probability(np.zeros(10), 24.0) == 0.0
+
+    def test_monotone_in_duration(self):
+        rates = np.full(4, 0.01)
+        assert job_failure_probability(rates, 48.0) > job_failure_probability(
+            rates, 24.0
+        )
+
+    def test_known_value(self):
+        assert job_failure_probability(np.array([0.5]), 2.0) == pytest.approx(
+            1.0 - np.exp(-1.0)
+        )
+
+
+class TestScheduler:
+    def test_flagging(self):
+        sched = FailureAwareScheduler(histories(), flag_threshold=2)
+        assert len(sched.flagged) == 3
+        assert len(sched.clean) == 50
+
+    def test_aware_beats_random(self):
+        sched = FailureAwareScheduler(histories())
+        cmp = sched.compare(job_nodes=40, job_hours=24.0, n_trials=300)
+        assert cmp.p_fail_aware < cmp.p_fail_random
+        assert cmp.improvement_factor > 1.0
+
+    def test_job_too_large(self):
+        sched = FailureAwareScheduler(histories(n_clean=5, n_flagged=0))
+        with pytest.raises(ValueError):
+            sched.compare(job_nodes=10, job_hours=1.0)
+
+    def test_histories_from_counts(self):
+        hist = histories_from_counts({"a": 3}, {"a": 100.0, "b": 50.0})
+        by_node = {h.node: h for h in hist}
+        assert by_node["a"].rate_per_hour == pytest.approx(0.03)
+        assert by_node["b"].n_errors == 0

@@ -1,0 +1,91 @@
+"""Scrubbing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import ErrorRecord
+from repro.logs.frame import ErrorFrame
+from repro.resilience.scrubbing import (
+    accumulation_probability,
+    optimal_scrub_period,
+    replay_scrubbing,
+    scrub_sweep,
+)
+
+
+def rec(t, addr=0x30, node="04-05"):
+    return ErrorRecord(
+        timestamp_hours=float(t),
+        node=node,
+        virtual_address=addr,
+        physical_page=0,
+        expected=0xFFFFFFFF,
+        actual=0xFFFFFFFE,
+    )
+
+
+class TestAnalytic:
+    def test_zero_rate(self):
+        assert accumulation_probability(0.0, 1.0, 1000) == 0.0
+
+    def test_monotone_in_period(self):
+        p_short = accumulation_probability(1e-9, 1.0, 10**9)
+        p_long = accumulation_probability(1e-9, 100.0, 10**9)
+        assert p_long > p_short
+
+    def test_monotone_in_words(self):
+        p_small = accumulation_probability(1e-9, 10.0, 10**6)
+        p_big = accumulation_probability(1e-9, 10.0, 10**9)
+        assert p_big > p_small
+
+    def test_probability_bounds(self):
+        p = accumulation_probability(1e-6, 1000.0, 10**9)
+        assert 0.0 <= p <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            accumulation_probability(1e-9, 0.0, 10)
+
+    def test_optimal_period_meets_target(self):
+        rate = 1e-12
+        words = 10**9
+        period = optimal_scrub_period(rate, words, target_probability=0.01)
+        p_once = accumulation_probability(rate, period, words)
+        p_month = 1.0 - (1.0 - p_once) ** (24.0 * 30 / period)
+        assert p_month <= 0.015
+
+
+class TestReplay:
+    def test_two_hits_one_window_accumulates(self):
+        frame = ErrorFrame.from_records([rec(1.0), rec(2.0)])
+        result = replay_scrubbing(frame, scrub_period_hours=10.0)
+        assert result.n_accumulations == 1
+        assert result.worst_word_hits == 2
+
+    def test_scrub_between_hits_prevents(self):
+        frame = ErrorFrame.from_records([rec(1.0), rec(15.0)])
+        result = replay_scrubbing(frame, scrub_period_hours=10.0)
+        assert result.n_accumulations == 0
+
+    def test_different_words_independent(self):
+        frame = ErrorFrame.from_records([rec(1.0, addr=0x30), rec(1.5, addr=0x40)])
+        assert replay_scrubbing(frame, 10.0).n_accumulations == 0
+
+    def test_different_nodes_independent(self):
+        frame = ErrorFrame.from_records(
+            [rec(1.0, node="04-05"), rec(1.5, node="58-02")]
+        )
+        assert replay_scrubbing(frame, 10.0).n_accumulations == 0
+
+    def test_sweep_monotone(self):
+        records = [rec(float(i) * 3.0) for i in range(50)]  # same word
+        frame = ErrorFrame.from_records(records)
+        results = scrub_sweep(frame, [1.0, 10.0, 1000.0])
+        counts = [r.n_accumulations for r in results]
+        assert counts[0] <= counts[1] <= counts[2]
+        assert counts[0] == 0          # 3h spacing, 1h scrubs: never 2 in a window
+        assert counts[2] >= 1
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            replay_scrubbing(ErrorFrame.from_records([]), 0.0)

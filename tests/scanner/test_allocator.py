@@ -1,0 +1,57 @@
+"""Allocation back-off tests (paper Sec II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AllocationError
+from repro.scanner.allocator import LeakModel, allocate_with_backoff
+
+
+class TestBackoff:
+    def test_full_allocation(self):
+        result = allocate_with_backoff(4096)
+        assert result.allocated_mb == 3072
+        assert result.attempts == 1
+
+    def test_backoff_steps_of_10mb(self):
+        """3 GB fails, retry with 10 MB less until it fits the grid."""
+        result = allocate_with_backoff(3000)
+        assert result.allocated_mb == 2992  # 3072 - 8*10
+        assert result.attempts == 9
+
+    def test_lands_on_request_grid(self):
+        result = allocate_with_backoff(2995)
+        assert result.allocated_mb == 2992
+
+    def test_total_failure_raises(self):
+        """Requests bottom out at 2 MB (3072 - 307*10); below that the
+        loop reaches zero and the tool logs the failure."""
+        with pytest.raises(AllocationError):
+            allocate_with_backoff(1)
+
+    def test_minimum_success(self):
+        assert allocate_with_backoff(5).allocated_mb == 2
+
+
+class TestLeakModel:
+    def test_mostly_full(self):
+        rng = np.random.default_rng(0)
+        model = LeakModel()
+        full = sum(
+            model.available_mb(rng) == 3072 for _ in range(2000)
+        )
+        assert 0.88 < full / 2000 < 0.96
+
+    def test_draw_allocation_distribution(self):
+        rng = np.random.default_rng(1)
+        model = LeakModel(p_full=0.5, leak_mean_mb=500.0)
+        sizes = []
+        for _ in range(500):
+            try:
+                sizes.append(model.draw_allocation(rng).allocated_mb)
+            except AllocationError:
+                pass
+        sizes = np.array(sizes)
+        assert sizes.max() == 3072
+        assert (sizes < 3072).any()
+        assert (sizes % 10 == 2).all()  # 3072 - k*10 keeps remainder 2

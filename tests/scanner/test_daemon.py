@@ -1,0 +1,61 @@
+"""Scanner daemon lifecycle tests."""
+
+import numpy as np
+
+from repro.scanner.allocator import LeakModel
+from repro.scanner.daemon import DaemonConfig, ScannerDaemon, sessions_to_records
+
+
+def run_windows(daemon, windows, seed=0):
+    rng = np.random.default_rng(seed)
+    return [daemon.run_window(s, e, rng) for s, e in windows]
+
+
+class TestSessions:
+    def test_normal_session(self):
+        daemon = ScannerDaemon("05-05", DaemonConfig(p_hard_reboot=0.0))
+        outcome = run_windows(daemon, [(0.0, 10.0)])[0]
+        assert outcome.session is not None
+        assert outcome.monitored_hours == 10.0
+        kinds = [r.kind.value for r in outcome.records]
+        assert kinds == ["START", "END"]
+
+    def test_tiny_window_skipped(self):
+        daemon = ScannerDaemon("05-05")
+        outcome = run_windows(daemon, [(0.0, 0.01)])[0]
+        assert outcome.session is None
+        assert outcome.records == []
+
+    def test_hard_reboot_truncates(self):
+        """p=1 reboot: START with no END, zero monitored hours."""
+        daemon = ScannerDaemon("05-05", DaemonConfig(p_hard_reboot=1.0))
+        outcome = run_windows(daemon, [(0.0, 10.0)])[0]
+        assert outcome.session.truncated
+        assert outcome.monitored_hours == 0.0
+        kinds = [r.kind.value for r in outcome.records]
+        assert kinds == ["START"]
+
+    def test_alloc_failure_logged(self):
+        config = DaemonConfig(
+            leak_model=LeakModel(p_full=0.0, p_alloc_fail=1.0)
+        )
+        daemon = ScannerDaemon("05-05", config)
+        outcome = run_windows(daemon, [(0.0, 5.0)])[0]
+        assert outcome.session is None
+        assert outcome.records[0].kind.value == "ALLOC_FAIL"
+
+    def test_temperature_recorded(self):
+        daemon = ScannerDaemon(
+            "05-05", DaemonConfig(p_hard_reboot=0.0), temperature=lambda t: 35.5
+        )
+        outcome = run_windows(daemon, [(0.0, 5.0)])[0]
+        assert outcome.records[0].temperature_c == 35.5
+
+
+class TestRecordsAssembly:
+    def test_sessions_to_records_chronological(self):
+        daemon = ScannerDaemon("05-05", DaemonConfig(p_hard_reboot=0.0))
+        outcomes = run_windows(daemon, [(10.0, 12.0), (0.0, 5.0)])
+        records = sessions_to_records(outcomes)
+        times = [r.timestamp_hours for r in records]
+        assert times == sorted(times)

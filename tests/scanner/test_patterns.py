@@ -1,0 +1,52 @@
+"""Scan pattern tests."""
+
+import pytest
+
+from repro.scanner.patterns import (
+    AlternatingPattern,
+    CountingPattern,
+    pattern_by_name,
+)
+
+
+class TestAlternating:
+    def test_starts_with_zeros(self):
+        """The paper's tool writes 0x00000000 first."""
+        p = AlternatingPattern()
+        assert p.value_at(0) == 0x00000000
+        assert p.value_at(1) == 0xFFFFFFFF
+        assert p.value_at(2) == 0x00000000
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            AlternatingPattern().value_at(-1)
+
+    def test_values_helper(self):
+        assert AlternatingPattern().values(3) == [0, 0xFFFFFFFF, 0]
+
+
+class TestCounting:
+    def test_starts_at_one(self):
+        """The paper's second strategy starts at 0x00000001."""
+        p = CountingPattern()
+        assert p.value_at(0) == 1
+        assert p.value_at(1) == 2
+
+    def test_table1_expected_values_reachable(self):
+        p = CountingPattern()
+        assert p.value_at(0x16BB - 1) == 0x000016BB
+        assert p.value_at(0x71B2 - 1) == 0x000071B2
+
+    def test_wraps_at_32_bits(self):
+        p = CountingPattern(start=0xFFFFFFFF)
+        assert p.value_at(1) == 0
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(pattern_by_name("alternating"), AlternatingPattern)
+        assert isinstance(pattern_by_name("counting"), CountingPattern)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            pattern_by_name("nope")

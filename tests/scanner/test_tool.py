@@ -1,0 +1,113 @@
+"""Bit-accurate scanner tests: the tool must observe exactly what the
+simulated DRAM does, logging the paper's ERROR fields."""
+
+import pytest
+
+from repro.dram import BitSwizzle, StuckCell, TransientFlip, WeakCell, make_device
+from repro.scanner.patterns import AlternatingPattern, CountingPattern
+from repro.scanner.tool import MemoryScanner, schedule_hook
+
+
+def make_scanner(device=None, pattern=None, **kw):
+    device = device or make_device(1, swizzle=BitSwizzle.identity())
+    return (
+        MemoryScanner(
+            device, pattern or AlternatingPattern(), node="05-05", **kw
+        ),
+        device,
+    )
+
+
+class TestCleanScan:
+    def test_no_faults_no_errors(self):
+        scanner, _ = make_scanner()
+        result = scanner.run(start_hours=0.0, max_iterations=4)
+        assert result.errors == []
+        assert result.iterations == 4
+        assert result.end is not None
+
+    def test_start_end_records(self):
+        scanner, _ = make_scanner()
+        result = scanner.run(start_hours=10.0, max_iterations=2)
+        assert result.start.timestamp_hours == 10.0
+        assert result.start.node == "05-05"
+        assert result.end.timestamp_hours > result.start.timestamp_hours
+
+    def test_records_in_order(self):
+        scanner, _ = make_scanner()
+        result = scanner.run(start_hours=0.0, max_iterations=2)
+        records = result.records
+        assert records[0] is result.start
+        assert records[-1] is result.end
+
+
+class TestTransientDetection:
+    def test_single_transient_logged_once(self):
+        """Transient flip detected once, then cleared by the rewrite."""
+        scanner, device = make_scanner()
+        hook = schedule_hook({2: [TransientFlip(100, 0b1)]})
+        result = scanner.run(start_hours=0.0, max_iterations=6, inject=hook)
+        assert len(result.errors) == 1
+        err = result.errors[0]
+        assert err.virtual_address == device.virtual_address(100)
+        assert err.expected ^ err.actual == 0b1
+
+    def test_error_fields_match_pattern_phase(self):
+        scanner, _ = make_scanner()
+        hook = schedule_hook({3: [TransientFlip(5, 0b100)]})
+        result = scanner.run(start_hours=0.0, max_iterations=4, inject=hook)
+        # Iteration 3 verifies pattern value_at(2) = 0x00000000.
+        assert result.errors[0].expected == 0x00000000
+
+    def test_multiple_words_same_iteration(self):
+        scanner, _ = make_scanner()
+        hook = schedule_hook(
+            {2: [TransientFlip(1, 0b1), TransientFlip(900, 0b1)]}
+        )
+        result = scanner.run(start_hours=0.0, max_iterations=4, inject=hook)
+        assert len(result.errors) == 2
+        # Simultaneous detection: identical timestamps (Sec III-C).
+        assert result.errors[0].timestamp_hours == result.errors[1].timestamp_hours
+
+
+class TestPersistentFaults:
+    def test_stuck_cell_logged_every_matching_iteration(self):
+        scanner, device = make_scanner()
+        device.apply(StuckCell(7, mask=0b1, value=0b0))
+        result = scanner.run(start_hours=0.0, max_iterations=8)
+        # Alternating pattern: stuck-low bit mismatches on all-ones passes
+        # = every second iteration.
+        assert len(result.errors) == 4
+        assert all(e.expected == 0xFFFFFFFF for e in result.errors)
+
+    def test_weak_cell_single_firing(self):
+        scanner, device = make_scanner()
+
+        def hook(iteration, dev):
+            if iteration == 4:
+                dev.apply(WeakCell(3, bit=17))
+
+        result = scanner.run(start_hours=0.0, max_iterations=8, inject=hook)
+        assert len(result.errors) == 1
+        assert result.errors[0].expected ^ result.errors[0].actual == 1 << 17
+
+
+class TestCountingPattern:
+    def test_expected_value_tracks_iteration(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        scanner = MemoryScanner(device, CountingPattern(), node="05-05")
+        hook = schedule_hook({3: [TransientFlip(50, 0b1)]})
+        result = scanner.run(start_hours=0.0, max_iterations=4, inject=hook)
+        assert result.errors[0].expected == 3  # value_at(2)
+
+
+class TestValidation:
+    def test_zero_iterations_rejected(self):
+        scanner, _ = make_scanner()
+        with pytest.raises(ValueError):
+            scanner.run(start_hours=0.0, max_iterations=0)
+
+    def test_temperature_callback(self):
+        scanner, _ = make_scanner(temperature=lambda t: 33.0)
+        result = scanner.run(start_hours=0.0, max_iterations=1)
+        assert result.start.temperature_c == 33.0

@@ -1,0 +1,57 @@
+"""Daily activity / idle-window generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.environment.calendar import AcademicCalendar
+from repro.scheduler.jobs import ActivityConfig, DailyActivityGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return DailyActivityGenerator(AcademicCalendar(), ActivityConfig())
+
+
+class TestWindows:
+    def test_windows_within_days(self, generator):
+        rng = np.random.default_rng(0)
+        windows = generator.idle_windows(rng)
+        assert windows
+        for w in windows:
+            assert 0.0 <= w.start_hours < w.end_hours <= 425 * 24.0 + 1e-9
+
+    def test_windows_sorted_and_disjoint(self, generator):
+        rng = np.random.default_rng(1)
+        windows = generator.idle_windows(rng)
+        for a, b in zip(windows, windows[1:]):
+            assert a.end_hours <= b.start_hours + 1e-9
+
+    def test_total_idle_tracks_calendar(self, generator):
+        rng = np.random.default_rng(2)
+        windows = generator.idle_windows(rng)
+        total = sum(w.duration_hours for w in windows)
+        expected = generator.expected_idle_hours()
+        assert abs(total - expected) / expected < 0.25
+
+    def test_vacation_days_fully_idle_sometimes(self, generator):
+        """Deep-vacation zero-job days span a full midnight-to-midnight."""
+        rng = np.random.default_rng(3)
+        windows = generator.idle_windows(rng)
+        full_days = [w for w in windows if w.duration_hours >= 23.999]
+        assert full_days, "expected some fully idle vacation days"
+        # All in vacation periods (Aug-Sep or Dec-Jan).
+        for w in full_days:
+            day = int(w.start_hours // 24)
+            assert generator.calendar.idle_fraction(day) > 0.5
+
+    def test_deterministic_given_rng(self, generator):
+        a = generator.idle_windows(np.random.default_rng(9))
+        b = generator.idle_windows(np.random.default_rng(9))
+        assert a == b
+
+    def test_short_study(self):
+        gen = DailyActivityGenerator(
+            AcademicCalendar(), ActivityConfig(), n_days=10
+        )
+        windows = gen.idle_windows(np.random.default_rng(0))
+        assert all(w.end_hours <= 240.0 + 1e-9 for w in windows)
