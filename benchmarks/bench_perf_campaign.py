@@ -1,6 +1,34 @@
-"""Performance bench: end-to-end campaign simulation throughput."""
+"""Performance bench: end-to-end campaign simulation throughput.
 
-from repro.faultinjection import quick_campaign_config, run_campaign
+Times the serial baseline and the process-parallel engine on the same
+paper-scale configuration, records the engine's own throughput counters
+(``CampaignMetrics``) in the benchmark JSON via ``extra_info``, and — on
+machines with enough cores for parallelism to be physical — asserts the
+>= 2x speedup target at 4 workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.faultinjection import (
+    paper_campaign_config,
+    quick_campaign_config,
+    run_campaign,
+)
+
+#: Workers used by the parallel benches (the ISSUE's speedup target point).
+PARALLEL_WORKERS = 4
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def test_perf_quick_campaign(benchmark):
@@ -9,3 +37,57 @@ def test_perf_quick_campaign(benchmark):
         run_campaign, args=(quick_campaign_config(),), rounds=1, iterations=1
     )
     assert result.n_observations > 10_000
+    benchmark.extra_info.update(result.metrics.to_dict())
+
+
+def test_perf_paper_campaign_serial(benchmark):
+    """Serial baseline for the paper-scale campaign."""
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(paper_campaign_config(),),
+        kwargs={"workers": 1, "backend": "serial"},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metrics.backend == "serial"
+    benchmark.extra_info.update(result.metrics.to_dict())
+
+
+def test_perf_paper_campaign_parallel(benchmark):
+    """Process-parallel paper-scale campaign at the target worker count."""
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(paper_campaign_config(),),
+        kwargs={"workers": PARALLEL_WORKERS, "backend": "process"},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.metrics.backend == "process"
+    assert result.metrics.workers == PARALLEL_WORKERS
+    benchmark.extra_info.update(result.metrics.to_dict())
+    benchmark.extra_info["cpus"] = _cpus()
+
+
+@pytest.mark.skipif(
+    _cpus() < PARALLEL_WORKERS,
+    reason=f"speedup target needs >= {PARALLEL_WORKERS} CPUs "
+    f"(have {_cpus()}); parallelism cannot beat serial on this machine",
+)
+def test_perf_parallel_speedup():
+    """ISSUE acceptance: >= 2x over serial at 4 workers (paper config)."""
+    config = paper_campaign_config()
+
+    t0 = time.perf_counter()
+    serial = run_campaign(config, workers=1, backend="serial")
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = run_campaign(config, workers=PARALLEL_WORKERS, backend="process")
+    parallel_s = time.perf_counter() - t0
+
+    assert par.n_observations == serial.n_observations
+    speedup = serial_s / parallel_s
+    assert speedup >= 2.0, (
+        f"expected >= 2x speedup at {PARALLEL_WORKERS} workers, got "
+        f"{speedup:.2f}x ({serial_s:.2f}s serial vs {parallel_s:.2f}s parallel)"
+    )

@@ -7,6 +7,7 @@ Subcommands::
     repro all                    # every experiment, paper order
     repro list                   # available experiment ids
     repro campaign --out DIR     # run the campaign, write per-node logs
+    repro cache                  # show (or --clear) the on-disk cache
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import argparse
 import sys
 
 from .core.rng import DEFAULT_SEED
+from .parallel import BACKENDS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,6 +34,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="use the small fast campaign instead of the paper-scale one",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel workers for the campaign (-1 = all CPUs; default 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="execution backend (auto resolves to process when N > 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk campaign cache (~/.cache/repro)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -55,6 +75,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "monitor", help="review a log directory and print operational advice"
     )
     mon.add_argument("--dir", required=True, help="directory of <node>.log files")
+
+    cache = sub.add_parser("cache", help="inspect or clear the campaign cache")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every cached entry"
+    )
     return parser
 
 
@@ -85,6 +110,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{count} recommendations")
         return 0
 
+    if args.command == "cache":
+        from .cache import default_cache
+
+        store = default_cache()
+        if args.clear:
+            removed = store.clear()
+            print(f"removed {removed} cached campaign(s) from {store.root}")
+            return 0
+        entries = store.entries()
+        size_mb = store.size_bytes() / (1024.0 * 1024.0)
+        state = "enabled" if store.enabled else "disabled (REPRO_NO_CACHE)"
+        print(f"cache: {store.root} [{state}]")
+        print(f"{len(entries)} entrie(s), {size_mb:.1f} MiB")
+        return 0
+
     if args.command == "campaign":
         from .faultinjection import (
             paper_campaign_config,
@@ -97,13 +137,20 @@ def main(argv: list[str] | None = None) -> int:
             if args.quick
             else paper_campaign_config(args.seed)
         )
-        result = run_campaign(config)
+        result = run_campaign(config, workers=args.workers, backend=args.backend)
         result.archive.write_directory(args.out)
         print(
             f"wrote logs for {len(result.archive.nodes)} nodes to {args.out} "
             f"({result.n_raw_error_lines():,} raw error lines compressed "
             f"into {result.archive.n_records():,} records)"
         )
+        if result.metrics is not None:
+            print(f"simulated {result.metrics.summary()}")
+            slowest = ", ".join(
+                f"{node} {seconds:.2f}s"
+                for node, seconds in result.metrics.slowest_nodes(3)
+            )
+            print(f"slowest nodes: {slowest}")
         return 0
 
     if args.command == "experiment" and args.exp_id not in EXPERIMENT_ORDER:
@@ -115,7 +162,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
-    analysis = get_analysis(args.seed, quick=args.quick)
+    analysis = get_analysis(
+        args.seed,
+        quick=args.quick,
+        workers=args.workers,
+        backend=args.backend,
+        use_cache=not args.no_cache,
+    )
     if args.command == "report":
         print(analysis.report().summary())
         return 0

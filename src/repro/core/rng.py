@@ -40,20 +40,47 @@ class RngFactory:
     Streams are memoized so a consumer asking twice for the same key keeps
     advancing a single generator, mirroring how a physical process has one
     trajectory.
+
+    ``namespace`` scopes every key: a factory with namespace ``"w"`` maps
+    ``get("x")`` to the stream ``"w/x"``.  Child factories created with
+    :meth:`spawn` share the root seed but nothing else, so parallel
+    workers can derive the exact streams a serial run would use without
+    sharing any mutable state.
     """
 
-    def __init__(self, root_seed: int = DEFAULT_SEED):
+    def __init__(self, root_seed: int = DEFAULT_SEED, namespace: str = ""):
         self.root_seed = int(root_seed)
+        self.namespace = str(namespace)
         self._streams: dict[str, np.random.Generator] = {}
+
+    def _full_key(self, key: str) -> str:
+        return f"{self.namespace}/{key}" if self.namespace else key
 
     def get(self, key: str) -> np.random.Generator:
         """Return the (memoized) generator for ``key``."""
         gen = self._streams.get(key)
         if gen is None:
-            gen = stream(self.root_seed, key)
+            gen = stream(self.root_seed, self._full_key(key))
             self._streams[key] = gen
         return gen
 
     def fresh(self, key: str) -> np.random.Generator:
         """Return a brand-new generator for ``key`` (not memoized)."""
-        return stream(self.root_seed, key)
+        return stream(self.root_seed, self._full_key(key))
+
+    def spawn(self, namespace: str = "") -> "RngFactory":
+        """A child factory with fresh memoization (for worker processes).
+
+        With an empty ``namespace`` the child derives *the same* streams
+        as this factory — the contract the parallel campaign engine needs
+        for serial/parallel bit-identity.  A non-empty ``namespace`` is
+        appended to this factory's namespace and yields a disjoint stream
+        universe.
+        """
+        if namespace:
+            child_ns = (
+                f"{self.namespace}/{namespace}" if self.namespace else namespace
+            )
+        else:
+            child_ns = self.namespace
+        return RngFactory(self.root_seed, namespace=child_ns)

@@ -15,12 +15,25 @@ Two mappings that shape what the scanner *sees*:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..core.bitops import WORD_BITS
 from ..core.errors import ConfigurationError
+
+
+def stable_salt(key: str) -> int:
+    """Deterministic 31-bit address-map salt derived from a string.
+
+    Built-in ``hash()`` is randomized per interpreter (PYTHONHASHSEED),
+    which would make physical-page mappings differ between runs — and
+    between the parent and worker processes of a parallel campaign.  A
+    cryptographic digest keeps every process on the same mapping.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") & 0x7FFFFFFF
 
 #: Bytes per OS page (used for the physical-page field of error logs).
 PAGE_BYTES = 4096

@@ -1,12 +1,19 @@
 """Per-figure/table experiment modules and the shared runner."""
 
 from .base import REGISTRY, ExperimentResult, register, render_heatmap
-from .runner import EXPERIMENT_ORDER, get_analysis, run_all, run_experiment
+from .runner import (
+    EXPERIMENT_ORDER,
+    clear_analysis_memo,
+    get_analysis,
+    run_all,
+    run_experiment,
+)
 
 __all__ = [
     "EXPERIMENT_ORDER",
     "ExperimentResult",
     "REGISTRY",
+    "clear_analysis_memo",
     "get_analysis",
     "register",
     "render_heatmap",

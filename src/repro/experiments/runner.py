@@ -1,16 +1,21 @@
 """Experiment runner: campaign/analysis caching and batch execution.
 
-The paper-scale campaign takes ~15 s; every experiment shares one cached
-:class:`StudyAnalysis` per seed so a full figure sweep costs one campaign.
+The paper-scale campaign takes ~15 s; every experiment shares one
+:class:`StudyAnalysis` per configuration so a full figure sweep costs one
+campaign.  Results are memoized at two levels:
+
+* in-process, so one sweep builds each analysis once;
+* on disk via :mod:`repro.cache`, so *separate* processes (repeated CLI
+  invocations, benchmark sessions, parallel figure jobs) skip
+  re-simulation entirely.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from ..analysis.report import StudyAnalysis
+from ..cache import CampaignCache, config_digest, default_cache
 from ..core.rng import DEFAULT_SEED
-from ..faultinjection.campaign import run_campaign
+from ..faultinjection.campaign import CampaignResult, run_campaign
 from ..faultinjection.config import paper_campaign_config, quick_campaign_config
 from .base import REGISTRY, ExperimentResult
 
@@ -64,13 +69,64 @@ EXPERIMENT_ORDER: tuple[str, ...] = (
 )
 
 
-@lru_cache(maxsize=4)
-def get_analysis(seed: int = DEFAULT_SEED, quick: bool = False) -> StudyAnalysis:
-    """The shared analysis for a seed (campaign runs once, then cached)."""
+#: In-process memo: config digest -> shared StudyAnalysis.
+_ANALYSES: dict[str, StudyAnalysis] = {}
+
+
+def _cacheable(result: CampaignResult) -> CampaignResult:
+    """A copy worth persisting: no derived frames, no run-local metrics."""
+    return CampaignResult(
+        config=result.config,
+        registry=result.registry,
+        tracks=result.tracks,
+        archive=result.archive,
+        n_observations=result.n_observations,
+    )
+
+
+def get_analysis(
+    seed: int = DEFAULT_SEED,
+    quick: bool = False,
+    *,
+    workers: int | None = None,
+    backend: str | None = None,
+    use_cache: bool = True,
+    cache: CampaignCache | None = None,
+) -> StudyAnalysis:
+    """The shared analysis for a seed (campaign runs once, then cached).
+
+    ``workers``/``backend`` control how a cache *miss* is simulated; they
+    never affect the result (all backends are bit-identical), so hits and
+    misses are interchangeable.  ``use_cache=False`` bypasses both the
+    in-process memo and the disk cache.
+    """
     config = (
         quick_campaign_config(seed) if quick else paper_campaign_config(seed)
     )
-    return StudyAnalysis(run_campaign(config))
+    key = config_digest(config)
+    if use_cache and key in _ANALYSES:
+        return _ANALYSES[key]
+
+    result: CampaignResult | None = None
+    store = cache if cache is not None else default_cache()
+    if use_cache:
+        loaded = store.load(key)
+        if isinstance(loaded, CampaignResult):
+            result = loaded
+    if result is None:
+        result = run_campaign(config, workers=workers, backend=backend)
+        if use_cache:
+            store.store(key, _cacheable(result))
+
+    analysis = StudyAnalysis(result)
+    if use_cache:
+        _ANALYSES[key] = analysis
+    return analysis
+
+
+def clear_analysis_memo() -> None:
+    """Drop the in-process analysis memo (tests, long-lived servers)."""
+    _ANALYSES.clear()
 
 
 def run_experiment(

@@ -1,6 +1,6 @@
 """Fault injection: event processes, fault models, and the year campaign."""
 
-from .campaign import CampaignResult, run_campaign
+from .campaign import CampaignMetrics, CampaignResult, run_campaign
 from .catalogue import (
     TABLE_I,
     MultiBitPattern,
@@ -35,6 +35,7 @@ __all__ = [
     "BackgroundConfig",
     "BASE_ITER_HOURS",
     "CampaignConfig",
+    "CampaignMetrics",
     "CampaignResult",
     "CataloguePlacement",
     "DegradingNodeConfig",

@@ -14,25 +14,38 @@ Orchestrates every substrate into the study the paper ran:
 The result object carries both the logs (what the study's disks held) and
 the session tracks (ground-truth coverage), which the analysis package
 consumes.
+
+Execution
+---------
+
+Steps 2-4 are *per-node independent*: every node's session track, fault
+models and record rendering consume only per-node RNG streams (pure
+functions of ``(seed, key)``), so the campaign fans the per-node work out
+over the :mod:`repro.parallel` backends.  The only cross-node stages — the
+Table I catalogue (one sequential RNG stream threading companion/pair
+bookkeeping across nodes) and archive assembly — stay in the parent.
+Serial, thread and process runs of the same seed produce bit-identical
+archives and tracks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 
 import numpy as np
 
-from ..cluster.node import NodeRole
 from ..cluster.registry import ClusterRegistry
 from ..cluster.topology import OVERHEATING_SOC, NodeId
 from ..core.records import EndRecord, ErrorRecord, StartRecord
 from ..core.rng import RngFactory
 from ..core.units import SCAN_TARGET_MB
-from ..dram.addressing import AddressMap
+from ..dram.addressing import AddressMap, stable_salt
 from ..environment.temperature import TemperatureModel
 from ..logs.frame import ErrorFrame
 from ..logs.store import LogArchive
+from ..parallel import parallel_map, resolve_backend, resolve_workers
 from ..scheduler.batch import BatchScheduler
 from ..scheduler.jobs import IdleWindow
 from .config import CampaignConfig, paper_campaign_config
@@ -57,6 +70,56 @@ from .sessions import (
 _FULL_WORDS = (SCAN_TARGET_MB * 1024 * 1024) // 4
 
 
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Timing/throughput counters for one campaign run.
+
+    ``node_seconds`` is wall time spent simulating each node inside its
+    worker; ``simulate_seconds`` is their sum (a CPU-time proxy), while
+    ``wall_seconds`` is end-to-end parent wall time — their ratio is the
+    effective parallel speedup.
+    """
+
+    backend: str
+    workers: int
+    wall_seconds: float
+    simulate_seconds: float
+    n_records: int
+    n_observations: int
+    n_nodes: int
+    node_seconds: dict[str, float] = field(default_factory=dict, repr=False)
+
+    @property
+    def records_per_second(self) -> float:
+        return self.n_records / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def slowest_nodes(self, n: int = 5) -> list[tuple[str, float]]:
+        ranked = sorted(self.node_seconds.items(), key=lambda kv: -kv[1])
+        return ranked[:n]
+
+    def to_dict(self) -> dict:
+        """JSON-friendly view (per-node detail reduced to the top talkers)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "simulate_seconds": self.simulate_seconds,
+            "n_records": self.n_records,
+            "n_observations": self.n_observations,
+            "n_nodes": self.n_nodes,
+            "records_per_second": self.records_per_second,
+            "slowest_nodes": dict(self.slowest_nodes()),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.n_nodes} nodes in {self.wall_seconds:.2f} s "
+            f"({self.backend}, workers={self.workers}; "
+            f"{self.n_records:,} records, "
+            f"{self.records_per_second:,.0f} records/s)"
+        )
+
+
 @dataclass
 class CampaignResult:
     """Everything a simulated study produced."""
@@ -67,6 +130,9 @@ class CampaignResult:
     archive: LogArchive
     n_observations: int
     _frames: dict = field(default_factory=dict, repr=False)
+    #: Execution counters of the run that produced this result (None for
+    #: results reloaded from disk or from the campaign cache).
+    metrics: CampaignMetrics | None = field(default=None, repr=False)
 
     # -- raw-log level -------------------------------------------------------
 
@@ -188,153 +254,272 @@ def _insert_pinned(
     )
 
 
+class _CampaignContext:
+    """Shared deterministic state, rebuilt identically in every process.
+
+    Everything here is a pure function of the config: the registry, the
+    scheduler (which derives per-node streams via ``fresh``), the
+    temperature field, and the catalogue plan (which consumes exactly the
+    ``catalogue/plan`` stream).  Worker processes rebuild it once via the
+    pool initializer instead of pickling it into every task.
+    """
+
+    def __init__(self, config: CampaignConfig, materialize_lifecycle: bool = False):
+        self.config = config
+        self.materialize_lifecycle = materialize_lifecycle
+        self.rngs = RngFactory(config.seed)
+        self.registry = ClusterRegistry(config.topology)
+        self.scheduler = BatchScheduler(
+            self.registry,
+            config.calendar,
+            config.activity,
+            rng_factory=self.rngs,
+            n_days=config.n_days,
+        )
+        self.temperature = TemperatureModel(seed=config.seed)
+        self.plans = plan_catalogue(config, self.rngs.get("catalogue/plan"))
+        self.reserved = config.reserved_nodes()
+        self.weak_by_node = {w.node: w for w in config.weak_bits}
+        self.gap_hours = {
+            config.degrading.node: [
+                (g0 * 24.0, g1 * 24.0)
+                for g0, g1 in config.degrading.monitoring_gaps
+            ]
+        }
+        self.nodes_by_name = {
+            str(node.node_id): node for node in self.registry.scanned_nodes()
+        }
+        self._maps: dict[str, AddressMap] = {}
+        self._node_ids: dict[str, NodeId] = {}
+
+    def address_map(self, name: str) -> AddressMap:
+        amap = self._maps.get(name)
+        if amap is None:
+            amap = AddressMap(n_words=_FULL_WORDS, salt=stable_salt(name))
+            self._maps[name] = amap
+        return amap
+
+    def node_id(self, name: str) -> NodeId:
+        node_id = self._node_ids.get(name)
+        if node_id is None:
+            node_id = NodeId.parse(name)
+            self._node_ids[name] = node_id
+        return node_id
+
+    def render(self, observations: list[Observation]) -> list[ErrorRecord]:
+        """Observations -> ERROR records (addresses + temperature)."""
+        records: list[ErrorRecord] = []
+        for obs in observations:
+            amap = self.address_map(obs.node)
+            temp = self.temperature.reading(self.node_id(obs.node), obs.time_hours)
+            records.append(
+                ErrorRecord(
+                    timestamp_hours=obs.time_hours,
+                    node=obs.node,
+                    virtual_address=int(amap.virtual_address(obs.word_index)),
+                    physical_page=int(amap.physical_page(obs.word_index)),
+                    expected=obs.expected,
+                    actual=obs.actual,
+                    temperature_c=temp,
+                    repeat_count=obs.repeat_count,
+                )
+            )
+        return records
+
+
+@dataclass
+class _NodeResult:
+    """One node's finished work unit, shipped back to the parent."""
+
+    node: str
+    track: SessionTrack
+    n_observations: int
+    records: list[ErrorRecord]
+    lifecycle: list
+    seconds: float
+
+
+def _simulate_node(ctx: _CampaignContext, name: str) -> _NodeResult:
+    """The embarrassingly-parallel unit: one node, end to end.
+
+    Consumes only per-node RNG streams (``daemon/<n>``, ``bg/<n>``,
+    ``weak/<n>``) plus the single-consumer ``stuck``/``degrading`` streams
+    on their dedicated nodes — the same streams, in the same order, as a
+    serial run, so the output is bit-identical regardless of backend.
+    """
+    t_begin = time.perf_counter()
+    config = ctx.config
+    node = ctx.nodes_by_name[name]
+    rngs = ctx.rngs.spawn()
+
+    # -- session track ------------------------------------------------------
+    windows = ctx.scheduler.node_windows(node)
+    windows = subtract_gaps(windows, ctx.gap_hours.get(name, []))
+    pinned_intervals = [
+        (w.start_hours, w.end_hours) for w in _forced_windows(ctx.plans, name)
+    ]
+    windows = subtract_gaps(windows, pinned_intervals)
+    track = build_session_track(
+        name,
+        windows,
+        rngs.get(f"daemon/{name}"),
+        p_full_alloc=config.p_full_alloc,
+        p_alloc_fail=config.p_alloc_fail,
+        leak_mean_mb=config.leak_mean_mb,
+        p_truncation=config.p_truncation,
+        p_counting=0.0 if name in ctx.reserved else config.p_counting,
+    )
+    track = _insert_pinned(track, ctx.plans, name)
+
+    # -- fault models -------------------------------------------------------
+    observations: list[Observation] = []
+    weak_cfg = ctx.weak_by_node.get(name)
+    if track.n_sessions > 0:
+        if weak_cfg is not None:
+            observations.extend(
+                gen_weak_bit(track, weak_cfg, rngs.get(f"weak/{name}"), config.n_days)
+            )
+        elif name not in ctx.reserved:
+            bg = config.background
+            rate = bg.rate_per_node_hour
+            if node.node_id.soc == OVERHEATING_SOC:
+                rate *= bg.overheating_rate_multiplier
+            if rate != bg.rate_per_node_hour:
+                bg = replace(bg, rate_per_node_hour=rate)
+            observations.extend(gen_background(track, bg, rngs.get(f"bg/{name}")))
+    if name == config.stuck.node:
+        observations.extend(gen_stuck_node(track, config.stuck, rngs.get("stuck")))
+    if name == config.degrading.node:
+        observations.extend(
+            gen_degrading(track, config.degrading, rngs.get("degrading"), config.n_days)
+        )
+
+    # -- render -------------------------------------------------------------
+    records = ctx.render(observations)
+    lifecycle: list = []
+    if ctx.materialize_lifecycle:
+        node_id = ctx.node_id(name)
+        for i in range(track.n_sessions):
+            t0, t1 = float(track.starts[i]), float(track.ends[i])
+            lifecycle.append(
+                StartRecord(
+                    timestamp_hours=t0,
+                    node=name,
+                    allocated_mb=int(track.alloc_mb[i]),
+                    temperature_c=ctx.temperature.reading(node_id, t0),
+                )
+            )
+            lifecycle.append(
+                EndRecord(
+                    timestamp_hours=t1,
+                    node=name,
+                    temperature_c=ctx.temperature.reading(node_id, t1),
+                )
+            )
+    return _NodeResult(
+        node=name,
+        track=track,
+        n_observations=len(observations),
+        records=records,
+        lifecycle=lifecycle,
+        seconds=time.perf_counter() - t_begin,
+    )
+
+
+#: Per-process context for the process backend (set by the pool initializer).
+_WORKER_CTX: _CampaignContext | None = None
+
+
+def _init_worker(config: CampaignConfig, materialize_lifecycle: bool) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = _CampaignContext(config, materialize_lifecycle)
+
+
+def _node_worker(name: str) -> _NodeResult:
+    assert _WORKER_CTX is not None, "worker used before initialization"
+    return _simulate_node(_WORKER_CTX, name)
+
+
 def run_campaign(
-    config: CampaignConfig | None = None, materialize_lifecycle: bool = False
+    config: CampaignConfig | None = None,
+    materialize_lifecycle: bool = False,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> CampaignResult:
     """Simulate the full study and return its logs and coverage.
 
     ``materialize_lifecycle`` additionally writes START/END records into
     the archive (memory-heavy at paper scale; useful for round-trip tests
     on small configurations).
+
+    ``workers``/``backend`` override the config's execution fields: the
+    per-node phase fans out over :func:`repro.parallel.parallel_map`.
+    Results are bit-identical across backends for the same seed.
     """
+    t_begin = time.perf_counter()
     config = config or paper_campaign_config()
     config.validate()
-    rngs = RngFactory(config.seed)
-    registry = ClusterRegistry(config.topology)
-    scheduler = BatchScheduler(
-        registry,
-        config.calendar,
-        config.activity,
-        rng_factory=rngs,
-        n_days=config.n_days,
-    )
-    temperature = TemperatureModel(seed=config.seed)
-    plan_rng = rngs.get("catalogue/plan")
-    plans = plan_catalogue(config, plan_rng)
-    reserved = config.reserved_nodes()
-
-    gap_hours = {
-        config.degrading.node: [
-            (g0 * 24.0, g1 * 24.0) for g0, g1 in config.degrading.monitoring_gaps
-        ]
-    }
-
-    # -- phase 1: session tracks -------------------------------------------------
-    tracks: dict[str, SessionTrack] = {}
-    for node in registry.scanned_nodes():
-        name = str(node.node_id)
-        windows = scheduler.node_windows(node)
-        windows = subtract_gaps(windows, gap_hours.get(name, []))
-        pinned_intervals = [
-            (w.start_hours, w.end_hours) for w in _forced_windows(plans, name)
-        ]
-        windows = subtract_gaps(windows, pinned_intervals)
-        track = build_session_track(
-            name,
-            windows,
-            rngs.get(f"daemon/{name}"),
-            p_full_alloc=config.p_full_alloc,
-            p_alloc_fail=config.p_alloc_fail,
-            leak_mean_mb=config.leak_mean_mb,
-            p_truncation=config.p_truncation,
-            p_counting=0.0 if name in reserved else config.p_counting,
-        )
-        tracks[name] = _insert_pinned(track, plans, name)
-
-    # -- phase 2: fault models ------------------------------------------------------
-    observations: list[Observation] = []
-    weak_nodes = {w.node for w in config.weak_bits}
-    for node in registry.scanned_nodes():
-        name = str(node.node_id)
-        if name in reserved and name not in weak_nodes:
-            continue
-        track = tracks[name]
-        if track.n_sessions == 0:
-            continue
-        if name in weak_nodes:
-            cfg = next(w for w in config.weak_bits if w.node == name)
-            observations.extend(
-                gen_weak_bit(track, cfg, rngs.get(f"weak/{name}"), config.n_days)
-            )
-            continue
-        bg = config.background
-        rate = bg.rate_per_node_hour
-        if node.node_id.soc == OVERHEATING_SOC:
-            rate *= bg.overheating_rate_multiplier
-        if rate != bg.rate_per_node_hour:
-            from dataclasses import replace as _replace
-
-            bg = _replace(bg, rate_per_node_hour=rate)
-        observations.extend(gen_background(track, bg, rngs.get(f"bg/{name}")))
-
-    stuck_track = tracks.get(config.stuck.node)
-    if stuck_track is not None:
-        observations.extend(
-            gen_stuck_node(stuck_track, config.stuck, rngs.get("stuck"))
-        )
-    deg_track = tracks.get(config.degrading.node)
-    if deg_track is not None:
-        observations.extend(
-            gen_degrading(
-                deg_track, config.degrading, rngs.get("degrading"), config.n_days
-            )
-        )
-    observations.extend(
-        resolve_catalogue(plans, tracks, config, rngs.get("catalogue/resolve"))
+    n_workers = resolve_workers(workers if workers is not None else config.workers)
+    exec_backend = resolve_backend(
+        backend if backend is not None else config.backend, n_workers
     )
 
-    # -- phase 3: render observations into log records ---------------------------------
+    ctx = _CampaignContext(config, materialize_lifecycle)
+    names = list(ctx.nodes_by_name)
+
+    # -- parallel phase: per-node track + models + rendering ---------------
+    if exec_backend == "process":
+        results: list[_NodeResult] = parallel_map(
+            _node_worker,
+            names,
+            backend="process",
+            workers=n_workers,
+            initializer=_init_worker,
+            initargs=(config, materialize_lifecycle),
+        )
+    else:
+        results = parallel_map(
+            lambda name: _simulate_node(ctx, name),
+            names,
+            backend=exec_backend,
+            workers=n_workers,
+        )
+
+    tracks = {result.node: result.track for result in results}
+    n_observations = sum(result.n_observations for result in results)
+
+    # -- sequential phase: catalogue resolution + archive assembly ---------
+    catalogue_obs = resolve_catalogue(
+        ctx.plans, tracks, config, ctx.rngs.get("catalogue/resolve")
+    )
+    n_observations += len(catalogue_obs)
+
     archive = LogArchive()
-    node_maps: dict[str, AddressMap] = {}
-    node_ids: dict[str, NodeId] = {}
-    for obs in observations:
-        amap = node_maps.get(obs.node)
-        if amap is None:
-            amap = AddressMap(
-                n_words=_FULL_WORDS, salt=hash(obs.node) & 0x7FFFFFFF
-            )
-            node_maps[obs.node] = amap
-            node_ids[obs.node] = NodeId.parse(obs.node)
-        temp = temperature.reading(node_ids[obs.node], obs.time_hours)
-        archive.append(
-            ErrorRecord(
-                timestamp_hours=obs.time_hours,
-                node=obs.node,
-                virtual_address=int(amap.virtual_address(obs.word_index)),
-                physical_page=int(amap.physical_page(obs.word_index)),
-                expected=obs.expected,
-                actual=obs.actual,
-                temperature_c=temp,
-                repeat_count=obs.repeat_count,
-            )
-        )
-
-    if materialize_lifecycle:
-        for name, track in tracks.items():
-            node_id = NodeId.parse(name)
-            for i in range(track.n_sessions):
-                t0, t1 = float(track.starts[i]), float(track.ends[i])
-                archive.append(
-                    StartRecord(
-                        timestamp_hours=t0,
-                        node=name,
-                        allocated_mb=int(track.alloc_mb[i]),
-                        temperature_c=temperature.reading(node_id, t0),
-                    )
-                )
-                archive.append(
-                    EndRecord(
-                        timestamp_hours=t1,
-                        node=name,
-                        temperature_c=temperature.reading(node_id, t1),
-                    )
-                )
+    for result in results:
+        archive.extend(result.records)
+    archive.extend(ctx.render(catalogue_obs))
+    for result in results:
+        archive.extend(result.lifecycle)
     archive.sort()
+
+    wall = time.perf_counter() - t_begin
+    node_seconds = {result.node: result.seconds for result in results}
+    metrics = CampaignMetrics(
+        backend=exec_backend,
+        workers=n_workers,
+        wall_seconds=wall,
+        simulate_seconds=float(sum(node_seconds.values())),
+        n_records=archive.n_records(),
+        n_observations=n_observations,
+        n_nodes=len(names),
+        node_seconds=node_seconds,
+    )
 
     return CampaignResult(
         config=config,
-        registry=registry,
+        registry=ctx.registry,
         tracks=tracks,
         archive=archive,
-        n_observations=len(observations),
+        n_observations=n_observations,
+        metrics=metrics,
     )

@@ -237,6 +237,13 @@ class CampaignConfig:
     #: Day:night modulation of the multi-bit channel (environment model).
     multibit_day_night_ratio: float = 5.5
 
+    #: Execution controls.  These steer *how* the campaign is computed,
+    #: never *what* it produces: every backend/worker combination yields a
+    #: bit-identical result for the same seed, so they are excluded from
+    #: cache digests (see :data:`EXECUTION_FIELDS`).
+    workers: int = 1
+    backend: str = "auto"
+
     #: Nodes excluded from the background model because the paper requires
     #: them silent (the isolated-SDC hosts) or they have dedicated models.
     def reserved_nodes(self) -> set[str]:
@@ -254,6 +261,19 @@ class CampaignConfig:
         hosts = [n for _, n in self.placement.undetectable_hosts]
         if len(self.placement.undetectable_days) != len(hosts):
             raise ConfigurationError("undetectable days/hosts length mismatch")
+        if self.workers != -1 and self.workers < 1:
+            raise ConfigurationError("workers must be >= 1 (or -1 for all CPUs)")
+        from ..parallel import BACKENDS
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+
+
+#: CampaignConfig fields that steer execution without affecting results;
+#: cache digests must ignore them (a 4-worker run answers a serial query).
+EXECUTION_FIELDS: tuple[str, ...] = ("workers", "backend")
 
 
 def paper_campaign_config(seed: int = DEFAULT_SEED) -> CampaignConfig:

@@ -1,0 +1,118 @@
+"""Execution backends for embarrassingly-parallel campaign work.
+
+The year-scale campaign decomposes into independent per-node work units
+(session track, fault models, record rendering — see
+:mod:`repro.faultinjection.campaign`).  This module provides the one
+primitive those call sites need: an order-preserving ``map`` over a
+selectable backend.
+
+Backends
+--------
+
+``serial``
+    Plain in-process loop.  The reference implementation; every other
+    backend must produce bit-identical results (per-node RNG streams are
+    pure functions of ``(seed, key)``, so they do).
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Useful when the
+    work releases the GIL (NumPy bulk ops) or for I/O-bound maps; never
+    changes results.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`.  The scaling
+    backend for CPU-bound campaign simulation.  Work functions must be
+    module-level (picklable); per-process state is set up once through
+    the ``initializer`` hook rather than shipped with every task.
+``auto``
+    Resolves to ``process`` when more than one worker is requested and
+    the platform supports it, else ``serial``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Sequence
+
+from .core.errors import ConfigurationError
+
+#: Backend names accepted by :func:`parallel_map` and ``CampaignConfig``.
+BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def available_workers() -> int:
+    """Number of usable CPUs (affinity-aware where the OS exposes it)."""
+    try:
+        return len(os.sched_getaffinity(0))  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker count (``None``/``0`` -> 1, ``-1`` -> all CPUs)."""
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return available_workers()
+    return int(workers)
+
+
+def resolve_backend(backend: str | None, workers: int) -> str:
+    """Resolve ``auto``/``None`` to a concrete backend for ``workers``."""
+    backend = backend or "auto"
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    return "process" if workers > 1 else "serial"
+
+
+def _mp_context():
+    """Fork where available: cheap worker start and inherited imports."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    backend: str = "serial",
+    workers: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[Any] = (),
+) -> list[Any]:
+    """Order-preserving map of ``fn`` over ``items`` on a backend.
+
+    ``initializer(*initargs)`` runs once per worker process (``process``
+    backend) or once up front (``serial``/``thread``), letting work
+    functions share expensive per-process context through module globals
+    instead of pickling it into every task.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    backend = resolve_backend(backend, workers)
+    if backend == "serial" or not items or workers == 1 and backend != "process":
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+
+    if backend == "thread":
+        if initializer is not None:
+            initializer(*initargs)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    # process backend
+    chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_mp_context(),
+        initializer=initializer,
+        initargs=tuple(initargs),
+    ) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

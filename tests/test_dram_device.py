@@ -1,0 +1,166 @@
+"""Simulation-core tests: the unprotected DRAM device.
+
+Covers the paths every campaign record passes through: the bit swizzle
+(virtual <-> physical bit mapping), the cell array's fill/read
+consistency, exact fault application, and the charge-loss (1->0)
+dominance baked into the fault models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitops import WORD_BITS
+from repro.dram.addressing import (
+    DEFAULT_SWIZZLE,
+    AddressMap,
+    BitSwizzle,
+    stable_salt,
+)
+from repro.dram.device import make_device
+from repro.dram.faults import StuckCell, TransientFlip, WeakCell
+from repro.faultinjection.models import _single_bit_words
+
+
+class TestSwizzleRoundTrip:
+    @pytest.mark.parametrize(
+        "swizzle",
+        [BitSwizzle.identity(), BitSwizzle.interleaved(3), BitSwizzle.interleaved(5)],
+        ids=["identity", "stride3", "stride5"],
+    )
+    def test_logical_physical_round_trip(self, swizzle):
+        rng = np.random.default_rng(42)
+        for mask in rng.integers(1, 2**32, size=64, dtype=np.uint64):
+            mask = int(mask)
+            assert swizzle.physical_to_logical_mask(
+                swizzle.logical_to_physical_mask(mask)
+            ) == mask
+            assert swizzle.logical_to_physical_mask(
+                swizzle.physical_to_logical_mask(mask)
+            ) == mask
+
+    def test_swizzle_preserves_popcount(self):
+        for mask in (0x1, 0x3, 0x80000001, 0xDEADBEEF, 0xFFFFFFFF):
+            mapped = DEFAULT_SWIZZLE.logical_to_physical_mask(mask)
+            assert bin(mapped).count("1") == bin(mask).count("1")
+
+    def test_identity_swizzle_is_identity(self):
+        assert BitSwizzle.identity().logical_to_physical_mask(0xABCD1234) == 0xABCD1234
+
+    def test_interleave_is_permutation(self):
+        assert sorted(DEFAULT_SWIZZLE.perm) == list(range(WORD_BITS))
+
+    def test_adjacent_physical_lines_are_nonadjacent_logical(self):
+        """The paper's core swizzle effect: physical neighbours map apart."""
+        two_adjacent = 0b11  # physical lines 0 and 1
+        logical = DEFAULT_SWIZZLE.physical_to_logical_mask(two_adjacent)
+        bits = [i for i in range(WORD_BITS) if (logical >> i) & 1]
+        assert len(bits) == 2
+        assert abs(bits[1] - bits[0]) > 1
+
+
+class TestAddressMap:
+    def test_virtual_round_trip(self):
+        amap = AddressMap(n_words=4096, salt=7)
+        idx = np.arange(0, 4096, 17)
+        assert np.array_equal(amap.word_index(amap.virtual_address(idx)), idx)
+
+    def test_physical_page_stable_and_in_range(self):
+        amap = AddressMap(n_words=64 * 1024, salt=3)
+        pages = np.asarray(amap.physical_page(np.arange(0, 64 * 1024, 511)))
+        assert np.array_equal(pages, amap.physical_page(np.arange(0, 64 * 1024, 511)))
+        assert (pages >= amap.physical_frame_base).all()
+
+    def test_stable_salt_is_process_independent(self):
+        """Salts must not depend on PYTHONHASHSEED (parallel rendering)."""
+        assert stable_salt("02-04") == 765401515
+        assert stable_salt("02-04") != stable_salt("02-05")
+        assert 0 <= stable_salt("21-09") < 2**31
+
+
+class TestFillAndRead:
+    def test_fill_read_block_consistency(self):
+        device = make_device(1)
+        device.fill(0xFFFFFFFF)
+        block = device.read_block()
+        assert block.shape[0] == device.n_words
+        assert (block == np.uint32(0xFFFFFFFF)).all()
+        device.fill(0x0)
+        assert (device.read_block() == 0).all()
+
+    def test_write_word_visible_in_block_and_word_reads(self):
+        device = make_device(1)
+        device.fill(0)
+        device.write_word(1234, 0xCAFEBABE)
+        assert device.read_word(1234) == 0xCAFEBABE
+        assert int(device.read_block(1234, 1)[0]) == 0xCAFEBABE
+
+    def test_read_block_is_a_copy(self):
+        device = make_device(1)
+        device.fill(0)
+        block = device.read_block()
+        block[0] = 99
+        assert device.read_word(0) == 0
+
+
+class TestFaultApplication:
+    def test_transient_flip_hits_exactly_the_target_cells(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        device.fill(0xFFFFFFFF)
+        device.apply(TransientFlip(word_index=100, flip_mask=0b101))
+        block = device.read_block()
+        assert int(block[100]) == 0xFFFFFFFF ^ 0b101
+        untouched = np.delete(block, 100)
+        assert (untouched == np.uint32(0xFFFFFFFF)).all()
+
+    def test_transient_flip_routed_through_swizzle(self):
+        device = make_device(1)  # DEFAULT_SWIZZLE
+        device.fill(0)
+        physical_mask = 0b11
+        device.apply(TransientFlip(word_index=7, flip_mask=physical_mask))
+        expected_logical = DEFAULT_SWIZZLE.physical_to_logical_mask(physical_mask)
+        assert device.read_word(7) == expected_logical
+
+    def test_stuck_cell_survives_rewrites(self):
+        device = make_device(1, swizzle=BitSwizzle.identity())
+        device.apply(StuckCell(word_index=5, mask=0x10, value=0x0))  # stuck low
+        device.fill(0xFFFFFFFF)
+        assert device.read_word(5) == 0xFFFFFFFF ^ 0x10
+        device.fill(0x0)
+        assert device.read_word(5) == 0  # stuck-low agrees with zeros
+
+    def test_weak_cell_discharges_single_bit(self):
+        device = make_device(1)
+        device.fill(0xFFFFFFFF)
+        device.apply(WeakCell(word_index=9, bit=17, discharge_value=0))
+        assert device.read_word(9) == 0xFFFFFFFF ^ (1 << 17)
+        others = np.delete(device.read_block(), 9)
+        assert (others == np.uint32(0xFFFFFFFF)).all()
+
+
+class TestChargeLossDominance:
+    """The fault models' 1->0 bias (Sec III-C: ~90% of flips)."""
+
+    def test_single_bit_words_direction_split(self):
+        rng = np.random.default_rng(0)
+        expected, actual = _single_bit_words(rng, 4000, p_one_to_zero=0.9)
+        one_to_zero = expected == 0xFFFFFFFF
+        assert 0.85 < one_to_zero.mean() < 0.95
+        # 1->0 flips clear exactly one set bit; 0->1 flips set one.
+        flips = np.bitwise_xor(expected, actual)
+        n_bits = np.array([bin(int(f)).count("1") for f in flips])
+        assert (n_bits == 1).all()
+        assert (actual[one_to_zero] < expected[one_to_zero]).all()
+        assert (actual[~one_to_zero] > expected[~one_to_zero]).all()
+
+    def test_full_charge_loss_when_forced(self):
+        rng = np.random.default_rng(1)
+        expected, actual = _single_bit_words(rng, 500, p_one_to_zero=1.0)
+        assert (expected == 0xFFFFFFFF).all()
+        assert (actual != 0xFFFFFFFF).all()
+
+    def test_campaign_error_stream_is_one_to_zero_dominated(self, quick_campaign):
+        frame = quick_campaign.raw_frame()
+        one_to_zero = frame.expected > frame.actual
+        assert one_to_zero.mean() > 0.8
