@@ -39,7 +39,8 @@ from typing import Any, Callable
 from . import __version__
 
 #: Bump to orphan every existing entry when the on-disk layout changes.
-CACHE_SCHEMA = 1
+#: Schema 2: campaign archives are stored columnar (see repro.logs.columnar).
+CACHE_SCHEMA = 2
 
 #: Config fields that steer execution without affecting results.
 EXECUTION_FIELDS = ("workers", "backend")

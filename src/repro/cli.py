@@ -8,6 +8,8 @@ Subcommands::
     repro list                   # available experiment ids
     repro campaign --out DIR     # run the campaign, write per-node logs
     repro cache                  # show (or --clear) the on-disk cache
+    repro logs convert           # text logs <-> binary columnar archive
+    repro logs inspect           # manifest summary (+ checksum --verify)
 """
 
 from __future__ import annotations
@@ -80,11 +82,97 @@ def _build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--clear", action="store_true", help="delete every cached entry"
     )
+
+    logs = sub.add_parser("logs", help="columnar log-archive tools")
+    logs_sub = logs.add_subparsers(dest="logs_command", required=True)
+    conv = logs_sub.add_parser(
+        "convert",
+        help="convert between text logs and the binary columnar archive",
+    )
+    conv.add_argument(
+        "--in", dest="src", required=True, help="source directory"
+    )
+    conv.add_argument(
+        "--out", dest="dst", required=True, help="destination directory"
+    )
+    conv.add_argument(
+        "--to-text",
+        action="store_true",
+        help="convert columnar back to <node>.log text (default: text -> columnar)",
+    )
+    insp = logs_sub.add_parser(
+        "inspect", help="print a columnar archive's manifest summary"
+    )
+    insp.add_argument("--dir", required=True, help="columnar archive directory")
+    insp.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-read every shard and verify its sha256 checksum",
+    )
     return parser
+
+
+def _cmd_logs(args) -> int:
+    from pathlib import Path
+
+    from .core.errors import LogFormatError
+    from .logs.columnar import ColumnarArchive, read_manifest
+
+    try:
+        if args.logs_command == "convert":
+            if not Path(args.src).is_dir():
+                print(f"error: no such directory: {args.src}", file=sys.stderr)
+                return 2
+            if args.to_text:
+                archive = ColumnarArchive.load(args.src)
+                archive.write_text_directory(args.dst)
+                print(
+                    f"wrote text logs for {len(archive.nodes)} nodes "
+                    f"({archive.n_records():,} records) to {args.dst}"
+                )
+                return 0
+            archive = ColumnarArchive.read_text_directory(
+                args.src, workers=args.workers, backend=args.backend
+            )
+            manifest = archive.save(args.dst)
+            print(
+                f"wrote {manifest['n_nodes']} shards to {args.dst} "
+                f"({manifest['n_records']:,} records, "
+                f"{manifest['n_raw_lines']:,} raw error lines)"
+            )
+            return 0
+
+        # inspect
+        manifest = read_manifest(args.dir)
+        print(
+            f"{manifest['format']} v{manifest['format_version']} "
+            f"(written by {manifest.get('writer', 'unknown')})"
+        )
+        print(
+            f"{manifest['n_nodes']} shards, {manifest['n_records']:,} records, "
+            f"{manifest['n_errors']:,} error records, "
+            f"{manifest['n_raw_lines']:,} raw error lines"
+        )
+        for entry in manifest["shards"]:
+            print(
+                f"  {entry['node']}: {entry['n_records']:,} records "
+                f"({entry['n_raw_lines']:,} raw lines) "
+                f"sha256={entry['sha256'][:12]}…"
+            )
+        if args.verify:
+            ColumnarArchive.load(args.dir, verify_checksums=True)
+            print("all shard checksums verified")
+        return 0
+    except LogFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "logs":
+        return _cmd_logs(args)
+
     # Imports deferred so `repro list --help` stays instant.
     from .experiments import EXPERIMENT_ORDER, get_analysis, run_all, run_experiment
 

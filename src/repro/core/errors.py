@@ -27,6 +27,18 @@ class LogFormatError(ReproError):
     """A log line could not be parsed or serialized."""
 
 
+class ColumnarFormatError(LogFormatError):
+    """A columnar log archive (shards or manifest) is malformed."""
+
+
+class ChecksumMismatchError(ColumnarFormatError):
+    """A columnar shard's bytes do not match the manifest checksum."""
+
+
+class UnknownFormatVersionError(ColumnarFormatError):
+    """A columnar archive was written by an unknown format version."""
+
+
 class ExtractionError(ReproError):
     """The error-extraction pipeline received malformed input."""
 

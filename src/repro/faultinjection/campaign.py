@@ -43,6 +43,7 @@ from ..core.rng import RngFactory
 from ..core.units import SCAN_TARGET_MB
 from ..dram.addressing import AddressMap, stable_salt
 from ..environment.temperature import TemperatureModel
+from ..logs.columnar import ColumnarArchive
 from ..logs.frame import ErrorFrame
 from ..logs.store import LogArchive
 from ..parallel import parallel_map, resolve_backend, resolve_workers
@@ -127,7 +128,10 @@ class CampaignResult:
     config: CampaignConfig
     registry: ClusterRegistry
     tracks: dict[str, SessionTrack]
-    archive: LogArchive
+    #: Fresh runs carry the record-object archive; results reloaded from
+    #: the campaign cache carry its columnar twin (same query API, and
+    #: ``error_frame`` is bit-identical between the two).
+    archive: LogArchive | ColumnarArchive
     n_observations: int
     _frames: dict = field(default_factory=dict, repr=False)
     #: Execution counters of the run that produced this result (None for
@@ -141,11 +145,14 @@ class CampaignResult:
         return self.archive.n_raw_error_lines()
 
     def raw_frame(self) -> ErrorFrame:
-        """All ERROR records as an array table (pre-extraction)."""
+        """All ERROR records as an array table (pre-extraction).
+
+        Dispatches to the archive's own ``error_frame`` — the vectorized
+        columnar path when the result came from the cache, the record
+        loop on fresh runs; both produce bit-identical frames.
+        """
         if "raw" not in self._frames:
-            self._frames["raw"] = ErrorFrame.from_records(
-                self.archive.error_records()
-            ).sorted_by_time()
+            self._frames["raw"] = self.archive.error_frame().sorted_by_time()
         return self._frames["raw"]
 
     # -- coverage level -----------------------------------------------------
@@ -174,13 +181,21 @@ class CampaignResult:
 
     # -- persistence -------------------------------------------------------
 
+    def columnar_archive(self) -> ColumnarArchive:
+        """The archive in columnar form (no-op if already columnar)."""
+        if isinstance(self.archive, ColumnarArchive):
+            return self.archive
+        return ColumnarArchive.from_log_archive(self.archive)
+
     def save(self, path) -> None:
         """Persist the campaign (config, tracks, logs) to a directory.
 
         Pickle is appropriate here: the artifact is a local checkpoint of
         a deterministic simulation, not an interchange format — the log
         directory written by :meth:`LogArchive.write_directory` remains
-        the portable representation.
+        the portable representation.  The archive is stored columnar:
+        pickling a handful of NumPy arrays per node is far smaller and
+        faster than pickling millions of record dataclasses.
         """
         import pickle
         from pathlib import Path
@@ -190,7 +205,7 @@ class CampaignResult:
         payload = {
             "config": self.config,
             "tracks": self.tracks,
-            "archive": self.archive,
+            "archive": self.columnar_archive(),
             "n_observations": self.n_observations,
         }
         with open(directory / "campaign.pkl", "wb") as fh:

@@ -1,7 +1,17 @@
 """Log formats, per-node archives, and the array-backed error table."""
 
+from .columnar import ColumnarArchive, RecordColumns, read_log_file
 from .format import format_record, parse_line
 from .frame import ErrorFrame
-from .store import LogArchive
+from .store import LogArchive, directory_log_files
 
-__all__ = ["ErrorFrame", "LogArchive", "format_record", "parse_line"]
+__all__ = [
+    "ColumnarArchive",
+    "ErrorFrame",
+    "LogArchive",
+    "RecordColumns",
+    "directory_log_files",
+    "format_record",
+    "parse_line",
+    "read_log_file",
+]

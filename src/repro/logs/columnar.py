@@ -1,0 +1,1329 @@
+"""Streaming columnar log ingestion and the binary shard archive.
+
+The text logs (:mod:`repro.logs.format`) are the portable reference
+representation, but at paper scale (>25M raw error lines) parsing them
+one :class:`~repro.core.records.LogRecord` dataclass at a time dominates
+wall time and memory.  This module provides the fast path:
+
+* a chunked, memory-bounded **batch parser** that turns ``<node>.log[.gz]``
+  files directly into column arrays — lines are split once, field payloads
+  are sliced off by their fixed prefixes, and numeric conversion happens
+  in bulk, so no per-line record object is ever created;
+* :class:`RecordColumns`, the structure-of-arrays twin of a record list,
+  exact enough to round-trip back to the text format bit-for-bit;
+* :class:`ColumnarArchive`, the per-node archive in columnar form, with a
+  **versioned binary format**: one ``<node>.npz`` shard per node plus a
+  ``manifest.json`` carrying the format version, record counts, and a
+  SHA-256 checksum per shard;
+* per-file ingest fanned out over the :mod:`repro.parallel` backends.
+
+The text path stays the reference implementation: both paths must produce
+bit-identical :class:`~repro.logs.frame.ErrorFrame` contents and identical
+extraction results (property-tested and enforced in CI).  Any line the
+fast path cannot handle falls back to :func:`~repro.logs.format.parse_line`,
+so malformed input fails with the same :class:`LogFormatError` family the
+reference parser raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import zipfile
+from dataclasses import dataclass
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.errors import (
+    ChecksumMismatchError,
+    ColumnarFormatError,
+    LogFormatError,
+    UnknownFormatVersionError,
+)
+from ..core.records import (
+    AllocFailRecord,
+    EndRecord,
+    ErrorRecord,
+    LogRecord,
+    StartRecord,
+)
+from .format import parse_line
+from .frame import ErrorFrame
+
+#: Bump when the shard/manifest layout changes; readers reject archives
+#: written by versions they do not understand.
+FORMAT_VERSION = 1
+
+#: Magic string identifying a manifest as ours.
+FORMAT_NAME = "repro-columnar"
+
+MANIFEST_NAME = "manifest.json"
+
+#: Lines parsed per batch by the streaming reader; bounds peak memory to
+#: one batch of column staging lists regardless of file size.
+DEFAULT_BATCH_LINES = 131_072
+
+# Record-kind codes stored in the ``kind`` column (stable on-disk values).
+KIND_START = 0
+KIND_ERROR = 1
+KIND_END = 2
+KIND_ALLOC_FAIL = 3
+
+#: Column name -> dtype of one shard (and of RecordColumns).
+SHARD_COLUMNS: dict[str, np.dtype] = {
+    "kind": np.dtype(np.uint8),
+    "t": np.dtype(np.float64),
+    "temp": np.dtype(np.float64),  # NaN == "not logged"
+    "mb": np.dtype(np.int64),
+    "va": np.dtype(np.int64),
+    "pp": np.dtype(np.int64),
+    "expected": np.dtype(np.uint32),
+    "actual": np.dtype(np.uint32),
+    "rep": np.dtype(np.int64),
+}
+
+
+# ---------------------------------------------------------------------------
+# RecordColumns: structure-of-arrays twin of a list[LogRecord]
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecordColumns:
+    """Column-array form of a record sequence (all four record kinds).
+
+    Non-applicable fields hold zeros (e.g. ``va`` on a START row); ``temp``
+    is float64 with NaN for "not logged" so parsed temperatures survive
+    exactly.  ``node_code`` indexes ``node_names`` — a per-node shard has a
+    single name, but the parser tolerates mixed-node files the same way
+    the reference reader does.
+    """
+
+    kind: np.ndarray
+    t: np.ndarray
+    temp: np.ndarray
+    mb: np.ndarray
+    va: np.ndarray
+    pp: np.ndarray
+    expected: np.ndarray
+    actual: np.ndarray
+    rep: np.ndarray
+    node_code: np.ndarray
+    node_names: list[str]
+
+    def __len__(self) -> int:
+        return int(self.kind.shape[0])
+
+    # -- counts ------------------------------------------------------------
+
+    @property
+    def n_errors(self) -> int:
+        return int((self.kind == KIND_ERROR).sum())
+
+    @property
+    def n_raw_lines(self) -> int:
+        """Raw error-line count with repeat compression expanded."""
+        return int(self.rep[self.kind == KIND_ERROR].sum())
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RecordColumns":
+        return cls(
+            **{name: np.empty(0, dtype=dt) for name, dt in SHARD_COLUMNS.items()},
+            node_code=np.empty(0, dtype=np.int32),
+            node_names=[],
+        )
+
+    @classmethod
+    def from_records(cls, records: Iterable[LogRecord]) -> "RecordColumns":
+        """Reference columnarization: one pass over record objects.
+
+        Word values are masked to 32 bits, matching
+        :meth:`ErrorFrame._build`; the scanner only ever emits 32-bit
+        words.
+        """
+        staging = _Staging()
+        for record in records:
+            code = staging.intern(record.node)
+            if isinstance(record, ErrorRecord):
+                staging.add_error_values(
+                    record.timestamp_hours,
+                    code,
+                    record.virtual_address,
+                    record.physical_page,
+                    record.expected & 0xFFFFFFFF,
+                    record.actual & 0xFFFFFFFF,
+                    np.nan if record.temperature_c is None else record.temperature_c,
+                    record.repeat_count,
+                )
+            elif isinstance(record, StartRecord):
+                staging.add_plain(
+                    KIND_START,
+                    record.timestamp_hours,
+                    code,
+                    np.nan if record.temperature_c is None else record.temperature_c,
+                    record.allocated_mb,
+                )
+            elif isinstance(record, EndRecord):
+                staging.add_plain(
+                    KIND_END,
+                    record.timestamp_hours,
+                    code,
+                    np.nan if record.temperature_c is None else record.temperature_c,
+                    0,
+                )
+            elif isinstance(record, AllocFailRecord):
+                staging.add_plain(
+                    KIND_ALLOC_FAIL, record.timestamp_hours, code, np.nan, 0
+                )
+            else:
+                raise LogFormatError(
+                    f"unknown record type {type(record).__name__}"
+                )
+        return staging.build()
+
+    @classmethod
+    def concat(cls, parts: Sequence["RecordColumns"]) -> "RecordColumns":
+        """Concatenate batches, re-interning node codes across parts."""
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return cls.empty()
+        names: list[str] = []
+        index: dict[str, int] = {}
+        codes = []
+        for part in parts:
+            remap = np.empty(len(part.node_names), dtype=np.int32)
+            for i, name in enumerate(part.node_names):
+                code = index.get(name)
+                if code is None:
+                    code = len(names)
+                    index[name] = code
+                    names.append(name)
+                remap[i] = code
+            codes.append(remap[part.node_code] if len(part.node_names) else part.node_code)
+        return cls(
+            **{
+                name: np.concatenate([getattr(p, name) for p in parts])
+                for name in SHARD_COLUMNS
+            },
+            node_code=np.concatenate(codes),
+            node_names=names,
+        )
+
+    # -- views -------------------------------------------------------------
+
+    def split_by_node(self) -> dict[str, "RecordColumns"]:
+        """Per-node column sets, preserving within-node record order."""
+        out: dict[str, RecordColumns] = {}
+        for code, name in enumerate(self.node_names):
+            mask = self.node_code == code
+            n = int(mask.sum())
+            out[name] = RecordColumns(
+                **{col: getattr(self, col)[mask] for col in SHARD_COLUMNS},
+                node_code=np.zeros(n, dtype=np.int32),
+                node_names=[name],
+            )
+        return out
+
+    # -- materialization ---------------------------------------------------
+
+    def to_records(self) -> list[LogRecord]:
+        """Materialize record objects (the bridge back to the text path)."""
+        records: list[LogRecord] = []
+        names = self.node_names
+        for i in range(len(self)):
+            kind = int(self.kind[i])
+            t = float(self.t[i])
+            node = names[int(self.node_code[i])]
+            tc = float(self.temp[i])
+            temp = None if np.isnan(tc) else tc
+            if kind == KIND_ERROR:
+                records.append(
+                    ErrorRecord(
+                        timestamp_hours=t,
+                        node=node,
+                        virtual_address=int(self.va[i]),
+                        physical_page=int(self.pp[i]),
+                        expected=int(self.expected[i]),
+                        actual=int(self.actual[i]),
+                        temperature_c=temp,
+                        repeat_count=int(self.rep[i]),
+                    )
+                )
+            elif kind == KIND_START:
+                records.append(
+                    StartRecord(
+                        timestamp_hours=t,
+                        node=node,
+                        allocated_mb=int(self.mb[i]),
+                        temperature_c=temp,
+                    )
+                )
+            elif kind == KIND_END:
+                records.append(
+                    EndRecord(timestamp_hours=t, node=node, temperature_c=temp)
+                )
+            elif kind == KIND_ALLOC_FAIL:
+                records.append(AllocFailRecord(timestamp_hours=t, node=node))
+            else:
+                raise ColumnarFormatError(f"unknown kind code {kind}")
+        return records
+
+
+class _Staging:
+    """Append-only column staging lists, bulk-converted once per batch."""
+
+    __slots__ = (
+        "kind", "t", "temp", "mb", "va", "pp", "expected", "actual", "rep",
+        "node_code", "names", "index", "blocks",
+    )
+
+    def __init__(self) -> None:
+        self.kind: list[int] = []
+        self.t: list = []          # str or float; bulk-cast to f8
+        self.temp: list = []       # str or float; bulk-cast to f8
+        self.mb: list[int] = []
+        self.va: list[int] = []
+        self.pp: list[int] = []
+        self.expected: list[int] = []
+        self.actual: list[int] = []
+        self.rep: list[int] = []
+        self.node_code: list[int] = []
+        self.names: list[str] = []
+        self.index: dict[str, int] = {}
+        self.blocks: list[dict[str, np.ndarray]] = []
+
+    def intern(self, node: str) -> int:
+        code = self.index.get(node)
+        if code is None:
+            code = len(self.names)
+            self.index[node] = code
+            self.names.append(node)
+        return code
+
+    def add_error_values(self, t, code, va, pp, exp, act, temp, rep) -> None:
+        self.kind.append(KIND_ERROR)
+        self.t.append(t)
+        self.node_code.append(code)
+        self.va.append(va)
+        self.pp.append(pp)
+        self.expected.append(exp)
+        self.actual.append(act)
+        self.temp.append(temp)
+        self.rep.append(rep)
+        self.mb.append(0)
+
+    def add_plain(self, kind, t, code, temp, mb) -> None:
+        self.kind.append(kind)
+        self.t.append(t)
+        self.node_code.append(code)
+        self.temp.append(temp)
+        self.mb.append(mb)
+        self.va.append(0)
+        self.pp.append(0)
+        self.expected.append(0)
+        self.actual.append(0)
+        self.rep.append(0)
+
+    def add_block(self, arrays: dict[str, np.ndarray]) -> None:
+        """Append a pre-converted column block (the bulk ERROR-run path).
+
+        Scalar rows staged so far are flushed first so record order is
+        preserved when blocks and scalars interleave.
+        """
+        self._flush_scalars()
+        self.blocks.append(arrays)
+
+    def add_record(self, record: LogRecord) -> None:
+        """Slow-path append of one already-parsed record."""
+        code = self.intern(record.node)
+        if isinstance(record, ErrorRecord):
+            self.add_error_values(
+                record.timestamp_hours,
+                code,
+                record.virtual_address,
+                record.physical_page,
+                record.expected & 0xFFFFFFFF,
+                record.actual & 0xFFFFFFFF,
+                np.nan if record.temperature_c is None else record.temperature_c,
+                record.repeat_count,
+            )
+        elif isinstance(record, StartRecord):
+            self.add_plain(
+                KIND_START,
+                record.timestamp_hours,
+                code,
+                np.nan if record.temperature_c is None else record.temperature_c,
+                record.allocated_mb,
+            )
+        elif isinstance(record, EndRecord):
+            self.add_plain(
+                KIND_END,
+                record.timestamp_hours,
+                code,
+                np.nan if record.temperature_c is None else record.temperature_c,
+                0,
+            )
+        else:
+            self.add_plain(KIND_ALLOC_FAIL, record.timestamp_hours, code, np.nan, 0)
+
+    def _flush_scalars(self) -> None:
+        """Bulk-convert the scalar staging lists into one column block."""
+        if not self.kind:
+            return
+        self.blocks.append(
+            {
+                "kind": np.asarray(self.kind, dtype=np.uint8),
+                "t": np.asarray(self.t, dtype=np.float64),
+                "temp": np.asarray(self.temp, dtype=np.float64),
+                "mb": np.asarray(self.mb, dtype=np.int64),
+                "va": np.asarray(self.va, dtype=np.int64),
+                "pp": np.asarray(self.pp, dtype=np.int64),
+                "expected": np.asarray(self.expected, dtype=np.uint32),
+                "actual": np.asarray(self.actual, dtype=np.uint32),
+                "rep": np.asarray(self.rep, dtype=np.int64),
+                "node_code": np.asarray(self.node_code, dtype=np.int32),
+            }
+        )
+        for column in (
+            self.kind, self.t, self.temp, self.mb, self.va, self.pp,
+            self.expected, self.actual, self.rep, self.node_code,
+        ):
+            column.clear()
+
+    def build(self) -> RecordColumns:
+        self._flush_scalars()
+        blocks = self.blocks
+        if not blocks:
+            empty = RecordColumns.empty()
+            empty.node_names = self.names
+            return empty
+        if len(blocks) == 1:
+            arrays = blocks[0]
+        else:
+            arrays = {
+                name: np.concatenate([b[name] for b in blocks])
+                for name in blocks[0]
+            }
+        return RecordColumns(
+            **{name: arrays[name] for name in SHARD_COLUMNS},
+            node_code=arrays["node_code"],
+            node_names=self.names,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Batch text parser
+# ---------------------------------------------------------------------------
+
+
+#: Minimum consecutive ERROR lines worth the fixed cost of a bulk parse.
+_ERROR_RUN_MIN = 32
+
+#: Bytes of text per streaming chunk in the whole-file fast path.
+_CHUNK_BYTES = 1 << 24
+
+#: Place values for bulk fixed-point conversion.  Widths are capped so
+#: every intermediate fits in int64 exactly (wider payloads fall back to
+#: the per-line path and Python's arbitrary-precision ``int``).
+_POW10 = 10 ** np.arange(18, dtype=np.int64)
+_POW16 = 16 ** np.arange(15, dtype=np.int64)
+
+#: (field index, expected prefix) for the nine positions of an ERROR line.
+_ERROR_FIELD_PREFIXES = (
+    (0, b"t="),
+    (1, b"node="),
+    (2, b"va=0x"),
+    (3, b"pp=0x"),
+    (4, b"exp=0x"),
+    (5, b"act=0x"),
+    (6, b"temp="),
+    (7, b"rep="),
+)
+
+_LINE_HEAD = np.frombuffer(b"ERROR|", dtype=np.uint8)
+_FIELD_PREFIX_ARRAYS = tuple(
+    (col, np.frombuffer(prefix, dtype=np.uint8))
+    for col, prefix in _ERROR_FIELD_PREFIXES
+)
+
+#: Flattened (pipe column, byte offset past the pipe, expected byte)
+#: triples for all eight field prefixes, so one fancy gather validates
+#: every prefix of every line at once.
+_PREFIX_COL = np.concatenate(
+    [np.full(p.size, col, dtype=np.int64) for col, p in _FIELD_PREFIX_ARRAYS]
+)
+_PREFIX_OFFSET = np.concatenate(
+    [1 + np.arange(p.size) for _, p in _FIELD_PREFIX_ARRAYS]
+)
+_PREFIX_EXPECT = np.concatenate([p for _, p in _FIELD_PREFIX_ARRAYS])
+
+#: Digit offsets of the ``exp=0x%08x|act=0x%08x`` block relative to the
+#: ``exp`` pipe (valid once the fixed 15-byte field widths are checked).
+_EXP_ACT_OFFSETS = np.concatenate([7 + np.arange(8), 22 + np.arange(8)])
+_POW16_8 = 16 ** np.arange(7, -1, -1, dtype=np.int64)
+
+#: byte -> digit value (-1 for non-digits); lowercase hex only, matching
+#: what format_record emits.
+_DEC_VALUE = np.full(256, -1, dtype=np.int8)
+_DEC_VALUE[ord("0") : ord("9") + 1] = np.arange(10)
+_HEX_VALUE = _DEC_VALUE.copy()
+_HEX_VALUE[ord("a") : ord("f") + 1] = np.arange(10, 16)
+
+#: Slack bytes appended after the encoded text so windowed gathers near
+#: the end of the buffer never need index clipping.  Must exceed the
+#: widest gather span (rep payloads, 18 digits) plus any prefix length.
+_PAD = 32
+
+
+def _encode_padded(
+    chunk: str | bytes,
+) -> tuple[np.ndarray, np.ndarray, bytes] | None:
+    """Prepare a text blob for the byte engine, or None if non-ASCII str.
+
+    Guarantees the returned buffer ends with a newline (a virtual one is
+    appended when missing) followed by ``_PAD`` NUL slack bytes, and
+    returns the newline positions plus the padded bytes (for slicing)
+    alongside it.  ``bytes`` input skips the encode entirely; any
+    non-ASCII byte in it fails the digit/prefix checks downstream and is
+    diagnosed by the per-line fallback's strict decode.
+    """
+    if isinstance(chunk, str):
+        try:
+            raw = chunk.encode("ascii")
+        except UnicodeEncodeError:
+            return None
+    else:
+        raw = chunk
+    if not raw.endswith(b"\n"):
+        raw += b"\n"
+    blob = raw + b"\x00" * _PAD
+    buf = np.frombuffer(blob, dtype=np.uint8)
+    return buf, np.flatnonzero(buf == ord("\n")), blob
+
+
+def _uint_column(
+    buf: np.ndarray, start: np.ndarray, end: np.ndarray, base: int, max_width: int
+) -> np.ndarray | None:
+    """Bulk-parse unsigned ``base``-10/16 payloads at ``buf[start:end)`` rows.
+
+    Returns int64 values, or None (caller falls back) if any payload is
+    empty, wider than ``max_width``, or holds a character outside the
+    canonical digit set (``format_record`` emits lowercase hex only).
+    ``buf`` must carry ``_PAD`` slack bytes (see :func:`_encode_padded`).
+    """
+    width = end - start
+    if width.min() < 1 or width.max() > max_width:
+        return None
+    span = int(width.max())
+    # Right-aligned gather: leading out-of-field positions are masked to
+    # zero, which contributes nothing, so one constant place vector
+    # serves every row regardless of its width.  (Payload starts are far
+    # enough into each line that ``end - span`` never goes negative for
+    # input that passed the prefix checks.)
+    idx = end[:, None] + np.arange(-span, 0)
+    mask = idx >= start[:, None]
+    table = _HEX_VALUE if base == 16 else _DEC_VALUE
+    v = table[buf[idx]] * mask
+    if (v < 0).any():
+        return None
+    pow_vec = (_POW16 if base == 16 else _POW10)[span - 1 :: -1]
+    return (v * pow_vec).sum(axis=1)
+
+
+def _temp_column(
+    buf: np.ndarray, start: np.ndarray, end: np.ndarray
+) -> np.ndarray | None:
+    """Bulk-parse ``temp=`` payloads: ``na`` -> NaN, else canonical ``%.2f``.
+
+    A two-decimal fixed-point value is exact in one IEEE division
+    (``cents / 100.0`` is the correctly-rounded nearest double, the same
+    result ``float()`` gives), so the fast path matches the reference
+    parser bit-for-bit.  Anything else — scientific notation, extra
+    decimals — returns None for the per-line path.
+    """
+    width = end - start
+    if width.min() < 1:
+        return None
+    out = np.full(start.shape[0], np.nan)
+    na = (width == 2) & (buf[start] == ord("n")) & (buf[start + 1] == ord("a"))
+    numeric = ~na
+    if not numeric.any():
+        return out
+    ns = start[numeric]
+    ne = end[numeric]
+    negative = buf[ns] == ord("-")
+    ns = ns + negative
+    if ((ne - ns) < 4).any() or (buf[ne - 3] != ord(".")).any():
+        return None
+    integral = _uint_column(buf, ns, ne - 3, 10, 15)
+    if integral is None:
+        return None
+    cents_frac = _uint_column(buf, ne - 2, ne, 10, 2)
+    if cents_frac is None:
+        return None
+    cents = integral * 100 + cents_frac
+    if int(cents.max()) >= 2**53:
+        return None  # not exactly representable; let float() decide
+    values = cents.astype(np.float64) / 100.0
+    out[numeric] = np.where(negative, -values, values)
+    return out
+
+
+def _error_columns_core(
+    buf: np.ndarray,
+    blob: bytes,
+    starts: np.ndarray,
+    newlines: np.ndarray,
+    grid: np.ndarray,
+    check_head: bool = True,
+) -> tuple[dict, str] | None:
+    """Columnar parse of lines whose pipe/newline positions are known.
+
+    ``starts``/``newlines`` bound each line in ``buf`` (a padded ASCII
+    buffer over ``blob``, see :func:`_encode_padded`); ``grid`` holds the
+    8 candidate pipe positions per line.  Every field prefix is validated
+    positionally and every numeric payload converts through a strict
+    digit check, so the lines are accepted only if each is exactly what
+    :func:`format_record` writes (single node, canonical layouts,
+    ``expected != actual``, ``rep >= 1``).  Anything else returns None
+    and the caller takes the per-line path, preserving the reference
+    parser's accept/reject behaviour.  Only the timestamp needs real
+    ``strtod``; it is the one column parsed from string slices.
+    """
+    n = int(starts.shape[0])
+    # Each row of `grid` must fall inside its own line for the reshape to
+    # mean "the 8 separators of line i".
+    if not ((grid[:, 0] >= starts).all() and (grid[:, 7] < newlines).all()):
+        return None
+    if check_head and not (
+        buf[starts[:, None] + np.arange(6)] == _LINE_HEAD
+    ).all():
+        return None
+    if not (buf[grid[:, _PREFIX_COL] + _PREFIX_OFFSET] == _PREFIX_EXPECT).all():
+        return None
+    # Single-node check (one log file holds one node); mixed-node input
+    # takes the per-line path.
+    node_start = grid[:, 1] + 6
+    node_end = grid[:, 2]
+    node_width = node_end - node_start
+    if node_width[0] < 1 or (node_width != node_width[0]).any():
+        return None
+    node_bytes = buf[node_start[:, None] + np.arange(int(node_width[0]))]
+    if (node_bytes != node_bytes[0]).any():
+        return None
+    try:
+        node = blob[int(node_start[0]) : int(node_end[0])].decode("ascii")
+    except UnicodeDecodeError:
+        return None
+    va = _uint_column(buf, grid[:, 2] + 6, grid[:, 3], 16, 14)
+    if va is None:
+        return None
+    pp = _uint_column(buf, grid[:, 3] + 6, grid[:, 4], 16, 14)
+    if pp is None:
+        return None
+    if ((grid[:, 5] - grid[:, 4]) != 15).any() or ((grid[:, 6] - grid[:, 5]) != 15).any():
+        return None  # exp/act are fixed-width %08x
+    # One gather covers both fixed-width words; the shared width means a
+    # single constant place vector and no per-row masking.
+    ea = _HEX_VALUE[buf[grid[:, 4][:, None] + _EXP_ACT_OFFSETS]]
+    if (ea < 0).any():
+        return None
+    expected = (ea[:, :8] * _POW16_8).sum(axis=1)
+    actual = (ea[:, 8:] * _POW16_8).sum(axis=1)
+    rep = _uint_column(buf, grid[:, 7] + 5, newlines, 10, 18)
+    if rep is None:
+        return None
+    # Mirror ErrorRecord.__post_init__ so accept/reject matches the
+    # reference parser.
+    if (expected == actual).any() or (rep < 1).any():
+        return None
+    temp = _temp_column(buf, grid[:, 6] + 6, grid[:, 7])
+    if temp is None:
+        return None
+    t_start = grid[:, 0] + 3
+    t_end = grid[:, 1]
+    t_width = t_end - t_start
+    if t_width.min() < 1:
+        return None
+    t_span = int(t_width.max())
+    try:
+        if t_span <= 32:
+            # Space-padded fixed-width bytes let numpy run its C strtod
+            # (correctly rounded, same result as float()) over the whole
+            # column without materializing Python strings.
+            idx = t_start[:, None] + np.arange(t_span)
+            t_bytes = np.where(idx < t_end[:, None], buf[idx], np.uint8(32))
+            t = t_bytes.view(f"S{t_span}").ravel().astype(np.float64)
+        else:
+            t = np.asarray(
+                [
+                    blob[a:b].decode("ascii")
+                    for a, b in zip(t_start.tolist(), t_end.tolist())
+                ],
+                dtype=np.float64,
+            )
+    except (ValueError, UnicodeDecodeError):
+        return None
+    columns = {
+        "kind": np.full(n, KIND_ERROR, dtype=np.uint8),
+        "t": t,
+        "temp": temp,
+        "mb": np.zeros(n, dtype=np.int64),
+        "va": va,
+        "pp": pp,
+        "expected": expected.astype(np.uint32),
+        "actual": actual.astype(np.uint32),
+        "rep": rep,
+    }
+    return columns, node
+
+
+def _bulk_error_columns(
+    chunk: str, expected_ends: np.ndarray | None = None
+) -> tuple[dict, str] | None:
+    """Byte-level columnar parse of a newline-separated all-ERROR blob.
+
+    ``expected_ends`` (newline position per line) lets callers that
+    joined a list of lines verify the blob segments back into exactly
+    those lines.
+    """
+    encoded = _encode_padded(chunk)
+    if encoded is None:
+        return None
+    buf, newlines, blob = encoded
+    n = int(newlines.size)
+    if n == 0:
+        return None
+    if expected_ends is not None and (
+        n != expected_ends.shape[0] or not np.array_equal(newlines, expected_ends)
+    ):
+        return None
+    pipes = np.flatnonzero(buf == ord("|"))
+    if pipes.size != 8 * n:
+        return None
+    starts = np.empty(n, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = newlines[:-1] + 1
+    return _error_columns_core(buf, blob, starts, newlines, pipes.reshape(n, 8))
+
+
+def _bulk_parse_error_run(run: list[str]) -> tuple[dict, str] | None:
+    """Bulk-parse a list of consecutive ERROR lines (with or without
+    trailing newlines), verifying the joined blob segments back into
+    exactly the input lines."""
+    n = len(run)
+    lengths = np.fromiter(map(len, run), dtype=np.int64, count=n)
+    if run[0].endswith("\n"):
+        chunk = "".join(run)
+        ends = np.cumsum(lengths) - 1
+        if not chunk.endswith("\n"):
+            ends[-1] += 1  # the engine appends the virtual final newline
+    else:
+        # "\n".join inserts n-1 separators; the +1 on every line already
+        # counts the virtual final newline the engine appends.
+        chunk = "\n".join(run)
+        ends = np.cumsum(lengths + 1) - 1
+    return _bulk_error_columns(chunk, ends)
+
+
+def _append_error_block(staging: _Staging, columns: dict, node: str) -> None:
+    code = staging.intern(node)
+    columns["node_code"] = np.full(
+        int(columns["kind"].shape[0]), code, dtype=np.int32
+    )
+    staging.add_block(columns)
+
+
+def parse_lines(lines: Iterable[str]) -> RecordColumns:
+    """Parse a batch of log lines into columns, no record objects.
+
+    Runs of consecutive ERROR lines — the overwhelming bulk of any real
+    archive — are parsed column-wise in one pass by
+    :func:`_bulk_parse_error_run`.  Everything else takes a per-line fast
+    path that assumes the exact field order :func:`format_record` writes;
+    any line that deviates — reordered fields, unknown kinds, malformed
+    or half-written lines — is handed to :func:`parse_line`, which either
+    recovers it (it accepts any field order) or raises the same
+    :class:`LogFormatError` the text reference path would.  Blank lines
+    are skipped, as in :meth:`LogArchive.read_directory`.
+    """
+    lines = list(lines)
+    staging = _Staging()
+    n_lines = len(lines)
+    i = 0
+    try:
+        while i < n_lines:
+            raw = lines[i]
+            if raw.startswith("ERROR|"):
+                j = i + 1
+                while j < n_lines and lines[j].startswith("ERROR|"):
+                    j += 1
+                if j - i >= _ERROR_RUN_MIN:
+                    bulk = _bulk_parse_error_run(lines[i:j])
+                    if bulk is not None:
+                        _append_error_block(staging, *bulk)
+                        i = j
+                        continue
+                for k in range(i, j):
+                    _parse_one(staging, lines[k])
+                i = j
+            else:
+                _parse_one(staging, raw)
+                i += 1
+        return staging.build()
+    except ValueError as exc:
+        # A fast-path string payload (timestamp/temperature) failed bulk
+        # numeric conversion; re-parse line-by-line for a precise error.
+        for raw in lines:
+            if raw.strip():
+                parse_line(raw)
+        raise LogFormatError(f"unparseable numeric field in batch: {exc}") from exc
+
+
+def _parse_one(staging: _Staging, raw: str) -> None:
+    """Per-line fast path with reference-parser fallback (order preserved)."""
+    line = raw.rstrip("\n")
+    if not line or not line.strip():
+        return
+    parts = line.split("|")
+    try:
+        if (
+            len(parts) == 9
+            and parts[0] == "ERROR"
+            and parts[1].startswith("t=")
+            and parts[2].startswith("node=")
+            and parts[3].startswith("va=0x")
+            and parts[4].startswith("pp=0x")
+            and parts[5].startswith("exp=0x")
+            and parts[6].startswith("act=0x")
+            and parts[7].startswith("temp=")
+            and parts[8].startswith("rep=")
+        ):
+            expected = int(parts[5][6:], 16)
+            actual = int(parts[6][6:], 16)
+            repeat = int(parts[8][4:])
+            # Lines ErrorRecord.__post_init__ would reject go through the
+            # reference parser so they raise the same LogFormatError.
+            if expected != actual and repeat >= 1:
+                temp = parts[7][5:]
+                staging.add_error_values(
+                    parts[1][2:],
+                    staging.intern(parts[2][5:]),
+                    int(parts[3][5:], 16),
+                    int(parts[4][5:], 16),
+                    expected,
+                    actual,
+                    "nan" if temp == "na" else temp,
+                    repeat,
+                )
+                return
+        if (
+            len(parts) == 5
+            and parts[0] == "START"
+            and parts[1].startswith("t=")
+            and parts[2].startswith("node=")
+            and parts[3].startswith("mb=")
+            and parts[4].startswith("temp=")
+        ):
+            temp = parts[4][5:]
+            staging.add_plain(
+                KIND_START,
+                parts[1][2:],
+                staging.intern(parts[2][5:]),
+                "nan" if temp == "na" else temp,
+                int(parts[3][3:]),
+            )
+            return
+        if (
+            len(parts) == 4
+            and parts[0] == "END"
+            and parts[1].startswith("t=")
+            and parts[2].startswith("node=")
+            and parts[3].startswith("temp=")
+        ):
+            temp = parts[3][5:]
+            staging.add_plain(
+                KIND_END,
+                parts[1][2:],
+                staging.intern(parts[2][5:]),
+                "nan" if temp == "na" else temp,
+                0,
+            )
+            return
+        if (
+            len(parts) == 3
+            and parts[0] == "ALLOC_FAIL"
+            and parts[1].startswith("t=")
+            and parts[2].startswith("node=")
+        ):
+            staging.add_plain(
+                KIND_ALLOC_FAIL,
+                parts[1][2:],
+                staging.intern(parts[2][5:]),
+                "nan",
+                0,
+            )
+            return
+    except ValueError:
+        pass  # bad numeric payload: let the reference parser diagnose
+    staging.add_record(parse_line(line))
+
+
+def _parse_chunk_fast(staging: _Staging, chunk: str | bytes) -> bool:
+    """Byte-level parse of a newline-separated blob, no line splitting.
+
+    The encoded buffer is segmented once into maximal runs of
+    ``ERROR|``-prefixed lines — each bulk-parsed by
+    :func:`_error_columns_core` straight from the shared pipe/newline
+    position arrays — and everything else (START/END/ALLOC_FAIL lines,
+    short runs, anything non-canonical), which is sliced out and handed
+    to :func:`_parse_one` line by line.  Returns False for non-ASCII
+    str input; the caller falls back to the line path.
+    """
+    encoded = _encode_padded(chunk)
+    if encoded is None:
+        return False
+    buf, newlines, blob = encoded
+    n = int(newlines.size)
+    if n == 0:
+        return True
+    starts = np.empty(n, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = newlines[:-1] + 1
+    is_err = (buf[starts[:, None] + np.arange(6)] == _LINE_HEAD).all(axis=1)
+    pipes = np.flatnonzero(buf == ord("|"))
+    edges = np.flatnonzero(is_err[1:] != is_err[:-1]) + 1
+    bounds = [0, *edges.tolist(), n]
+    for lo, hi in zip(bounds, bounds[1:]):
+        if is_err[lo] and hi - lo >= _ERROR_RUN_MIN:
+            seg_starts = starts[lo:hi]
+            seg_ends = newlines[lo:hi]
+            p0 = int(np.searchsorted(pipes, seg_starts[0]))
+            p1 = int(np.searchsorted(pipes, seg_ends[-1]))
+            if p1 - p0 == 8 * (hi - lo):
+                bulk = _error_columns_core(
+                    buf,
+                    blob,
+                    seg_starts,
+                    seg_ends,
+                    pipes[p0:p1].reshape(hi - lo, 8),
+                    check_head=False,
+                )
+                if bulk is not None:
+                    _append_error_block(staging, *bulk)
+                    continue
+        for a, b in zip(starts[lo:hi].tolist(), newlines[lo:hi].tolist()):
+            # Strict decode: a non-ASCII byte raises UnicodeDecodeError
+            # exactly as the text reference path does at read time.
+            _parse_one(staging, blob[a:b].decode("ascii"))
+    return True
+
+
+def parse_chunk(chunk: str | bytes) -> RecordColumns:
+    """Parse a newline-separated blob of log text into columns.
+
+    The blob is parsed in place at byte level by
+    :func:`_parse_chunk_fast` (the dominant path at paper scale); only
+    non-ASCII str input falls back to :func:`parse_lines` over split
+    lines.
+    """
+    staging = _Staging()
+    try:
+        if not _parse_chunk_fast(staging, chunk):
+            return parse_lines(chunk.split("\n"))
+        return staging.build()
+    except UnicodeDecodeError:
+        raise
+    except ValueError as exc:
+        # A fast-path string payload (timestamp/temperature) failed bulk
+        # numeric conversion; re-parse line-by-line for a precise error.
+        text = chunk.decode("ascii") if isinstance(chunk, bytes) else chunk
+        for raw in text.split("\n"):
+            if raw.strip():
+                parse_line(raw)
+        raise LogFormatError(f"unparseable numeric field in batch: {exc}") from exc
+
+
+def _open_text(path: Path):
+    import gzip
+
+    if path.name.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="ascii")
+    return open(path, "r", encoding="ascii")
+
+
+def _open_binary(path: Path):
+    import gzip
+
+    if path.name.endswith(".gz"):
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def _iter_byte_chunks(path: str | Path) -> Iterator[bytes]:
+    """Stream a log file as newline-aligned byte blobs of ~_CHUNK_BYTES.
+
+    Binary reads skip the text-mode decode; the byte engine validates
+    ASCII-ness itself (see :func:`_parse_chunk_fast`).
+    """
+    with _open_binary(Path(path)) as fh:
+        tail = b""
+        while True:
+            block = fh.read(_CHUNK_BYTES)
+            if not block:
+                if tail:
+                    yield tail
+                return
+            if tail:
+                block = tail + block
+            cut = block.rfind(b"\n")
+            if cut < 0:
+                tail = block
+                continue
+            tail = block[cut + 1 :]
+            yield block[: cut + 1]
+
+
+def iter_record_batches(
+    path: str | Path, batch_lines: int = DEFAULT_BATCH_LINES
+) -> Iterator[RecordColumns]:
+    """Stream a log file as column batches of at most ``batch_lines`` rows."""
+    if batch_lines < 1:
+        raise ValueError("batch_lines must be >= 1")
+    with _open_text(Path(path)) as fh:
+        while True:
+            chunk = list(islice(fh, batch_lines))
+            if not chunk:
+                return
+            yield parse_lines(chunk)
+
+
+def read_log_file(
+    path: str | Path, batch_lines: int = DEFAULT_BATCH_LINES
+) -> RecordColumns:
+    """One whole ``<node>.log[.gz]`` file as a single column set.
+
+    With the default batch size the file streams through
+    :func:`parse_chunk` in newline-aligned byte blocks, skipping the
+    per-line list entirely; an explicit ``batch_lines`` takes the
+    line-batched path (same results, row-count-bounded batches).
+    """
+    if batch_lines != DEFAULT_BATCH_LINES:
+        return RecordColumns.concat(list(iter_record_batches(path, batch_lines)))
+    return RecordColumns.concat(
+        [parse_chunk(chunk) for chunk in _iter_byte_chunks(path)]
+    )
+
+
+def _ingest_file(path_str: str) -> RecordColumns:
+    """Module-level per-file work unit (picklable for the process backend)."""
+    return read_log_file(path_str)
+
+
+# ---------------------------------------------------------------------------
+# ColumnarArchive
+# ---------------------------------------------------------------------------
+
+
+class ColumnarArchive:
+    """Per-node log archive held as column arrays.
+
+    The columnar twin of :class:`~repro.logs.store.LogArchive`: same
+    query API (``nodes``, ``records``, ``error_records``, counts), but
+    errors reach the analysis as an :class:`ErrorFrame` without ever
+    materializing record objects.  Persisted as one ``.npz`` shard per
+    node plus a checksummed manifest (see :meth:`save` / :meth:`load`).
+    """
+
+    def __init__(self, columns_by_node: dict[str, RecordColumns] | None = None):
+        self._by_node: dict[str, RecordColumns] = dict(columns_by_node or {})
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_log_archive(cls, archive) -> "ColumnarArchive":
+        """Columnarize an in-memory :class:`LogArchive` (reference path)."""
+        return cls(
+            {
+                node: RecordColumns.from_records(archive.records(node))
+                for node in archive.nodes
+            }
+        )
+
+    @classmethod
+    def read_text_directory(
+        cls,
+        path: str | Path,
+        *,
+        workers: int | None = None,
+        backend: str | None = None,
+        batch_lines: int = DEFAULT_BATCH_LINES,
+    ) -> "ColumnarArchive":
+        """Ingest a directory of text logs, one parallel work unit per file.
+
+        Files are deduplicated by node stem and stem-sorted (shared with
+        the reference reader), so node order — and therefore every
+        downstream frame — is deterministic regardless of backend.
+        """
+        from ..parallel import parallel_map, resolve_backend, resolve_workers
+        from .store import directory_log_files
+
+        files = directory_log_files(path)
+        n_workers = resolve_workers(workers)
+        exec_backend = resolve_backend(backend, n_workers)
+        if batch_lines == DEFAULT_BATCH_LINES:
+            parts = parallel_map(
+                _ingest_file,
+                [str(p) for p in files],
+                backend=exec_backend,
+                workers=n_workers,
+            )
+        else:
+            parts = [read_log_file(p, batch_lines) for p in files]
+        merged = RecordColumns.concat(parts)
+        return cls(merged.split_by_node())
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._by_node)
+
+    def columns(self, node: str) -> RecordColumns:
+        cols = self._by_node.get(node)
+        return cols if cols is not None else RecordColumns.empty()
+
+    def records(self, node: str) -> list[LogRecord]:
+        return self.columns(node).to_records()
+
+    def all_records(self) -> Iterator[LogRecord]:
+        for node in self.nodes:
+            yield from self.records(node)
+
+    def error_records(self, node: str | None = None) -> Iterator[ErrorRecord]:
+        nodes = [node] if node is not None else self.nodes
+        for n in nodes:
+            for record in self.records(n):
+                if isinstance(record, ErrorRecord):
+                    yield record
+
+    def n_records(self) -> int:
+        return sum(len(c) for c in self._by_node.values())
+
+    def n_errors(self) -> int:
+        return sum(c.n_errors for c in self._by_node.values())
+
+    def n_raw_error_lines(self) -> int:
+        """The paper's ">25 million error logs" number (repeats expanded)."""
+        return sum(c.n_raw_lines for c in self._by_node.values())
+
+    # -- the fast path -----------------------------------------------------
+
+    def error_frame(self) -> ErrorFrame:
+        """All ERROR rows as an :class:`ErrorFrame`, fully vectorized.
+
+        Matches ``ErrorFrame.from_records(archive.error_records())``
+        bit-for-bit: nodes are visited in sorted order and codes assigned
+        at first error appearance, which is exactly the interning order
+        the record-loop constructor produces.
+        """
+        names: list[str] = []
+        chunks: list[tuple[RecordColumns, np.ndarray, int]] = []
+        for node in self.nodes:
+            cols = self._by_node[node]
+            mask = cols.kind == KIND_ERROR
+            if not mask.any():
+                continue
+            chunks.append((cols, mask, len(names)))
+            names.append(node)
+        if not chunks:
+            return ErrorFrame.from_records([])
+        return ErrorFrame.from_columns(
+            time_hours=np.concatenate([c.t[m] for c, m, _ in chunks]),
+            node_code=np.concatenate(
+                [np.full(int(m.sum()), code, dtype=np.int32) for _, m, code in chunks]
+            ),
+            node_names=names,
+            expected=np.concatenate([c.expected[m] for c, m, _ in chunks]),
+            actual=np.concatenate([c.actual[m] for c, m, _ in chunks]),
+            virtual_address=np.concatenate([c.va[m] for c, m, _ in chunks]),
+            physical_page=np.concatenate([c.pp[m] for c, m, _ in chunks]),
+            temperature_c=np.concatenate([c.temp[m] for c, m, _ in chunks]),
+            repeat_count=np.concatenate([c.rep[m] for c, m, _ in chunks]),
+        )
+
+    # -- bridges -----------------------------------------------------------
+
+    def to_log_archive(self):
+        """Materialize the record-object archive (reference form)."""
+        from .store import LogArchive
+
+        archive = LogArchive()
+        for node in self.nodes:
+            archive.extend(self.records(node))
+        return archive
+
+    def write_text_directory(self, path: str | Path, compress: bool = False) -> None:
+        self.to_log_archive().write_directory(path, compress=compress)
+
+    # -- binary persistence ------------------------------------------------
+
+    def save(self, path: str | Path) -> dict:
+        """Write one ``.npz`` shard per node plus the checksummed manifest.
+
+        Returns the manifest dict.  Writing the manifest last means a
+        half-written directory fails loudly on load (missing manifest)
+        rather than silently truncating the archive.
+        """
+        from .. import __version__
+
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        shards = []
+        for node in self.nodes:
+            cols = self._by_node[node]
+            filename = f"{node}.npz"
+            shard_path = directory / filename
+            buffer = io.BytesIO()
+            np.savez(
+                buffer,
+                format_version=np.asarray(FORMAT_VERSION, dtype=np.int64),
+                node=np.asarray(node),
+                node_names=np.asarray(cols.node_names),
+                node_code=cols.node_code,
+                **{name: getattr(cols, name) for name in SHARD_COLUMNS},
+            )
+            payload = buffer.getvalue()
+            shard_path.write_bytes(payload)
+            shards.append(
+                {
+                    "node": node,
+                    "file": filename,
+                    "sha256": hashlib.sha256(payload).hexdigest(),
+                    "n_records": len(cols),
+                    "n_errors": cols.n_errors,
+                    "n_raw_lines": cols.n_raw_lines,
+                }
+            )
+        manifest = {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "writer": f"repro {__version__}",
+            "n_nodes": len(shards),
+            "n_records": self.n_records(),
+            "n_errors": self.n_errors(),
+            "n_raw_lines": self.n_raw_error_lines(),
+            "shards": shards,
+        }
+        manifest_path = directory / MANIFEST_NAME
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return manifest
+
+    @classmethod
+    def load(
+        cls, path: str | Path, *, verify_checksums: bool = True
+    ) -> "ColumnarArchive":
+        """Read a columnar archive, validating version, layout and checksums."""
+        directory = Path(path)
+        manifest = read_manifest(directory)
+        by_node: dict[str, RecordColumns] = {}
+        for entry in manifest["shards"]:
+            by_node[entry["node"]] = _load_shard(
+                directory, entry, verify_checksum=verify_checksums
+            )
+        return cls(by_node)
+
+
+def read_manifest(path: str | Path) -> dict:
+    """Load and validate ``manifest.json`` (format, version, shard list)."""
+    manifest_path = Path(path) / MANIFEST_NAME
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ColumnarFormatError(
+            f"not a columnar archive (no {MANIFEST_NAME}): {manifest_path}"
+        ) from exc
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ColumnarFormatError(f"corrupt manifest {manifest_path}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise ColumnarFormatError(
+            f"{manifest_path} is not a {FORMAT_NAME!r} manifest"
+        )
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise UnknownFormatVersionError(
+            f"archive format version {version!r} not supported "
+            f"(this reader understands version {FORMAT_VERSION})"
+        )
+    shards = manifest.get("shards")
+    if not isinstance(shards, list):
+        raise ColumnarFormatError(f"manifest {manifest_path} has no shard list")
+    for entry in shards:
+        if not isinstance(entry, dict) or not {"node", "file", "sha256"} <= set(entry):
+            raise ColumnarFormatError(
+                f"manifest {manifest_path} has a malformed shard entry: {entry!r}"
+            )
+    return manifest
+
+
+def _load_shard(
+    directory: Path, entry: dict, *, verify_checksum: bool = True
+) -> RecordColumns:
+    shard_path = directory / entry["file"]
+    try:
+        payload = shard_path.read_bytes()
+    except OSError as exc:
+        raise ColumnarFormatError(f"missing shard {shard_path}") from exc
+    if verify_checksum:
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != entry["sha256"]:
+            raise ChecksumMismatchError(
+                f"shard {shard_path} checksum mismatch: "
+                f"manifest {entry['sha256'][:12]}…, file {digest[:12]}…"
+            )
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+            version = int(npz["format_version"])
+            if version != FORMAT_VERSION:
+                raise UnknownFormatVersionError(
+                    f"shard {shard_path} has format version {version}, "
+                    f"manifest promised {FORMAT_VERSION}"
+                )
+            node = str(npz["node"])
+            arrays = {name: npz[name] for name in SHARD_COLUMNS}
+            node_code = npz["node_code"]
+            node_names = [str(n) for n in npz["node_names"]]
+    except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
+        raise ColumnarFormatError(f"corrupt shard {shard_path}: {exc}") from exc
+    if node != entry["node"]:
+        raise ColumnarFormatError(
+            f"shard {shard_path} holds node {node!r}, manifest says {entry['node']!r}"
+        )
+    n = {int(a.shape[0]) for a in arrays.values()} | {int(node_code.shape[0])}
+    if len(n) != 1:
+        raise ColumnarFormatError(f"shard {shard_path} has ragged columns: {n}")
+    cols = RecordColumns(
+        **{
+            name: np.asarray(arr, dtype=SHARD_COLUMNS[name])
+            for name, arr in arrays.items()
+        },
+        node_code=np.asarray(node_code, dtype=np.int32),
+        node_names=node_names,
+    )
+    expected = entry.get("n_records")
+    if expected is not None and expected != len(cols):
+        raise ColumnarFormatError(
+            f"shard {shard_path} has {len(cols)} records, "
+            f"manifest promised {expected}"
+        )
+    return cols

@@ -75,6 +75,40 @@ class ErrorFrame:
         )
 
     @classmethod
+    def from_columns(
+        cls,
+        *,
+        time_hours: np.ndarray,
+        node_code: np.ndarray,
+        node_names: Sequence[str],
+        expected: np.ndarray,
+        actual: np.ndarray,
+        virtual_address: np.ndarray,
+        physical_page: np.ndarray,
+        temperature_c: np.ndarray,
+        repeat_count: np.ndarray,
+    ) -> "ErrorFrame":
+        """Build directly from column arrays (the columnar ingest path).
+
+        Inputs are cast to the frame's canonical dtypes; ``temperature_c``
+        uses NaN for "not logged", matching :meth:`from_records` with
+        ``temperature_c=None``.  No per-row Python loop runs, which is the
+        point: this is how millions of rows enter the analysis without
+        ever existing as record objects.
+        """
+        return cls(
+            time_hours=np.asarray(time_hours, dtype=np.float64),
+            node_code=np.asarray(node_code, dtype=np.int32),
+            node_names=list(node_names),
+            expected=np.asarray(expected, dtype=np.uint32),
+            actual=np.asarray(actual, dtype=np.uint32),
+            virtual_address=np.asarray(virtual_address, dtype=np.int64),
+            physical_page=np.asarray(physical_page, dtype=np.int64),
+            temperature_c=np.asarray(temperature_c, dtype=np.float32),
+            repeat_count=np.asarray(repeat_count, dtype=np.int64),
+        )
+
+    @classmethod
     def _build(cls, rows: Sequence, extract) -> "ErrorFrame":
         n = len(rows)
         time_hours = np.empty(n, dtype=np.float64)

@@ -16,6 +16,33 @@ from ..core.records import ErrorRecord, LogRecord, RecordKind
 from .format import format_record, parse_line
 
 
+def node_stem(path: Path) -> str:
+    """The node name encoded in a log file name (``01-02.log[.gz]``)."""
+    name = path.name
+    if name.endswith(".log.gz"):
+        return name[: -len(".log.gz")]
+    if name.endswith(".log"):
+        return name[: -len(".log")]
+    return path.stem
+
+
+def directory_log_files(path: str | Path) -> list[Path]:
+    """Log files of a directory, deduplicated by node and stem-sorted.
+
+    A directory holding both ``node.log`` and ``node.log.gz`` (e.g. a
+    partially-compressed archive) yields the node once — the uncompressed
+    file wins — and the result is sorted by node stem in one pass, so
+    ``.log`` and ``.log.gz`` files interleave in deterministic node order
+    instead of grouping by extension.  Shared by the text reader and the
+    columnar ingest so both walk files identically.
+    """
+    directory = Path(path)
+    by_stem: dict[str, Path] = {}
+    for log_file in sorted(directory.glob("*.log")) + sorted(directory.glob("*.log.gz")):
+        by_stem.setdefault(node_stem(log_file), log_file)
+    return [by_stem[stem] for stem in sorted(by_stem)]
+
+
 class LogArchive:
     """In-memory archive of every node's scanner log."""
 
@@ -67,6 +94,17 @@ class LogArchive:
         """
         return sum(r.repeat_count for r in self.error_records())
 
+    def error_frame(self):
+        """All ERROR records as an :class:`~repro.logs.frame.ErrorFrame`.
+
+        The record-loop reference implementation; the columnar archive's
+        :meth:`~repro.logs.columnar.ColumnarArchive.error_frame` must
+        match it bit-for-bit.
+        """
+        from .frame import ErrorFrame
+
+        return ErrorFrame.from_records(self.error_records())
+
     # -- persistence -----------------------------------------------------------
 
     def write_directory(self, path: str | Path, compress: bool = False) -> None:
@@ -91,9 +129,7 @@ class LogArchive:
     def read_directory(cls, path: str | Path) -> "LogArchive":
         """Load an archive from a directory of (optionally gzipped) logs."""
         archive = cls()
-        directory = Path(path)
-        files = sorted(directory.glob("*.log")) + sorted(directory.glob("*.log.gz"))
-        for log_file in files:
+        for log_file in directory_log_files(path):
             if log_file.suffix == ".gz":
                 fh = gzip.open(log_file, "rt", encoding="ascii")
             else:
@@ -103,3 +139,28 @@ class LogArchive:
                     if line.strip():
                         archive.append(parse_line(line))
         return archive
+
+    # -- columnar bridges ----------------------------------------------------
+
+    def to_columnar(self, path: str | Path) -> dict:
+        """Write this archive as a binary columnar directory.
+
+        One ``<node>.npz`` shard per node plus a checksummed
+        ``manifest.json``; see :mod:`repro.logs.columnar`.  Returns the
+        manifest dict.
+        """
+        from .columnar import ColumnarArchive
+
+        return ColumnarArchive.from_log_archive(self).save(path)
+
+    @classmethod
+    def from_columnar(cls, path: str | Path) -> "LogArchive":
+        """Load a columnar directory back into record-object form.
+
+        The exact inverse of :meth:`to_columnar` (checksums verified);
+        round-trips bit-for-bit, including the text rendering of every
+        record.
+        """
+        from .columnar import ColumnarArchive
+
+        return ColumnarArchive.load(path).to_log_archive()

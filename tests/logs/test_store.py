@@ -1,7 +1,9 @@
 """Per-node archive tests, including directory round-trips."""
 
+import gzip
+
 from repro.core.records import EndRecord, ErrorRecord, StartRecord
-from repro.logs.store import LogArchive
+from repro.logs.store import LogArchive, directory_log_files
 
 
 def make_archive():
@@ -61,6 +63,49 @@ class TestArchive:
         assert loaded.n_records() == archive.n_records()
         for node in archive.nodes:
             assert loaded.records(node) == archive.records(node)
+
+    def test_mixed_compression_not_double_read(self, tmp_path):
+        """Regression: node.log + node.log.gz must ingest the node once.
+
+        The old reader globbed ``*.log`` and ``*.log.gz`` separately, so
+        a directory holding both (e.g. mid-way through compressing an
+        archive) counted every record of that node twice.
+        """
+        archive = make_archive()
+        archive.write_directory(tmp_path)
+        archive.write_directory(tmp_path, compress=True)
+        loaded = LogArchive.read_directory(tmp_path)
+        assert loaded.nodes == archive.nodes
+        assert loaded.n_records() == archive.n_records()
+        for node in archive.nodes:
+            assert loaded.records(node) == archive.records(node)
+
+    def test_mixed_compression_deterministic_order(self, tmp_path):
+        """Regression: .log/.log.gz files interleave in node-stem order.
+
+        Sorting the two globs separately put every gzipped node after
+        every plain one, breaking deterministic node order for any
+        consumer that walks files (columnar ingest interns node codes in
+        file order).
+        """
+        for node, compress in [("01-01", True), ("01-02", False), ("02-01", True)]:
+            single = LogArchive()
+            single.append(ErrorRecord(1.0, node, 0x30, 0x80, 0x0, 0x1))
+            single.write_directory(tmp_path, compress=compress)
+        files = directory_log_files(tmp_path)
+        assert [f.name for f in files] == ["01-01.log.gz", "01-02.log", "02-01.log.gz"]
+
+    def test_uncompressed_preferred_when_both_exist(self, tmp_path):
+        # The .log and .log.gz copies may diverge (e.g. the .gz is a
+        # stale snapshot); the reader must pick one deterministically.
+        archive = make_archive()
+        archive.write_directory(tmp_path)
+        with gzip.open(tmp_path / "01-02.log.gz", "wt", encoding="ascii") as fh:
+            fh.write("ERROR|t=9.0|node=01-02|va=0x99|pp=0x99|exp=0x00000000|act=0x00000001|temp=na|rep=1\n")
+        files = directory_log_files(tmp_path)
+        assert [f.name for f in files] == ["01-02.log", "02-04.log"]
+        loaded = LogArchive.read_directory(tmp_path)
+        assert loaded.records("01-02") == archive.records("01-02")
 
     def test_gzip_smaller_for_repetitive_logs(self, tmp_path):
         archive = LogArchive()

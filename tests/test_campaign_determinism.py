@@ -137,6 +137,36 @@ class TestCacheRoundTrip:
         )
         assert restored.node_names == original.node_names
 
+    def test_cache_entry_is_columnar_and_bit_identical(
+        self, quick_campaign, tmp_path, monkeypatch
+    ):
+        """The disk cache stores the archive columnar (arrays, not records)
+        and reloads must reproduce the raw frame bit-for-bit."""
+        from repro.experiments.runner import _cacheable
+        from repro.logs.columnar import ColumnarArchive
+
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cache = CampaignCache(root=tmp_path / "cache")
+        key = config_digest(quick_campaign.config)
+        assert cache.store(key, _cacheable(quick_campaign))
+        loaded = cache.load(key)
+        assert isinstance(loaded.archive, ColumnarArchive)
+        assert loaded.n_raw_error_lines() == quick_campaign.n_raw_error_lines()
+
+        original = quick_campaign.raw_frame()
+        restored = loaded.raw_frame()
+        assert restored.node_names == original.node_names
+        assert np.array_equal(restored.time_hours, original.time_hours)
+        assert np.array_equal(restored.node_code, original.node_code)
+        assert np.array_equal(restored.expected, original.expected)
+        assert np.array_equal(restored.actual, original.actual)
+        assert np.array_equal(restored.virtual_address, original.virtual_address)
+        assert np.array_equal(restored.physical_page, original.physical_page)
+        assert np.array_equal(restored.repeat_count, original.repeat_count)
+        assert np.array_equal(
+            restored.temperature_c, original.temperature_c, equal_nan=True
+        )
+
     def test_disabled_cache_never_stores(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")
         cache = CampaignCache(root=tmp_path / "cache")
