@@ -1,0 +1,172 @@
+"""Deterministic chaos harness for the fault-tolerant execution layer.
+
+The paper's 13-month collection survived dead blades, node reboots and
+partial data; our execution layer has to be validated against the same
+adversities without flaky tests.  This module provides *seeded,
+reproducible* failure injection: a :class:`ChaosPlan` is a pure function
+of ``(seed, unit key, attempt)`` — the same discipline the per-node RNG
+streams follow — so every chaos test replays bit-identically.
+
+Fault kinds
+-----------
+
+``raise``
+    The work unit raises :class:`~repro.core.errors.ChaosError` before
+    doing any work (a crashed unit; side-effect-free, so a retry is safe).
+``kill``
+    The worker *process* dies with ``SIGKILL`` mid-unit — the executor
+    sees :class:`~concurrent.futures.process.BrokenProcessPool`.  Only
+    meaningful on the process backend; firing it in the driver process
+    would kill the driver (which is exactly what the driver-kill resume
+    tests do, from a sacrificial subprocess).
+``hang``
+    The unit sleeps far past any reasonable watchdog timeout, simulating
+    a wedged node.  Recoverable only where the supervisor can kill the
+    worker (process backend).
+
+Torn writes — the fourth failure class of the campaign journal — are not
+per-unit faults; :func:`tear_file` truncates a file mid-record the way a
+power loss would, for checkpoint/resume tests.
+
+Plans are frozen dataclasses: picklable, hashable, and safe to ship to
+worker processes through the pool initializer or per-task arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .core.errors import ChaosError
+
+#: Fault kinds a :class:`FaultRule` may inject.
+FAULT_KINDS = ("raise", "kill", "hang")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *which* units fail, *when*, and *how*.
+
+    ``key`` selects the unit (``None`` matches every unit); ``attempts``
+    lists the 1-based attempt numbers the rule fires on (``None`` means
+    every attempt — a *permanent* fault that must exhaust the retry
+    budget).  ``probability`` thins the rule deterministically: whether a
+    given ``(key, attempt)`` fires is decided by a hash of the plan seed,
+    never by wall-clock randomness.
+    """
+
+    kind: str
+    key: str | None = None
+    attempts: tuple[int, ...] | None = (1,)
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; use {FAULT_KINDS}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+
+    def matches(self, key: str, attempt: int, seed: int) -> bool:
+        if self.key is not None and self.key != key:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return _unit_uniform(seed, key, attempt, self.kind) < self.probability
+
+
+def _unit_uniform(seed: int, key: str, attempt: int, salt: str) -> float:
+    """Deterministic uniform draw in [0, 1) for one (key, attempt)."""
+    blob = f"{seed}:{key}:{attempt}:{salt}".encode()
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded set of :class:`FaultRule` injections.
+
+    ``decide`` is pure — repeated supervisors, resumed campaigns and
+    worker processes all see the same faults for the same plan.
+    ``hang_seconds`` bounds the ``hang`` fault so an *unsupervised* test
+    run eventually unwedges instead of stalling CI forever.
+    """
+
+    rules: tuple[FaultRule, ...] = ()
+    seed: int = 0
+    hang_seconds: float = 300.0
+
+    def decide(self, key: str, attempt: int) -> FaultRule | None:
+        """The first rule firing for this ``(key, attempt)``, if any."""
+        for rule in self.rules:
+            if rule.matches(key, attempt, self.seed):
+                return rule
+        return None
+
+    def apply(self, key: str, attempt: int) -> None:
+        """Inject the decided fault (no-op when no rule fires)."""
+        rule = self.decide(key, attempt)
+        if rule is None:
+            return
+        if rule.kind == "raise":
+            raise ChaosError(
+                f"injected failure on unit {key!r} (attempt {attempt})"
+            )
+        if rule.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if rule.kind == "hang":  # pragma: no cover - killed by the watchdog
+            time.sleep(self.hang_seconds)
+
+
+def raise_on(key: str, n_failures: int = 1, seed: int = 0) -> ChaosPlan:
+    """A plan whose unit ``key`` raises on its first ``n_failures`` attempts."""
+    return ChaosPlan(
+        rules=(FaultRule("raise", key=key, attempts=tuple(range(1, n_failures + 1))),),
+        seed=seed,
+    )
+
+
+def always_raise(key: str, seed: int = 0) -> ChaosPlan:
+    """A plan whose unit ``key`` fails permanently (exhausts any budget)."""
+    return ChaosPlan(rules=(FaultRule("raise", key=key, attempts=None),), seed=seed)
+
+
+def kill_worker_on(key: str, attempts: tuple[int, ...] = (1,), seed: int = 0) -> ChaosPlan:
+    """A plan SIGKILLing the worker running ``key`` on the given attempts."""
+    return ChaosPlan(rules=(FaultRule("kill", key=key, attempts=attempts),), seed=seed)
+
+
+def hang_on(
+    key: str,
+    attempts: tuple[int, ...] = (1,),
+    hang_seconds: float = 300.0,
+    seed: int = 0,
+) -> ChaosPlan:
+    """A plan wedging the unit ``key`` on the given attempts."""
+    return ChaosPlan(
+        rules=(FaultRule("hang", key=key, attempts=attempts),),
+        seed=seed,
+        hang_seconds=hang_seconds,
+    )
+
+
+def tear_file(path: str | Path, drop_bytes: int) -> int:
+    """Truncate the last ``drop_bytes`` bytes of ``path`` (a torn write).
+
+    Returns the new size.  Mimics a crash mid-append: the file ends
+    inside a record, which checksummed framing (the campaign journal, the
+    columnar manifest-last protocol) must detect and discard.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - int(drop_bytes))
+    with open(path, "r+b") as fh:
+        fh.truncate(new_size)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return new_size

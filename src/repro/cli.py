@@ -55,6 +55,26 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="bypass the on-disk campaign cache (~/.cache/repro)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry budget per node before it is reported as degraded "
+            "(enables the fault-tolerant supervisor)"
+        ),
+    )
+    parser.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-node watchdog timeout; hung workers are killed and the "
+            "node retried (process backend only)"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("report", help="print the headline paper-vs-measured table")
@@ -69,6 +89,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
     camp = sub.add_parser("campaign", help="run the campaign and dump logs")
     camp.add_argument("--out", required=True, help="directory for per-node logs")
+    camp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal each completed node to DIR (enables --resume)",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "restore completed nodes from a prior interrupted run's "
+            "--checkpoint journal instead of recomputing them"
+        ),
+    )
 
     exp_csv = sub.add_parser("export", help="export every experiment as CSV")
     exp_csv.add_argument("--out", required=True, help="directory for CSV files")
@@ -214,18 +248,36 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "campaign":
+        from .core.errors import CheckpointError
         from .faultinjection import (
             paper_campaign_config,
             quick_campaign_config,
             run_campaign,
         )
+        from .parallel import RetryPolicy
 
         config = (
             quick_campaign_config(args.seed)
             if args.quick
             else paper_campaign_config(args.seed)
         )
-        result = run_campaign(config, workers=args.workers, backend=args.backend)
+        if args.resume and not args.checkpoint:
+            print("error: --resume requires --checkpoint DIR", file=sys.stderr)
+            return 2
+        retry = RetryPolicy(retries=args.retries) if args.retries is not None else None
+        try:
+            result = run_campaign(
+                config,
+                workers=args.workers,
+                backend=args.backend,
+                retry=retry,
+                unit_timeout=args.unit_timeout,
+                checkpoint_dir=args.checkpoint,
+                resume=args.resume,
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         result.archive.write_directory(args.out)
         print(
             f"wrote logs for {len(result.archive.nodes)} nodes to {args.out} "
@@ -239,6 +291,9 @@ def main(argv: list[str] | None = None) -> int:
                 for node, seconds in result.metrics.slowest_nodes(3)
             )
             print(f"slowest nodes: {slowest}")
+        if result.degraded is not None and result.degraded.n_failed:
+            print(f"DEGRADED: {result.degraded.summary()}", file=sys.stderr)
+            return 3
         return 0
 
     if args.command == "experiment" and args.exp_id not in EXPERIMENT_ORDER:
@@ -250,12 +305,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    from .parallel import RetryPolicy
+
     analysis = get_analysis(
         args.seed,
         quick=args.quick,
         workers=args.workers,
         backend=args.backend,
         use_cache=not args.no_cache,
+        retry=RetryPolicy(retries=args.retries) if args.retries is not None else None,
+        unit_timeout=args.unit_timeout,
     )
     if args.command == "report":
         print(analysis.report().summary())

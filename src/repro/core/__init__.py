@@ -20,11 +20,14 @@ Submodules
 
 from .errors import (
     AllocationError,
+    ChaosError,
+    CheckpointError,
     ConfigurationError,
     EccError,
     ExtractionError,
     LogFormatError,
     ReproError,
+    ShardCorruptError,
     SimulationError,
     TopologyError,
 )
@@ -44,6 +47,8 @@ from .timeutils import STUDY_DAYS, STUDY_EPOCH, STUDY_HOURS, StudyPeriod
 __all__ = [
     "AllocFailRecord",
     "AllocationError",
+    "ChaosError",
+    "CheckpointError",
     "ConfigurationError",
     "EccError",
     "EndRecord",
@@ -56,6 +61,7 @@ __all__ = [
     "ReproError",
     "ScanCoverage",
     "ScanSession",
+    "ShardCorruptError",
     "SimulationError",
     "SimultaneityGroup",
     "StartRecord",

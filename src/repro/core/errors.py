@@ -31,7 +31,20 @@ class ColumnarFormatError(LogFormatError):
     """A columnar log archive (shards or manifest) is malformed."""
 
 
-class ChecksumMismatchError(ColumnarFormatError):
+class ShardCorruptError(ColumnarFormatError):
+    """One shard of a columnar archive is missing, torn, or corrupt.
+
+    Carries the ``node`` whose shard failed so degraded loads can report
+    per-node damage the way the paper reports dead blades (923 of 945
+    slots scanned).
+    """
+
+    def __init__(self, message: str, *, node: str | None = None):
+        super().__init__(message)
+        self.node = node
+
+
+class ChecksumMismatchError(ShardCorruptError):
     """A columnar shard's bytes do not match the manifest checksum."""
 
 
@@ -49,3 +62,11 @@ class EccError(ReproError):
 
 class SimulationError(ReproError):
     """The campaign simulator reached an inconsistent state."""
+
+
+class ChaosError(ReproError):
+    """A deterministic injected fault (see :mod:`repro.chaos`) fired."""
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint journal is unusable for the requested run."""

@@ -99,13 +99,18 @@ def get_analysis(
     backend: str | None = None,
     use_cache: bool = True,
     cache: CampaignCache | None = None,
+    retry=None,
+    unit_timeout: float | None = None,
 ) -> StudyAnalysis:
     """The shared analysis for a seed (campaign runs once, then cached).
 
     ``workers``/``backend`` control how a cache *miss* is simulated; they
     never affect the result (all backends are bit-identical), so hits and
     misses are interchangeable.  ``use_cache=False`` bypasses both the
-    in-process memo and the disk cache.
+    in-process memo and the disk cache.  ``retry``/``unit_timeout`` route
+    a cache miss through the fault-tolerant supervisor (see
+    :func:`repro.faultinjection.run_campaign`); sub-budget recoveries are
+    bit-identical, so they share the cache key with plain runs.
     """
     config = (
         quick_campaign_config(seed) if quick else paper_campaign_config(seed)
@@ -121,7 +126,13 @@ def get_analysis(
         if isinstance(loaded, CampaignResult):
             result = loaded
     if result is None:
-        result = run_campaign(config, workers=workers, backend=backend)
+        result = run_campaign(
+            config,
+            workers=workers,
+            backend=backend,
+            retry=retry,
+            unit_timeout=unit_timeout,
+        )
         if use_cache:
             store.store(key, _cacheable(result))
 

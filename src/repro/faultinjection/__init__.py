@@ -1,6 +1,12 @@
 """Fault injection: event processes, fault models, and the year campaign."""
 
-from .campaign import CampaignMetrics, CampaignResult, run_campaign
+from .campaign import (
+    CampaignMetrics,
+    CampaignResult,
+    DegradedNode,
+    DegradedResult,
+    run_campaign,
+)
 from .catalogue import (
     TABLE_I,
     MultiBitPattern,
@@ -38,6 +44,8 @@ __all__ = [
     "CampaignMetrics",
     "CampaignResult",
     "CataloguePlacement",
+    "DegradedNode",
+    "DegradedResult",
     "DegradingNodeConfig",
     "MultiBitPattern",
     "Observation",

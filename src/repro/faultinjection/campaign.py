@@ -33,6 +33,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 from functools import cached_property
+from pathlib import Path
 
 import numpy as np
 
@@ -46,7 +47,13 @@ from ..environment.temperature import TemperatureModel
 from ..logs.columnar import ColumnarArchive
 from ..logs.frame import ErrorFrame
 from ..logs.store import LogArchive
-from ..parallel import parallel_map, resolve_backend, resolve_workers
+from ..parallel import (
+    RetryPolicy,
+    parallel_map,
+    resolve_backend,
+    resolve_workers,
+    supervised_map,
+)
 from ..scheduler.batch import BatchScheduler
 from ..scheduler.jobs import IdleWindow
 from .config import CampaignConfig, paper_campaign_config
@@ -89,6 +96,14 @@ class CampaignMetrics:
     n_observations: int
     n_nodes: int
     node_seconds: dict[str, float] = field(default_factory=dict, repr=False)
+    #: Fault-tolerance counters (all zero on an undisturbed run).
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_pool_rebuilds: int = 0
+    #: Nodes restored from a checkpoint journal instead of simulated.
+    n_resumed: int = 0
+    #: Nodes that exhausted their retry budget (see CampaignResult.degraded).
+    n_degraded: int = 0
 
     @property
     def records_per_second(self) -> float:
@@ -110,14 +125,77 @@ class CampaignMetrics:
             "n_nodes": self.n_nodes,
             "records_per_second": self.records_per_second,
             "slowest_nodes": dict(self.slowest_nodes()),
+            "n_retries": self.n_retries,
+            "n_timeouts": self.n_timeouts,
+            "n_pool_rebuilds": self.n_pool_rebuilds,
+            "n_resumed": self.n_resumed,
+            "n_degraded": self.n_degraded,
         }
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.n_nodes} nodes in {self.wall_seconds:.2f} s "
             f"({self.backend}, workers={self.workers}; "
             f"{self.n_records:,} records, "
             f"{self.records_per_second:,.0f} records/s)"
+        )
+        extras = []
+        if self.n_resumed:
+            extras.append(f"{self.n_resumed} resumed from checkpoint")
+        if self.n_retries:
+            extras.append(f"{self.n_retries} retries")
+        if self.n_timeouts:
+            extras.append(f"{self.n_timeouts} watchdog timeouts")
+        if self.n_pool_rebuilds:
+            extras.append(f"{self.n_pool_rebuilds} pool rebuilds")
+        if self.n_degraded:
+            extras.append(f"{self.n_degraded} nodes degraded")
+        if extras:
+            text += " [" + ", ".join(extras) + "]"
+        return text
+
+
+@dataclass(frozen=True)
+class DegradedNode:
+    """One node the campaign permanently lost, and why."""
+
+    node: str
+    attempts: int
+    kind: str   # "error" | "timeout" | "pool" (see repro.parallel)
+    error: str
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Dead-blade accounting for a campaign that lost nodes.
+
+    The paper reports its study over 923 scanned of 945 slots rather than
+    aborting on dead blades; a campaign whose nodes exhaust their retry
+    budget likewise completes over the surviving population and reports
+    the casualties here instead of raising.
+    """
+
+    nodes: tuple[DegradedNode, ...]
+    n_planned: int
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_completed(self) -> int:
+        return self.n_planned - self.n_failed
+
+    def names(self) -> list[str]:
+        return [entry.node for entry in self.nodes]
+
+    def summary(self) -> str:
+        failed = ", ".join(
+            f"{e.node} ({e.kind} after {e.attempts} attempts)" for e in self.nodes
+        )
+        return (
+            f"degraded campaign: {self.n_completed} of {self.n_planned} "
+            f"nodes completed; lost {failed}"
         )
 
 
@@ -137,6 +215,10 @@ class CampaignResult:
     #: Execution counters of the run that produced this result (None for
     #: results reloaded from disk or from the campaign cache).
     metrics: CampaignMetrics | None = field(default=None, repr=False)
+    #: Dead-blade accounting: set when nodes exhausted their retry budget
+    #: and the campaign completed over the surviving population (None for
+    #: a fully healthy run).
+    degraded: DegradedResult | None = None
 
     # -- raw-log level -------------------------------------------------------
 
@@ -207,6 +289,7 @@ class CampaignResult:
             "tracks": self.tracks,
             "archive": self.columnar_archive(),
             "n_observations": self.n_observations,
+            "degraded": self.degraded,
         }
         with open(directory / "campaign.pkl", "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -227,6 +310,7 @@ class CampaignResult:
             tracks=payload["tracks"],
             archive=payload["archive"],
             n_observations=payload["n_observations"],
+            degraded=payload.get("degraded"),
         )
 
 
@@ -460,6 +544,12 @@ def run_campaign(
     materialize_lifecycle: bool = False,
     workers: int | None = None,
     backend: str | None = None,
+    *,
+    retry: RetryPolicy | None = None,
+    unit_timeout: float | None = None,
+    chaos=None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Simulate the full study and return its logs and coverage.
 
@@ -470,6 +560,23 @@ def run_campaign(
     ``workers``/``backend`` override the config's execution fields: the
     per-node phase fans out over :func:`repro.parallel.parallel_map`.
     Results are bit-identical across backends for the same seed.
+
+    Fault tolerance (any of ``retry``/``unit_timeout``/``chaos``/
+    ``checkpoint_dir`` routes the per-node fan-out through
+    :func:`repro.parallel.supervised_map`):
+
+    * ``retry`` re-runs a failed node within its budget — per-node RNG
+      streams are pure functions of ``(seed, key)`` and units are
+      side-effect-free, so retries never change results;
+    * ``unit_timeout`` is the per-node watchdog (process backend);
+    * ``checkpoint_dir`` journals each completed node durably, and
+      ``resume=True`` restores completed nodes from a prior interrupted
+      run of the *same* configuration instead of recomputing them;
+    * nodes that exhaust the budget are reported in
+      :attr:`CampaignResult.degraded` (the paper's dead-blade
+      accounting), never raised;
+    * ``chaos`` (a :class:`repro.chaos.ChaosPlan`) injects deterministic
+      failures for testing.
     """
     t_begin = time.perf_counter()
     config = config or paper_campaign_config()
@@ -481,29 +588,111 @@ def run_campaign(
 
     ctx = _CampaignContext(config, materialize_lifecycle)
     names = list(ctx.nodes_by_name)
+    supervise = (
+        retry is not None
+        or unit_timeout is not None
+        or chaos is not None
+        or checkpoint_dir is not None
+    )
+
+    degraded: DegradedResult | None = None
+    n_retries = n_timeouts = n_pool_rebuilds = n_resumed = 0
 
     # -- parallel phase: per-node track + models + rendering ---------------
-    if exec_backend == "process":
-        results: list[_NodeResult] = parallel_map(
-            _node_worker,
-            names,
-            backend="process",
-            workers=n_workers,
-            initializer=_init_worker,
-            initargs=(config, materialize_lifecycle),
-        )
+    if not supervise:
+        if exec_backend == "process":
+            results: list[_NodeResult] = parallel_map(
+                _node_worker,
+                names,
+                backend="process",
+                workers=n_workers,
+                initializer=_init_worker,
+                initargs=(config, materialize_lifecycle),
+            )
+        else:
+            results = parallel_map(
+                lambda name: _simulate_node(ctx, name),
+                names,
+                backend=exec_backend,
+                workers=n_workers,
+            )
     else:
-        results = parallel_map(
-            lambda name: _simulate_node(ctx, name),
-            names,
-            backend=exec_backend,
-            workers=n_workers,
-        )
+        from ..cache import CampaignJournal, config_digest
+
+        journal: CampaignJournal | None = None
+        journaled: dict[str, _NodeResult] = {}
+        if checkpoint_dir is not None:
+            journal = CampaignJournal(checkpoint_dir, config_digest(config))
+            known = set(names)
+            journaled = {
+                node: value
+                for node, value in journal.open(resume=resume).items()
+                if node in known
+            }
+        n_resumed = len(journaled)
+        remaining = [name for name in names if name not in journaled]
+
+        on_result = None
+        if journal is not None:
+            on_result = lambda _i, key, value: journal.append(key, value)  # noqa: E731
+
+        try:
+            if exec_backend == "process":
+                outcome = supervised_map(
+                    _node_worker,
+                    remaining,
+                    keys=remaining,
+                    backend="process",
+                    workers=n_workers,
+                    initializer=_init_worker,
+                    initargs=(config, materialize_lifecycle),
+                    retry=retry,
+                    unit_timeout=unit_timeout,
+                    chaos=chaos,
+                    on_unit_result=on_result,
+                )
+            else:
+                outcome = supervised_map(
+                    lambda name: _simulate_node(ctx, name),
+                    remaining,
+                    keys=remaining,
+                    backend=exec_backend,
+                    workers=n_workers,
+                    retry=retry,
+                    unit_timeout=unit_timeout,
+                    chaos=chaos,
+                    on_unit_result=on_result,
+                )
+        finally:
+            if journal is not None:
+                journal.close()
+
+        by_name = dict(journaled)
+        for name, value in zip(remaining, outcome.values):
+            if value is not None:
+                by_name[name] = value
+        results = [by_name[name] for name in names if name in by_name]
+        n_retries = outcome.n_retries
+        n_timeouts = outcome.n_timeouts
+        n_pool_rebuilds = outcome.n_pool_rebuilds
+        if outcome.failures:
+            degraded = DegradedResult(
+                nodes=tuple(
+                    DegradedNode(
+                        node=f.key, attempts=f.attempts, kind=f.kind, error=f.error
+                    )
+                    for f in outcome.failures
+                ),
+                n_planned=len(names),
+            )
 
     tracks = {result.node: result.track for result in results}
     n_observations = sum(result.n_observations for result in results)
 
     # -- sequential phase: catalogue resolution + archive assembly ---------
+    # resolve_catalogue skips plans whose node has no track, so a
+    # degraded population degrades the catalogue the same way the paper's
+    # dead blades shrank its Table I population.
     catalogue_obs = resolve_catalogue(
         ctx.plans, tracks, config, ctx.rngs.get("catalogue/resolve")
     )
@@ -528,6 +717,11 @@ def run_campaign(
         n_observations=n_observations,
         n_nodes=len(names),
         node_seconds=node_seconds,
+        n_retries=n_retries,
+        n_timeouts=n_timeouts,
+        n_pool_rebuilds=n_pool_rebuilds,
+        n_resumed=n_resumed,
+        n_degraded=0 if degraded is None else degraded.n_failed,
     )
 
     return CampaignResult(
@@ -537,4 +731,5 @@ def run_campaign(
         archive=archive,
         n_observations=n_observations,
         metrics=metrics,
+        degraded=degraded,
     )

@@ -42,6 +42,7 @@ from ..core.errors import (
     ChecksumMismatchError,
     ColumnarFormatError,
     LogFormatError,
+    ShardCorruptError,
     UnknownFormatVersionError,
 )
 from ..core.records import (
@@ -1043,6 +1044,9 @@ class ColumnarArchive:
 
     def __init__(self, columns_by_node: dict[str, RecordColumns] | None = None):
         self._by_node: dict[str, RecordColumns] = dict(columns_by_node or {})
+        #: node -> ShardCorruptError for shards dropped by a degraded load
+        #: (``load(..., skip_corrupt=True)``); empty on a clean archive.
+        self.skipped_shards: dict[str, ShardCorruptError] = {}
 
     # -- constructors ------------------------------------------------------
 
@@ -1229,17 +1233,39 @@ class ColumnarArchive:
 
     @classmethod
     def load(
-        cls, path: str | Path, *, verify_checksums: bool = True
+        cls,
+        path: str | Path,
+        *,
+        verify_checksums: bool = True,
+        skip_corrupt: bool = False,
     ) -> "ColumnarArchive":
-        """Read a columnar archive, validating version, layout and checksums."""
+        """Read a columnar archive, validating version, layout and checksums.
+
+        Per-shard damage (missing file, torn bytes, checksum mismatch,
+        node/count mismatch) raises :class:`ShardCorruptError` naming the
+        node.  With ``skip_corrupt=True`` the load degrades instead: bad
+        shards are dropped, the surviving population is returned, and the
+        damage is recorded on ``archive.skipped_shards`` (node ->
+        exception) — the same accounting the paper applies to dead blades.
+        Archive-level problems (missing/corrupt manifest, unknown format
+        version) stay fatal either way.
+        """
         directory = Path(path)
         manifest = read_manifest(directory)
         by_node: dict[str, RecordColumns] = {}
+        skipped: dict[str, ShardCorruptError] = {}
         for entry in manifest["shards"]:
-            by_node[entry["node"]] = _load_shard(
-                directory, entry, verify_checksum=verify_checksums
-            )
-        return cls(by_node)
+            try:
+                by_node[entry["node"]] = _load_shard(
+                    directory, entry, verify_checksum=verify_checksums
+                )
+            except ShardCorruptError as exc:
+                if not skip_corrupt:
+                    raise
+                skipped[entry["node"]] = exc
+        archive = cls(by_node)
+        archive.skipped_shards = skipped
+        return archive
 
 
 def read_manifest(path: str | Path) -> dict:
@@ -1280,16 +1306,20 @@ def _load_shard(
     directory: Path, entry: dict, *, verify_checksum: bool = True
 ) -> RecordColumns:
     shard_path = directory / entry["file"]
+    shard_node = entry["node"]
     try:
         payload = shard_path.read_bytes()
     except OSError as exc:
-        raise ColumnarFormatError(f"missing shard {shard_path}") from exc
+        raise ShardCorruptError(
+            f"missing shard {shard_path}", node=shard_node
+        ) from exc
     if verify_checksum:
         digest = hashlib.sha256(payload).hexdigest()
         if digest != entry["sha256"]:
             raise ChecksumMismatchError(
                 f"shard {shard_path} checksum mismatch: "
-                f"manifest {entry['sha256'][:12]}…, file {digest[:12]}…"
+                f"manifest {entry['sha256'][:12]}…, file {digest[:12]}…",
+                node=shard_node,
             )
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
@@ -1304,14 +1334,19 @@ def _load_shard(
             node_code = npz["node_code"]
             node_names = [str(n) for n in npz["node_names"]]
     except (zipfile.BadZipFile, ValueError, KeyError, EOFError, OSError) as exc:
-        raise ColumnarFormatError(f"corrupt shard {shard_path}: {exc}") from exc
+        raise ShardCorruptError(
+            f"corrupt shard {shard_path}: {exc}", node=shard_node
+        ) from exc
     if node != entry["node"]:
-        raise ColumnarFormatError(
-            f"shard {shard_path} holds node {node!r}, manifest says {entry['node']!r}"
+        raise ShardCorruptError(
+            f"shard {shard_path} holds node {node!r}, manifest says {entry['node']!r}",
+            node=shard_node,
         )
     n = {int(a.shape[0]) for a in arrays.values()} | {int(node_code.shape[0])}
     if len(n) != 1:
-        raise ColumnarFormatError(f"shard {shard_path} has ragged columns: {n}")
+        raise ShardCorruptError(
+            f"shard {shard_path} has ragged columns: {n}", node=shard_node
+        )
     cols = RecordColumns(
         **{
             name: np.asarray(arr, dtype=SHARD_COLUMNS[name])
@@ -1322,8 +1357,9 @@ def _load_shard(
     )
     expected = entry.get("n_records")
     if expected is not None and expected != len(cols):
-        raise ColumnarFormatError(
+        raise ShardCorruptError(
             f"shard {shard_path} has {len(cols)} records, "
-            f"manifest promised {expected}"
+            f"manifest promised {expected}",
+            node=shard_node,
         )
     return cols

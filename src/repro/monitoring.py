@@ -26,34 +26,65 @@ from .resilience.prediction import PredictorConfig, SpatioTemporalPredictor
 
 
 class LogFollower:
-    """Incremental reader over a directory of per-node log files."""
+    """Incremental reader over a directory of per-node log files.
+
+    Tracks a ``(inode, offset)`` pair per file so it survives the ways a
+    live log directory misbehaves:
+
+    * **truncation** — the file shrank below our offset (e.g. the daemon
+      restarted with a fresh log): re-read from the start;
+    * **rotation** — the path now names a *different* file (inode
+      changed, as with ``logrotate``'s rename-and-recreate), even if the
+      new file is already larger than our old offset: re-read from the
+      start of the new file;
+    * **disappearance** — the file vanished between polls (or between
+      ``stat`` and ``open``): skip it this round and drop its state, so
+      a later re-creation is read from offset 0.
+
+    Partial trailing lines are never consumed; they are completed (or
+    not) by a subsequent poll.
+    """
 
     def __init__(self, directory: str | Path):
         self.directory = Path(directory)
-        self._offsets: dict[Path, int] = {}
+        # path -> (inode, byte offset of the next unread character)
+        self._state: dict[Path, tuple[int, int]] = {}
 
     def poll(self) -> list[LogRecord]:
         """All records appended since the previous poll, across files."""
         records: list[LogRecord] = []
+        seen: set[Path] = set()
         for log_file in sorted(self.directory.glob("*.log")):
-            offset = self._offsets.get(log_file, 0)
-            size = log_file.stat().st_size
-            if size < offset:
-                # File rotated/truncated: start over.
-                offset = 0
-            if size == offset:
+            try:
+                stat = log_file.stat()
+            except OSError:
+                continue  # vanished since glob; state dropped below
+            seen.add(log_file)
+            inode, offset = self._state.get(log_file, (stat.st_ino, 0))
+            if stat.st_ino != inode or stat.st_size < offset:
+                # Rotated (new inode) or truncated: start over.
+                inode, offset = stat.st_ino, 0
+            if stat.st_size == offset:
+                self._state[log_file] = (inode, offset)
                 continue
-            with open(log_file, "r", encoding="ascii") as fh:
-                fh.seek(offset)
-                chunk = fh.read()
-                # Only consume complete lines; carry partials to next poll.
-                consumed = chunk.rfind("\n") + 1
-                for line in chunk[:consumed].splitlines():
-                    if line.strip():
-                        records.append(parse_line(line))
-                self._offsets[log_file] = offset + len(
-                    chunk[:consumed].encode("ascii")
-                )
+            try:
+                with open(log_file, "r", encoding="ascii") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                seen.discard(log_file)  # vanished mid-poll; retry fresh
+                continue
+            # Only consume complete lines; carry partials to next poll.
+            consumed = chunk.rfind("\n") + 1
+            for line in chunk[:consumed].splitlines():
+                if line.strip():
+                    records.append(parse_line(line))
+            self._state[log_file] = (
+                inode,
+                offset + len(chunk[:consumed].encode("ascii")),
+            )
+        for stale in set(self._state) - seen:
+            del self._state[stale]
         records.sort(key=lambda r: r.timestamp_hours)
         return records
 

@@ -31,7 +31,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from .core.errors import ConfigurationError
@@ -116,3 +125,410 @@ def parallel_map(
         initargs=tuple(initargs),
     ) as pool:
         return list(pool.map(fn, items, chunksize=chunksize))
+
+
+# ---------------------------------------------------------------------------
+# Supervised map: retries, watchdog timeouts, broken-pool recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-unit retry budget with exponential backoff.
+
+    ``retries`` counts *extra* attempts beyond the first, so a unit runs
+    at most ``retries + 1`` times.  The backoff before attempt ``n + 1``
+    is ``backoff_base_s * backoff_factor ** (n - 1)``, capped at
+    ``backoff_max_s`` — deterministic (no jitter), since work units are
+    pure functions and the supervisor never races itself.
+    """
+
+    retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def delay(self, failed_attempts: int) -> float:
+        """Seconds to wait before the attempt after ``failed_attempts``."""
+        if failed_attempts < 1:
+            return 0.0
+        return min(
+            self.backoff_base_s * self.backoff_factor ** (failed_attempts - 1),
+            self.backoff_max_s,
+        )
+
+
+#: Why a unit permanently failed.
+FAILURE_KINDS = ("error", "timeout", "pool")
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """One work unit that exhausted its retry budget."""
+
+    key: str
+    index: int
+    attempts: int
+    kind: str   # one of FAILURE_KINDS (the *last* attempt's failure mode)
+    error: str  # repr of the last exception ("" for timeout/pool deaths)
+
+
+@dataclass
+class SupervisedOutcome:
+    """Everything :func:`supervised_map` observed.
+
+    ``values`` is order-preserving with ``None`` holes where a unit
+    permanently failed; ``failures`` explains each hole.  The counters
+    aggregate over the whole map (retries include re-dispatches after
+    worker deaths and watchdog kills).
+    """
+
+    values: list[Any]
+    failures: list[UnitFailure] = field(default_factory=list)
+    n_retries: int = 0
+    n_timeouts: int = 0
+    n_pool_rebuilds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_keys(self) -> list[str]:
+        return [f.key for f in self.failures]
+
+
+def _supervised_call(fn, item, key: str, attempt: int, chaos) -> Any:
+    """One attempt of one unit, with optional chaos injection.
+
+    Module-level so the process backend can pickle it; the chaos plan
+    (a frozen dataclass) ships with every task, keeping injection a pure
+    function of ``(plan, key, attempt)`` in whichever process runs it.
+    """
+    if chaos is not None:
+        chaos.apply(key, attempt)
+    return fn(item)
+
+
+class _UnitState:
+    """Supervisor-side bookkeeping for one work unit."""
+
+    __slots__ = ("index", "key", "item", "attempts", "done", "failure")
+
+    def __init__(self, index: int, key: str, item: Any):
+        self.index = index
+        self.key = key
+        self.item = item
+        self.attempts = 0          # completed (failed) attempts so far
+        self.done = False
+        self.failure: UnitFailure | None = None
+
+
+def _drain_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if workers are hung or already dead.
+
+    ``ProcessPoolExecutor`` has no public per-worker kill, so the
+    watchdog terminates the worker processes directly (a documented-
+    stable private attribute since 3.7) before the non-blocking
+    shutdown; a plain shutdown would block forever behind a wedged
+    unit.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def supervised_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    keys: Sequence[str] | None = None,
+    backend: str = "serial",
+    workers: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[Any] = (),
+    retry: RetryPolicy | None = None,
+    unit_timeout: float | None = None,
+    chaos=None,
+    on_unit_result: Callable[[int, str, Any], None] | None = None,
+    max_pool_rebuilds: int = 8,
+) -> SupervisedOutcome:
+    """Fault-tolerant, order-preserving map over the parallel backends.
+
+    The supervised twin of :func:`parallel_map`: each unit gets a retry
+    budget with exponential backoff (``retry``), a watchdog timeout
+    (``unit_timeout``; enforced on the process backend, where a wedged
+    worker can actually be killed), and the process pool is rebuilt on
+    :class:`BrokenProcessPool` with only in-flight units re-dispatched.
+    Units must be pure functions of their item (true for the per-node
+    campaign units: RNG streams are functions of ``(seed, key)``), so a
+    retried unit returns a bit-identical value and the map's *result* is
+    unchanged by any failure below the budget.
+
+    ``keys`` names units for failure reporting and chaos targeting
+    (default ``str(item)``).  ``on_unit_result(index, key, value)`` runs
+    in the supervising process as each unit first succeeds — the
+    checkpoint-journal hook.  Permanent failures become
+    :class:`UnitFailure` entries instead of exceptions; callers decide
+    whether a degraded result is acceptable.
+    """
+    items = list(items)
+    keys = [str(item) for item in items] if keys is None else [str(k) for k in keys]
+    if len(keys) != len(items):
+        raise ConfigurationError("keys must match items one-to-one")
+    retry = retry or RetryPolicy(retries=0)
+    workers = resolve_workers(workers)
+    backend = resolve_backend(backend, workers)
+    units = [_UnitState(i, key, item) for i, (key, item) in enumerate(zip(keys, items))]
+    outcome = SupervisedOutcome(values=[None] * len(items))
+
+    if backend == "process" and items:
+        _supervise_process(
+            fn, units, outcome,
+            workers=workers,
+            initializer=initializer,
+            initargs=tuple(initargs),
+            retry=retry,
+            unit_timeout=unit_timeout,
+            chaos=chaos,
+            on_unit_result=on_unit_result,
+            max_pool_rebuilds=max_pool_rebuilds,
+        )
+        return outcome
+
+    # Serial/thread backends: retry in place.  A watchdog cannot preempt
+    # code sharing the supervisor's process, so ``unit_timeout`` is a
+    # process-backend feature; here hangs surface via the caller's own
+    # timeout (e.g. the CI-level pytest timeout).
+    if initializer is not None:
+        initializer(*initargs)
+
+    def run_unit(unit: _UnitState) -> None:
+        while True:
+            try:
+                value = _supervised_call(fn, unit.item, unit.key, unit.attempts + 1, chaos)
+            except Exception as exc:
+                unit.attempts += 1
+                if unit.attempts > retry.retries:
+                    unit.failure = UnitFailure(
+                        key=unit.key, index=unit.index, attempts=unit.attempts,
+                        kind="error", error=repr(exc),
+                    )
+                    return
+                outcome.n_retries += 1
+                time.sleep(retry.delay(unit.attempts))
+            else:
+                unit.done = True
+                outcome.values[unit.index] = value
+                return
+
+    if backend == "thread" and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(run_unit, units))
+        # Completion callbacks fire from the supervising thread only,
+        # in index order, once every unit has settled.
+        if on_unit_result is not None:
+            for unit in units:
+                if unit.done:
+                    on_unit_result(unit.index, unit.key, outcome.values[unit.index])
+    else:
+        for unit in units:
+            run_unit(unit)
+            if unit.done and on_unit_result is not None:
+                on_unit_result(unit.index, unit.key, outcome.values[unit.index])
+
+    outcome.failures = [u.failure for u in units if u.failure is not None]
+    return outcome
+
+
+def _supervise_process(
+    fn,
+    units: list[_UnitState],
+    outcome: SupervisedOutcome,
+    *,
+    workers: int,
+    initializer,
+    initargs: tuple,
+    retry: RetryPolicy,
+    unit_timeout: float | None,
+    chaos,
+    on_unit_result,
+    max_pool_rebuilds: int,
+) -> None:
+    """The process-backend supervisor event loop.
+
+    Tracks in-flight futures with per-unit deadlines; on a unit error it
+    schedules a backoff-delayed re-dispatch, on a watchdog expiry or a
+    broken pool it kills/rebuilds the pool and re-dispatches only the
+    units that were in flight.  Attempt accounting: the timed-out or
+    erroring unit is charged an attempt; when the pool breaks, every
+    in-flight unit is charged (the culprit is indistinguishable from
+    collateral damage, exactly as with a real dead blade).
+    """
+
+    def make_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    pool = make_pool()
+    inflight: dict[Future, tuple[_UnitState, float]] = {}
+    ready: list[tuple[float, _UnitState]] = [(0.0, u) for u in units]
+    # Bound the number of outstanding futures.  With a watchdog, one
+    # slot per worker so a unit's deadline clock starts at (roughly) its
+    # execution start, not its submission; without one, a deeper window
+    # keeps workers fed while still keeping "in flight" — the set charged
+    # when the pool breaks — close to what is actually running.
+    window = workers if unit_timeout else workers * 4
+
+    def fail(unit: _UnitState, kind: str, error: str = "") -> None:
+        unit.failure = UnitFailure(
+            key=unit.key, index=unit.index, attempts=unit.attempts,
+            kind=kind, error=error,
+        )
+
+    def charge(unit: _UnitState, kind: str, error: str = "") -> None:
+        """One failed attempt: retry within budget, else permanent failure."""
+        unit.attempts += 1
+        if unit.attempts > retry.retries:
+            fail(unit, kind, error)
+        else:
+            outcome.n_retries += 1
+            ready.append((time.monotonic() + retry.delay(unit.attempts), unit))
+
+    def rebuild_pool(casualties: list[_UnitState], kind: str) -> None:
+        nonlocal pool
+        _drain_pool(pool)
+        inflight.clear()
+        outcome.n_pool_rebuilds += 1
+        if outcome.n_pool_rebuilds > max_pool_rebuilds:
+            for unit in casualties:
+                fail(unit, kind, "pool rebuild limit reached")
+            for _, unit in ready:
+                fail(unit, kind, "pool rebuild limit reached")
+            ready.clear()
+        else:
+            for unit in casualties:
+                charge(unit, kind)
+        pool = make_pool()
+
+    try:
+        while inflight or ready:
+            now = time.monotonic()
+            # Dispatch units whose backoff delay has elapsed, up to the
+            # window, in (ready time, index) order for determinism.
+            ready.sort(key=lambda entry: (entry[0], entry[1].index))
+            still_waiting: list[tuple[float, _UnitState]] = []
+            broke_at_submit: _UnitState | None = None
+            for ready_at, unit in ready:
+                if unit.failure is not None:
+                    continue
+                if (
+                    ready_at > now
+                    or broke_at_submit is not None
+                    or len(inflight) >= window
+                ):
+                    still_waiting.append((ready_at, unit))
+                    continue
+                try:
+                    future = pool.submit(
+                        _supervised_call, fn, unit.item, unit.key,
+                        unit.attempts + 1, chaos,
+                    )
+                except BrokenProcessPool:
+                    broke_at_submit = unit
+                    continue
+                deadline = now + unit_timeout if unit_timeout else float("inf")
+                inflight[future] = (unit, deadline)
+            ready[:] = still_waiting
+            if broke_at_submit is not None:
+                casualties = [unit for unit, _ in inflight.values()]
+                casualties.append(broke_at_submit)
+                rebuild_pool(casualties, "pool")
+                continue
+
+            if not inflight:
+                if ready:
+                    time.sleep(max(0.0, min(t for t, _ in ready) - time.monotonic()))
+                continue
+
+            # Wake at the earliest watchdog deadline or pending backoff
+            # expiry; units due now but window-blocked wait for the next
+            # completion instead (FIRST_COMPLETED), never a spin.
+            now = time.monotonic()
+            next_deadline = min(deadline for _, deadline in inflight.values())
+            future_ready = [t for t, _ in ready if t > now]
+            if future_ready:
+                next_deadline = min(next_deadline, min(future_ready))
+            wait_s = None
+            if next_deadline != float("inf"):
+                wait_s = max(0.0, next_deadline - now) + 0.01
+            done, _ = wait(inflight, timeout=wait_s, return_when=FIRST_COMPLETED)
+
+            broken_units: list[_UnitState] = []
+            for future in done:
+                unit, _deadline = inflight.pop(future)
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    broken_units.append(unit)
+                except Exception as exc:
+                    charge(unit, "error", repr(exc))
+                else:
+                    unit.done = True
+                    outcome.values[unit.index] = value
+                    if on_unit_result is not None:
+                        on_unit_result(unit.index, unit.key, value)
+            if broken_units:
+                # Everything still in flight died with the pool; units
+                # waiting in the ready queue never reached a worker and
+                # are not charged.
+                casualties = [unit for unit, _ in inflight.values()]
+                casualties += broken_units
+                rebuild_pool(casualties, "pool")
+                continue
+
+            # Watchdog: any in-flight unit past its deadline means a
+            # wedged worker; the only reliable recovery is to kill the
+            # pool.  The expired units are charged a (timeout) attempt;
+            # innocent in-flight units are re-dispatched free of charge.
+            now = time.monotonic()
+            expired = [
+                (future, unit)
+                for future, (unit, deadline) in inflight.items()
+                if deadline <= now and not future.done()
+            ]
+            if expired:
+                innocents = [
+                    unit
+                    for future, (unit, _d) in inflight.items()
+                    if not any(future is f for f, _ in expired) and not future.done()
+                ]
+                for _, unit in expired:
+                    outcome.n_timeouts += 1
+                    charge(unit, "timeout")
+                for unit in innocents:
+                    ready.append((0.0, unit))
+                _drain_pool(pool)
+                inflight.clear()
+                outcome.n_pool_rebuilds += 1
+                pool = make_pool()
+    finally:
+        _drain_pool(pool)
+
+    outcome.failures = [u.failure for u in units if u.failure is not None]
