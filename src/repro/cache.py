@@ -322,7 +322,10 @@ class CampaignJournal:
     ``journal.bin``, fsync'd per append.  A crash mid-append leaves a
     torn tail that :meth:`entries` detects (short read or digest
     mismatch) and discards, so a resumed campaign recomputes exactly the
-    nodes whose results never became durable.
+    nodes whose results never became durable.  A resume additionally
+    *truncates* the torn bytes before appending — frames written after
+    garbage would be unreachable on every later resume, since frame
+    iteration stops at the first bad frame.
 
     Entries are keyed by node name; a node journaled twice (a retried
     driver) keeps the *first* durable entry, preserving bit-identity with
@@ -334,6 +337,9 @@ class CampaignJournal:
         self.key = key
         self._fh = None
         self.n_torn = 0
+        #: Byte offset just past the last fully-validated frame, set by
+        #: :meth:`entries` — the truncation point for a torn tail.
+        self.valid_bytes = 0
 
     @property
     def journal_path(self) -> Path:
@@ -374,6 +380,16 @@ class CampaignJournal:
                     f"this run is {self.key!r})"
                 )
             existing = self.entries()
+            if self.n_torn:
+                # Amputate the torn tail before reopening for append:
+                # frames written after garbage bytes would be unreachable
+                # on every later resume (_iter_frames stops at the first
+                # bad frame), so a second crash would lose all progress
+                # journaled by this resumed run.
+                with open(self.journal_path, "r+b") as fh:
+                    fh.truncate(self.valid_bytes)
+                    fh.flush()
+                    os.fsync(fh.fileno())
         else:
             self._write_meta()
             try:
@@ -447,12 +463,14 @@ class CampaignJournal:
             except Exception:
                 self.n_torn += 1
                 return
-            yield node, value
             offset += _HEADER_LEN + length
+            self.valid_bytes = offset
+            yield node, value
 
     def entries(self) -> dict[str, Any]:
         """All durable entries, first write per node winning."""
         self.n_torn = 0
+        self.valid_bytes = 0
         out: dict[str, Any] = {}
         for node, value in self._iter_frames():
             out.setdefault(node, value)

@@ -110,7 +110,11 @@ def get_analysis(
     in-process memo and the disk cache.  ``retry``/``unit_timeout`` route
     a cache miss through the fault-tolerant supervisor (see
     :func:`repro.faultinjection.run_campaign`); sub-budget recoveries are
-    bit-identical, so they share the cache key with plain runs.
+    bit-identical, so they share the cache key with plain runs.  A
+    *degraded* run (nodes exhausted their retry budget) is returned to
+    this caller but never cached — on disk or in the memo — because its
+    node population is incomplete and the cache key cannot distinguish it
+    from a healthy run.
     """
     config = (
         quick_campaign_config(seed) if quick else paper_campaign_config(seed)
@@ -133,11 +137,11 @@ def get_analysis(
             retry=retry,
             unit_timeout=unit_timeout,
         )
-        if use_cache:
+        if use_cache and result.degraded is None:
             store.store(key, _cacheable(result))
 
     analysis = StudyAnalysis(result)
-    if use_cache:
+    if use_cache and result.degraded is None:
         _ANALYSES[key] = analysis
     return analysis
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -280,9 +281,13 @@ def supervised_map(
     ``keys`` names units for failure reporting and chaos targeting
     (default ``str(item)``).  ``on_unit_result(index, key, value)`` runs
     in the supervising process as each unit first succeeds — the
-    checkpoint-journal hook.  Permanent failures become
-    :class:`UnitFailure` entries instead of exceptions; callers decide
-    whether a degraded result is acceptable.
+    checkpoint-journal hook.  It is never invoked concurrently: the
+    process and serial backends call it from the supervisor loop, and the
+    thread backend serializes calls through a lock while still firing
+    per completion, so checkpoint journaling stays incremental on every
+    backend.  Permanent failures become :class:`UnitFailure` entries
+    instead of exceptions; callers decide whether a degraded result is
+    acceptable.
     """
     items = list(items)
     keys = [str(item) for item in items] if keys is None else [str(k) for k in keys]
@@ -314,6 +319,7 @@ def supervised_map(
     # timeout (e.g. the CI-level pytest timeout).
     if initializer is not None:
         initializer(*initargs)
+    lock = threading.Lock()  # guards counters + callbacks on the thread backend
 
     def run_unit(unit: _UnitState) -> None:
         while True:
@@ -327,7 +333,8 @@ def supervised_map(
                         kind="error", error=repr(exc),
                     )
                     return
-                outcome.n_retries += 1
+                with lock:
+                    outcome.n_retries += 1
                 time.sleep(retry.delay(unit.attempts))
             else:
                 unit.done = True
@@ -335,14 +342,18 @@ def supervised_map(
                 return
 
     if backend == "thread" and len(items) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            list(pool.map(run_unit, units))
-        # Completion callbacks fire from the supervising thread only,
-        # in index order, once every unit has settled.
-        if on_unit_result is not None:
-            for unit in units:
-                if unit.done:
+        # Completion callbacks fire as each unit succeeds (checkpoint
+        # journaling stays incremental — a driver crash mid-map loses
+        # only the units still running), serialized through the lock so
+        # the journal never sees interleaved appends.
+        def run_and_report(unit: _UnitState) -> None:
+            run_unit(unit)
+            if unit.done and on_unit_result is not None:
+                with lock:
                     on_unit_result(unit.index, unit.key, outcome.values[unit.index])
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            list(pool.map(run_and_report, units))
     else:
         for unit in units:
             run_unit(unit)
@@ -411,7 +422,19 @@ def _supervise_process(
             outcome.n_retries += 1
             ready.append((time.monotonic() + retry.delay(unit.attempts), unit))
 
-    def rebuild_pool(casualties: list[_UnitState], kind: str) -> None:
+    def rebuild_pool(
+        casualties: list[_UnitState],
+        kind: str,
+        innocents: Sequence[_UnitState] = (),
+    ) -> None:
+        """Tear down and replace the pool; the single rebuild-cap gate.
+
+        ``casualties`` are charged a failed attempt; ``innocents`` (units
+        that were in flight but not implicated) are re-queued free of
+        charge.  Every rebuild — broken pool or watchdog expiry — counts
+        against ``max_pool_rebuilds``; past the cap everything still
+        pending fails closed instead of thrashing forever.
+        """
         nonlocal pool
         _drain_pool(pool)
         inflight.clear()
@@ -419,12 +442,16 @@ def _supervise_process(
         if outcome.n_pool_rebuilds > max_pool_rebuilds:
             for unit in casualties:
                 fail(unit, kind, "pool rebuild limit reached")
+            for unit in innocents:
+                fail(unit, kind, "pool rebuild limit reached")
             for _, unit in ready:
                 fail(unit, kind, "pool rebuild limit reached")
             ready.clear()
         else:
             for unit in casualties:
                 charge(unit, kind)
+            for unit in innocents:
+                ready.append((0.0, unit))
         pool = make_pool()
 
     try:
@@ -505,29 +532,39 @@ def _supervise_process(
 
             # Watchdog: any in-flight unit past its deadline means a
             # wedged worker; the only reliable recovery is to kill the
-            # pool.  The expired units are charged a (timeout) attempt;
-            # innocent in-flight units are re-dispatched free of charge.
+            # pool.  One pass partitions the in-flight set: futures that
+            # completed in the window since ``wait`` returned are
+            # harvested first (their results are final even though the
+            # pool is about to die — dropping them would leave a silent
+            # ``None`` hole with no matching failure), expired units are
+            # charged a (timeout) attempt, and innocent still-running
+            # units are re-dispatched free of charge.
             now = time.monotonic()
-            expired = [
-                (future, unit)
-                for future, (unit, deadline) in inflight.items()
-                if deadline <= now and not future.done()
-            ]
+            completed: list[tuple[Future, _UnitState]] = []
+            expired: list[_UnitState] = []
+            innocents: list[_UnitState] = []
+            for future, (unit, deadline) in inflight.items():
+                if future.done():
+                    completed.append((future, unit))
+                elif deadline <= now:
+                    expired.append(unit)
+                else:
+                    innocents.append(unit)
             if expired:
-                innocents = [
-                    unit
-                    for future, (unit, _d) in inflight.items()
-                    if not any(future is f for f, _ in expired) and not future.done()
-                ]
-                for _, unit in expired:
-                    outcome.n_timeouts += 1
-                    charge(unit, "timeout")
-                for unit in innocents:
-                    ready.append((0.0, unit))
-                _drain_pool(pool)
-                inflight.clear()
-                outcome.n_pool_rebuilds += 1
-                pool = make_pool()
+                for future, unit in completed:
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        charge(unit, "pool")
+                    except Exception as exc:
+                        charge(unit, "error", repr(exc))
+                    else:
+                        unit.done = True
+                        outcome.values[unit.index] = value
+                        if on_unit_result is not None:
+                            on_unit_result(unit.index, unit.key, value)
+                outcome.n_timeouts += len(expired)
+                rebuild_pool(expired, "timeout", innocents=innocents)
     finally:
         _drain_pool(pool)
 

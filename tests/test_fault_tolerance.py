@@ -30,7 +30,7 @@ from repro.core.errors import (
     ConfigurationError,
     ShardCorruptError,
 )
-from repro.faultinjection import DegradedResult, run_campaign
+from repro.faultinjection import DegradedNode, DegradedResult, run_campaign
 from repro.faultinjection.config import quick_campaign_config
 from repro.logs.format import format_record
 from repro.parallel import RetryPolicy, supervised_map
@@ -240,6 +240,30 @@ class TestSupervisedMapSerial:
         assert outcome.values == [x * x for x in range(8)]
         assert outcome.n_retries == 2
 
+    def test_thread_backend_journals_incrementally(self):
+        # Regression: callbacks used to be deferred until every unit had
+        # settled, so a driver crash mid-map lost every checkpoint.  Unit
+        # 1 blocks until unit 0's callback fires; if callbacks were still
+        # deferred this would dead-wait its full timeout and fail.
+        first_done = threading.Event()
+
+        def record(index: int, key: str, value: int) -> None:
+            if index == 0:
+                first_done.set()
+
+        def fn(item: int) -> int:
+            if item == 1:
+                assert first_done.wait(timeout=10.0), (
+                    "unit 0's callback did not fire while unit 1 was running"
+                )
+            return item * item
+
+        outcome = supervised_map(
+            fn, range(2), backend="thread", workers=2, on_unit_result=record
+        )
+        assert outcome.ok
+        assert outcome.values == [0, 1]
+
 
 # ---------------------------------------------------------------------------
 # supervised_map: process backend (worker deaths, watchdog)
@@ -326,6 +350,28 @@ class TestSupervisedMapProcess:
         assert "u0" in outcome.failed_keys()
         assert all(f.kind == "pool" for f in outcome.failures)
 
+    def test_watchdog_rebuilds_respect_the_cap(self):
+        # Regression: timeout-driven rebuilds used to bypass
+        # max_pool_rebuilds, so a permanently wedged unit with a large
+        # retry budget could thrash the pool without bound.
+        outcome = supervised_map(
+            _square,
+            range(4),
+            keys=[f"u{i}" for i in range(4)],
+            backend="process",
+            workers=2,
+            retry=RetryPolicy(retries=50, backoff_base_s=0.0),
+            unit_timeout=1.0,
+            chaos=chaos.hang_on("u1", attempts=None, hang_seconds=60.0),
+            max_pool_rebuilds=1,
+        )
+        assert outcome.failed_keys() == ["u1"]
+        (failure,) = outcome.failures
+        assert failure.kind == "timeout"
+        assert failure.error == "pool rebuild limit reached"
+        assert outcome.n_pool_rebuilds == 2  # the cap gate, not the budget
+        assert [v for i, v in enumerate(outcome.values) if i != 1] == [0, 4, 9]
+
 
 # ---------------------------------------------------------------------------
 # CampaignJournal: durability framing
@@ -390,6 +436,26 @@ class TestCampaignJournal:
         journal = CampaignJournal(tmp_path, "k")
         with pytest.raises(CheckpointError):
             journal.append("01-01", 1)
+
+    def test_resume_truncates_torn_tail_for_later_resumes(self, tmp_path):
+        # Regression: a resume used to append new frames *after* the torn
+        # bytes, where frame iteration (which stops at the first bad
+        # frame) could never reach them — a second crash lost everything
+        # the resumed run had journaled.
+        with CampaignJournal(tmp_path, "k") as journal:
+            journal.open(resume=False)
+            journal.append("01-01", "a")
+        with open(tmp_path / "journal.bin", "ab") as fh:
+            fh.write(b"\xffGARBAGE")  # crash mid-append left a torn tail
+        first = CampaignJournal(tmp_path, "k")
+        assert first.open(resume=True) == {"01-01": "a"}
+        assert first.n_torn == 1
+        first.append("01-02", "b")
+        first.close()
+        second = CampaignJournal(tmp_path, "k")
+        assert second.open(resume=True) == {"01-01": "a", "01-02": "b"}
+        assert second.n_torn == 0
+        second.close()
 
 
 # ---------------------------------------------------------------------------
@@ -563,6 +629,50 @@ class TestCampaignFaultTolerance:
             run_campaign(
                 quick_campaign_config(seed=12345), checkpoint_dir=ckpt, resume=True
             )
+
+
+class TestDegradedResultsStayOutOfTheCache:
+    """Regression: a degraded campaign shares its config digest with a
+    healthy run, so persisting (or memoizing) it would serve an
+    incomplete node population as a cache hit to every later plain run.
+    """
+
+    def _patched_runner(self, monkeypatch, degraded):
+        from types import SimpleNamespace
+
+        from repro.experiments import runner
+
+        run = SimpleNamespace(degraded=degraded)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setattr(runner, "run_campaign", lambda config, **kw: run)
+        monkeypatch.setattr(runner, "_cacheable", lambda result: result)
+        monkeypatch.setattr(runner, "StudyAnalysis", lambda result: ("analysis", result))
+        monkeypatch.setattr(runner, "_ANALYSES", {})
+        return runner, run
+
+    def test_degraded_run_is_not_persisted_or_memoized(self, tmp_path, monkeypatch):
+        degraded = DegradedResult(
+            nodes=(
+                DegradedNode(node="01-01", attempts=3, kind="error", error="boom"),
+            ),
+            n_planned=4,
+        )
+        runner, run = self._patched_runner(monkeypatch, degraded)
+        cache = CampaignCache(root=tmp_path / "cache")
+        analysis = runner.get_analysis(quick=True, cache=cache)
+        assert analysis == ("analysis", run)  # the caller still gets it
+        assert cache.stats.stores == 0
+        assert cache.entries() == []
+        assert runner._ANALYSES == {}
+
+    def test_healthy_run_is_still_cached(self, tmp_path, monkeypatch):
+        runner, run = self._patched_runner(monkeypatch, degraded=None)
+        cache = CampaignCache(root=tmp_path / "cache")
+        analysis = runner.get_analysis(quick=True, cache=cache)
+        assert analysis == ("analysis", run)
+        assert cache.stats.stores == 1
+        assert len(cache.entries()) == 1
+        assert len(runner._ANALYSES) == 1
 
 
 _DRIVER_SCRIPT = """
