@@ -10,6 +10,9 @@ Subcommands::
     repro cache                  # show (or --clear) the on-disk cache
     repro logs convert           # text logs <-> binary columnar archive
     repro logs inspect           # manifest summary (+ checksum --verify)
+    repro logs upgrade           # backfill v2 zone maps into a v1 archive
+    repro query --dir DIR        # run one query plan against an archive
+    repro serve --dir DIR        # HTTP/JSON fleet telemetry server
 """
 
 from __future__ import annotations
@@ -143,7 +146,78 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-read every shard and verify its sha256 checksum",
     )
+    upg = logs_sub.add_parser(
+        "upgrade",
+        help="backfill zone maps into a v1 archive in place (manifest only)",
+    )
+    upg.add_argument("--dir", required=True, help="columnar archive directory")
+
+    qry = sub.add_parser(
+        "query", help="execute one query plan against a columnar archive"
+    )
+    qry.add_argument("--dir", required=True, help="columnar archive directory")
+    plan_src = qry.add_mutually_exclusive_group(required=True)
+    plan_src.add_argument("--plan", help="plan as inline JSON (see docs/QUERY.md)")
+    plan_src.add_argument("--plan-file", help="path to a plan JSON file")
+    plan_src.add_argument(
+        "--preset",
+        choices=sorted(QUERY_PRESETS),
+        help="one of the canned fleet queries",
+    )
+    qry.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable zone-map shard pruning (scan everything)",
+    )
+
+    srv = sub.add_parser(
+        "serve", help="serve an archive over HTTP/JSON (see docs/QUERY.md)"
+    )
+    srv.add_argument("--dir", required=True, help="columnar archive directory")
+    srv.add_argument("--host", default="127.0.0.1", help="bind address")
+    srv.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    srv.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="maximum requests processed at once",
+    )
+    srv.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request execution timeout",
+    )
     return parser
+
+
+#: Canned plans for `repro query --preset` (and the CI smoke job).
+QUERY_PRESETS: dict[str, dict] = {
+    "errors-by-node": {
+        "filters": [{"column": "kind", "op": "eq", "value": 1}],
+        "group_by": ["node"],
+        "aggregates": [{"fn": "count"}],
+    },
+    "errors-by-hour": {
+        "filters": [{"column": "kind", "op": "eq", "value": 1}],
+        "derive": [{"name": "hour", "fn": "hour"}],
+        "group_by": ["hour"],
+        "aggregates": [{"fn": "count"}],
+    },
+    "multibit-errors": {
+        "filters": [
+            {"column": "kind", "op": "eq", "value": 1},
+            {"column": "n_bits", "op": "ge", "value": 2},
+        ],
+        "derive": [{"name": "n_bits", "fn": "n_bits"}],
+        "project": ["node", "t", "n_bits"],
+        "order_by": ["t"],
+    },
+}
 
 
 def _cmd_logs(args) -> int:
@@ -176,22 +250,50 @@ def _cmd_logs(args) -> int:
             )
             return 0
 
+        if args.logs_command == "upgrade":
+            from .logs.columnar import FORMAT_VERSION, upgrade_archive
+
+            before = read_manifest(args.dir).get("format_version")
+            manifest = upgrade_archive(args.dir)
+            if before == manifest["format_version"]:
+                print(
+                    f"{args.dir} already at format v{manifest['format_version']} "
+                    f"with zone maps; nothing to do"
+                )
+            else:
+                print(
+                    f"upgraded {args.dir} from v{before} to v{FORMAT_VERSION}: "
+                    f"zone maps for {len(manifest['shards'])} shard(s) "
+                    f"(shard files untouched)"
+                )
+            return 0
+
         # inspect
         manifest = read_manifest(args.dir)
         print(
-            f"{manifest['format']} v{manifest['format_version']} "
+            f"{manifest.get('format')} v{manifest.get('format_version')} "
             f"(written by {manifest.get('writer', 'unknown')})"
         )
+        shards = manifest["shards"]
         print(
-            f"{manifest['n_nodes']} shards, {manifest['n_records']:,} records, "
-            f"{manifest['n_errors']:,} error records, "
-            f"{manifest['n_raw_lines']:,} raw error lines"
+            f"{manifest.get('n_nodes', len(shards))} shards, "
+            f"{manifest.get('n_records', 0):,} records, "
+            f"{manifest.get('n_errors', 0):,} error records, "
+            f"{manifest.get('n_raw_lines', 0):,} raw error lines"
         )
-        for entry in manifest["shards"]:
+        from pathlib import Path as _Path
+
+        for entry in shards:
+            shard_path = _Path(args.dir) / entry["file"]
+            try:
+                size = f"{shard_path.stat().st_size:,} bytes"
+            except OSError:
+                size = "MISSING FILE"
+            zone = "zone-map" if entry.get("zone_map") else "no zone-map"
             print(
-                f"  {entry['node']}: {entry['n_records']:,} records "
-                f"({entry['n_raw_lines']:,} raw lines) "
-                f"sha256={entry['sha256'][:12]}…"
+                f"  {entry['node']}: {entry.get('n_records', 0):,} records "
+                f"({entry.get('n_raw_lines', 0):,} raw lines) "
+                f"{size} [{zone}] sha256={entry['sha256'][:12]}…"
             )
         if args.verify:
             ColumnarArchive.load(args.dir, verify_checksums=True)
@@ -202,10 +304,84 @@ def _cmd_logs(args) -> int:
         return 1
 
 
+def _cmd_query(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .core.errors import LogFormatError, QueryPlanError
+    from .query import Query, QueryEngine
+
+    try:
+        if args.preset:
+            plan = Query.from_dict(QUERY_PRESETS[args.preset])
+        elif args.plan_file:
+            path = Path(args.plan_file)
+            if not path.is_file():
+                print(f"error: no such plan file: {path}", file=sys.stderr)
+                return 2
+            plan = Query.from_json(path.read_text(encoding="utf-8"))
+        else:
+            plan = Query.from_json(args.plan)
+        engine = QueryEngine(args.dir, prune=not args.no_prune)
+        result = engine.execute(plan, use_cache=False)
+    except (LogFormatError, QueryPlanError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    payload = result.to_dict()
+    payload["io"] = engine.source.io.to_dict()
+    try:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # Reader hung up early (e.g. `repro query ... | head`): fine.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core.errors import LogFormatError
+    from .server import TelemetryServer
+
+    try:
+        server = TelemetryServer(
+            args.dir,
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            request_timeout_s=args.timeout,
+        )
+    except LogFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {args.dir} on http://{server.host}:{server.port} "
+            f"(max {server.max_concurrency} concurrent, "
+            f"{server.request_timeout_s:g}s timeout)",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "logs":
         return _cmd_logs(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
 
     # Imports deferred so `repro list --help` stays instant.
     from .experiments import EXPERIMENT_ORDER, get_analysis, run_all, run_experiment

@@ -52,6 +52,10 @@ class UnknownFormatVersionError(ColumnarFormatError):
     """A columnar archive was written by an unknown format version."""
 
 
+class QueryPlanError(ReproError):
+    """A logical query plan is malformed or references unknown columns."""
+
+
 class ExtractionError(ReproError):
     """The error-extraction pipeline received malformed input."""
 

@@ -56,8 +56,18 @@ from .format import parse_line
 from .frame import ErrorFrame
 
 #: Bump when the shard/manifest layout changes; readers reject archives
-#: written by versions they do not understand.
-FORMAT_VERSION = 1
+#: written by versions they do not understand.  Version 2 adds per-shard
+#: **zone maps** to the manifest (min/max/count summaries the query
+#: engine uses to skip shards; see :func:`compute_zone_map`) — the shard
+#: layout itself is unchanged, so v1 shards remain readable and a v1
+#: archive can be upgraded in place by rewriting only the manifest
+#: (:func:`upgrade_archive`).
+FORMAT_VERSION = 2
+
+#: Manifest versions this reader understands.  v1 archives simply lack
+#: zone maps; consumers must treat a missing ``zone_map`` as "cannot
+#: prune", never as "empty shard".
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Magic string identifying a manifest as ours.
 FORMAT_NAME = "repro-columnar"
@@ -1028,6 +1038,67 @@ def _ingest_file(path_str: str) -> RecordColumns:
 
 
 # ---------------------------------------------------------------------------
+# Zone maps
+# ---------------------------------------------------------------------------
+
+
+def compute_zone_map(cols: RecordColumns) -> dict:
+    """Per-shard min/max/count summary used for predicate pruning.
+
+    The summary must stay *conservative*: a shard may only be skipped
+    when the zone map proves no row can match, so every entry describes
+    the full range actually present.  ``temp`` ranges ignore NaN ("not
+    logged") rows and carry ``n_temp`` so null/not-null predicates can
+    prune too; ``bits`` is the flipped-bit-count range over ERROR rows
+    (the paper's "#bits"), which is what lets multi-bit queries skip
+    single-bit-only shards without opening them.
+    """
+    from ..core import bitops
+
+    n = len(cols)
+    zone: dict = {
+        "n_records": n,
+        "t": None,
+        "temp": None,
+        "n_temp": 0,
+        "kinds": {},
+        "bits": None,
+    }
+    if n == 0:
+        return zone
+    zone["t"] = [float(cols.t.min()), float(cols.t.max())]
+    has_temp = ~np.isnan(cols.temp)
+    n_temp = int(has_temp.sum())
+    zone["n_temp"] = n_temp
+    if n_temp:
+        logged = cols.temp[has_temp]
+        zone["temp"] = [float(logged.min()), float(logged.max())]
+    kinds, counts = np.unique(cols.kind, return_counts=True)
+    zone["kinds"] = {str(int(k)): int(c) for k, c in zip(kinds, counts)}
+    err = cols.kind == KIND_ERROR
+    if err.any():
+        bits = np.asarray(
+            bitops.n_flipped_bits(cols.expected[err], cols.actual[err])
+        ).reshape(-1)
+        zone["bits"] = [int(bits.min()), int(bits.max())]
+    return zone
+
+
+def manifest_fingerprint(manifest: dict) -> str:
+    """Content fingerprint of an archive: digest over its shard digests.
+
+    Stable across manifest rewrites that do not change shard bytes
+    (e.g. a zone-map backfill), so query-result cache entries survive a
+    ``repro logs upgrade`` — same data, same key.
+    """
+    digest = hashlib.sha256()
+    for entry in sorted(manifest["shards"], key=lambda e: e["node"]):
+        digest.update(entry["node"].encode())
+        digest.update(entry["sha256"].encode())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
 # ColumnarArchive
 # ---------------------------------------------------------------------------
 
@@ -1047,6 +1118,13 @@ class ColumnarArchive:
         #: node -> ShardCorruptError for shards dropped by a degraded load
         #: (``load(..., skip_corrupt=True)``); empty on a clean archive.
         self.skipped_shards: dict[str, ShardCorruptError] = {}
+        #: The manifest this archive was loaded from, if any.
+        self.manifest: dict | None = None
+        # Lazy-load state: node -> manifest entry for shards not yet read
+        # from disk (see ``load(..., lazy=True)``).
+        self._pending: dict[str, dict] = {}
+        self._directory: Path | None = None
+        self._verify_checksums = True
 
     # -- constructors ------------------------------------------------------
 
@@ -1097,11 +1175,26 @@ class ColumnarArchive:
 
     @property
     def nodes(self) -> list[str]:
-        return sorted(self._by_node)
+        return sorted(self._by_node.keys() | self._pending.keys())
 
     def columns(self, node: str) -> RecordColumns:
         cols = self._by_node.get(node)
+        if cols is None and node in self._pending:
+            cols = self._materialize(node)
         return cols if cols is not None else RecordColumns.empty()
+
+    def _materialize(self, node: str) -> RecordColumns:
+        """Read one lazily-deferred shard from disk (first access only)."""
+        entry = self._pending.pop(node)
+        cols = _load_shard(
+            self._directory, entry, verify_checksum=self._verify_checksums
+        )
+        self._by_node[node] = cols
+        return cols
+
+    def is_loaded(self, node: str) -> bool:
+        """False while a lazily-opened shard has not been read from disk."""
+        return node in self._by_node
 
     def records(self, node: str) -> list[LogRecord]:
         return self.columns(node).to_records()
@@ -1117,15 +1210,33 @@ class ColumnarArchive:
                 if isinstance(record, ErrorRecord):
                     yield record
 
+    def _pending_count(self, field: str) -> int:
+        """Sum a manifest count over unloaded shards, loading only those
+        whose entry lacks the field (hand-edited manifests)."""
+        total = 0
+        for node, entry in list(self._pending.items()):
+            value = entry.get(field)
+            if value is None:
+                cols = self._materialize(node)
+                value = len(cols) if field == "n_records" else getattr(cols, field)
+            total += int(value)
+        return total
+
     def n_records(self) -> int:
-        return sum(len(c) for c in self._by_node.values())
+        return sum(len(c) for c in self._by_node.values()) + self._pending_count(
+            "n_records"
+        )
 
     def n_errors(self) -> int:
-        return sum(c.n_errors for c in self._by_node.values())
+        return sum(c.n_errors for c in self._by_node.values()) + self._pending_count(
+            "n_errors"
+        )
 
     def n_raw_error_lines(self) -> int:
         """The paper's ">25 million error logs" number (repeats expanded)."""
-        return sum(c.n_raw_lines for c in self._by_node.values())
+        return sum(
+            c.n_raw_lines for c in self._by_node.values()
+        ) + self._pending_count("n_raw_lines")
 
     # -- the fast path -----------------------------------------------------
 
@@ -1140,7 +1251,7 @@ class ColumnarArchive:
         names: list[str] = []
         chunks: list[tuple[RecordColumns, np.ndarray, int]] = []
         for node in self.nodes:
-            cols = self._by_node[node]
+            cols = self.columns(node)  # materializes lazy shards
             mask = cols.kind == KIND_ERROR
             if not mask.any():
                 continue
@@ -1191,7 +1302,7 @@ class ColumnarArchive:
         directory.mkdir(parents=True, exist_ok=True)
         shards = []
         for node in self.nodes:
-            cols = self._by_node[node]
+            cols = self.columns(node)  # materializes lazy shards
             filename = f"{node}.npz"
             shard_path = directory / filename
             buffer = io.BytesIO()
@@ -1213,6 +1324,7 @@ class ColumnarArchive:
                     "n_records": len(cols),
                     "n_errors": cols.n_errors,
                     "n_raw_lines": cols.n_raw_lines,
+                    "zone_map": compute_zone_map(cols),
                 }
             )
         manifest = {
@@ -1238,6 +1350,7 @@ class ColumnarArchive:
         *,
         verify_checksums: bool = True,
         skip_corrupt: bool = False,
+        lazy: bool = False,
     ) -> "ColumnarArchive":
         """Read a columnar archive, validating version, layout and checksums.
 
@@ -1249,21 +1362,39 @@ class ColumnarArchive:
         exception) — the same accounting the paper applies to dead blades.
         Archive-level problems (missing/corrupt manifest, unknown format
         version) stay fatal either way.
+
+        With ``lazy=True`` only the manifest is read eagerly; each node's
+        shard is read (and checksum-verified) on first access, so
+        touching one node of a thousand-node archive costs one file read.
+        Counts come from the manifest without any shard I/O.  Lazy loads
+        cannot degrade — shard damage surfaces at first access as the
+        usual :class:`ShardCorruptError` — so ``skip_corrupt`` is
+        rejected in combination with ``lazy``.
         """
+        if lazy and skip_corrupt:
+            raise ValueError(
+                "skip_corrupt requires eager loading (lazy=False): a lazy "
+                "load cannot know which shards are damaged up front"
+            )
         directory = Path(path)
         manifest = read_manifest(directory)
-        by_node: dict[str, RecordColumns] = {}
+        archive = cls()
+        archive.manifest = manifest
+        archive._directory = directory
+        archive._verify_checksums = verify_checksums
+        if lazy:
+            archive._pending = {e["node"]: e for e in manifest["shards"]}
+            return archive
         skipped: dict[str, ShardCorruptError] = {}
         for entry in manifest["shards"]:
             try:
-                by_node[entry["node"]] = _load_shard(
+                archive._by_node[entry["node"]] = _load_shard(
                     directory, entry, verify_checksum=verify_checksums
                 )
             except ShardCorruptError as exc:
                 if not skip_corrupt:
                     raise
                 skipped[entry["node"]] = exc
-        archive = cls(by_node)
         archive.skipped_shards = skipped
         return archive
 
@@ -1286,10 +1417,10 @@ def read_manifest(path: str | Path) -> dict:
             f"{manifest_path} is not a {FORMAT_NAME!r} manifest"
         )
     version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise UnknownFormatVersionError(
             f"archive format version {version!r} not supported "
-            f"(this reader understands version {FORMAT_VERSION})"
+            f"(this reader understands versions {SUPPORTED_VERSIONS})"
         )
     shards = manifest.get("shards")
     if not isinstance(shards, list):
@@ -1299,6 +1430,47 @@ def read_manifest(path: str | Path) -> dict:
             raise ColumnarFormatError(
                 f"manifest {manifest_path} has a malformed shard entry: {entry!r}"
             )
+    return manifest
+
+
+def upgrade_archive(path: str | Path) -> dict:
+    """Backfill zone maps into a v1 archive in place (v1 -> v2 migration).
+
+    Only the manifest is rewritten — shard files (and therefore their
+    checksums and the archive fingerprint) are untouched, so the upgrade
+    is cheap, idempotent, and safe to interrupt: the new manifest is
+    written to a temp file and atomically renamed over the old one.
+    Returns the (possibly already current) manifest.
+    """
+    import os
+    import tempfile
+
+    directory = Path(path)
+    manifest = read_manifest(directory)
+    needs_upgrade = manifest["format_version"] != FORMAT_VERSION or any(
+        "zone_map" not in entry for entry in manifest["shards"]
+    )
+    if not needs_upgrade:
+        return manifest
+    for entry in manifest["shards"]:
+        if "zone_map" in entry:
+            continue
+        cols = _load_shard(directory, entry, verify_checksum=True)
+        entry["zone_map"] = compute_zone_map(cols)
+        entry.setdefault("n_records", len(cols))
+        entry.setdefault("n_errors", cols.n_errors)
+        entry.setdefault("n_raw_lines", cols.n_raw_lines)
+    manifest["format_version"] = FORMAT_VERSION
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, directory / MANIFEST_NAME)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return manifest
 
 
@@ -1324,10 +1496,13 @@ def _load_shard(
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
             version = int(npz["format_version"])
-            if version != FORMAT_VERSION:
+            # The shard layout is identical across v1 and v2 (zone maps
+            # live in the manifest), so an upgraded archive may hold v1
+            # shards under a v2 manifest.
+            if version not in SUPPORTED_VERSIONS:
                 raise UnknownFormatVersionError(
                     f"shard {shard_path} has format version {version}, "
-                    f"manifest promised {FORMAT_VERSION}"
+                    f"this reader understands versions {SUPPORTED_VERSIONS}"
                 )
             node = str(npz["node"])
             arrays = {name: npz[name] for name in SHARD_COLUMNS}

@@ -1,0 +1,80 @@
+"""LRU result cache keyed by ``(archive fingerprint, plan digest)``.
+
+Both key halves are content digests: the fingerprint covers the shard
+bytes (so any data change is a new key — and a zone-map-only manifest
+rewrite is *not*), and the plan digest covers the canonical JSON of the
+logical plan.  Entries are therefore immutable by construction; cached
+result arrays are marked read-only before they are stored so an
+aliasing caller cannot poison later hits.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from threading import Lock
+
+
+@dataclass
+class QueryCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class QueryCache:
+    """A small thread-safe LRU over query results.
+
+    Thread safety matters because the telemetry server executes queries
+    on a thread pool; the lock protects the OrderedDict's move-to-end
+    bookkeeping, not the (immutable) cached values.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        self.max_entries = max_entries
+        self.stats = QueryCacheStats()
+        self._entries: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[str, str]):
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: tuple[str, str], value) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,357 @@
+"""The logical plan: a declarative description of one analytical query.
+
+A :class:`Query` is a frozen value object — ``scan`` (implicit, the
+archive the engine is bound to) ``-> filter -> derive -> project |
+group-aggregate -> order -> limit`` — with a canonical JSON rendering
+used three ways: as the server's wire format, as the stable
+:meth:`Query.digest` that keys the result cache, and as the CLI's plan
+input.  Validation happens at construction, so a malformed plan fails
+with :class:`QueryPlanError` before any shard is touched.
+
+Columns
+-------
+
+Base columns are the shard columns of the archive format
+(:data:`repro.logs.columnar.SHARD_COLUMNS`) plus ``node`` (the shard's
+node name).  Derived columns come from a fixed registry (see
+:data:`repro.query.engine.DERIVED_COLUMNS`): ``hour``, ``day``,
+``n_bits``, ``bit_bucket``, ``temp_c``, ``temp_bin``, ``has_temp`` —
+the vocabulary of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core.errors import QueryPlanError
+from ..logs.columnar import SHARD_COLUMNS
+
+#: Comparison operators a predicate may use.
+PREDICATE_OPS = ("eq", "ne", "lt", "le", "gt", "ge", "in", "isnull", "notnull")
+
+#: Aggregate functions the group-aggregate stage supports.
+AGGREGATE_FNS = ("count", "sum", "min", "max", "mean")
+
+#: Base (on-disk) columns every shard provides.
+BASE_COLUMNS = tuple(SHARD_COLUMNS) + ("node",)
+
+#: Derived-column registry names (implementations live in engine.py).
+DERIVED_NAMES = (
+    "hour", "day", "n_bits", "bit_bucket", "temp_c", "temp_bin", "has_temp",
+)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One filter clause: ``column op value``.
+
+    ``value`` is a scalar for comparisons, a list for ``in``, and absent
+    for ``isnull``/``notnull``.  NaN follows IEEE semantics: comparisons
+    are false for NaN rows, so ``temp_c >= x`` already excludes
+    unlogged temperatures; use ``isnull``/``notnull`` to select on
+    presence explicitly.
+    """
+
+    column: str
+    op: str
+    value: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATE_OPS:
+            raise QueryPlanError(
+                f"unknown predicate op {self.op!r} (supported: {PREDICATE_OPS})"
+            )
+        if self.op == "in":
+            if not isinstance(self.value, (list, tuple)) or not self.value:
+                raise QueryPlanError("'in' predicate needs a non-empty list value")
+            object.__setattr__(self, "value", tuple(_plain(v) for v in self.value))
+        elif self.op in ("isnull", "notnull"):
+            if self.value is not None:
+                raise QueryPlanError(f"{self.op!r} predicate takes no value")
+        elif isinstance(self.value, (list, tuple, dict)) or self.value is None:
+            raise QueryPlanError(
+                f"predicate {self.column} {self.op} needs a scalar value, "
+                f"got {self.value!r}"
+            )
+        else:
+            object.__setattr__(self, "value", _plain(self.value))
+
+    def to_dict(self) -> dict:
+        out = {"column": self.column, "op": self.op}
+        if self.op == "in":
+            out["value"] = list(self.value)
+        elif self.op not in ("isnull", "notnull"):
+            out["value"] = self.value
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Predicate":
+        _require_keys(spec, {"column", "op"}, "predicate")
+        return cls(
+            column=str(spec["column"]), op=str(spec["op"]), value=spec.get("value")
+        )
+
+
+@dataclass(frozen=True)
+class Derive:
+    """One derived column: registry function + (hashable) arguments."""
+
+    name: str
+    fn: str
+    args: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.fn not in DERIVED_NAMES:
+            raise QueryPlanError(
+                f"unknown derive function {self.fn!r} (supported: {DERIVED_NAMES})"
+            )
+        args = self.args
+        if isinstance(args, dict):
+            args = tuple(sorted(args.items()))
+        normalized = []
+        for key, value in args:
+            if isinstance(value, (list, tuple)):
+                value = tuple(_plain(v) for v in value)
+            elif getattr(value, "ndim", 0):  # numpy array (e.g. bin edges)
+                value = tuple(_plain(v) for v in value.tolist())
+            else:
+                value = _plain(value)
+            normalized.append((str(key), value))
+        object.__setattr__(self, "args", tuple(normalized))
+
+    @property
+    def kwargs(self) -> dict:
+        return {k: (list(v) if isinstance(v, tuple) else v) for k, v in self.args}
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "fn": self.fn, "args": self.kwargs}
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Derive":
+        _require_keys(spec, {"name", "fn"}, "derive")
+        args = spec.get("args", {})
+        if not isinstance(args, dict):
+            raise QueryPlanError(f"derive args must be an object, got {args!r}")
+        return cls(name=str(spec["name"]), fn=str(spec["fn"]), args=tuple(sorted(args.items())))
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate output: ``fn(column) AS alias``.
+
+    ``count`` takes no column; every other function requires one.
+    """
+
+    fn: str
+    column: str | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.fn not in AGGREGATE_FNS:
+            raise QueryPlanError(
+                f"unknown aggregate {self.fn!r} (supported: {AGGREGATE_FNS})"
+            )
+        if self.fn == "count" and self.column is not None:
+            raise QueryPlanError("count() takes no column")
+        if self.fn != "count" and self.column is None:
+            raise QueryPlanError(f"{self.fn}() needs a column")
+        if self.alias is None:
+            name = self.fn if self.column is None else f"{self.fn}_{self.column}"
+            object.__setattr__(self, "alias", name)
+
+    def to_dict(self) -> dict:
+        out: dict = {"fn": self.fn, "alias": self.alias}
+        if self.column is not None:
+            out["column"] = self.column
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Aggregate":
+        _require_keys(spec, {"fn"}, "aggregate")
+        return cls(
+            fn=str(spec["fn"]),
+            column=spec.get("column"),
+            alias=spec.get("alias"),
+        )
+
+
+@dataclass(frozen=True)
+class Query:
+    """The logical plan.  Frozen, hashable, JSON-round-trippable.
+
+    * ``filters`` — conjunction of predicates (AND semantics);
+    * ``derive`` — derived columns usable by filters/keys/aggregates;
+    * either ``project`` (row mode: return matching rows' columns) or
+      ``group_by`` + ``aggregates`` (aggregate mode);
+    * ``order_by`` — column names, ``-`` prefix for descending; group
+      mode defaults to ordering by the group keys ascending;
+    * ``limit`` — cap on output rows, applied after ordering;
+    * ``nodes`` — restrict the scan to these shards up front.
+    """
+
+    filters: tuple[Predicate, ...] = ()
+    derive: tuple[Derive, ...] = ()
+    project: tuple[str, ...] | None = None
+    group_by: tuple[str, ...] | None = None
+    aggregates: tuple[Aggregate, ...] = ()
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+    nodes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "filters", tuple(self.filters))
+        object.__setattr__(self, "derive", tuple(self.derive))
+        object.__setattr__(self, "aggregates", tuple(self.aggregates))
+        object.__setattr__(self, "order_by", tuple(self.order_by))
+        if self.project is not None:
+            object.__setattr__(self, "project", tuple(self.project))
+        if self.group_by is not None:
+            object.__setattr__(self, "group_by", tuple(self.group_by))
+        if self.nodes is not None:
+            object.__setattr__(self, "nodes", tuple(self.nodes))
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.project is not None and self.group_by is not None:
+            raise QueryPlanError("a plan is either row mode (project) or "
+                                 "aggregate mode (group_by), not both")
+        if self.aggregates and self.group_by is None:
+            # Grand-total aggregation: allowed, modelled as one group.
+            pass
+        if self.group_by is not None and not self.aggregates:
+            raise QueryPlanError("group_by without aggregates")
+        if self.limit is not None and self.limit < 0:
+            raise QueryPlanError(f"negative limit {self.limit}")
+        derived = {}
+        for d in self.derive:
+            if d.name in derived or d.name in BASE_COLUMNS:
+                raise QueryPlanError(f"duplicate column name {d.name!r}")
+            derived[d.name] = d
+        known = set(BASE_COLUMNS) | set(derived)
+        for pred in self.filters:
+            if pred.column not in known:
+                raise QueryPlanError(f"filter references unknown column "
+                                     f"{pred.column!r}")
+        for name in (self.project or ()) + (self.group_by or ()):
+            if name not in known:
+                raise QueryPlanError(f"unknown column {name!r}")
+        for agg in self.aggregates:
+            if agg.column is not None and agg.column not in known:
+                raise QueryPlanError(f"aggregate references unknown column "
+                                     f"{agg.column!r}")
+        out_columns = self.output_columns()
+        if len(set(out_columns)) != len(out_columns):
+            raise QueryPlanError(f"duplicate output columns in {out_columns}")
+        for name in self.order_by:
+            if name.lstrip("-") not in out_columns:
+                raise QueryPlanError(
+                    f"order_by references {name.lstrip('-')!r}, which is not "
+                    f"an output column of this plan"
+                )
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def is_aggregate(self) -> bool:
+        return bool(self.aggregates)
+
+    def output_columns(self) -> tuple[str, ...]:
+        if self.is_aggregate:
+            return (self.group_by or ()) + tuple(a.alias for a in self.aggregates)
+        if self.project is not None:
+            return self.project
+        return BASE_COLUMNS + tuple(d.name for d in self.derive)
+
+    def required_columns(self) -> set[str]:
+        """Base + derived names the executor must materialize."""
+        needed = set(p.column for p in self.filters)
+        needed.update(self.group_by or ())
+        needed.update(a.column for a in self.aggregates if a.column)
+        if not self.is_aggregate:
+            needed.update(self.output_columns())
+        return needed
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        if self.filters:
+            out["filters"] = [p.to_dict() for p in self.filters]
+        if self.derive:
+            out["derive"] = [d.to_dict() for d in self.derive]
+        if self.project is not None:
+            out["project"] = list(self.project)
+        if self.group_by is not None:
+            out["group_by"] = list(self.group_by)
+        if self.aggregates:
+            out["aggregates"] = [a.to_dict() for a in self.aggregates]
+        if self.order_by:
+            out["order_by"] = list(self.order_by)
+        if self.limit is not None:
+            out["limit"] = self.limit
+        if self.nodes is not None:
+            out["nodes"] = list(self.nodes)
+        return out
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Query":
+        if not isinstance(spec, dict):
+            raise QueryPlanError(f"plan must be a JSON object, got {type(spec).__name__}")
+        unknown = set(spec) - {
+            "filters", "derive", "project", "group_by", "aggregates",
+            "order_by", "limit", "nodes",
+        }
+        if unknown:
+            raise QueryPlanError(f"unknown plan fields: {sorted(unknown)}")
+        try:
+            return cls(
+                filters=tuple(
+                    Predicate.from_dict(p) for p in spec.get("filters", ())
+                ),
+                derive=tuple(Derive.from_dict(d) for d in spec.get("derive", ())),
+                project=_str_tuple(spec.get("project")),
+                group_by=_str_tuple(spec.get("group_by")),
+                aggregates=tuple(
+                    Aggregate.from_dict(a) for a in spec.get("aggregates", ())
+                ),
+                order_by=_str_tuple(spec.get("order_by")) or (),
+                limit=spec.get("limit"),
+                nodes=_str_tuple(spec.get("nodes")),
+            )
+        except (TypeError, AttributeError) as exc:
+            raise QueryPlanError(f"malformed plan: {exc}") from exc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Query":
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise QueryPlanError(f"plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(spec)
+
+    def digest(self) -> str:
+        """Stable content digest; half of the result-cache key."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:32]
+
+
+def _plain(value):
+    """Coerce NumPy scalars to plain Python so plans serialize to JSON."""
+    return value.item() if hasattr(value, "item") else value
+
+
+def _str_tuple(value) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise QueryPlanError(f"expected a list of column names, got {value!r}")
+    return tuple(str(v) for v in value)
+
+
+def _require_keys(spec: dict, keys: set[str], what: str) -> None:
+    if not isinstance(spec, dict) or not keys <= set(spec):
+        raise QueryPlanError(f"malformed {what}: {spec!r} (needs {sorted(keys)})")

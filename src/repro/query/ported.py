@@ -1,0 +1,152 @@
+"""Analysis hot paths recompiled as query plans — bit-identical ports.
+
+These reimplement :func:`repro.analysis.correlation.temperature_histogram`
+(Figs 7/8) and the hourly/daily grids of :mod:`repro.analysis.temporal`
+(Figs 5/10) on top of the query engine, so they prune shards and reuse
+the result cache instead of materializing an :class:`ErrorFrame`.  The
+contract — enforced by golden tests in ``tests/query`` — is that each
+returns *exactly* what the direct implementation returns on the same
+archive: same dict keys in the same order, same vectors, same dtypes.
+
+That works because the engine's derived columns reproduce the frames'
+arithmetic to the ufunc: ``temp_c`` round-trips through float32 (the
+ErrorFrame temperature dtype), ``temp_bin`` uses ``np.histogram``'s
+explicit-edge-array binning, and ``hour``/``day``/``bit_bucket`` are the
+same integer expressions the temporal module applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.correlation import TEMP_BINS, TemperatureHistogram
+from ..logs.columnar import KIND_ERROR
+from .engine import QueryEngine
+from .plan import Aggregate, Derive, Predicate, Query
+
+
+def _engine_for(target, engine: QueryEngine | None) -> QueryEngine:
+    if engine is not None:
+        return engine
+    if target is None:
+        raise ValueError("need an archive target or an engine")
+    return QueryEngine(target)
+
+
+def _error_filter(extra: tuple[Predicate, ...] = ()) -> tuple[Predicate, ...]:
+    return (Predicate("kind", "eq", int(KIND_ERROR)),) + extra
+
+
+def _fill_grid(result, key_name: str, bin_name: str, length: int,
+               out: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
+    """Scatter (key, bin, count) group rows into per-key count vectors.
+
+    Group output is ordered by (key, bin) ascending, so keys enter the
+    dict in the same ascending order ``np.unique`` yields in the direct
+    implementations.
+    """
+    if out is None:
+        out = {}
+    keys = result.column(key_name).tolist()
+    bins = result.column(bin_name).tolist()
+    counts = result.column("count").tolist()
+    for key, idx, count in zip(keys, bins, counts):
+        vec = out.get(int(key))
+        if vec is None:
+            vec = out[int(key)] = np.zeros(length, dtype=np.intp)
+        vec[int(idx)] = count
+    return out
+
+
+def temperature_histogram(
+    target=None,
+    bins: np.ndarray = TEMP_BINS,
+    multibit_only: bool = False,
+    *,
+    engine: QueryEngine | None = None,
+) -> TemperatureHistogram:
+    """Port of :func:`repro.analysis.correlation.temperature_histogram`.
+
+    Three plans replace the frame scan: a (bit_bucket, temp_bin) count
+    grid over in-range temperatures; a per-bucket count of
+    temperature-logged rows (so a bucket whose temperatures all fall
+    outside the bin range still appears, with an all-zero vector, as
+    ``np.histogram`` would produce); and a grand count of rows without
+    temperature.
+    """
+    eng = _engine_for(target, engine)
+    bins = np.asarray(bins)
+    base = _error_filter(
+        (Predicate("n_bits", "ge", 2),) if multibit_only else ()
+    )
+    base_derive = (Derive("n_bits", "n_bits"),) if multibit_only else ()
+    bucket = Derive("bit_bucket", "bit_bucket")
+    grid = eng.execute(Query(
+        filters=base + (Predicate("temp_bin", "ge", 0),),
+        derive=base_derive + (bucket, Derive("temp_bin", "temp_bin", {"edges": bins})),
+        group_by=("bit_bucket", "temp_bin"),
+        aggregates=(Aggregate("count"),),
+    ))
+    logged = eng.execute(Query(
+        filters=base + (Predicate("temp_c", "notnull"),),
+        derive=base_derive + (bucket, Derive("temp_c", "temp_c")),
+        group_by=("bit_bucket",),
+        aggregates=(Aggregate("count"),),
+    ))
+    unlogged = eng.execute(Query(
+        filters=base + (Predicate("temp_c", "isnull"),),
+        derive=base_derive + (Derive("temp_c", "temp_c"),),
+        aggregates=(Aggregate("count"),),
+    ))
+
+    n_bins = bins.shape[0] - 1
+    counts: dict[int, np.ndarray] = {
+        int(b): np.zeros(n_bins, dtype=np.intp)
+        for b in logged.column("bit_bucket").tolist()
+    }
+    _fill_grid(grid, "bit_bucket", "temp_bin", n_bins, counts)
+    return TemperatureHistogram(
+        bin_edges=bins,
+        counts=counts,
+        n_without_temperature=int(unlogged.column("count")[0]),
+    )
+
+
+def hourly_histogram(
+    target=None,
+    buckets: bool = True,
+    *,
+    engine: QueryEngine | None = None,
+) -> dict[int, np.ndarray]:
+    """Port of :func:`repro.analysis.temporal.hourly_histogram` (Fig 5)."""
+    eng = _engine_for(target, engine)
+    key = "bit_bucket" if buckets else "n_bits"
+    result = eng.execute(Query(
+        filters=_error_filter(),
+        derive=(Derive(key, key), Derive("hour", "hour")),
+        group_by=(key, "hour"),
+        aggregates=(Aggregate("count"),),
+    ))
+    return _fill_grid(result, key, "hour", 24)
+
+
+def daily_histogram(
+    target=None,
+    n_days: int = 0,
+    *,
+    engine: QueryEngine | None = None,
+) -> dict[int, np.ndarray]:
+    """Port of :func:`repro.analysis.temporal.daily_histogram` (Fig 10)."""
+    if n_days <= 0:
+        raise ValueError("n_days must be positive")
+    eng = _engine_for(target, engine)
+    result = eng.execute(Query(
+        filters=_error_filter(),
+        derive=(
+            Derive("bit_bucket", "bit_bucket"),
+            Derive("day", "day", {"n_days": int(n_days)}),
+        ),
+        group_by=("bit_bucket", "day"),
+        aggregates=(Aggregate("count"),),
+    ))
+    return _fill_grid(result, "bit_bucket", "day", int(n_days))

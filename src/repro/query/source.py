@@ -1,0 +1,196 @@
+"""Shard sources: where the engine's scan stage gets its columns.
+
+Two implementations share one interface:
+
+* :class:`ArchiveSource` — an on-disk columnar archive directory.  Only
+  the manifest is read at construction; each shard's ``.npz`` is opened
+  on demand, and only the *columns a plan needs* are decoded from it.
+  Every read is counted (:class:`IoStats`), which is how tests and the
+  acceptance bench prove that zone-map pruning really skips disk I/O.
+* :class:`MemorySource` — an in-memory :class:`ColumnarArchive` (e.g.
+  fresh campaign output), with zone maps computed on first use.  Same
+  pruning semantics, no disk.
+
+Both expose a stable ``fingerprint()`` identifying the archive content;
+together with the plan digest it keys the engine's result cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..logs.columnar import (
+    SHARD_COLUMNS,
+    ColumnarArchive,
+    RecordColumns,
+    compute_zone_map,
+    manifest_fingerprint,
+    read_manifest,
+)
+
+
+@dataclass
+class IoStats:
+    """Counters for shard I/O performed on behalf of queries."""
+
+    shards_read: int = 0
+    columns_read: int = 0
+    bytes_read: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_read": self.shards_read,
+            "columns_read": self.columns_read,
+            "bytes_read": self.bytes_read,
+        }
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One scannable shard: its node, row count, and optional zone map."""
+
+    node: str
+    n_records: int | None
+    zone_map: dict | None
+
+
+class ArchiveSource:
+    """Columns served straight from an archive directory's shard files.
+
+    ``verify_checksums`` defaults to False here (unlike
+    :meth:`ColumnarArchive.load`): verifying a shard requires hashing
+    its full bytes, which defeats column-selective reads.  Run
+    ``repro logs inspect --verify`` (or load eagerly) when integrity is
+    in question; the query layer optimizes the hot read path.
+    """
+
+    def __init__(self, path: str | Path, *, verify_checksums: bool = False):
+        self.directory = Path(path)
+        self.manifest = read_manifest(self.directory)
+        self.io = IoStats()
+        self._verify = verify_checksums
+        self._shards = [
+            ShardInfo(
+                node=entry["node"],
+                n_records=entry.get("n_records"),
+                zone_map=entry.get("zone_map"),
+            )
+            for entry in self.manifest["shards"]
+        ]
+        self._entries = {entry["node"]: entry for entry in self.manifest["shards"]}
+
+    def fingerprint(self) -> str:
+        return manifest_fingerprint(self.manifest)
+
+    def shards(self) -> list[ShardInfo]:
+        return list(self._shards)
+
+    def load_columns(self, node: str, names: set[str]) -> dict[str, np.ndarray]:
+        """Read the named base columns of one shard (counted I/O).
+
+        Uses the npz member directory so only the requested arrays are
+        decoded; ``node`` is synthesized from the manifest (shards are
+        per-node) rather than decoded from disk.
+        """
+        entry = self._entries[node]
+        path = self.directory / entry["file"]
+        wanted = [n for n in names if n in SHARD_COLUMNS]
+        out: dict[str, np.ndarray] = {}
+        self.io.shards_read += 1
+        if self._verify:
+            payload = path.read_bytes()
+            self.io.bytes_read += len(payload)
+            digest = hashlib.sha256(payload).hexdigest()
+            if digest != entry["sha256"]:
+                from ..core.errors import ChecksumMismatchError
+
+                raise ChecksumMismatchError(
+                    f"shard {path} checksum mismatch", node=node
+                )
+            import io as _io
+
+            npz_source = _io.BytesIO(payload)
+        else:
+            npz_source = path
+        with np.load(npz_source, allow_pickle=False) as npz:
+            n = None
+            for name in wanted:
+                arr = np.asarray(npz[name], dtype=SHARD_COLUMNS[name])
+                out[name] = arr
+                n = int(arr.shape[0])
+                self.io.columns_read += 1
+                if not self._verify:
+                    self.io.bytes_read += arr.nbytes
+            if n is None:
+                # A plan touching only `node`/derived-from-nothing still
+                # needs the row count; `kind` is the narrowest column.
+                n = int(np.asarray(npz["kind"]).shape[0])
+                self.io.columns_read += 1
+        if "node" in names:
+            out["node"] = np.full(n, node)
+        return out
+
+
+class MemorySource:
+    """An in-memory :class:`ColumnarArchive` behind the same interface."""
+
+    def __init__(self, archive: ColumnarArchive):
+        self.archive = archive
+        self.io = IoStats()
+        self._zone_maps: dict[str, dict] = {}
+        self._fingerprint: str | None = None
+
+    def fingerprint(self) -> str:
+        """Digest over per-node column bytes (computed once)."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for node in self.archive.nodes:
+                cols = self.archive.columns(node)
+                digest.update(node.encode())
+                for name in SHARD_COLUMNS:
+                    digest.update(np.ascontiguousarray(getattr(cols, name)).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def shards(self) -> list[ShardInfo]:
+        out = []
+        for node in self.archive.nodes:
+            if node not in self._zone_maps:
+                self._zone_maps[node] = compute_zone_map(self.archive.columns(node))
+            zone = self._zone_maps[node]
+            out.append(
+                ShardInfo(node=node, n_records=zone["n_records"], zone_map=zone)
+            )
+        return out
+
+    def load_columns(self, node: str, names: set[str]) -> dict[str, np.ndarray]:
+        cols: RecordColumns = self.archive.columns(node)
+        self.io.shards_read += 1
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            if name in SHARD_COLUMNS:
+                arr = getattr(cols, name)
+                out[name] = arr
+                self.io.columns_read += 1
+                self.io.bytes_read += arr.nbytes
+        if "node" in names:
+            out["node"] = np.full(len(cols), node)
+        return out
+
+
+def as_source(target):
+    """Normalize a path / ColumnarArchive / source into a source.
+
+    Anything exposing the source protocol (``fingerprint``/``shards``/
+    ``load_columns``) passes through, so callers can wrap a source —
+    e.g. to throttle or fault-inject shard reads in tests.
+    """
+    if isinstance(target, ColumnarArchive):
+        return MemorySource(target)
+    if hasattr(target, "shards") and hasattr(target, "load_columns"):
+        return target
+    return ArchiveSource(target)

@@ -1,0 +1,16 @@
+"""Asyncio fleet telemetry server over the query engine.
+
+Stdlib-only HTTP/1.1 + JSON: :class:`TelemetryServer` binds a
+:class:`~repro.query.QueryEngine` to a socket and answers ``/query``
+(POST a plan), ``/nodes/<id>/errors``, ``/health`` and ``/metrics``.
+See ``docs/QUERY.md`` for the wire API.
+"""
+
+from .app import EndpointMetrics, ServerHandle, TelemetryServer, run_in_thread
+
+__all__ = [
+    "EndpointMetrics",
+    "ServerHandle",
+    "TelemetryServer",
+    "run_in_thread",
+]

@@ -1,0 +1,395 @@
+"""The telemetry server: stdlib asyncio HTTP/1.1 in front of the engine.
+
+Design constraints, in order:
+
+* **No new dependencies.**  The HTTP layer is ~100 lines over
+  ``asyncio.start_server``: request line, headers, Content-Length body,
+  JSON out, ``Connection: close``.  No keep-alive, no chunked encoding
+  — fleet dashboards poll, they do not stream.
+* **Bounded concurrency.**  A semaphore admits at most
+  ``max_concurrency`` requests into the dispatch stage; excess
+  connections queue in the accept loop instead of piling onto the
+  thread pool.  ``/metrics`` reports the in-flight peak so tests can
+  prove the bound holds.
+* **Timeouts everywhere.**  Header/body reads and query execution are
+  wrapped in ``asyncio.wait_for``; a wedged client or a pathological
+  plan gets 408/504, not a leaked task.
+* **The event loop never touches NumPy.**  Query execution (and its
+  shard I/O) runs in the default thread-pool executor; the loop only
+  parses bytes and serializes JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import QueryPlanError, ReproError
+from ..query.cache import QueryCache
+from ..query.engine import QueryEngine
+from ..query.plan import Aggregate, Predicate, Query
+from ..query.source import as_source
+
+#: Hard cap on request body size (a plan is small; 1 MiB is generous).
+MAX_BODY_BYTES = 1 << 20
+#: Timeout for reading the request head and body from a client.
+CLIENT_READ_TIMEOUT_S = 10.0
+
+
+@dataclass
+class EndpointMetrics:
+    """Latency/outcome counters for one endpoint."""
+
+    requests: int = 0
+    errors: int = 0
+    total_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+
+    def observe(self, latency_s: float, ok: bool) -> None:
+        self.requests += 1
+        if not ok:
+            self.errors += 1
+        self.total_latency_s += latency_s
+        self.max_latency_s = max(self.max_latency_s, latency_s)
+
+    def to_dict(self) -> dict:
+        mean = self.total_latency_s / self.requests if self.requests else 0.0
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "mean_latency_s": mean,
+            "max_latency_s": self.max_latency_s,
+        }
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_STATUS_TEXT = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    408: "Request Timeout", 413: "Payload Too Large", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class TelemetryServer:
+    """Serve query results for one archive over HTTP/JSON."""
+
+    def __init__(
+        self,
+        target,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: int = 8,
+        request_timeout_s: float = 30.0,
+        cache: QueryCache | None = None,
+    ):
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        self.engine = QueryEngine(as_source(target), cache=cache)
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced with the bound port
+        self.max_concurrency = max_concurrency
+        self.request_timeout_s = request_timeout_s
+        self.metrics: dict[str, EndpointMetrics] = {}
+        self.started_at: float | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._in_flight = 0
+        self._peak_in_flight = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=CLIENT_READ_TIMEOUT_S
+                )
+            except asyncio.TimeoutError:
+                await self._respond(writer, 408, {"error": "request read timed out"})
+                return
+            except _HttpError as exc:
+                await self._respond(writer, exc.status, {"error": exc.message})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return  # client went away / sent garbage mid-line
+
+            endpoint = self._endpoint_name(method, path)
+            metrics = self.metrics.setdefault(endpoint, EndpointMetrics())
+            start = time.perf_counter()
+            assert self._semaphore is not None
+            async with self._semaphore:
+                self._in_flight += 1
+                self._peak_in_flight = max(self._peak_in_flight, self._in_flight)
+                try:
+                    try:
+                        status, payload = await asyncio.wait_for(
+                            self._dispatch(method, path, body),
+                            timeout=self.request_timeout_s,
+                        )
+                    except asyncio.TimeoutError:
+                        status, payload = 504, {
+                            "error": f"request exceeded {self.request_timeout_s}s"
+                        }
+                    except _HttpError as exc:
+                        status, payload = exc.status, {"error": exc.message}
+                    except QueryPlanError as exc:
+                        status, payload = 400, {"error": str(exc)}
+                    except ReproError as exc:
+                        status, payload = 500, {"error": str(exc)}
+                    except Exception as exc:  # noqa: BLE001 — last-resort 500
+                        status, payload = 500, {
+                            "error": f"{type(exc).__name__}: {exc}"
+                        }
+                finally:
+                    self._in_flight -= 1
+            metrics.observe(time.perf_counter() - start, ok=status < 400)
+            await self._respond(writer, status, payload)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not request_line:
+            raise ValueError("empty request")
+        parts = request_line.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1"):
+            raise _HttpError(400, f"malformed request line: {request_line!r}")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError as exc:
+                    raise _HttpError(400, "bad Content-Length") from exc
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    async def _respond(self, writer, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client disconnected before the response landed
+
+    # -- routing -----------------------------------------------------------
+
+    @staticmethod
+    def _endpoint_name(method: str, path: str) -> str:
+        path = path.split("?", 1)[0]
+        if path.startswith("/nodes/"):
+            path = "/nodes/<id>/errors"
+        return f"{method} {path}"
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        path, _, query_string = path.partition("?")
+        if path == "/health":
+            self._require(method, "GET")
+            return 200, self._health()
+        if path == "/metrics":
+            self._require(method, "GET")
+            return 200, self._metrics()
+        if path == "/query":
+            self._require(method, "POST")
+            return 200, await self._run_query(self._parse_plan(body))
+        if path.startswith("/nodes/") and path.endswith("/errors"):
+            self._require(method, "GET")
+            node = path[len("/nodes/"):-len("/errors")]
+            if not node or "/" in node:
+                raise _HttpError(404, f"no such path: {path}")
+            return 200, await self._node_errors(node, query_string)
+        raise _HttpError(404, f"no such path: {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"use {expected}")
+
+    @staticmethod
+    def _parse_plan(body: bytes) -> Query:
+        try:
+            spec = json.loads(body.decode("utf-8") or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"body is not valid JSON: {exc}") from exc
+        return Query.from_dict(spec)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _health(self) -> dict:
+        shards = self.engine.source.shards()
+        return {
+            "status": "ok",
+            "nodes": len(shards),
+            "records": sum(s.n_records or 0 for s in shards),
+            "zone_maps": sum(1 for s in shards if s.zone_map is not None),
+        }
+
+    def _metrics(self) -> dict:
+        uptime = (
+            time.monotonic() - self.started_at if self.started_at is not None else 0.0
+        )
+        out = {
+            "uptime_s": uptime,
+            "queries_run": self.engine.queries_run,
+            "max_concurrency": self.max_concurrency,
+            "peak_in_flight": self._peak_in_flight,
+            "cache": self.engine.cache.stats.to_dict(),
+            "endpoints": {
+                name: m.to_dict() for name, m in sorted(self.metrics.items())
+            },
+        }
+        io = getattr(self.engine.source, "io", None)
+        if io is not None:
+            out["io"] = io.to_dict()
+        return out
+
+    async def _run_query(self, plan: Query) -> dict:
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(None, self.engine.execute, plan)
+        return result.to_dict()
+
+    async def _node_errors(self, node: str, query_string: str) -> dict:
+        known = {s.node for s in self.engine.source.shards()}
+        if node not in known:
+            raise _HttpError(404, f"unknown node {node!r}")
+        limit = _query_param_int(query_string, "limit")
+        from ..logs.columnar import KIND_ERROR
+        from ..query.plan import Derive
+
+        plan = Query(
+            filters=(
+                Predicate("kind", "eq", int(KIND_ERROR)),
+                Predicate("node", "eq", node),
+            ),
+            derive=(Derive("n_bits", "n_bits"),),
+            project=("t", "expected", "actual", "va", "pp", "temp", "rep", "n_bits"),
+            order_by=("t",),
+            limit=limit,
+            nodes=(node,),
+        )
+        payload = await self._run_query(plan)
+        payload["node"] = node
+        return payload
+
+
+def _query_param_int(query_string: str, name: str) -> int | None:
+    for pair in query_string.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name and value:
+            try:
+                parsed = int(value)
+            except ValueError as exc:
+                raise _HttpError(400, f"{name} must be an integer") from exc
+            if parsed < 0:
+                raise _HttpError(400, f"{name} must be >= 0")
+            return parsed
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Threaded harness (tests, and anything embedding the server)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ServerHandle:
+    """A running server on a background thread; ``stop()`` to tear down."""
+
+    server: TelemetryServer
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+    _stopped: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.server.host}:{self.server.port}"
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=timeout)
+
+
+def run_in_thread(server: TelemetryServer, *, timeout: float = 5.0) -> ServerHandle:
+    """Start the server's event loop on a daemon thread and wait for bind."""
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    startup_error: list[BaseException] = []
+
+    def runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start())
+        except BaseException as exc:  # noqa: BLE001 — reported to the caller
+            startup_error.append(exc)
+            ready.set()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.stop())
+            loop.close()
+
+    thread = threading.Thread(target=runner, name="repro-telemetry", daemon=True)
+    thread.start()
+    if not ready.wait(timeout=timeout):
+        raise RuntimeError("telemetry server did not start in time")
+    if startup_error:
+        thread.join(timeout=timeout)
+        raise startup_error[0]
+    return ServerHandle(server=server, thread=thread, loop=loop)

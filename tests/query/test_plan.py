@@ -1,0 +1,153 @@
+"""Logical-plan tests: validation, serialization round trips, digests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryPlanError
+from repro.query import Aggregate, Derive, Predicate, Query
+
+
+class TestValidation:
+    def test_unknown_predicate_op(self):
+        with pytest.raises(QueryPlanError, match="unknown predicate op"):
+            Predicate("t", "like", 1.0)
+
+    def test_comparison_needs_scalar(self):
+        with pytest.raises(QueryPlanError, match="scalar"):
+            Predicate("t", "eq", [1.0])
+        with pytest.raises(QueryPlanError, match="scalar"):
+            Predicate("t", "eq", None)
+
+    def test_in_needs_nonempty_list(self):
+        with pytest.raises(QueryPlanError, match="non-empty list"):
+            Predicate("node", "in", [])
+        with pytest.raises(QueryPlanError, match="non-empty list"):
+            Predicate("node", "in", "01-01")
+
+    def test_isnull_takes_no_value(self):
+        with pytest.raises(QueryPlanError, match="takes no value"):
+            Predicate("temp", "isnull", 1.0)
+
+    def test_project_and_group_by_exclusive(self):
+        with pytest.raises(QueryPlanError, match="not both"):
+            Query(
+                project=("t",),
+                group_by=("node",),
+                aggregates=(Aggregate("count"),),
+            )
+
+    def test_group_by_requires_aggregates(self):
+        with pytest.raises(QueryPlanError, match="group_by without aggregates"):
+            Query(group_by=("node",))
+
+    def test_unknown_columns_rejected(self):
+        with pytest.raises(QueryPlanError, match="unknown column"):
+            Query(filters=(Predicate("bogus", "eq", 1),))
+        with pytest.raises(QueryPlanError, match="unknown column"):
+            Query(project=("bogus",))
+        with pytest.raises(QueryPlanError, match="unknown column"):
+            Query(group_by=("bogus",), aggregates=(Aggregate("count"),))
+
+    def test_derived_column_becomes_known(self):
+        plan = Query(
+            filters=(Predicate("hour", "ge", 12),),
+            derive=(Derive("hour", "hour"),),
+            project=("hour",),
+        )
+        assert plan.required_columns() == {"hour"}
+
+    def test_duplicate_derive_name_rejected(self):
+        with pytest.raises(QueryPlanError, match="duplicate column name"):
+            Query(derive=(Derive("h", "hour"), Derive("h", "day")))
+        with pytest.raises(QueryPlanError, match="duplicate column name"):
+            Query(derive=(Derive("t", "hour"),))  # shadows a base column
+
+    def test_order_by_must_reference_output(self):
+        with pytest.raises(QueryPlanError, match="not an output column"):
+            Query(project=("node",), order_by=("t",))
+        # descending prefix resolves to the same output column
+        Query(project=("node", "t"), order_by=("-t",))
+
+    def test_aggregate_arity(self):
+        with pytest.raises(QueryPlanError, match="takes no column"):
+            Aggregate("count", column="t")
+        with pytest.raises(QueryPlanError, match="needs a column"):
+            Aggregate("sum")
+        with pytest.raises(QueryPlanError, match="unknown aggregate"):
+            Aggregate("median", column="t")
+
+    def test_negative_limit(self):
+        with pytest.raises(QueryPlanError, match="negative limit"):
+            Query(limit=-1)
+
+    def test_unknown_plan_fields(self):
+        with pytest.raises(QueryPlanError, match="unknown plan fields"):
+            Query.from_dict({"select": ["t"]})
+
+    def test_plan_must_be_object(self):
+        with pytest.raises(QueryPlanError, match="JSON object"):
+            Query.from_dict(["t"])
+        with pytest.raises(QueryPlanError, match="not valid JSON"):
+            Query.from_json("{nope")
+
+
+class TestSerialization:
+    def roundtrip(self, plan: Query) -> Query:
+        return Query.from_json(plan.to_json())
+
+    def test_roundtrip_preserves_plan(self):
+        plan = Query(
+            filters=(
+                Predicate("kind", "eq", 1),
+                Predicate("t", "ge", 10.5),
+                Predicate("node", "in", ["01-01", "63-15"]),
+                Predicate("temp", "notnull"),
+            ),
+            derive=(
+                Derive("hour", "hour"),
+                Derive("temp_bin", "temp_bin", {"edges": [20.0, 30.0, 40.0]}),
+            ),
+            group_by=("node", "hour"),
+            aggregates=(
+                Aggregate("count"),
+                Aggregate("max", column="t", alias="latest"),
+            ),
+            order_by=("-count",),
+            limit=10,
+            nodes=("01-01", "63-15"),
+        )
+        restored = self.roundtrip(plan)
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+
+    def test_digest_distinguishes_plans(self):
+        base = Query(project=("t",))
+        assert base.digest() != Query(project=("t",), limit=1).digest()
+        assert base.digest() != Query(project=("node",)).digest()
+
+    def test_numpy_values_serialize(self):
+        plan = Query(
+            filters=(Predicate("t", "ge", np.float64(1.5)),),
+            derive=(
+                Derive("temp_bin", "temp_bin", {"edges": np.array([1.0, 2.0])}),
+            ),
+            project=("t",),
+        )
+        assert self.roundtrip(plan) == plan
+        plain = Query(
+            filters=(Predicate("t", "ge", 1.5),),
+            derive=(Derive("temp_bin", "temp_bin", {"edges": [1.0, 2.0]}),),
+            project=("t",),
+        )
+        assert plan.digest() == plain.digest()
+
+    def test_aggregate_default_alias(self):
+        assert Aggregate("count").alias == "count"
+        assert Aggregate("mean", column="temp").alias == "mean_temp"
+
+    def test_default_output_columns_row_mode(self):
+        plan = Query(derive=(Derive("hour", "hour"),))
+        assert plan.output_columns()[-1] == "hour"
+        assert "t" in plan.output_columns()

@@ -1,0 +1,166 @@
+"""Ported-analysis parity: query-plan versions == direct implementations.
+
+Two layers of protection:
+
+* **Live parity** — on the golden corpus and on a synthetic archive with
+  multibit errors and NaN temperatures, each ported function must equal
+  its ancestor bit-for-bit (same keys, same order, same vectors, same
+  dtypes).
+* **Frozen goldens** — the golden corpus's histograms are hard-coded
+  below, so a drift in *both* implementations (the failure mode live
+  parity cannot see) still fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import correlation, temporal
+from repro.query import (
+    ArchiveSource,
+    QueryEngine,
+    daily_histogram,
+    hourly_histogram,
+    temperature_histogram,
+)
+
+from .conftest import make_staggered_archive
+
+#: Frozen golden-corpus outputs (see tests/data/make_golden_corpus.py).
+GOLDEN_TEMP_COUNTS = {
+    1: [0, 0, 0, 1, 2, 2, 5, 2, 0, 0, 0, 5, 2, 3, 0, 0,
+        0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+}
+GOLDEN_N_WITHOUT_TEMP = 1
+GOLDEN_HOURLY = {
+    1: [4, 0, 0, 1, 0, 1, 2, 1, 0, 4, 0, 0, 3, 1, 0, 0,
+        1, 2, 0, 0, 1, 0, 1, 1],
+}
+GOLDEN_DAILY_10 = {1: [5, 2, 1, 3, 4, 2, 2, 0, 4, 0]}
+
+
+def assert_grids_identical(direct: dict, ported: dict) -> None:
+    assert list(direct.keys()) == list(ported.keys())
+    for key in direct:
+        assert np.array_equal(direct[key], ported[key]), key
+        assert direct[key].dtype == ported[key].dtype, key
+
+
+def assert_histograms_identical(direct, ported) -> None:
+    assert np.array_equal(direct.bin_edges, ported.bin_edges)
+    assert_grids_identical(direct.counts, ported.counts)
+    assert direct.n_without_temperature == ported.n_without_temperature
+
+
+class TestGoldenParity:
+    def test_temperature_histogram(self, golden_archive):
+        direct = correlation.temperature_histogram(golden_archive.error_frame())
+        ported = temperature_histogram(golden_archive)
+        assert_histograms_identical(direct, ported)
+
+    def test_temperature_histogram_multibit(self, golden_archive):
+        direct = correlation.temperature_histogram(
+            golden_archive.error_frame(), multibit_only=True
+        )
+        ported = temperature_histogram(golden_archive, multibit_only=True)
+        assert_histograms_identical(direct, ported)
+
+    def test_hourly_histogram(self, golden_archive):
+        frame = golden_archive.error_frame()
+        assert_grids_identical(
+            temporal.hourly_histogram(frame), hourly_histogram(golden_archive)
+        )
+        assert_grids_identical(
+            temporal.hourly_histogram(frame, buckets=False),
+            hourly_histogram(golden_archive, buckets=False),
+        )
+
+    def test_daily_histogram(self, golden_archive):
+        assert_grids_identical(
+            temporal.daily_histogram(golden_archive.error_frame(), 10),
+            daily_histogram(golden_archive, n_days=10),
+        )
+
+    def test_disk_source_equals_memory_source(self, golden_archive, golden_dir):
+        from_disk = temperature_histogram(ArchiveSource(golden_dir))
+        from_memory = temperature_histogram(golden_archive)
+        assert_histograms_identical(from_disk, from_memory)
+
+
+class TestFrozenGoldens:
+    """Pre-port outputs, frozen: catches lockstep drift in both paths."""
+
+    def test_temperature(self, golden_dir):
+        ported = temperature_histogram(ArchiveSource(golden_dir))
+        assert {k: v.tolist() for k, v in ported.counts.items()} == (
+            GOLDEN_TEMP_COUNTS
+        )
+        assert ported.n_without_temperature == GOLDEN_N_WITHOUT_TEMP
+
+    def test_hourly(self, golden_dir):
+        ported = hourly_histogram(ArchiveSource(golden_dir))
+        assert {k: v.tolist() for k, v in ported.items()} == GOLDEN_HOURLY
+
+    def test_daily(self, golden_dir):
+        ported = daily_histogram(ArchiveSource(golden_dir), n_days=10)
+        assert {k: v.tolist() for k, v in ported.items()} == GOLDEN_DAILY_10
+
+
+class TestSyntheticParity:
+    """Multibit buckets and NaN temperatures, which the golden corpus
+    exercises only thinly."""
+
+    @pytest.fixture(scope="class")
+    def archive(self):
+        return make_staggered_archive(n_nodes=8, n_errors=60, seed=4242)
+
+    def test_temperature_histogram(self, archive):
+        frame = archive.error_frame()
+        engine = QueryEngine(archive)
+        for multibit in (False, True):
+            direct = correlation.temperature_histogram(
+                frame, multibit_only=multibit
+            )
+            ported = temperature_histogram(engine=engine, multibit_only=multibit)
+            assert_histograms_identical(direct, ported)
+            assert len(ported.counts) > 1  # multiple bit buckets exercised
+
+    def test_temperature_histogram_custom_bins(self, archive):
+        bins = np.arange(25.0, 80.0, 5.0)
+        direct = correlation.temperature_histogram(archive.error_frame(), bins=bins)
+        ported = temperature_histogram(archive, bins=bins)
+        assert_histograms_identical(direct, ported)
+
+    def test_hourly_and_daily(self, archive):
+        frame = archive.error_frame()
+        engine = QueryEngine(archive)
+        assert_grids_identical(
+            temporal.hourly_histogram(frame), hourly_histogram(engine=engine)
+        )
+        assert_grids_identical(
+            temporal.hourly_histogram(frame, buckets=False),
+            hourly_histogram(engine=engine, buckets=False),
+        )
+        n_days = 40
+        assert_grids_identical(
+            temporal.daily_histogram(frame, n_days),
+            daily_histogram(engine=engine, n_days=n_days),
+        )
+
+    def test_total_and_fraction_helpers_agree(self, archive):
+        """The TemperatureHistogram methods see identical data."""
+        direct = correlation.temperature_histogram(archive.error_frame())
+        ported = temperature_histogram(archive)
+        assert np.array_equal(direct.total(), ported.total())
+        assert direct.fraction_in_range(30.0, 40.0) == (
+            ported.fraction_in_range(30.0, 40.0)
+        )
+
+    def test_daily_requires_positive_n_days(self, archive):
+        with pytest.raises(ValueError):
+            daily_histogram(archive, n_days=0)
+
+    def test_needs_target_or_engine(self):
+        with pytest.raises(ValueError):
+            hourly_histogram()
