@@ -14,7 +14,7 @@ from enum import Enum
 
 import numpy as np
 
-from .jacobi import BitFlip, JacobiProblem, SolveResult, jacobi_solve, relative_error
+from .jacobi import BitFlip, JacobiProblem, jacobi_solve, relative_error
 
 
 class Impact(str, Enum):

@@ -185,8 +185,14 @@ class FileLock:
         self._fd = None
 
     def __enter__(self) -> "FileLock":
-        self.acquire()
-        return self
+        try:
+            self.acquire()
+            return self
+        except BaseException:
+            # Never leak a held lock out of a failed __enter__ —
+            # release() is a no-op when acquire() itself failed.
+            self.release()
+            raise
 
     def __exit__(self, *exc) -> None:
         self.release()

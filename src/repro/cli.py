@@ -192,6 +192,39 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-request execution timeout",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static-invariant checker (reprolint)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="finding output format",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print acknowledged (suppressed) findings",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -339,6 +372,34 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Exit 0 clean, 1 findings, 2 internal error (see docs/LINTING.md)."""
+    from .lint import LintConfig, all_rules, render_json, render_text, run_lint
+
+    try:
+        if args.list_rules:
+            for rule_id, rule in sorted(all_rules().items()):
+                print(f"{rule_id}  [{rule.category}] {rule.title}")
+            return 0
+        rules: tuple = ()
+        if args.rules:
+            rules = tuple(
+                part.strip() for part in args.rules.split(",") if part.strip()
+            )
+        result = run_lint(list(args.paths), LintConfig(rules=rules))
+        if args.format == "json":
+            print(render_json(result))
+        else:
+            print(render_text(result, show_suppressed=args.show_suppressed))
+        return result.exit_code
+    except BrokenPipeError:
+        # Reader hung up early (e.g. `repro lint ... | head`): fine.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -382,6 +443,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
 
     # Imports deferred so `repro list --help` stays instant.
     from .experiments import EXPERIMENT_ORDER, get_analysis, run_all, run_experiment

@@ -15,7 +15,7 @@ from typing import Callable, Sequence
 
 from ..core.events import MemoryError_
 from .chipkill import ChipkillCode, ChipkillSpec
-from .hamming import SECDED_32, SECDED_64, DecodeStatus, HammingSecded
+from .hamming import SECDED_32, SECDED_64, DecodeStatus
 
 
 @dataclass(frozen=True)

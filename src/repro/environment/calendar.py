@@ -11,7 +11,7 @@ generator consumes.
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

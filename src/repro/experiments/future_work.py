@@ -21,12 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from ..analysis import spatial
 from ..analysis.extraction import extract
 from ..analysis.report import StudyAnalysis
-from ..cluster.registry import TopologyConfig
 from ..cluster.topology import OVERHEATING_SOC, NodeId
 from ..core.records import ErrorRecord
 from ..faultinjection.campaign import run_campaign

@@ -1,0 +1,73 @@
+"""Lint configuration: which modules get which special treatment.
+
+The defaults encode this repository's layout.  Tests (and future tools)
+construct a :class:`LintConfig` with different path sets to lint fixture
+trees, so nothing here hard-codes ``src/repro`` as a filesystem
+location — only *relative* path suffixes within whatever tree is being
+linted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_clock_allowlist() -> tuple[str, ...]:
+    # Serving and operator-facing modules legitimately read the wall
+    # clock; simulation, analysis and storage must not.
+    return ("server/", "monitoring.py")
+
+
+def _default_hot_paths() -> tuple[str, ...]:
+    # The vectorized kernels where a silent float64 upcast or a Python
+    # list round-trip costs real throughput (benchmarks gate these).
+    return (
+        "query/engine.py",
+        "query/prune.py",
+        "logs/columnar.py",
+        "logs/frame.py",
+    )
+
+
+def _default_dispatchers() -> tuple[str, ...]:
+    return ("supervised_map", "parallel_map")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Knobs for the rule set.
+
+    ``clock_allowlist`` / ``hot_paths`` match on *suffixes* of the
+    linted file's path with ``/`` separators (a trailing ``/`` matches a
+    whole directory), so they work for any tree layout.
+    """
+
+    #: Module suffixes allowed to read the wall clock (DET003).
+    clock_allowlist: tuple[str, ...] = field(
+        default_factory=_default_clock_allowlist
+    )
+    #: Module suffixes held to NumPy-hygiene rules (NPY001/NPY002).
+    hot_paths: tuple[str, ...] = field(default_factory=_default_hot_paths)
+    #: Function names whose first argument is dispatched to workers
+    #: (CON002 call-graph roots).
+    worker_dispatchers: tuple[str, ...] = field(
+        default_factory=_default_dispatchers
+    )
+    #: Restrict the run to these rule ids (empty = all registered rules).
+    rules: tuple[str, ...] = ()
+
+    def path_matches(self, path: str, suffixes: tuple[str, ...]) -> bool:
+        norm = path.replace("\\", "/")
+        for suffix in suffixes:
+            if suffix.endswith("/"):
+                if f"/{suffix}" in f"/{norm}/":
+                    return True
+            elif norm.endswith(suffix):
+                return True
+        return False
+
+    def is_clock_allowed(self, path: str) -> bool:
+        return self.path_matches(path, self.clock_allowlist)
+
+    def is_hot_path(self, path: str) -> bool:
+        return self.path_matches(path, self.hot_paths)

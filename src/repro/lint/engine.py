@@ -1,0 +1,148 @@
+"""The lint driver: collect files, index, run rules, apply suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import LintConfig
+from .findings import Finding, LintError, Summary, sort_key
+from .index import ModuleInfo, ProjectIndex, build_index, index_module, module_name_for
+from .rules import select_rules
+from .suppress import SuppressionTable, parse_suppressions
+
+
+@dataclass
+class LintResult:
+    """Everything one run produced.
+
+    ``findings`` are live (unsuppressed) violations; ``suppressed``
+    carries acknowledged ones for the audit trail; ``errors`` are
+    internal failures (exit code 2 territory).
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[LintError] = field(default_factory=list)
+    summary: Summary = field(default_factory=Summary)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Expand directories to every ``.py`` beneath them, sorted."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    # De-duplicate while keeping order (a file named twice lints once).
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def _path_label(path: Path, roots: list[Path]) -> str:
+    """Finding path: relative to the lint root when possible."""
+    for root in roots:
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            continue
+        if not root.is_dir():
+            # The root IS the file (lint of a single path): keep the
+            # name the caller used, not its parent directory.
+            return str(root).replace("\\", "/")
+        return str(Path(root) / rel).replace("\\", "/")
+    return str(path).replace("\\", "/")
+
+
+def run_lint(
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files or directories) and return the result.
+
+    Never raises for problems *in the linted code* — syntax errors and
+    unreadable files become :class:`LintError` entries.  Exceptions
+    escaping a rule are likewise captured (a linter bug must fail the
+    run with exit code 2, not take down CI with a traceback).
+    """
+    config = config or LintConfig()
+    result = LintResult()
+
+    roots = [Path(p) for p in paths]
+    modules: list[ModuleInfo] = []
+    tables: dict[str, SuppressionTable] = {}
+
+    try:
+        rules = select_rules(config.rules)
+    except KeyError as exc:
+        result.errors.append(LintError(path="", message=str(exc)))
+        return result
+    known = frozenset(rule.rule_id for rule in rules) | frozenset(
+        rule.rule_id for rule in select_rules(())
+    )
+
+    for path in collect_files(paths):
+        label = _path_label(path, roots)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            result.errors.append(LintError(path=label, message=str(exc)))
+            continue
+        try:
+            info = index_module(label, module_name_for(path), source)
+        except SyntaxError as exc:
+            result.errors.append(
+                LintError(path=label, message=f"syntax error: {exc.msg} "
+                                              f"(line {exc.lineno})")
+            )
+            continue
+        modules.append(info)
+        tables[label] = parse_suppressions(source, label, known)
+
+    result.summary.files_scanned = len(modules)
+    index: ProjectIndex = build_index(modules, config.worker_dispatchers)
+
+    raw: list[Finding] = []
+    for rule in rules:
+        try:
+            raw.extend(rule.check_project(index, config))
+        except Exception as exc:  # a rule crash is an internal error
+            result.errors.append(
+                LintError(
+                    path="", message=f"rule {rule.rule_id} crashed: {exc!r}"
+                )
+            )
+
+    # Invalid suppressions are findings in their own right.
+    for table in tables.values():
+        raw.extend(table.invalid)
+
+    for finding in sorted(raw, key=sort_key):
+        table = tables.get(finding.path)
+        supp = table.match(finding) if table is not None else None
+        if supp is not None:
+            result.suppressed.append(
+                Finding(
+                    rule=finding.rule, path=finding.path, line=finding.line,
+                    col=finding.col, message=finding.message,
+                    suppressed=True, reason=supp.reason,
+                )
+            )
+        else:
+            result.findings.append(finding)
+            result.summary.count(finding)
+    return result

@@ -1,0 +1,64 @@
+"""Finding records shared by the engine, rules and reporters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line``/``col`` are 1-based (``col`` follows the convention of
+    compiler diagnostics, not the 0-based AST offset).  ``suppressed``
+    findings are carried through to the reporters — an audit trail of
+    every acknowledged violation — but do not affect the exit code.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class LintError:
+    """An internal failure (unreadable file, rule crash) — exit code 2."""
+
+    path: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "message": self.message}
+
+
+def sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+@dataclass
+class Summary:
+    """Aggregate counters for one lint run."""
+
+    files_scanned: int = 0
+    by_rule: dict = field(default_factory=dict)
+
+    def count(self, finding: Finding) -> None:
+        self.by_rule[finding.rule] = self.by_rule.get(finding.rule, 0) + 1

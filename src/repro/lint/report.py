@@ -1,0 +1,69 @@
+"""Reporters: ``file:line:col RULE-ID message`` text, and JSON.
+
+The JSON schema (``version`` 1) is a stable contract — the CI gate and
+any future tooling parse it:
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "clean": false,
+      "files_scanned": 104,
+      "findings": [{"rule": "...", "path": "...", "line": 1, "col": 1,
+                    "message": "...", "suppressed": false, "reason": ""}],
+      "suppressed": [...],
+      "errors": [{"path": "...", "message": "..."}],
+      "summary": {"by_rule": {"DET001": 2}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, show_suppressed: bool = False) -> str:
+    lines: list[str] = []
+    for error in result.errors:
+        where = f"{error.path}: " if error.path else ""
+        lines.append(f"error: {where}{error.message}")
+    for finding in result.findings:
+        lines.append(f"{finding.location()} {finding.rule} {finding.message}")
+    if show_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()} {finding.rule} suppressed "
+                f"({finding.reason})"
+            )
+    n = len(result.findings)
+    lines.append(
+        f"{result.summary.files_scanned} files scanned: "
+        + (
+            f"{n} finding{'s' if n != 1 else ''}"
+            if n
+            else "clean"
+        )
+        + (
+            f", {len(result.suppressed)} suppressed"
+            if result.suppressed
+            else ""
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "clean": not result.findings and not result.errors,
+        "files_scanned": result.summary.files_scanned,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "errors": [e.to_dict() for e in result.errors],
+        "summary": {"by_rule": dict(sorted(result.summary.by_rule.items()))},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,75 @@
+"""Rule registry.
+
+A rule is a class with ``rule_id``, ``title``, ``category`` and a
+``check_module(module, index, config)`` generator (or, for whole-program
+rules, ``check_project(index, config)``).  Registration is a decorator so
+adding a rule is: write the class, decorate it, document it in
+``docs/LINTING.md`` — the engine, CLI ``--list-rules`` and the
+suppression validator all pick it up from here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import ModuleInfo, ProjectIndex
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class: per-module by default, project-wide if overridden."""
+
+    rule_id: str = ""
+    title: str = ""
+    category: str = ""
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for module in index.modules.values():
+            yield from self.check_module(module, index, config)
+
+    def finding(self, module_path: str, node, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def register(cls: type) -> type:
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if instance.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    _REGISTRY[instance.rule_id] = instance
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """id -> rule instance, importing the built-in rule modules once."""
+    from . import concurrency, determinism, numpy_hygiene, resources  # noqa: F401
+
+    return dict(_REGISTRY)
+
+
+def select_rules(only: Iterable[str] = ()) -> list[Rule]:
+    rules = all_rules()
+    wanted = tuple(only)
+    if not wanted:
+        return [rules[rule_id] for rule_id in sorted(rules)]
+    unknown = [rule_id for rule_id in wanted if rule_id not in rules]
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+    return [rules[rule_id] for rule_id in sorted(wanted)]

@@ -1,0 +1,260 @@
+"""Concurrency rules: lock scoping and worker-visible shared state.
+
+CON001 is the classic leak: ``lock.acquire()`` with no lexical guarantee
+of release.  CON002 is repo-specific — a static race detector over the
+call graph: any function reachable from a ``supervised_map`` /
+``parallel_map`` worker argument must not write module-level mutable
+state, because on the thread backend those writes interleave, and on the
+process backend they silently *don't replicate* to the parent (the
+subtler bug: code that "works" serially and loses data in parallel).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import FunctionInfo, ModuleInfo, ProjectIndex
+from . import Rule, register
+
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "appendleft", "extendleft",
+    "sort", "reverse",
+})
+
+
+def _receiver_of(call: ast.Call) -> str | None:
+    """``X`` of an ``X.acquire()`` / ``X.release()`` style call."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    dotted: list[str] = []
+    node = func.value
+    while isinstance(node, ast.Attribute):
+        dotted.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        dotted.append(node.id)
+        return ".".join(reversed(dotted))
+    return None
+
+
+def _calls_on(nodes: list[ast.stmt], receiver: str, method: str) -> bool:
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+                and _receiver_of(node) == receiver
+            ):
+                return True
+    return False
+
+
+@register
+class BareAcquire(Rule):
+    """CON001: ``.acquire()`` with no lexically-paired release."""
+
+    rule_id = "CON001"
+    title = "bare lock acquire"
+    category = "concurrency"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for parent_body in _bodies(module.tree):
+            for pos, stmt in enumerate(parent_body):
+                call = _bare_acquire_stmt(stmt)
+                if call is None:
+                    continue
+                receiver = _receiver_of(call)
+                if receiver is None:
+                    continue
+                if self._is_scoped(parent_body, pos, receiver, call, module):
+                    continue
+                yield self.finding(
+                    module.path, call,
+                    f"{receiver}.acquire() is not scoped: pair it with "
+                    f"{receiver}.release() in a finally/except-reraise, "
+                    f"follow it immediately with such a try, or use "
+                    f"'with {receiver}:'",
+                )
+
+    def _is_scoped(
+        self,
+        body: list[ast.stmt],
+        pos: int,
+        receiver: str,
+        call: ast.Call,
+        module: ModuleInfo,
+    ) -> bool:
+        # Pattern A: acquire() immediately followed by a try whose
+        # finally (or a re-raising except) releases the same receiver.
+        if pos + 1 < len(body):
+            nxt = body[pos + 1]
+            if isinstance(nxt, ast.Try) and _try_releases(nxt, receiver):
+                return True
+        # Pattern B: acquire() itself inside a try that releases on the
+        # failure path (finally, or except that releases).
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Try) and _contains(node.body, call):
+                if _try_releases(node, receiver):
+                    return True
+        return False
+
+
+def _bare_acquire_stmt(stmt: ast.stmt) -> ast.Call | None:
+    if not isinstance(stmt, ast.Expr):
+        return None
+    node = stmt.value
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "acquire"
+    ):
+        return node
+    return None
+
+
+def _try_releases(node: ast.Try, receiver: str) -> bool:
+    if _calls_on(node.finalbody, receiver, "release"):
+        return True
+    for handler in node.handlers:
+        if _calls_on(handler.body, receiver, "release"):
+            return True
+    return False
+
+
+def _contains(body: list[ast.stmt], target: ast.AST) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if node is target:
+                return True
+    return False
+
+
+def _bodies(tree: ast.AST):
+    """Every statement list in the tree (module, defs, loops, handlers)."""
+    for node in ast.walk(tree):
+        for attr in ("body", "orelse", "finalbody"):
+            body = getattr(node, attr, None)
+            if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                yield body
+        for handler in getattr(node, "handlers", ()):
+            yield handler.body
+
+
+@register
+class WorkerGlobalWrite(Rule):
+    """CON002: worker-reachable write to module-level mutable state."""
+
+    rule_id = "CON002"
+    title = "worker writes module state"
+    category = "concurrency"
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        reachable = index.reachable_from_workers()
+        for qualname in sorted(reachable):
+            fn = index.functions[qualname]
+            if fn.is_initializer:
+                continue
+            module = index.by_module.get(fn.module)
+            if module is None:
+                continue
+            yield from self._check_function(fn, module)
+
+    def _check_function(
+        self, fn: FunctionInfo, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        declared_global: set[str] = set()
+        body = fn.node.body if not isinstance(fn.node, ast.Lambda) else [
+            ast.Expr(value=fn.node.body)
+        ]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break  # nested defs are separate graph nodes
+        for stmt in body:
+            for node in ast.walk(stmt):
+                finding = self._write_in(node, module, declared_global, fn)
+                if finding is not None:
+                    yield finding
+
+    def _write_in(
+        self,
+        node: ast.AST,
+        module: ModuleInfo,
+        declared_global: set[str],
+        fn: FunctionInfo,
+    ) -> Finding | None:
+        where = f"(reachable from worker dispatch via {fn.qualname})"
+        # global X; X = ... — rebinding module state from a worker.
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared_global:
+                    return self.finding(
+                        module.path, node,
+                        f"assignment to global {target.id!r} from worker "
+                        f"code {where}; workers must return results, not "
+                        f"write shared state",
+                    )
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    name = target.value.id
+                    if module.module_state.get(name) == "mutable" and \
+                            name not in _locals_of(fn):
+                        return self.finding(
+                            module.path, node,
+                            f"subscript write to module-level {name!r} from "
+                            f"worker code {where}",
+                        )
+        # X.append(...) etc. on a module-level mutable binding.
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS and isinstance(
+                node.func.value, ast.Name
+            ):
+                name = node.func.value.id
+                if module.module_state.get(name) == "mutable" and \
+                        name not in _locals_of(fn):
+                    return self.finding(
+                        module.path, node,
+                        f"{name}.{node.func.attr}(...) mutates module-level "
+                        f"state from worker code {where}",
+                    )
+        return None
+
+
+def _locals_of(fn: FunctionInfo) -> set[str]:
+    """Names bound locally (params + assignments) — not module state."""
+    cached = getattr(fn, "_locals_cache", None)
+    if cached is not None:
+        return cached
+    names: set[str] = set()
+    node = fn.node
+    args = node.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        + ([args.vararg] if args.vararg else [])
+        + ([args.kwarg] if args.kwarg else [])
+    ):
+        names.add(arg.arg)
+    if not isinstance(node, ast.Lambda):
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                names.add(sub.id)
+            elif isinstance(sub, (ast.For, ast.comprehension)):
+                pass
+    object.__setattr__(fn, "_locals_cache", names)
+    return names

@@ -1,0 +1,205 @@
+"""Determinism rules: RNG discipline and wall-clock isolation.
+
+The campaign's bit-identity guarantee (serial == thread == process for
+the same seed) holds because every random draw flows from a spawned
+per-node stream — a pure function of ``(root_seed, key)`` — and no
+simulation code observes the wall clock.  These rules make both
+conventions machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import ModuleInfo, ProjectIndex
+from . import Rule, register
+
+#: Legacy global-state RNG entry points (numpy and stdlib).  Any call is
+#: a violation: they draw from hidden process-wide state, so results
+#: depend on import order and worker scheduling.
+_GLOBAL_NP_RANDOM = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "shuffle", "permutation",
+    "bytes", "uniform", "normal", "standard_normal", "poisson",
+    "exponential", "binomial", "beta", "gamma", "lognormal",
+})
+
+_STDLIB_RANDOM = frozenset({
+    "seed", "random", "randint", "randrange", "getrandbits", "choice",
+    "choices", "shuffle", "sample", "uniform", "triangular", "gauss",
+    "normalvariate", "lognormvariate", "expovariate", "betavariate",
+    "paretovariate", "vonmisesvariate", "weibullvariate", "gammavariate",
+})
+
+#: Wall-clock reads.  ``time.monotonic``/``perf_counter`` are fine —
+#: they measure durations, they never become simulation input.
+_TIME_FUNCS = frozenset({"time", "time_ns"})
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_dotted(dotted: str, module: ModuleInfo) -> str:
+    """Expand the leading alias through the module's import table."""
+    head, _, rest = dotted.partition(".")
+    target = module.imports.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def _call_target(node: ast.Call, module: ModuleInfo) -> str | None:
+    dotted = _dotted(node.func)
+    if dotted is None:
+        return None
+    return _resolve_dotted(dotted, module)
+
+
+def _at_module_scope(tree: ast.Module, call: ast.Call) -> bool:
+    """True when the call executes at import time (incl. class bodies)."""
+    scopes = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+    stack: list[tuple[ast.AST, bool]] = [(tree, True)]
+    while stack:
+        node, at_top = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if child is call:
+                return at_top
+            child_top = at_top and not isinstance(child, scopes)
+            stack.append((child, child_top))
+    return False
+
+
+@register
+class UnseededGlobalRng(Rule):
+    """DET001: draws from the process-global RNG (or an unseeded one)."""
+
+    rule_id = "DET001"
+    title = "global or unseeded RNG"
+    category = "determinism"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, module)
+            if target is None:
+                continue
+            if target.startswith("numpy.random."):
+                leaf = target.rsplit(".", 1)[1]
+                if leaf in _GLOBAL_NP_RANDOM:
+                    yield self.finding(
+                        module.path, node,
+                        f"np.random.{leaf} draws from the process-global "
+                        f"RNG; spawn a stream via repro.core.rng instead",
+                    )
+                    continue
+            if target.startswith("random.") and target.count(".") == 1:
+                leaf = target.rsplit(".", 1)[1]
+                if leaf in _STDLIB_RANDOM:
+                    yield self.finding(
+                        module.path, node,
+                        f"random.{leaf} uses the hidden stdlib RNG state; "
+                        f"use a seeded np.random.Generator stream",
+                    )
+                    continue
+            if target.endswith(("numpy.random.default_rng", ".default_rng")) \
+                    or target == "default_rng":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module.path, node,
+                        "default_rng() without a seed is entropy-seeded; "
+                        "every campaign draw must trace back to the root seed",
+                    )
+
+
+@register
+class ImportTimeRng(Rule):
+    """DET002: a generator constructed at import time is shared state."""
+
+    rule_id = "DET002"
+    title = "module-level RNG construction"
+    category = "determinism"
+
+    _CTORS = ("default_rng", "Generator", "Random")
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, module)
+            if target is None:
+                continue
+            leaf = target.rsplit(".", 1)[-1]
+            if leaf not in self._CTORS:
+                continue
+            if not (
+                target.startswith(("numpy.random.", "random."))
+                or target.endswith((".default_rng", ".Generator"))
+                or target in self._CTORS
+            ):
+                continue
+            if _at_module_scope(module.tree, node):
+                yield self.finding(
+                    module.path, node,
+                    f"{leaf}(...) at module scope creates an RNG shared by "
+                    f"every caller and every thread; construct streams "
+                    f"per-unit from the campaign seed",
+                )
+
+
+@register
+class WallClockRead(Rule):
+    """DET003: simulation/storage code reading the wall clock."""
+
+    rule_id = "DET003"
+    title = "wall-clock read outside allowlist"
+    category = "determinism"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        if config.is_clock_allowed(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, module)
+            if target is None:
+                continue
+            message = None
+            if target.startswith("time."):
+                leaf = target.rsplit(".", 1)[1]
+                if leaf in _TIME_FUNCS:
+                    message = (
+                        f"time.{leaf}() reads the wall clock; simulated "
+                        f"time must come from the campaign's time base "
+                        f"(use time.monotonic/perf_counter for durations)"
+                    )
+            else:
+                leaf = target.rsplit(".", 1)[-1]
+                if leaf in _DATETIME_FUNCS and (
+                    "datetime" in target or target.endswith((".date." + leaf,))
+                ):
+                    message = (
+                        f"{leaf}() reads the wall clock; convert through "
+                        f"repro.core.timeutils so runs stay reproducible"
+                    )
+            if message is not None:
+                yield self.finding(module.path, node, message)

@@ -1,0 +1,96 @@
+"""NumPy hygiene for hot-path modules.
+
+The ingest and query kernels are benchmark-gated (>=5x ingest, >=3x
+pruned queries); the two quiet ways those gates rot are implicit float64
+upcasts (``np.zeros(n)`` where an int32 column was meant — 2x memory,
+and comparisons start promoting) and ``.tolist()`` round-trips through
+Python objects inside per-row code.  Both are legitimate *outside* the
+hot set, so these rules fire only on ``LintConfig.hot_paths``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import ModuleInfo, ProjectIndex
+from . import Rule, register
+from .determinism import _call_target
+
+#: Constructors whose default dtype is float64 (or value-inferred).
+_DTYPE_CTORS = frozenset({
+    "numpy.array", "numpy.asarray", "numpy.ascontiguousarray",
+    "numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full",
+    "numpy.empty_like", "numpy.zeros_like", "numpy.ones_like",
+    "numpy.full_like",
+})
+
+
+@register
+class ImplicitDtype(Rule):
+    """NPY001: hot-path array constructor without an explicit dtype."""
+
+    rule_id = "NPY001"
+    title = "implicit dtype in hot path"
+    category = "numpy"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not config.is_hot_path(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target(node, module)
+            if target not in _DTYPE_CTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # np.array(x, np.int64) — dtype as the 2nd positional arg.
+            if len(node.args) >= 2 and target in (
+                "numpy.array", "numpy.asarray", "numpy.empty", "numpy.zeros",
+                "numpy.ones", "numpy.ascontiguousarray",
+            ):
+                continue
+            if len(node.args) >= 3 and target == "numpy.full":
+                continue
+            leaf = target.rsplit(".", 1)[1]
+            yield self.finding(
+                module.path, node,
+                f"np.{leaf}(...) without an explicit dtype in a hot-path "
+                f"module; the float64 default silently doubles memory and "
+                f"upcasts downstream arithmetic",
+            )
+
+
+@register
+class TolistInHotPath(Rule):
+    """NPY002: ``.tolist()`` materializes Python objects in a kernel."""
+
+    rule_id = "NPY002"
+    title = ".tolist() in hot path"
+    category = "numpy"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        if not config.is_hot_path(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "tolist"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    module.path, node,
+                    ".tolist() in a hot-path module round-trips the column "
+                    "through Python objects; keep the computation in the "
+                    "array domain (or suppress with the reason it is a "
+                    "boundary/presentation conversion)",
+                )

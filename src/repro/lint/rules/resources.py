@@ -1,0 +1,154 @@
+"""Resource-discipline rules: handle scoping and durable-write protocol.
+
+RES001 keeps file handles lexically scoped: an ``open()`` (or
+``gzip.open``/``np.load``/``os.fdopen``) whose handle neither enters a
+``with`` nor becomes attribute-managed state is a leak waiting for the
+first exception.  RES002 enforces the journal protocol every durable
+writer in this repo follows: bytes are fsync'd *before* the
+``os.replace``/``os.rename`` that publishes them — rename-without-fsync
+is exactly the torn-write class the crash-safety tests exist to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import ModuleInfo, ProjectIndex
+from . import Rule, register
+from .determinism import _call_target
+
+#: Callables returning a handle that must be scoped.
+_OPENERS = frozenset({
+    "open",             # builtin
+    "gzip.open",
+    "bz2.open",
+    "lzma.open",
+    "os.fdopen",
+    "numpy.load",
+    "io.open",
+})
+
+
+def _opener_name(node: ast.Call, module: ModuleInfo) -> str | None:
+    target = _call_target(node, module)
+    if target is None:
+        return None
+    if target in _OPENERS:
+        return target
+    # Same-module fallback resolution renders builtins as "<module>.open".
+    leaf = target.rsplit(".", 1)[-1]
+    if leaf == "open" and target == f"{module.module}.open":
+        return "open"
+    return None
+
+
+@register
+class OpenWithoutWith(Rule):
+    """RES001: file handle not scoped by a context manager."""
+
+    rule_id = "RES001"
+    title = "unscoped file handle"
+    category = "resources"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        compliant = _compliant_open_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node in compliant:
+                continue
+            name = _opener_name(node, module)
+            if name is None:
+                continue
+            yield self.finding(
+                module.path, node,
+                f"{name}(...) handle is not scoped: use 'with', bind it "
+                f"to a name later used as a 'with' context, or store it "
+                f"on an object that owns its lifecycle",
+            )
+
+
+def _compliant_open_calls(tree: ast.AST) -> set[ast.Call]:
+    """Open-calls that are acceptably scoped.
+
+    * the context expression of a ``with`` item (directly);
+    * assigned to a name that is *some* ``with`` item's context later in
+      the same scope (the two-branch ``opener = ...; with opener as fh``
+      idiom), including through a conditional expression;
+    * assigned to an attribute (``self._fh = open(...)``) — the object
+      owns the lifecycle (its ``close()`` is that object's contract);
+    * returned directly (``return open(...)``) — a factory transfers
+      ownership to its caller.
+    """
+    compliant: set[ast.Call] = set()
+    with_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for call in _calls_of(item.context_expr):
+                    compliant.add(call)
+                if isinstance(item.context_expr, ast.Name):
+                    with_names.add(item.context_expr.id)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) or (
+                    isinstance(target, ast.Name) and target.id in with_names
+                ):
+                    compliant.update(_calls_of(node.value))
+        elif isinstance(node, ast.Return) and node.value is not None:
+            compliant.update(_calls_of(node.value))
+    return compliant
+
+
+def _calls_of(expr: ast.expr) -> list[ast.Call]:
+    """The call(s) an expression may evaluate to (ternaries branch)."""
+    if isinstance(expr, ast.Call):
+        return [expr]
+    if isinstance(expr, ast.IfExp):
+        return _calls_of(expr.body) + _calls_of(expr.orelse)
+    return []
+
+
+@register
+class RenameWithoutFsync(Rule):
+    """RES002: publishes written bytes via rename without an fsync."""
+
+    rule_id = "RES002"
+    title = "rename without fsync"
+    category = "resources"
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for fn in module.functions.values():
+            if isinstance(fn.node, ast.Lambda):
+                continue
+            renames: list[ast.Call] = []
+            has_fsync = False
+            has_write = False
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = _call_target(node, module)
+                if target in ("os.replace", "os.rename"):
+                    renames.append(node)
+                elif target == "os.fsync":
+                    has_fsync = True
+                elif isinstance(node.func, ast.Attribute) and node.func.attr in (
+                    "write", "writelines", "write_bytes", "write_text",
+                    "dump", "savez", "savez_compressed", "save",
+                ):
+                    has_write = True
+            if renames and has_write and not has_fsync:
+                for rename in renames:
+                    yield self.finding(
+                        module.path, rename,
+                        "bytes written in this function are published by "
+                        "rename without os.fsync; a crash can publish an "
+                        "empty or torn file (write, flush, fsync, then "
+                        "replace — see repro.cache.CampaignCache.store)",
+                    )

@@ -1,0 +1,126 @@
+"""Inline suppressions: ``# repro: noqa[RULE-ID]: reason``.
+
+A suppression acknowledges one (or several, comma-separated) rule
+violations and *must* carry a reason — an unexplained suppression is
+itself a finding (LNT001), because "someone silenced this once" is
+exactly the kind of unprotected convention this linter exists to end.
+
+Placement: a suppression applies to findings on its own physical line,
+or — when the comment stands alone on a line — to the line directly
+below it.  Multi-line statements are covered by putting the comment on
+the statement's first line (where the AST anchors the finding).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+#: The suppression grammar.  The reason group is everything after the
+#: closing ``]:`` — empty or missing means the suppression is invalid.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<ids>[A-Za-z0-9_,\s]*)\]\s*(?::\s*(?P<reason>.*\S))?\s*$"
+)
+
+#: Loose detector for things that *look like* suppression attempts but
+#: fail the grammar (a ``repro: noqa`` comment without a rule list).
+_NOQA_ATTEMPT_RE = re.compile(r"#\s*repro:\s*noqa")
+
+#: Rule id reserved for invalid suppressions; never itself suppressable.
+INVALID_SUPPRESSION = "LNT001"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int           # physical line of the comment
+    applies_to: int     # line whose findings it silences
+    ids: tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class SuppressionTable:
+    """Every suppression in one file, plus malformed attempts."""
+
+    by_line: dict[int, list[Suppression]] = field(default_factory=dict)
+    invalid: list[Finding] = field(default_factory=list)
+
+    def match(self, finding: Finding) -> Suppression | None:
+        for supp in self.by_line.get(finding.line, ()):
+            if finding.rule in supp.ids:
+                return supp
+        return None
+
+
+def parse_suppressions(
+    source: str, path: str, known_rules: frozenset[str]
+) -> SuppressionTable:
+    """Scan one file's comments for suppressions.
+
+    Uses :mod:`tokenize` rather than line regexes so a ``# repro: noqa``
+    inside a string literal is not mistaken for a suppression.
+    """
+    table = SuppressionTable()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return table  # the engine reports the parse failure separately
+
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        if not _NOQA_ATTEMPT_RE.search(tok.string):
+            continue
+        line = tok.start[0]
+        standalone = not tok.line[: tok.start[1]].strip()
+        applies_to = line + 1 if standalone else line
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            table.invalid.append(
+                _invalid(path, line, "malformed suppression; expected "
+                                     "'# repro: noqa[RULE-ID]: reason'")
+            )
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not ids:
+            table.invalid.append(
+                _invalid(path, line, "suppression lists no rule ids")
+            )
+            continue
+        unknown = [rule_id for rule_id in ids if rule_id not in known_rules]
+        if unknown:
+            table.invalid.append(
+                _invalid(
+                    path, line,
+                    f"suppression names unknown rule id(s): {', '.join(unknown)}",
+                )
+            )
+            continue
+        if not reason:
+            table.invalid.append(
+                _invalid(
+                    path, line,
+                    f"suppression of {', '.join(ids)} has no reason; "
+                    f"write '# repro: noqa[{','.join(ids)}]: why'",
+                )
+            )
+            continue
+        table.by_line.setdefault(applies_to, []).append(
+            Suppression(line=line, applies_to=applies_to, ids=ids, reason=reason)
+        )
+    return table
+
+
+def _invalid(path: str, line: int, message: str) -> Finding:
+    return Finding(
+        rule=INVALID_SUPPRESSION, path=path, line=line, col=1, message=message
+    )

@@ -561,7 +561,7 @@ def _temp_column(
     width = end - start
     if width.min() < 1:
         return None
-    out = np.full(start.shape[0], np.nan)
+    out = np.full(start.shape[0], np.nan, dtype=np.float64)
     na = (width == 2) & (buf[start] == ord("n")) & (buf[start + 1] == ord("a"))
     numeric = ~na
     if not numeric.any():
@@ -675,6 +675,7 @@ def _error_columns_core(
             t = np.asarray(
                 [
                     blob[a:b].decode("ascii")
+                    # repro: noqa[NPY002]: slow path for over-wide timestamps; bounds only
                     for a, b in zip(t_start.tolist(), t_end.tolist())
                 ],
                 dtype=np.float64,
@@ -910,6 +911,7 @@ def _parse_chunk_fast(staging: _Staging, chunk: str | bytes) -> bool:
     is_err = (buf[starts[:, None] + np.arange(6)] == _LINE_HEAD).all(axis=1)
     pipes = np.flatnonzero(buf == ord("|"))
     edges = np.flatnonzero(is_err[1:] != is_err[:-1]) + 1
+    # repro: noqa[NPY002]: run boundaries only — O(runs), not O(lines)
     bounds = [0, *edges.tolist(), n]
     for lo, hi in zip(bounds, bounds[1:]):
         if is_err[lo] and hi - lo >= _ERROR_RUN_MIN:
@@ -929,6 +931,7 @@ def _parse_chunk_fast(staging: _Staging, chunk: str | bytes) -> bool:
                 if bulk is not None:
                     _append_error_block(staging, *bulk)
                     continue
+        # repro: noqa[NPY002]: slow-path fallback — these lines re-parse one by one anyway
         for a, b in zip(starts[lo:hi].tolist(), newlines[lo:hi].tolist()):
             # Strict decode: a non-ASCII byte raises UnicodeDecodeError
             # exactly as the text reference path does at read time.
@@ -1078,7 +1081,8 @@ def compute_zone_map(cols: RecordColumns) -> dict:
     err = cols.kind == KIND_ERROR
     if err.any():
         bits = np.asarray(
-            bitops.n_flipped_bits(cols.expected[err], cols.actual[err])
+            bitops.n_flipped_bits(cols.expected[err], cols.actual[err]),
+            dtype=np.int64,
         ).reshape(-1)
         zone["bits"] = [int(bits.min()), int(bits.max())]
     return zone
@@ -1309,7 +1313,9 @@ class ColumnarArchive:
             np.savez(
                 buffer,
                 format_version=np.asarray(FORMAT_VERSION, dtype=np.int64),
+                # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
                 node=np.asarray(node),
+                # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
                 node_names=np.asarray(cols.node_names),
                 node_code=cols.node_code,
                 **{name: getattr(cols, name) for name in SHARD_COLUMNS},

@@ -156,7 +156,8 @@ class ErrorFrame:
         """Flipped-bit count per row (cached)."""
         if self._n_bits is None:
             self._n_bits = np.asarray(
-                bitops.n_flipped_bits(self.expected, self.actual)
+                bitops.n_flipped_bits(self.expected, self.actual),
+                dtype=np.int64,
             ).reshape(-1)
         return self._n_bits
 
@@ -178,6 +179,7 @@ class ErrorFrame:
 
     def select(self, mask: np.ndarray) -> "ErrorFrame":
         """Row subset (node interning table is shared, not recompacted)."""
+        # repro: noqa[NPY001]: accepts bool masks and fancy indices — dtype passes through
         mask = np.asarray(mask)
         return ErrorFrame(
             time_hours=self.time_hours[mask],

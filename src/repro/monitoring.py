@@ -22,7 +22,7 @@ from typing import Iterator
 from .core.records import ErrorRecord, LogRecord, RecordKind
 from .logs.format import parse_line
 from .logs.frame import ErrorFrame
-from .resilience.prediction import PredictorConfig, SpatioTemporalPredictor
+from .resilience.prediction import PredictorConfig
 
 
 class LogFollower:

@@ -19,9 +19,9 @@ import numpy as np
 from ..core import bitops
 from ..core.errors import QueryPlanError
 from .cache import QueryCache
-from .plan import BASE_COLUMNS, Aggregate, Derive, Predicate, Query
+from .plan import BASE_COLUMNS, Aggregate, Predicate, Query
 from .prune import shard_may_match
-from .source import ArchiveSource, MemorySource, as_source
+from .source import as_source
 
 # ---------------------------------------------------------------------------
 # Derived columns
@@ -40,7 +40,7 @@ def _derive_day(cols: dict, *, n_days: int) -> np.ndarray:
 
 def _derive_n_bits(cols: dict) -> np.ndarray:
     return np.asarray(
-        bitops.n_flipped_bits(cols["expected"], cols["actual"])
+        bitops.n_flipped_bits(cols["expected"], cols["actual"]), dtype=np.int64
     ).reshape(-1)
 
 
@@ -151,6 +151,7 @@ class QueryResult:
 
 
 def _jsonable_list(arr: np.ndarray) -> list:
+    # repro: noqa[NPY002]: JSON wire boundary — results leave the array domain here
     out = arr.tolist()
     if arr.dtype.kind == "f":
         # JSON has no NaN/Inf literal; the wire format uses null.
@@ -312,7 +313,7 @@ class QueryEngine:
     def _collect_rows(self, plan: Query, parts: list[dict]) -> dict:
         names = plan.output_columns()
         if not parts:
-            return {name: np.empty(0) for name in names}
+            return {name: np.empty(0, dtype=np.float64) for name in names}
         return {
             name: np.concatenate([p[name] for p in parts]) for name in names
         }
@@ -323,14 +324,15 @@ class QueryEngine:
         if not parts:
             if keys:
                 return {
-                    name: np.empty(0) for name in plan.output_columns()
+                    name: np.empty(0, dtype=np.float64)
+                    for name in plan.output_columns()
                 }
             # Grand total over zero rows: count 0, everything else NaN.
             for agg in plan.aggregates:
                 out[agg.alias] = (
                     np.array([0], dtype=np.int64)
                     if agg.fn == "count"
-                    else np.array([np.nan])
+                    else np.array([np.nan], dtype=np.float64)
                 )
             return out
 
@@ -426,9 +428,12 @@ def _fold_all(agg: Aggregate, values: np.ndarray | None, n_rows: int) -> np.ndar
         return np.array([n_rows], dtype=np.int64)
     assert values is not None
     if agg.fn == "sum":
-        return np.array([values.sum()])
+        total = values.sum()
+        return np.array([total], dtype=total.dtype)
     if agg.fn == "min":
-        return np.array([values.min()])
+        low = values.min()
+        return np.array([low], dtype=low.dtype)
     if agg.fn == "max":
-        return np.array([values.max()])
-    return np.array([values.astype(np.float64).mean()])
+        high = values.max()
+        return np.array([high], dtype=high.dtype)
+    return np.array([values.astype(np.float64).mean()], dtype=np.float64)

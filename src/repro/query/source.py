@@ -18,7 +18,7 @@ together with the plan digest it keys the engine's result cache.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from ..core.errors import QueryPlanError, ReproError
 from ..query.cache import QueryCache
 from ..query.engine import QueryEngine
-from ..query.plan import Aggregate, Predicate, Query
+from ..query.plan import Predicate, Query
 from ..query.source import as_source
 
 #: Hard cap on request body size (a plan is small; 1 MiB is generous).

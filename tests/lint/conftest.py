@@ -1,0 +1,40 @@
+"""Shared fixture-tree helpers for the reprolint suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run_lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a dict of {relpath: source} and lint it.
+
+    Returns ``(result, root)``; pass ``config=`` to override rule
+    configuration (e.g. to mark a fixture file as hot-path).
+    """
+
+    counter = iter(range(1000))
+
+    def _lint(files: dict[str, str], config: LintConfig | None = None):
+        # Fresh root per call so a test can lint several trees without
+        # the earlier files bleeding into the later run.
+        root = tmp_path / f"tree{next(counter)}"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        return run_lint([root], config), root
+
+    return _lint
+
+
+def rules_fired(result) -> list[str]:
+    return [f.rule for f in result.findings]
+
+
+def findings_for(result, rule_id: str) -> list:
+    return [f for f in result.findings if f.rule == rule_id]

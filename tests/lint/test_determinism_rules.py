@@ -1,0 +1,151 @@
+"""DET001/DET002/DET003: every rule proves a true positive and a clean
+negative on realistic violation patterns."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import LintConfig
+
+from .conftest import findings_for, rules_fired
+
+
+class TestDet001GlobalRng:
+    def test_np_random_module_call_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def draw(n):
+                    np.random.seed(42)
+                    return np.random.normal(size=n)
+                """
+            )
+        })
+        found = findings_for(result, "DET001")
+        assert len(found) == 2  # seed() and normal()
+        assert found[0].line == 5
+        assert "process-global" in found[0].message
+
+    def test_stdlib_random_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "import random\n\ndef pick(xs):\n    return random.choice(xs)\n"
+        })
+        assert rules_fired(result) == ["DET001"]
+
+    def test_unseeded_default_rng_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                from numpy.random import default_rng
+
+                def draw():
+                    return default_rng().normal()
+                """
+            )
+        })
+        assert "DET001" in rules_fired(result)
+
+    def test_seeded_generator_streams_are_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def draw(seed, n):
+                    rng = np.random.default_rng(seed)
+                    return rng.normal(size=n)
+
+                def stream(root_seed, key):
+                    seq = np.random.SeedSequence([root_seed, hash(key) & 0xFF])
+                    return np.random.Generator(np.random.PCG64(seq))
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_import_alias_is_resolved(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "import numpy.random as npr\n\ndef f():\n    return npr.rand(3)\n"
+        })
+        assert rules_fired(result) == ["DET001"]
+
+
+class TestDet002ImportTimeRng:
+    def test_module_level_default_rng_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "mod.py": "import numpy as np\n\nRNG = np.random.default_rng(0)\n"
+        })
+        found = findings_for(result, "DET002")
+        assert len(found) == 1
+        assert found[0].line == 3
+
+    def test_class_body_generator_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "mod.py": textwrap.dedent(
+                """
+                from numpy.random import default_rng
+
+                class Sampler:
+                    rng = default_rng(7)
+                """
+            )
+        })
+        assert "DET002" in rules_fired(result)
+
+    def test_function_scope_generator_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "mod.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def make(seed):
+                    return np.random.default_rng(seed)
+                """
+            )
+        })
+        assert findings_for(result, "DET002") == []
+
+
+class TestDet003WallClock:
+    def test_time_time_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "import time\n\ndef stamp():\n    return time.time()\n"
+        })
+        found = findings_for(result, "DET003")
+        assert len(found) == 1
+        assert "wall clock" in found[0].message
+
+    def test_datetime_now_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": (
+                "from datetime import datetime\n\n"
+                "def stamp():\n    return datetime.now()\n"
+            )
+        })
+        assert rules_fired(result) == ["DET003"]
+
+    def test_monotonic_and_perf_counter_are_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import time
+
+                def measure(fn):
+                    t0 = time.perf_counter()
+                    fn()
+                    time.sleep(0.0)
+                    return time.monotonic(), time.perf_counter() - t0
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_allowlisted_module_is_exempt(self, lint_tree):
+        source = "import time\n\ndef uptime():\n    return time.time()\n"
+        config = LintConfig(clock_allowlist=("server/",))
+        dirty, _ = lint_tree({"sim.py": source}, config)
+        assert rules_fired(dirty) == ["DET003"]
+        clean, _ = lint_tree({"server/app.py": source}, config)
+        assert rules_fired(clean) == []

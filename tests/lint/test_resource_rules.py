@@ -1,0 +1,186 @@
+"""RES001 (open outside a context manager) and RES002 (rename without fsync)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from .conftest import findings_for, rules_fired
+
+
+class TestRes001OpenWithoutWith:
+    def test_dangling_open_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                def read_all(path):
+                    fh = open(path)
+                    return fh.read()
+                """
+            )
+        })
+        found = findings_for(result, "RES001")
+        assert len(found) == 1
+        assert found[0].line == 3
+        assert "not scoped" in found[0].message
+
+    def test_gzip_open_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                import gzip
+
+                def read_all(path):
+                    fh = gzip.open(path, "rt")
+                    return fh.read()
+                """
+            )
+        })
+        assert rules_fired(result) == ["RES001"]
+
+    def test_np_load_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def read_all(path):
+                    npz = np.load(path)
+                    return npz["column"]
+                """
+            )
+        })
+        assert rules_fired(result) == ["RES001"]
+
+    def test_with_statement_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                import gzip
+
+                def read_all(path):
+                    with gzip.open(path, "rt") as fh:
+                        return fh.read()
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_name_later_used_as_context_is_clean(self, lint_tree):
+        # The logs/store.py opener idiom: pick the opener by extension,
+        # then enter the handle in a with-block.
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                import gzip
+
+                def read_all(path):
+                    fh = gzip.open(path, "rt") if path.endswith(".gz") else open(path)
+                    with fh:
+                        return fh.read()
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_return_factory_is_clean(self, lint_tree):
+        # Returning a fresh handle transfers ownership to the caller.
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                import gzip
+
+                def opener(path):
+                    if path.endswith(".gz"):
+                        return gzip.open(path, "rt")
+                    return open(path)
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_attribute_assignment_is_clean(self, lint_tree):
+        # Handles stored on self are closed by the owner's close()/__exit__.
+        result, _ = lint_tree({
+            "io.py": textwrap.dedent(
+                """
+                class Writer:
+                    def __init__(self, path):
+                        self._fh = open(path, "w")
+
+                    def close(self):
+                        self._fh.close()
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+
+class TestRes002RenameWithoutFsync:
+    def test_write_then_replace_without_fsync_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(payload)
+                    os.replace(tmp, path)
+                """
+            )
+        })
+        found = findings_for(result, "RES002")
+        assert len(found) == 1
+        assert "fsync" in found[0].message
+
+    def test_os_rename_variant_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import json
+                import os
+
+                def publish(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        json.dump(payload, fh)
+                    os.rename(tmp, path)
+                """
+            )
+        })
+        assert rules_fired(result) == ["RES002"]
+
+    def test_fsync_before_replace_is_clean(self, lint_tree):
+        # The CampaignCache.store durability protocol.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "w") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_rename_without_write_is_clean(self, lint_tree):
+        # Pure moves (no freshly written payload) carry no durability
+        # obligation for this rule.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def archive(src, dst):
+                    os.replace(src, dst)
+                """
+            )
+        })
+        assert rules_fired(result) == []

@@ -1,0 +1,35 @@
+"""The self-lint gate: ``src/repro`` must be clean under its own linter.
+
+This is the same check CI runs; keeping it in the test suite means a
+violation fails locally before a push, with the finding text in the
+assertion message.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_clean():
+    result = run_lint([SRC])
+    assert result.errors == [], "\n".join(e.message for e in result.errors)
+    assert result.findings == [], "\n".join(
+        f"{f.location()} {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.exit_code == 0
+
+
+def test_every_suppression_carries_a_reason():
+    result = run_lint([SRC])
+    for finding in result.suppressed:
+        assert finding.reason, f"{finding.location()} suppressed without reason"
+
+
+def test_scan_covers_the_tree():
+    # Sanity: the gate is meaningless if the walker silently skips files.
+    result = run_lint([SRC])
+    assert result.summary.files_scanned >= 100

@@ -1,0 +1,123 @@
+"""Suppression grammar: ``# repro: noqa[RULE-ID]: reason``."""
+
+from __future__ import annotations
+
+import textwrap
+
+from .conftest import findings_for, rules_fired
+
+
+class TestValidSuppressions:
+    def test_inline_suppression_silences_and_carries_reason(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": (
+                "import random\n\n"
+                "def pick(xs):\n"
+                "    return random.choice(xs)  "
+                "# repro: noqa[DET001]: demo tool, determinism not required\n"
+            )
+        })
+        assert rules_fired(result) == []
+        assert len(result.suppressed) == 1
+        supp = result.suppressed[0]
+        assert supp.rule == "DET001"
+        assert supp.suppressed is True
+        assert supp.reason == "demo tool, determinism not required"
+
+    def test_standalone_comment_applies_to_next_line(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": (
+                "import random\n\n"
+                "def pick(xs):\n"
+                "    # repro: noqa[DET001]: demo tool\n"
+                "    return random.choice(xs)\n"
+            )
+        })
+        assert rules_fired(result) == []
+        assert len(result.suppressed) == 1
+
+    def test_multiple_ids_in_one_comment(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": (
+                "import random\n"
+                "import time\n\n"
+                "def pick(xs):\n"
+                "    return random.choice(xs), time.time()  "
+                "# repro: noqa[DET001, DET003]: demo tool\n"
+            )
+        })
+        assert rules_fired(result) == []
+        assert sorted(f.rule for f in result.suppressed) == ["DET001", "DET003"]
+
+    def test_suppression_is_line_scoped(self, lint_tree):
+        # A suppression on one line does not blanket the whole file.
+        result, _ = lint_tree({
+            "sim.py": (
+                "import random\n\n"
+                "def pick(xs):\n"
+                "    a = random.choice(xs)  # repro: noqa[DET001]: demo\n"
+                "    return a, random.choice(xs)\n"
+            )
+        })
+        assert rules_fired(result) == ["DET001"]
+        assert len(result.suppressed) == 1
+
+    def test_noqa_inside_string_literal_is_ignored(self, lint_tree):
+        result, _ = lint_tree({
+            "doc.py": 'HELP = "# repro: noqa[DET001]: not a comment"\n'
+        })
+        assert rules_fired(result) == []
+        assert result.suppressed == []
+
+
+class TestInvalidSuppressions:
+    def test_missing_reason_is_a_finding(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": (
+                "import random\n\n"
+                "def pick(xs):\n"
+                "    return random.choice(xs)  # repro: noqa[DET001]\n"
+            )
+        })
+        fired = rules_fired(result)
+        assert "LNT001" in fired
+        assert "DET001" in fired  # the violation is NOT silenced
+        lnt = findings_for(result, "LNT001")[0]
+        assert "no reason" in lnt.message
+
+    def test_unknown_rule_id_is_a_finding(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "X = 1  # repro: noqa[NOPE999]: whatever\n"
+        })
+        lnt = findings_for(result, "LNT001")
+        assert len(lnt) == 1
+        assert "NOPE999" in lnt[0].message
+
+    def test_empty_rule_list_is_a_finding(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "X = 1  # repro: noqa[]: vague hand-wave\n"
+        })
+        lnt = findings_for(result, "LNT001")
+        assert len(lnt) == 1
+        assert "no rule ids" in lnt[0].message
+
+    def test_malformed_attempt_is_a_finding(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": "X = 1  # repro: noqa please\n"
+        })
+        lnt = findings_for(result, "LNT001")
+        assert len(lnt) == 1
+        assert "malformed" in lnt[0].message
+
+    def test_lnt001_cannot_suppress_itself(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                # repro: noqa[LNT001]: trying to silence the meta-rule
+                X = 1  # repro: noqa[DET001]
+                """
+            )
+        })
+        # The reasonless DET001 suppression on line 3 stays a finding
+        # even though line 2 names LNT001 with a reason.
+        assert "LNT001" in rules_fired(result)
