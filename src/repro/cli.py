@@ -7,10 +7,13 @@ Subcommands::
     repro all                    # every experiment, paper order
     repro list                   # available experiment ids
     repro campaign --out DIR     # run the campaign, write per-node logs
+    repro campaign --stream-out DIR  # stream records into a live archive
     repro cache                  # show (or --clear) the on-disk cache
     repro logs convert           # text logs <-> binary columnar archive
     repro logs inspect           # manifest summary (+ checksum --verify)
-    repro logs upgrade           # backfill v2 zone maps into a v1 archive
+    repro logs upgrade           # upgrade a v1/v2 archive manifest to v3
+    repro ingest --dir DIR       # append text logs to a live archive
+    repro compact --dir DIR      # LSM-merge a live archive's segments
     repro query --dir DIR        # run one query plan against an archive
     repro serve --dir DIR        # HTTP/JSON fleet telemetry server
 """
@@ -91,7 +94,25 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("exp_id", help="experiment id (see 'repro list')")
 
     camp = sub.add_parser("campaign", help="run the campaign and dump logs")
-    camp.add_argument("--out", required=True, help="directory for per-node logs")
+    camp.add_argument(
+        "--out", default=None, help="directory for per-node text logs"
+    )
+    camp.add_argument(
+        "--stream-out",
+        default=None,
+        metavar="DIR",
+        help=(
+            "stream records into a live columnar archive at DIR as nodes "
+            "complete (bounded parent memory; queryable while running)"
+        ),
+    )
+    camp.add_argument(
+        "--stream-flush-nodes",
+        type=int,
+        default=64,
+        metavar="N",
+        help="completed nodes per streamed L0 segment commit",
+    )
     camp.add_argument(
         "--checkpoint",
         default=None,
@@ -148,9 +169,66 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     upg = logs_sub.add_parser(
         "upgrade",
-        help="backfill zone maps into a v1 archive in place (manifest only)",
+        help=(
+            "upgrade a v1/v2 archive manifest to v3 in place (zone maps, "
+            "levels, generation; shard files untouched)"
+        ),
     )
     upg.add_argument("--dir", required=True, help="columnar archive directory")
+
+    ing = sub.add_parser(
+        "ingest",
+        help="append a directory of text logs to a live columnar archive",
+    )
+    ing.add_argument(
+        "--dir", required=True, help="live archive directory (created if absent)"
+    )
+    ing.add_argument(
+        "--from",
+        dest="src",
+        required=True,
+        metavar="DIR",
+        help="directory of <node>.log text files to ingest",
+    )
+    ing.add_argument(
+        "--batch-prefix",
+        default=None,
+        metavar="PREFIX",
+        help=(
+            "ledger id prefix for this ingest (default: the source "
+            "directory name); re-running the same ingest is a no-op"
+        ),
+    )
+
+    cmp_ = sub.add_parser(
+        "compact",
+        help="merge a live archive's small segments into sorted runs",
+    )
+    cmp_.add_argument("--dir", required=True, help="live archive directory")
+    cmp_.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what a compaction pass would do without writing",
+    )
+    cmp_.add_argument(
+        "--max-segment-rows",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="row cap per output segment",
+    )
+    cmp_.add_argument(
+        "--max-segment-nodes",
+        type=int,
+        default=256,
+        metavar="N",
+        help="node cap per output segment",
+    )
+    cmp_.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip checksum verification of consumed segments",
+    )
 
     qry = sub.add_parser(
         "query", help="execute one query plan against a columnar archive"
@@ -323,8 +401,12 @@ def _cmd_logs(args) -> int:
             except OSError:
                 size = "MISSING FILE"
             zone = "zone-map" if entry.get("zone_map") else "no zone-map"
+            label = entry.get("node")
+            if label is None:  # v3 multi-node segment
+                n_nodes = entry.get("n_nodes", len(entry.get("nodes") or []))
+                label = f"{entry['file']} ({n_nodes} nodes, L{entry.get('level', 0)})"
             print(
-                f"  {entry['node']}: {entry.get('n_records', 0):,} records "
+                f"  {label}: {entry.get('n_records', 0):,} records "
                 f"({entry.get('n_raw_lines', 0):,} raw lines) "
                 f"{size} [{zone}] sha256={entry['sha256'][:12]}…"
             )
@@ -335,6 +417,73 @@ def _cmd_logs(args) -> int:
     except LogFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _cmd_ingest(args) -> int:
+    from pathlib import Path
+
+    from .core.errors import LogFormatError
+    from .logs.columnar import RecordColumns, read_log_file
+    from .logs.ingest import LiveArchive
+    from .logs.store import directory_log_files, node_stem
+
+    src = Path(args.src)
+    if not src.is_dir():
+        print(f"error: no such directory: {src}", file=sys.stderr)
+        return 2
+    prefix = args.batch_prefix if args.batch_prefix is not None else src.name
+    try:
+        files = directory_log_files(src)
+        batches: dict[str, RecordColumns] = {}
+        for path in files:
+            batches[f"{prefix}:{node_stem(path)}"] = read_log_file(path)
+        live = LiveArchive.create(args.dir)
+        report = live.append_batch(batches)
+    except LogFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if report.committed:
+        print(
+            f"committed {len(report.committed)} batch(es) "
+            f"({report.n_records:,} records) to {args.dir} as "
+            f"{report.segment} [generation {report.generation}]"
+        )
+    if report.deduplicated:
+        print(
+            f"skipped {len(report.deduplicated)} already-committed batch(es)"
+        )
+    if not report.committed and not report.deduplicated:
+        print(f"nothing to ingest from {src}")
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    from .core.errors import LogFormatError
+    from .logs.ingest import compact_archive
+
+    try:
+        report = compact_archive(
+            args.dir,
+            max_segment_rows=args.max_segment_rows,
+            max_segment_nodes=args.max_segment_nodes,
+            verify_checksums=not args.no_verify,
+            dry_run=args.dry_run,
+        )
+    except LogFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if report.entries_consumed == 0:
+        print(f"{args.dir} is fully compacted; nothing to do")
+        return 0
+    verb = "would merge" if report.dry_run else "merged"
+    print(
+        f"{verb} {report.entries_consumed} segment(s) "
+        f"({report.n_records:,} records, {report.n_components} component(s)) "
+        f"into {report.segments_written or report.n_components} sorted "
+        f"run(s) at level <= {report.max_level} "
+        f"[generation {report.generation}]"
+    )
+    return 0
 
 
 def _cmd_query(args) -> int:
@@ -439,6 +588,10 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "logs":
         return _cmd_logs(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "serve":
@@ -503,6 +656,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.resume and not args.checkpoint:
             print("error: --resume requires --checkpoint DIR", file=sys.stderr)
             return 2
+        if args.out is None and args.stream_out is None:
+            print(
+                "error: pass --out DIR and/or --stream-out DIR",
+                file=sys.stderr,
+            )
+            return 2
         retry = RetryPolicy(retries=args.retries) if args.retries is not None else None
         try:
             result = run_campaign(
@@ -513,16 +672,30 @@ def main(argv: list[str] | None = None) -> int:
                 unit_timeout=args.unit_timeout,
                 checkpoint_dir=args.checkpoint,
                 resume=args.resume,
+                stream_to=args.stream_out,
+                stream_flush_nodes=args.stream_flush_nodes,
             )
         except CheckpointError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
-        result.archive.write_directory(args.out)
-        print(
-            f"wrote logs for {len(result.archive.nodes)} nodes to {args.out} "
-            f"({result.n_raw_error_lines():,} raw error lines compressed "
-            f"into {result.archive.n_records():,} records)"
-        )
+        if args.stream_out is not None:
+            print(
+                f"streamed {result.archive.n_records():,} records for "
+                f"{len(result.archive.nodes)} nodes into {args.stream_out} "
+                f"(compact with `repro compact --dir {args.stream_out}`)"
+            )
+        if args.out is not None:
+            # A streamed result carries a columnar archive; both flavours
+            # render the same per-node text logs.
+            if hasattr(result.archive, "write_text_directory"):
+                result.archive.write_text_directory(args.out)
+            else:
+                result.archive.write_directory(args.out)
+            print(
+                f"wrote logs for {len(result.archive.nodes)} nodes to {args.out} "
+                f"({result.n_raw_error_lines():,} raw error lines compressed "
+                f"into {result.archive.n_records():,} records)"
+            )
         if result.metrics is not None:
             print(f"simulated {result.metrics.summary()}")
             slowest = ", ".join(

@@ -436,6 +436,10 @@ class _NodeResult:
     records: list[ErrorRecord]
     lifecycle: list
     seconds: float
+    #: True once the streaming sink committed this unit's records to a
+    #: live archive (``records``/``lifecycle`` are then empty).  Default
+    #: False keeps journals from pre-streaming runs loadable.
+    streamed: bool = False
 
 
 def _simulate_node(ctx: _CampaignContext, name: str) -> _NodeResult:
@@ -550,6 +554,8 @@ def run_campaign(
     chaos=None,
     checkpoint_dir: str | Path | None = None,
     resume: bool = False,
+    stream_to: str | Path | None = None,
+    stream_flush_nodes: int = 64,
 ) -> CampaignResult:
     """Simulate the full study and return its logs and coverage.
 
@@ -577,6 +583,19 @@ def run_campaign(
       accounting), never raised;
     * ``chaos`` (a :class:`repro.chaos.ChaosPlan`) injects deterministic
       failures for testing.
+
+    ``stream_to`` routes finished units straight into a live columnar
+    archive (:class:`repro.logs.ingest.LiveArchive`) instead of holding
+    every node's records in parent RAM: each unit's records are
+    columnarized and stripped from the in-memory result as they arrive,
+    and every ``stream_flush_nodes`` completed units are committed as
+    one level-0 segment.  The returned :class:`CampaignResult` then
+    carries a lazily-loaded :class:`ColumnarArchive` over that
+    directory — bit-identical, record for record, to the batch
+    archive the same configuration would assemble in memory.  Streaming
+    composes with checkpointing: units are journaled only *after* their
+    records are durable in the archive, and the archive's batch ledger
+    dedups any unit replayed after a crash, so resume is exactly-once.
     """
     t_begin = time.perf_counter()
     config = config or paper_campaign_config()
@@ -593,6 +612,7 @@ def run_campaign(
         or unit_timeout is not None
         or chaos is not None
         or checkpoint_dir is not None
+        or stream_to is not None
     )
 
     degraded: DegradedResult | None = None
@@ -632,8 +652,74 @@ def run_campaign(
         n_resumed = len(journaled)
         remaining = [name for name in names if name not in journaled]
 
+        if stream_to is None and any(
+            getattr(value, "streamed", False) for value in journaled.values()
+        ):
+            from ..core.errors import CheckpointError
+
+            raise CheckpointError(
+                "checkpoint journal holds streamed units whose records "
+                "live in their archive, not the journal: pass the same "
+                "stream_to= directory to resume this campaign"
+            )
+
         on_result = None
-        if journal is not None:
+        _flush_stream = None
+        if stream_to is not None:
+            from ..logs.columnar import RecordColumns
+            from ..logs.ingest import LiveArchive
+
+            live = LiveArchive.create(stream_to)
+            flush_every = max(1, int(stream_flush_nodes))
+            stream_buffer: list[tuple[str, _NodeResult, RecordColumns]] = []
+
+            def _flush_stream() -> None:
+                if not stream_buffer:
+                    return
+                live.append_batch(
+                    {f"unit:{key}": cols for key, _value, cols in stream_buffer}
+                )
+                # Journal only after the records are durable in the
+                # archive (journaled => streamed).  A crash between the
+                # two re-runs the unit on resume; the archive's batch
+                # ledger dedups the replayed records.
+                if journal is not None:
+                    for key, value, _cols in stream_buffer:
+                        journal.append(key, value)
+                stream_buffer.clear()
+
+            def on_result(_i, key, value) -> None:
+                cols = RecordColumns.from_records(
+                    list(value.records) + list(value.lifecycle)
+                )
+                # Strip in place: `value` is the same object the
+                # supervisor keeps in its outcome, so the parent never
+                # holds more than one flush window of records in RAM.
+                value.records = []
+                value.lifecycle = []
+                value.streamed = True
+                stream_buffer.append((key, value, cols))
+                if len(stream_buffer) >= flush_every:
+                    _flush_stream()
+
+            # Units journaled by an earlier *non-streaming* run still own
+            # their records: commit them as a backlog batch (the ledger
+            # dedups any already streamed) and strip them the same way.
+            backlog = {
+                f"unit:{name}": RecordColumns.from_records(
+                    list(value.records) + list(value.lifecycle)
+                )
+                for name, value in journaled.items()
+                if not getattr(value, "streamed", False)
+            }
+            if backlog:
+                live.append_batch(backlog)
+                for name, value in journaled.items():
+                    if not getattr(value, "streamed", False):
+                        value.records = []
+                        value.lifecycle = []
+                        value.streamed = True
+        elif journal is not None:
             on_result = lambda _i, key, value: journal.append(key, value)  # noqa: E731
 
         try:
@@ -663,6 +749,8 @@ def run_campaign(
                     chaos=chaos,
                     on_unit_result=on_result,
                 )
+            if _flush_stream is not None:
+                _flush_stream()  # tail window, while the journal is open
         finally:
             if journal is not None:
                 journal.close()
@@ -698,13 +786,36 @@ def run_campaign(
     )
     n_observations += len(catalogue_obs)
 
-    archive = LogArchive()
-    for result in results:
-        archive.extend(result.records)
-    archive.extend(ctx.render(catalogue_obs))
-    for result in results:
-        archive.extend(result.lifecycle)
-    archive.sort()
+    if stream_to is not None:
+        from ..core.errors import CheckpointError
+        from ..logs.columnar import RecordColumns
+        from ..logs.ingest import LiveArchive
+
+        live = LiveArchive.open(stream_to)
+        live.append_batch(
+            {"catalogue": RecordColumns.from_records(ctx.render(catalogue_obs))}
+        )
+        ledger = set(live.committed_batches)
+        missing = sorted(
+            name for name in tracks if f"unit:{name}" not in ledger
+        )
+        if missing:
+            raise CheckpointError(
+                f"streamed archive {stream_to} is missing "
+                f"{len(missing)} committed units (e.g. {missing[:3]}); "
+                "the stream and journal have diverged"
+            )
+        archive: LogArchive | ColumnarArchive = ColumnarArchive.load(
+            stream_to, lazy=True
+        )
+    else:
+        archive = LogArchive()
+        for result in results:
+            archive.extend(result.records)
+        archive.extend(ctx.render(catalogue_obs))
+        for result in results:
+            archive.extend(result.lifecycle)
+        archive.sort()
 
     wall = time.perf_counter() - t_begin
     node_seconds = {result.node: result.seconds for result in results}

@@ -26,6 +26,7 @@ def _default_hot_paths() -> tuple[str, ...]:
         "query/prune.py",
         "logs/columnar.py",
         "logs/frame.py",
+        "logs/ingest.py",
     )
 
 

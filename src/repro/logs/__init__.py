@@ -3,13 +3,18 @@
 from .columnar import ColumnarArchive, RecordColumns, read_log_file
 from .format import format_record, parse_line
 from .frame import ErrorFrame
+from .ingest import CompactionReport, IngestReport, LiveArchive, compact_archive
 from .store import LogArchive, directory_log_files
 
 __all__ = [
     "ColumnarArchive",
+    "CompactionReport",
     "ErrorFrame",
+    "IngestReport",
+    "LiveArchive",
     "LogArchive",
     "RecordColumns",
+    "compact_archive",
     "directory_log_files",
     "format_record",
     "parse_line",

@@ -61,13 +61,21 @@ from .frame import ErrorFrame
 #: engine uses to skip shards; see :func:`compute_zone_map`) — the shard
 #: layout itself is unchanged, so v1 shards remain readable and a v1
 #: archive can be upgraded in place by rewriting only the manifest
-#: (:func:`upgrade_archive`).
-FORMAT_VERSION = 2
+#: (:func:`upgrade_archive`).  Version 3 makes the manifest a live-store
+#: commit log (see :mod:`repro.logs.ingest` and docs/STORAGE.md): a
+#: monotonic ``generation`` counter, per-entry LSM ``level``/``seq``
+#: fields, a ``batches`` ledger for exactly-once ingest, and multi-node
+#: L0 *segment* entries (``node: null`` plus a ``nodes`` list).  One
+#: node may now be covered by several entries; readers assemble it in
+#: ``seq`` order via :func:`merge_node_parts`.
+FORMAT_VERSION = 3
 
 #: Manifest versions this reader understands.  v1 archives simply lack
 #: zone maps; consumers must treat a missing ``zone_map`` as "cannot
-#: prune", never as "empty shard".
-SUPPORTED_VERSIONS = (1, 2)
+#: prune", never as "empty shard".  v2 archives lack generation/level/
+#: seq bookkeeping; readers default those to a single generation of
+#: level-1, one-entry-per-node shards.
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Magic string identifying a manifest as ours.
 FORMAT_NAME = "repro-columnar"
@@ -228,15 +236,32 @@ class RecordColumns:
 
     # -- views -------------------------------------------------------------
 
+    def take(self, order: np.ndarray) -> "RecordColumns":
+        """Row-gather: the columns reindexed by ``order`` (no copy of names)."""
+        return RecordColumns(
+            **{name: getattr(self, name)[order] for name in SHARD_COLUMNS},
+            node_code=self.node_code[order],
+            node_names=list(self.node_names),
+        )
+
     def split_by_node(self) -> dict[str, "RecordColumns"]:
-        """Per-node column sets, preserving within-node record order."""
+        """Per-node column sets, preserving within-node record order.
+
+        One stable sort on ``node_code`` plus per-node slicing, not a
+        boolean mask per node — a fleet-sized segment splits in
+        O(rows log rows), independent of how many nodes it covers.
+        """
+        order = np.argsort(self.node_code, kind="stable")
+        grouped = self.take(order)
+        codes = np.arange(len(self.node_names))
+        starts = np.searchsorted(grouped.node_code, codes, side="left")
+        stops = np.searchsorted(grouped.node_code, codes, side="right")
         out: dict[str, RecordColumns] = {}
         for code, name in enumerate(self.node_names):
-            mask = self.node_code == code
-            n = int(mask.sum())
+            lo, hi = int(starts[code]), int(stops[code])
             out[name] = RecordColumns(
-                **{col: getattr(self, col)[mask] for col in SHARD_COLUMNS},
-                node_code=np.zeros(n, dtype=np.int32),
+                **{col: getattr(grouped, col)[lo:hi] for col in SHARD_COLUMNS},
+                node_code=np.zeros(hi - lo, dtype=np.int32),
                 node_names=[name],
             )
         return out
@@ -1041,6 +1066,71 @@ def _ingest_file(path_str: str) -> RecordColumns:
 
 
 # ---------------------------------------------------------------------------
+# Canonical record order
+# ---------------------------------------------------------------------------
+
+
+#: Tie rank of each kind *code* under the text path's sort key.  The
+#: reference :meth:`LogArchive.sort` orders equal-timestamp records by
+#: ``RecordKind.value`` — a *string* — so the tie order is alphabetical:
+#: ALLOC_FAIL < END < ERROR < START, i.e. rank ``3 - code`` for the
+#: stable on-disk codes 0..3.  Every columnar merge must reproduce this
+#: exact order or streamed archives stop being bit-identical to batch
+#: ones.
+_KIND_SORT_RANK = np.array([3, 2, 1, 0], dtype=np.int64)
+
+
+def canonical_sort_order(
+    t: np.ndarray, kind: np.ndarray, group: np.ndarray | None = None
+) -> np.ndarray:
+    """Stable permutation into the archive's canonical record order.
+
+    Primary key: timestamp.  Secondary key: the record-kind *name* in
+    string order (see :data:`_KIND_SORT_RANK`), matching
+    :meth:`repro.logs.store.LogArchive.sort` tie for tie.  Stability
+    means equal ``(t, kind)`` rows keep their input order, which is how
+    multi-part merges preserve commit (``seq``) order among ties.
+
+    With ``group`` (an integer key per row) the permutation sorts by
+    group first, then the canonical key within each group — equivalent
+    to canonically sorting every group on its own, in one pass.  The
+    compactor uses this to merge a whole multi-node component without
+    materializing per-node intermediates.
+    """
+    rank = _KIND_SORT_RANK[np.asarray(kind, dtype=np.int64)]
+    keys: tuple[np.ndarray, ...] = (rank, np.asarray(t, dtype=np.float64))
+    if group is not None:
+        keys = keys + (np.asarray(group, dtype=np.int64),)
+    return np.lexsort(keys)
+
+
+def merge_node_parts(parts: Sequence[RecordColumns]) -> RecordColumns:
+    """Canonical merge of one node's shard parts (caller orders by seq).
+
+    A single part passes through untouched — legacy one-shard-per-node
+    archives keep their raw on-disk order, and live L0 batches are
+    canonically sorted at append time, so both cases are already in
+    final order.  Multiple parts concatenate and stable-sort by the
+    canonical key; ties therefore resolve in part (commit) order.
+    """
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return RecordColumns.empty()
+    if len(parts) == 1:
+        return parts[0]
+    merged = RecordColumns.concat(parts)
+    return merged.take(canonical_sort_order(merged.t, merged.kind))
+
+
+def entry_nodes(entry: dict) -> list[str]:
+    """Node names covered by one manifest entry (1 shard or N-node segment)."""
+    node = entry.get("node")
+    if node is not None:
+        return [node]
+    return list(entry.get("nodes") or [])
+
+
+# ---------------------------------------------------------------------------
 # Zone maps
 # ---------------------------------------------------------------------------
 
@@ -1093,13 +1183,71 @@ def manifest_fingerprint(manifest: dict) -> str:
 
     Stable across manifest rewrites that do not change shard bytes
     (e.g. a zone-map backfill), so query-result cache entries survive a
-    ``repro logs upgrade`` — same data, same key.
+    ``repro logs upgrade`` — same data, same key.  v3 segment entries
+    (``node: null``) hash under the empty node label; for v1/v2
+    manifests the sort key and hashed bytes reduce to the historical
+    per-node form, so existing fingerprints are unchanged.  Every ingest
+    or compaction commit changes the shard population, hence the
+    fingerprint — which is what invalidates query caches (see
+    docs/STORAGE.md).
     """
     digest = hashlib.sha256()
-    for entry in sorted(manifest["shards"], key=lambda e: e["node"]):
-        digest.update(entry["node"].encode())
+    entries = sorted(
+        manifest["shards"], key=lambda e: ((e.get("node") or ""), e["file"])
+    )
+    for entry in entries:
+        digest.update((entry.get("node") or "").encode())
         digest.update(entry["sha256"].encode())
     return digest.hexdigest()
+
+
+def shard_payload(cols: RecordColumns, node_label: str) -> bytes:
+    """Serialized ``.npz`` bytes of one shard/segment (shared writer path).
+
+    ``node_label`` is the scalar stored under the ``node`` member: the
+    node name for per-node shards, ``""`` for multi-node segments (whose
+    real names live in ``node_names``/``node_code``).
+    """
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        format_version=np.asarray(FORMAT_VERSION, dtype=np.int64),
+        # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
+        node=np.asarray(node_label),
+        # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
+        node_names=np.asarray(cols.node_names),
+        node_code=cols.node_code,
+        **{name: getattr(cols, name) for name in SHARD_COLUMNS},
+    )
+    return buffer.getvalue()
+
+
+def write_manifest_atomic(
+    path: str | Path, manifest: dict, *, before_replace=None
+) -> None:
+    """Durably commit ``manifest.json``: temp file + fsync + atomic rename.
+
+    The commit point is the ``os.replace``; a crash before it leaves the
+    previous manifest fully intact, a crash after it leaves the new one.
+    ``before_replace`` is a test hook (crash injection between durability
+    and visibility); production callers leave it None.
+    """
+    import os
+    import tempfile
+
+    manifest_path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=manifest_path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if before_replace is not None:
+            before_replace()
+        os.replace(tmp, manifest_path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 # ---------------------------------------------------------------------------
@@ -1124,9 +1272,15 @@ class ColumnarArchive:
         self.skipped_shards: dict[str, ShardCorruptError] = {}
         #: The manifest this archive was loaded from, if any.
         self.manifest: dict | None = None
-        # Lazy-load state: node -> manifest entry for shards not yet read
-        # from disk (see ``load(..., lazy=True)``).
+        # Lazy-load state (entry-granular, since one v3 segment entry may
+        # cover many nodes): file -> entry not yet decoded, node -> files
+        # covering it, node -> decoded-but-unmerged (seq, part) pairs.
+        # An entry is always consumed atomically — decoding distributes
+        # *all* its nodes into ``_parts`` — so pending-entry counts and
+        # loaded-part counts never overlap.
         self._pending: dict[str, dict] = {}
+        self._node_files: dict[str, list[str]] = {}
+        self._parts: dict[str, list[tuple[int, RecordColumns]]] = {}
         self._directory: Path | None = None
         self._verify_checksums = True
 
@@ -1179,20 +1333,37 @@ class ColumnarArchive:
 
     @property
     def nodes(self) -> list[str]:
-        return sorted(self._by_node.keys() | self._pending.keys())
+        return sorted(
+            self._by_node.keys() | self._node_files.keys() | self._parts.keys()
+        )
 
     def columns(self, node: str) -> RecordColumns:
         cols = self._by_node.get(node)
-        if cols is None and node in self._pending:
-            cols = self._materialize(node)
+        if cols is None and (node in self._node_files or node in self._parts):
+            cols = self._assemble(node)
         return cols if cols is not None else RecordColumns.empty()
 
-    def _materialize(self, node: str) -> RecordColumns:
-        """Read one lazily-deferred shard from disk (first access only)."""
-        entry = self._pending.pop(node)
+    def _decode_entry(self, entry: dict) -> None:
+        """Read one manifest entry and distribute its rows into ``_parts``."""
         cols = _load_shard(
             self._directory, entry, verify_checksum=self._verify_checksums
         )
+        seq = int(entry.get("seq") or 0)
+        node = entry.get("node")
+        if node is not None:
+            self._parts.setdefault(node, []).append((seq, cols))
+        else:
+            for name, sub in cols.split_by_node().items():
+                self._parts.setdefault(name, []).append((seq, sub))
+
+    def _assemble(self, node: str) -> RecordColumns:
+        """Materialize one node: decode its covering entries, merge parts."""
+        for filename in self._node_files.pop(node, ()):
+            entry = self._pending.pop(filename, None)
+            if entry is not None:  # None: already decoded via a sibling node
+                self._decode_entry(entry)
+        parts = sorted(self._parts.pop(node, []), key=lambda p: p[0])
+        cols = merge_node_parts([part for _, part in parts])
         self._by_node[node] = cols
         return cols
 
@@ -1215,15 +1386,23 @@ class ColumnarArchive:
                     yield record
 
     def _pending_count(self, field: str) -> int:
-        """Sum a manifest count over unloaded shards, loading only those
-        whose entry lacks the field (hand-edited manifests)."""
+        """Sum a manifest count over rows not yet merged into ``_by_node``:
+        undecoded entries contribute their manifest totals (decoding only
+        those whose entry lacks the field — hand-edited manifests), and
+        decoded-but-unmerged parts are counted directly."""
         total = 0
-        for node, entry in list(self._pending.items()):
+        for filename, entry in list(self._pending.items()):
             value = entry.get(field)
             if value is None:
-                cols = self._materialize(node)
-                value = len(cols) if field == "n_records" else getattr(cols, field)
+                del self._pending[filename]
+                self._decode_entry(entry)
+                continue  # its rows are in _parts now, counted below
             total += int(value)
+        for parts in self._parts.values():
+            for _, cols in parts:
+                total += (
+                    len(cols) if field == "n_records" else int(getattr(cols, field))
+                )
         return total
 
     def n_records(self) -> int:
@@ -1305,23 +1484,11 @@ class ColumnarArchive:
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
         shards = []
-        for node in self.nodes:
+        for seq, node in enumerate(self.nodes):
             cols = self.columns(node)  # materializes lazy shards
             filename = f"{node}.npz"
-            shard_path = directory / filename
-            buffer = io.BytesIO()
-            np.savez(
-                buffer,
-                format_version=np.asarray(FORMAT_VERSION, dtype=np.int64),
-                # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
-                node=np.asarray(node),
-                # repro: noqa[NPY001]: unicode columns — width (<U#) must be value-inferred
-                node_names=np.asarray(cols.node_names),
-                node_code=cols.node_code,
-                **{name: getattr(cols, name) for name in SHARD_COLUMNS},
-            )
-            payload = buffer.getvalue()
-            shard_path.write_bytes(payload)
+            payload = shard_payload(cols, node)
+            (directory / filename).write_bytes(payload)
             shards.append(
                 {
                     "node": node,
@@ -1331,12 +1498,19 @@ class ColumnarArchive:
                     "n_errors": cols.n_errors,
                     "n_raw_lines": cols.n_raw_lines,
                     "zone_map": compute_zone_map(cols),
+                    # One fully-compacted shard per node: a batch save is
+                    # a single-generation archive of level-1 sorted runs.
+                    "level": 1,
+                    "seq": seq,
                 }
             )
         manifest = {
             "format": FORMAT_NAME,
             "format_version": FORMAT_VERSION,
             "writer": f"repro {__version__}",
+            "generation": 1,
+            "next_seq": len(shards),
+            "batches": [],
             "n_nodes": len(shards),
             "n_records": self.n_records(),
             "n_errors": self.n_errors(),
@@ -1370,12 +1544,19 @@ class ColumnarArchive:
         version) stay fatal either way.
 
         With ``lazy=True`` only the manifest is read eagerly; each node's
-        shard is read (and checksum-verified) on first access, so
-        touching one node of a thousand-node archive costs one file read.
-        Counts come from the manifest without any shard I/O.  Lazy loads
-        cannot degrade — shard damage surfaces at first access as the
-        usual :class:`ShardCorruptError` — so ``skip_corrupt`` is
-        rejected in combination with ``lazy``.
+        shard(s) are read (and checksum-verified) on first access, so
+        touching one node of a thousand-node archive costs one file read
+        (plus, under v3, any multi-node segment covering it).  Counts
+        come from the manifest without any shard I/O.  Lazy loads cannot
+        degrade — shard damage surfaces at first access as the usual
+        :class:`ShardCorruptError` — so ``skip_corrupt`` is rejected in
+        combination with ``lazy``.
+
+        v3 archives may cover one node with several entries (live L0
+        segments plus compacted runs); parts are assembled in commit
+        (``seq``) order through :func:`merge_node_parts`, and a corrupt
+        entry under ``skip_corrupt`` drops *every* node it covers (a
+        partially-assembled node would silently miss records).
         """
         if lazy and skip_corrupt:
             raise ValueError(
@@ -1389,18 +1570,37 @@ class ColumnarArchive:
         archive._directory = directory
         archive._verify_checksums = verify_checksums
         if lazy:
-            archive._pending = {e["node"]: e for e in manifest["shards"]}
+            archive._pending = {e["file"]: e for e in manifest["shards"]}
+            for entry in manifest["shards"]:
+                for name in entry_nodes(entry):
+                    archive._node_files.setdefault(name, []).append(entry["file"])
             return archive
         skipped: dict[str, ShardCorruptError] = {}
+        parts: dict[str, list[tuple[int, RecordColumns]]] = {}
         for entry in manifest["shards"]:
             try:
-                archive._by_node[entry["node"]] = _load_shard(
+                cols = _load_shard(
                     directory, entry, verify_checksum=verify_checksums
                 )
             except ShardCorruptError as exc:
                 if not skip_corrupt:
                     raise
-                skipped[entry["node"]] = exc
+                for name in entry_nodes(entry):
+                    skipped[name] = exc
+                continue
+            seq = int(entry.get("seq") or 0)
+            if entry.get("node") is not None:
+                parts.setdefault(entry["node"], []).append((seq, cols))
+            else:
+                for name, sub in cols.split_by_node().items():
+                    parts.setdefault(name, []).append((seq, sub))
+        for name, node_parts in parts.items():
+            if name in skipped:
+                continue  # incomplete node: dead-blade accounting
+            node_parts.sort(key=lambda p: p[0])
+            archive._by_node[name] = merge_node_parts(
+                [part for _, part in node_parts]
+            )
         archive.skipped_shards = skipped
         return archive
 
@@ -1436,47 +1636,70 @@ def read_manifest(path: str | Path) -> dict:
             raise ColumnarFormatError(
                 f"manifest {manifest_path} has a malformed shard entry: {entry!r}"
             )
+        if entry["node"] is None:
+            # v3 multi-node segment: the real names live in ``nodes``.
+            nodes = entry.get("nodes")
+            if not isinstance(nodes, list) or not nodes:
+                raise ColumnarFormatError(
+                    f"manifest {manifest_path} has a segment entry without "
+                    f"a node list: {entry.get('file')!r}"
+                )
+    for key in ("generation", "next_seq"):
+        value = manifest.get(key)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            raise ColumnarFormatError(
+                f"manifest {manifest_path} has a malformed {key!r}: {value!r}"
+            )
+    batches = manifest.get("batches")
+    if batches is not None and not isinstance(batches, list):
+        raise ColumnarFormatError(
+            f"manifest {manifest_path} has a malformed batch ledger: {batches!r}"
+        )
     return manifest
 
 
 def upgrade_archive(path: str | Path) -> dict:
-    """Backfill zone maps into a v1 archive in place (v1 -> v2 migration).
+    """Upgrade a v1/v2 archive's manifest in place to the current format.
 
-    Only the manifest is rewritten — shard files (and therefore their
-    checksums and the archive fingerprint) are untouched, so the upgrade
-    is cheap, idempotent, and safe to interrupt: the new manifest is
-    written to a temp file and atomically renamed over the old one.
-    Returns the (possibly already current) manifest.
+    v1 -> v2 backfills zone maps; v2 -> v3 adds the live-store
+    bookkeeping (``generation``/``next_seq``/``batches`` plus per-entry
+    ``level``/``seq``).  Only the manifest is rewritten — shard files
+    (and therefore their checksums and the archive fingerprint) are
+    untouched, so the upgrade is cheap, idempotent, and safe to
+    interrupt: the new manifest is committed via temp file + fsync +
+    atomic rename.  Returns the (possibly already current) manifest.
     """
-    import os
-    import tempfile
-
     directory = Path(path)
     manifest = read_manifest(directory)
-    needs_upgrade = manifest["format_version"] != FORMAT_VERSION or any(
-        "zone_map" not in entry for entry in manifest["shards"]
+    needs_upgrade = (
+        manifest["format_version"] != FORMAT_VERSION
+        or manifest.get("generation") is None
+        or manifest.get("next_seq") is None
+        or any(
+            "zone_map" not in entry or "level" not in entry or "seq" not in entry
+            for entry in manifest["shards"]
+        )
     )
     if not needs_upgrade:
         return manifest
-    for entry in manifest["shards"]:
-        if "zone_map" in entry:
-            continue
-        cols = _load_shard(directory, entry, verify_checksum=True)
-        entry["zone_map"] = compute_zone_map(cols)
-        entry.setdefault("n_records", len(cols))
-        entry.setdefault("n_errors", cols.n_errors)
-        entry.setdefault("n_raw_lines", cols.n_raw_lines)
+    for position, entry in enumerate(manifest["shards"]):
+        if "zone_map" not in entry:
+            cols = _load_shard(directory, entry, verify_checksum=True)
+            entry["zone_map"] = compute_zone_map(cols)
+            entry.setdefault("n_records", len(cols))
+            entry.setdefault("n_errors", cols.n_errors)
+            entry.setdefault("n_raw_lines", cols.n_raw_lines)
+        # Pre-v3 archives hold exactly one fully-merged shard per node:
+        # a single generation of level-1 runs in manifest order.
+        entry.setdefault("level", 1)
+        entry.setdefault("seq", position)
     manifest["format_version"] = FORMAT_VERSION
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, directory / MANIFEST_NAME)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
+    manifest.setdefault("generation", 1)
+    manifest.setdefault(
+        "next_seq", 1 + max((int(e["seq"]) for e in manifest["shards"]), default=-1)
+    )
+    manifest.setdefault("batches", [])
+    write_manifest_atomic(directory / MANIFEST_NAME, manifest)
     return manifest
 
 
@@ -1484,7 +1707,7 @@ def _load_shard(
     directory: Path, entry: dict, *, verify_checksum: bool = True
 ) -> RecordColumns:
     shard_path = directory / entry["file"]
-    shard_node = entry["node"]
+    shard_node = entry.get("node")
     try:
         payload = shard_path.read_bytes()
     except OSError as exc:
@@ -1518,9 +1741,12 @@ def _load_shard(
         raise ShardCorruptError(
             f"corrupt shard {shard_path}: {exc}", node=shard_node
         ) from exc
-    if node != entry["node"]:
+    if shard_node is not None and node != shard_node:
+        # Multi-node segments (v3) store a sentinel `node=""` scalar; the
+        # real names live in node_names/node_code, so only per-node shards
+        # carry a checkable node label.
         raise ShardCorruptError(
-            f"shard {shard_path} holds node {node!r}, manifest says {entry['node']!r}",
+            f"shard {shard_path} holds node {node!r}, manifest says {shard_node!r}",
             node=shard_node,
         )
     n = {int(a.shape[0]) for a in arrays.values()} | {int(node_code.shape[0])}

@@ -59,7 +59,14 @@ class LogArchive:
             self.append(record)
 
     def sort(self) -> None:
-        """Sort every node's records chronologically (stable)."""
+        """Sort every node's records chronologically (stable).
+
+        Ties break on the record-kind *name* (``kind.value`` is the
+        string tag), which is the archive's canonical record order: the
+        columnar layer reproduces it exactly in
+        :func:`repro.logs.columnar.canonical_sort_order`, so streamed
+        and compacted archives stay bit-identical to this path.
+        """
         for records in self._by_node.values():
             records.sort(key=lambda r: (r.timestamp_hours, r.kind.value))
 

@@ -20,6 +20,7 @@ class QueryCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -31,6 +32,7 @@ class QueryCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
@@ -74,6 +76,24 @@ class QueryCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
+
+    def invalidate(self, current_fingerprint: str) -> int:
+        """Evict every entry keyed under a *different* archive fingerprint.
+
+        Called by the engine when its source's fingerprint changes (an
+        ingest or compaction commit): results for the old archive state
+        can never be served again, so holding them only starves the LRU.
+        Entries already keyed on ``current_fingerprint`` survive.
+        Returns the number of entries dropped.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[0] != current_fingerprint
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         with self._lock:

@@ -174,13 +174,21 @@ class QueryEngine:
         self.cache = cache if cache is not None else QueryCache()
         self.prune = prune
         self.queries_run = 0
+        self._seen_fingerprint: str | None = None
 
     # -- public API --------------------------------------------------------
 
     def execute(self, plan: Query, *, use_cache: bool = True) -> QueryResult:
         start = time.perf_counter()
         self.queries_run += 1
-        key = (self.source.fingerprint(), plan.digest())
+        fingerprint = self.source.fingerprint()
+        if fingerprint != self._seen_fingerprint:
+            # The archive changed under us (live ingest/compaction
+            # commit): results keyed on any older state are dead weight.
+            if self._seen_fingerprint is not None:
+                self.cache.invalidate(fingerprint)
+            self._seen_fingerprint = fingerprint
+        key = (fingerprint, plan.digest())
         if use_cache:
             cached = self.cache.get(key)
             if cached is not None:

@@ -162,6 +162,57 @@ def _predicate_may_match(zone: dict, node: str, pred: Predicate,
     return True  # mb/va/pp/expected/actual/rep: no zone information
 
 
+def merge_zone_maps(zones) -> dict | None:
+    """Union of several zone maps, exact for the merged row set.
+
+    Every zone-map field is decomposable: counts add, ranges union.  A
+    multi-part node (live L0 segments plus compacted shards) can
+    therefore be pruned against the merge of its part zones with the
+    same conservatism guarantee as a single shard — no predicate path
+    in :func:`_predicate_may_match` can prune a merged zone whose parts
+    contain a matching row.  Returns ``None`` (never prune) if any part
+    lacks zone information.
+    """
+    zones = list(zones)
+    if not zones or any(z is None for z in zones):
+        return None
+    merged: dict = {
+        "n_records": 0,
+        "t": None,
+        "temp": None,
+        "n_temp": 0,
+        "kinds": {},
+        "bits": None,
+    }
+
+    def _union(current, extra):
+        if extra is None:
+            return current
+        lo, hi = float(extra[0]), float(extra[1])
+        if current is None:
+            return [lo, hi]
+        return [min(current[0], lo), max(current[1], hi)]
+
+    for zone in zones:
+        merged["n_records"] += int(zone.get("n_records") or 0)
+        merged["n_temp"] += int(zone.get("n_temp") or 0)
+        merged["t"] = _union(merged["t"], zone.get("t"))
+        merged["temp"] = _union(merged["temp"], zone.get("temp"))
+        bits = zone.get("bits")
+        if bits is not None:
+            lo, hi = int(bits[0]), int(bits[1])
+            if merged["bits"] is None:
+                merged["bits"] = [lo, hi]
+            else:
+                merged["bits"] = [
+                    min(merged["bits"][0], lo),
+                    max(merged["bits"][1], hi),
+                ]
+        for code, count in (zone.get("kinds") or {}).items():
+            merged["kinds"][code] = merged["kinds"].get(code, 0) + int(count)
+    return merged
+
+
 def shard_may_match(zone: dict | None, node: str,
                     predicates: tuple[Predicate, ...],
                     derives: dict[str, Derive]) -> bool:

@@ -13,24 +13,94 @@ Two implementations share one interface:
 
 Both expose a stable ``fingerprint()`` identifying the archive content;
 together with the plan digest it keys the engine's result cache.
+
+v3 archives are *live*: a node may be covered by several manifest
+entries (fresh L0 segments plus compacted runs), and the manifest may
+be atomically replaced under a running source by an ingest or
+compaction commit.  :class:`ArchiveSource` therefore assembles
+multi-part nodes in canonical order at scan time and (with
+``watch=True``, the default) re-reads the manifest whenever its
+``fingerprint()`` is asked for and the file changed — which is exactly
+once per query, at cache-key time, so one plan always scans a single
+consistent snapshot.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from ..core.errors import ShardCorruptError
 from ..logs.columnar import (
+    MANIFEST_NAME,
     SHARD_COLUMNS,
     ColumnarArchive,
     RecordColumns,
+    _load_shard,
     compute_zone_map,
+    entry_nodes,
     manifest_fingerprint,
+    merge_node_parts,
     read_manifest,
 )
+from .prune import merge_zone_maps
+
+#: Budget (in decoded column bytes) for multi-node segments kept hot
+#: per source.  One segment serves many per-node scans; without the
+#: cache an N-node segment would be decoded N times per query, and a
+#: node whose parts span every live segment (a hot node between
+#: compactions) would thrash any small count-based cache.
+SEGMENT_CACHE_BYTES = 128 * 1024 * 1024
+
+
+class _NodeSlices:
+    """A decoded multi-node segment, pre-sorted for per-node slicing.
+
+    Holds exactly one sorted copy of the segment's columns plus a
+    ``node -> (start, stop)`` index; ``get()`` hands out zero-copy
+    views.  This keeps the segment cache's footprint proportional to
+    the segment data itself rather than to the number of nodes it
+    covers (a fleet segment split into thousands of tiny materialized
+    ``RecordColumns`` costs far more in object overhead than in data).
+    """
+
+    __slots__ = ("_cols", "_bounds", "nbytes")
+
+    def __init__(self, cols: RecordColumns):
+        order = np.argsort(cols.node_code, kind="stable")
+        grouped = cols.take(order)
+        codes = np.arange(len(grouped.node_names))
+        starts = np.searchsorted(grouped.node_code, codes, side="left")
+        stops = np.searchsorted(grouped.node_code, codes, side="right")
+        self._cols = grouped
+        self._bounds = {
+            name: (int(starts[code]), int(stops[code]))
+            for code, name in enumerate(grouped.node_names)
+            if stops[code] > starts[code]
+        }
+        self.nbytes = int(
+            sum(getattr(grouped, name).nbytes for name in SHARD_COLUMNS)
+        )
+
+    def get(self, node: str) -> RecordColumns | None:
+        bounds = self._bounds.get(node)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        return RecordColumns(
+            **{
+                name: getattr(self._cols, name)[lo:hi]
+                for name in SHARD_COLUMNS
+            },
+            node_code=np.zeros(hi - lo, dtype=np.int32),
+            node_names=[node],
+        )
 
 
 @dataclass
@@ -51,11 +121,19 @@ class IoStats:
 
 @dataclass(frozen=True)
 class ShardInfo:
-    """One scannable shard: its node, row count, and optional zone map."""
+    """One scannable unit: a node, its row count, and zone information.
+
+    Under v3 one "shard" may be assembled from several on-disk parts;
+    ``n_parts`` says how many, and ``zone_map`` is then the (exact or
+    conservative) merge of the parts' zones.  ``n_records`` is None when
+    no exact per-node count is derivable (the node lives only inside
+    large aggregate-zoned segments).
+    """
 
     node: str
     n_records: int | None
     zone_map: dict | None
+    n_parts: int = 1
 
 
 class ArchiveSource:
@@ -66,37 +144,190 @@ class ArchiveSource:
     its full bytes, which defeats column-selective reads.  Run
     ``repro logs inspect --verify`` (or load eagerly) when integrity is
     in question; the query layer optimizes the hot read path.
+
+    ``watch`` (default True) makes ``fingerprint()`` stat the manifest
+    and re-read it when an ingest/compaction commit replaced it, so a
+    long-lived source (the telemetry server's) serves live data and
+    never reuses a stale cache key.  A scan that races a compactor's
+    file cleanup refreshes and retries once.
     """
 
-    def __init__(self, path: str | Path, *, verify_checksums: bool = False):
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        verify_checksums: bool = False,
+        watch: bool = True,
+    ):
         self.directory = Path(path)
-        self.manifest = read_manifest(self.directory)
         self.io = IoStats()
         self._verify = verify_checksums
-        self._shards = [
-            ShardInfo(
-                node=entry["node"],
-                n_records=entry.get("n_records"),
-                zone_map=entry.get("zone_map"),
+        self._watch = watch
+        self._lock = threading.Lock()
+        self._segments: OrderedDict[str, _NodeSlices] = OrderedDict()
+        self._segment_bytes = 0
+        self._load_manifest()
+
+    # -- manifest snapshot -------------------------------------------------
+
+    def _manifest_stat(self) -> tuple[int, int] | None:
+        try:
+            stat = os.stat(self.directory / MANIFEST_NAME)
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _load_manifest(self) -> None:
+        """(Re)build the scan index from the manifest on disk."""
+        manifest = read_manifest(self.directory)
+        covering: dict[str, list[dict]] = {}
+        for entry in manifest["shards"]:
+            for name in entry_nodes(entry):
+                covering.setdefault(name, []).append(entry)
+        for parts in covering.values():
+            parts.sort(key=lambda e: int(e.get("seq") or 0))
+        shards = []
+        for node in sorted(covering):
+            entries = covering[node]
+            zones = [self._node_zone(entry, node) for entry in entries]
+            zone = zones[0] if len(zones) == 1 else merge_zone_maps(zones)
+            n_records = self._node_count(entries, node)
+            shards.append(
+                ShardInfo(
+                    node=node,
+                    n_records=n_records,
+                    zone_map=zone,
+                    n_parts=len(entries),
+                )
             )
-            for entry in self.manifest["shards"]
-        ]
-        self._entries = {entry["node"]: entry for entry in self.manifest["shards"]}
+        with self._lock:
+            self.manifest = manifest
+            self._stat = self._manifest_stat()
+            self._fingerprint = manifest_fingerprint(manifest)
+            self._covering = covering
+            self._shards = shards
+            self._segments.clear()
+            self._segment_bytes = 0
+
+    @staticmethod
+    def _node_zone(entry: dict, node: str) -> dict | None:
+        """This entry's zone as seen by one node.
+
+        Per-node shards and small segments carry exact per-node zones;
+        large segments answer with their aggregate zone, whose ranges
+        and counts are supersets of any member node's — conservative
+        for every pruning path (see :mod:`repro.query.prune`).
+        """
+        if entry.get("node") is not None:
+            return entry.get("zone_map")
+        node_zones = entry.get("node_zones")
+        if node_zones is not None and node in node_zones:
+            return node_zones[node]
+        return entry.get("zone_map")
+
+    @staticmethod
+    def _node_count(entries: list[dict], node: str) -> int | None:
+        """Exact row count for the node, or None if any part can't say."""
+        total = 0
+        for entry in entries:
+            if entry.get("node") is not None:
+                n = entry.get("n_records")
+            else:
+                zone = (entry.get("node_zones") or {}).get(node)
+                n = None if zone is None else zone.get("n_records")
+            if n is None:
+                return None
+            total += int(n)
+        return total
+
+    # -- source protocol ---------------------------------------------------
 
     def fingerprint(self) -> str:
-        return manifest_fingerprint(self.manifest)
+        if self._watch and self._manifest_stat() != self._stat:
+            self._load_manifest()
+        return self._fingerprint
 
     def shards(self) -> list[ShardInfo]:
         return list(self._shards)
 
     def load_columns(self, node: str, names: set[str]) -> dict[str, np.ndarray]:
-        """Read the named base columns of one shard (counted I/O).
+        """Read the named base columns for one node (counted I/O).
 
-        Uses the npz member directory so only the requested arrays are
-        decoded; ``node`` is synthesized from the manifest (shards are
-        per-node) rather than decoded from disk.
+        Single-part nodes take the column-selective fast path: the npz
+        member directory lets us decode only the requested arrays.
+        Multi-part nodes (live archives) decode every covering entry —
+        segments through a small LRU, since one segment serves many
+        nodes — and merge the parts in canonical order.
         """
-        entry = self._entries[node]
+        try:
+            return self._load_columns(node, names)
+        except (FileNotFoundError, ShardCorruptError):
+            # A compaction commit may have unlinked a consumed segment
+            # between our manifest snapshot and this read; retry once
+            # against the fresh manifest before giving up.
+            if not self._watch:
+                raise
+            self._load_manifest()
+            return self._load_columns(node, names)
+
+    def _load_columns(self, node: str, names: set[str]) -> dict[str, np.ndarray]:
+        entries = self._covering[node]
+        if len(entries) == 1 and entries[0].get("node") is not None:
+            return self._load_single(entries[0], node, names)
+        parts: list[RecordColumns] = []
+        for entry in entries:
+            if entry.get("node") is not None:
+                cols = _load_shard(
+                    self.directory, entry, verify_checksum=self._verify
+                )
+                self._count_full_read(cols)
+            else:
+                cols = self._segment_columns(entry).get(node)
+                if cols is None:
+                    continue
+            parts.append(cols)
+        merged = merge_node_parts(parts)
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            if name in SHARD_COLUMNS:
+                out[name] = getattr(merged, name)
+        if "node" in names:
+            out["node"] = np.full(len(merged), node)
+        return out
+
+    def _segment_columns(self, entry: dict) -> _NodeSlices:
+        """Decode a multi-node segment, indexed per node, LRU-cached."""
+        filename = entry["file"]
+        with self._lock:
+            cached = self._segments.get(filename)
+            if cached is not None:
+                self._segments.move_to_end(filename)
+                return cached
+        cols = _load_shard(self.directory, entry, verify_checksum=self._verify)
+        self._count_full_read(cols)
+        slices = _NodeSlices(cols)
+        with self._lock:
+            self._segments[filename] = slices
+            self._segment_bytes += slices.nbytes
+            while (
+                self._segment_bytes > SEGMENT_CACHE_BYTES
+                and len(self._segments) > 1
+            ):
+                _, evicted = self._segments.popitem(last=False)
+                self._segment_bytes -= evicted.nbytes
+        return slices
+
+    def _count_full_read(self, cols: RecordColumns) -> None:
+        self.io.shards_read += 1
+        self.io.columns_read += len(SHARD_COLUMNS)
+        self.io.bytes_read += sum(
+            getattr(cols, name).nbytes for name in SHARD_COLUMNS
+        )
+
+    def _load_single(
+        self, entry: dict, node: str, names: set[str]
+    ) -> dict[str, np.ndarray]:
+        """Column-selective read of one per-node shard file."""
         path = self.directory / entry["file"]
         wanted = [n for n in names if n in SHARD_COLUMNS]
         out: dict[str, np.ndarray] = {}

@@ -268,13 +268,22 @@ class TelemetryServer:
     # -- endpoints ---------------------------------------------------------
 
     def _health(self) -> dict:
+        # fingerprint() first: on a live (watched) archive it refreshes
+        # the manifest snapshot, so the shard counts match the state the
+        # fingerprint names.
+        fingerprint = self.engine.source.fingerprint()
         shards = self.engine.source.shards()
-        return {
+        out = {
             "status": "ok",
             "nodes": len(shards),
             "records": sum(s.n_records or 0 for s in shards),
             "zone_maps": sum(1 for s in shards if s.zone_map is not None),
+            "fingerprint": fingerprint,
         }
+        manifest = getattr(self.engine.source, "manifest", None)
+        if isinstance(manifest, dict) and "generation" in manifest:
+            out["generation"] = int(manifest["generation"])
+        return out
 
     def _metrics(self) -> dict:
         uptime = (

@@ -1,0 +1,221 @@
+"""Streaming campaign execution (ISSUE 6 tentpole acceptance tests).
+
+``run_campaign(stream_to=...)`` must produce the same archive as the
+in-memory batch path, record for record — while the parent never holds
+more than one flush window of records.  These tests pin:
+
+* bit-identical per-node text renderings, streamed vs batch;
+* the exactly-once resume contract: a journal holding streamed units
+  refuses to resume without its archive, and a resume *with* it
+  deduplicates every replayed batch;
+* the backlog path: a journal from a pre-streaming run feeds its
+  record-bearing units into the archive on first streamed resume;
+* the CLI wiring (`repro campaign --stream-out`, `repro ingest`,
+  `repro compact`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.errors import CheckpointError
+from repro.faultinjection import run_campaign
+from repro.faultinjection.config import quick_campaign_config
+from repro.logs.columnar import ColumnarArchive
+from repro.logs.ingest import LiveArchive
+
+
+def rendering_of_columnar(directory, out) -> dict[str, str]:
+    ColumnarArchive.load(directory).write_text_directory(out)
+    return {p.name: p.read_text() for p in out.glob("*.log")}
+
+
+def rendering_of_batch(result, out) -> dict[str, str]:
+    result.archive.write_directory(out)
+    return {p.name: p.read_text() for p in out.glob("*.log")}
+
+
+@pytest.fixture(scope="module")
+def streamed(tmp_path_factory):
+    """One streamed+journaled quick campaign, shared by the module."""
+    root = tmp_path_factory.mktemp("streamed-campaign")
+    stream_dir = root / "archive"
+    ckpt = root / "ckpt"
+    result = run_campaign(
+        quick_campaign_config(),
+        stream_to=stream_dir,
+        stream_flush_nodes=200,
+        checkpoint_dir=ckpt,
+    )
+    return result, stream_dir, ckpt
+
+
+class TestStreamedParity:
+    def test_streamed_matches_batch_bit_for_bit(
+        self, quick_campaign, streamed, tmp_path
+    ):
+        result, stream_dir, _ = streamed
+        assert result.degraded is None
+        assert result.n_observations == quick_campaign.n_observations
+        assert sorted(result.tracks) == sorted(quick_campaign.tracks)
+        expected = rendering_of_batch(quick_campaign, tmp_path / "batch")
+        assert rendering_of_columnar(stream_dir, tmp_path / "streamed") == expected
+
+    def test_streamed_result_carries_a_columnar_archive(self, streamed):
+        result, stream_dir, _ = streamed
+        assert isinstance(result.archive, ColumnarArchive)
+        live = LiveArchive.open(stream_dir)
+        ledger = set(live.committed_batches)
+        assert "catalogue" in ledger
+        assert {f"unit:{name}" for name in result.tracks} <= ledger
+
+    def test_compaction_preserves_the_streamed_archive(
+        self, quick_campaign, streamed, tmp_path
+    ):
+        import shutil
+
+        _, stream_dir, _ = streamed
+        work = tmp_path / "work"
+        shutil.copytree(stream_dir, work)
+        report = LiveArchive.open(work).compact()
+        assert report.segments_written >= 1
+        expected = rendering_of_batch(quick_campaign, tmp_path / "batch")
+        assert rendering_of_columnar(work, tmp_path / "compacted") == expected
+
+
+class TestExactlyOnceResume:
+    def test_streamed_journal_refuses_resume_without_archive(self, streamed):
+        _, _, ckpt = streamed
+        with pytest.raises(CheckpointError, match="stream_to"):
+            run_campaign(
+                quick_campaign_config(), checkpoint_dir=ckpt, resume=True
+            )
+
+    def test_resume_with_archive_deduplicates_everything(
+        self, quick_campaign, streamed, tmp_path
+    ):
+        result, stream_dir, ckpt = streamed
+        before = LiveArchive.open(stream_dir)
+        generation = before.generation
+        n_records = before.manifest["n_records"]
+
+        resumed = run_campaign(
+            quick_campaign_config(),
+            stream_to=stream_dir,
+            checkpoint_dir=ckpt,
+            resume=True,
+        )
+        assert resumed.metrics.n_resumed == len(result.tracks)
+        assert resumed.n_observations == quick_campaign.n_observations
+
+        after = LiveArchive.open(stream_dir)
+        assert after.manifest["n_records"] == n_records  # zero duplicates
+        # The only new commits are replayed-and-deduplicated ledger
+        # no-ops plus the catalogue replay; the record population and
+        # batch ledger are unchanged.
+        assert sorted(after.committed_batches) == sorted(before.committed_batches)
+        expected = rendering_of_batch(quick_campaign, tmp_path / "batch")
+        assert rendering_of_columnar(stream_dir, tmp_path / "resumed") == expected
+        assert after.generation >= generation
+
+    def test_batch_journal_backlog_streams_on_resume(
+        self, quick_campaign, tmp_path
+    ):
+        """A journal written *before* streaming existed still resumes
+        into an archive: its record-bearing units become a backlog batch."""
+        ckpt = tmp_path / "ckpt"
+        first = run_campaign(quick_campaign.config, checkpoint_dir=ckpt)
+        assert first.degraded is None
+
+        stream_dir = tmp_path / "archive"
+        resumed = run_campaign(
+            quick_campaign.config,
+            checkpoint_dir=ckpt,
+            resume=True,
+            stream_to=stream_dir,
+        )
+        assert resumed.metrics.n_resumed == len(first.tracks)
+        expected = rendering_of_batch(quick_campaign, tmp_path / "batch")
+        assert rendering_of_columnar(stream_dir, tmp_path / "streamed") == expected
+
+
+class TestStreamingCli:
+    def test_campaign_stream_out_then_compact_and_query(self, tmp_path, capsys):
+        stream_dir = tmp_path / "live"
+        assert (
+            cli_main(
+                [
+                    "--quick",
+                    "campaign",
+                    "--stream-out",
+                    str(stream_dir),
+                    "--stream-flush-nodes",
+                    "300",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streamed" in out and "repro compact" in out
+
+        assert cli_main(["compact", "--dir", str(stream_dir)]) == 0
+        assert "merged" in capsys.readouterr().out
+        assert cli_main(["compact", "--dir", str(stream_dir)]) == 0
+        assert "fully compacted" in capsys.readouterr().out
+
+        assert (
+            cli_main(
+                ["query", "--dir", str(stream_dir), "--preset", "errors-by-node"]
+            )
+            == 0
+        )
+        assert '"shards_scanned"' in capsys.readouterr().out
+
+    def test_campaign_requires_an_output(self, capsys):
+        assert cli_main(["--quick", "campaign"]) == 2
+        assert "--stream-out" in capsys.readouterr().err
+
+    def test_ingest_roundtrip_with_dedup(self, tmp_path, capsys):
+        from repro.core.records import EndRecord, ErrorRecord, StartRecord
+        from repro.logs.store import LogArchive
+
+        src = tmp_path / "text"
+        archive = LogArchive()
+        for node, t0 in (("01-01", 0.0), ("01-02", 5.0)):
+            archive.append(StartRecord(t0, node, 3072, 40.0))
+            archive.append(
+                ErrorRecord(
+                    timestamp_hours=t0 + 1.0,
+                    node=node,
+                    virtual_address=4096,
+                    physical_page=7,
+                    expected=0xFF,
+                    actual=0xFE,
+                    temperature_c=51.25,
+                    repeat_count=3,
+                )
+            )
+            archive.append(EndRecord(t0 + 2.0, node, 41.0))
+        archive.sort()
+        archive.write_directory(src)
+
+        live = tmp_path / "live"
+        assert cli_main(["ingest", "--dir", str(live), "--from", str(src)]) == 0
+        assert "committed 2 batch(es)" in capsys.readouterr().out
+        assert cli_main(["ingest", "--dir", str(live), "--from", str(src)]) == 0
+        assert "skipped 2 already-committed" in capsys.readouterr().out
+
+        back = tmp_path / "back"
+        ColumnarArchive.load(live).write_text_directory(back)
+        assert {p.name: p.read_text() for p in back.glob("*.log")} == {
+            p.name: p.read_text() for p in src.glob("*.log")
+        }
+
+    def test_ingest_missing_source_dir(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert (
+            cli_main(["ingest", "--dir", str(tmp_path / "d"), "--from", str(missing)])
+            == 2
+        )
+        assert "no such directory" in capsys.readouterr().err

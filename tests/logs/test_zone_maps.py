@@ -75,10 +75,13 @@ class TestZoneMaps:
         assert zone["temp"] is None
         assert zone["bits"] is None
 
-    def test_save_writes_v2_with_zone_maps(self, saved):
+    def test_save_writes_v3_with_zone_maps(self, saved):
         manifest = read_manifest(saved)
-        assert manifest["format_version"] == FORMAT_VERSION == 2
+        assert manifest["format_version"] == FORMAT_VERSION == 3
         assert all("zone_map" in e for e in manifest["shards"])
+        assert all("level" in e and "seq" in e for e in manifest["shards"])
+        assert manifest["generation"] == 1
+        assert manifest["next_seq"] == len(manifest["shards"])
 
 
 class TestUpgrade:
