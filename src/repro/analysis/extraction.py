@@ -9,10 +9,12 @@ Raw scanner logs are not independent errors:
    raw error lines; it is identified and removed from the
    characterization, exactly as the paper did.
 
-The pipeline is fully vectorized: rows are sorted by (node, address,
-flip-mask, time), consecutive same-fault runs are cut where the key
-changes or the inter-record gap exceeds the merge window, and each run
-aggregates into one :class:`~repro.core.events.MemoryError_`.
+The dedup itself lives in :mod:`repro.kernels.extract`: rows are sorted
+by (node, address, flip-mask, time), consecutive same-fault runs are cut
+where the key changes or the inter-record gap exceeds the merge window,
+and each run aggregates into one :class:`~repro.core.events.MemoryError_`.
+``REPRO_KERNELS=reference`` swaps the lexsort kernel for its scalar
+stable-sort oracle.
 """
 
 from __future__ import annotations
@@ -21,8 +23,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.errors import ExtractionError
 from ..core.events import MemoryError_
+from ..kernels.extract import collapse_runs
 from ..logs.frame import ErrorFrame
 
 #: Two records of the same fault signature within this window (hours) are
@@ -88,63 +90,10 @@ def collapse_repeats(
 
     Two records belong to the same fault when they share (node, virtual
     address, flip mask) and are separated by at most the merge window.
+    Delegates to the dispatched :data:`repro.kernels.extract.collapse_runs`
+    kernel pair (which also validates the window).
     """
-    if merge_window_hours < 0:
-        raise ExtractionError("merge window must be non-negative")
-    n = len(frame)
-    if n == 0:
-        return []
-    mask = frame.flip_mask.astype(np.int64)
-    order = np.lexsort(
-        (frame.time_hours, mask, frame.virtual_address, frame.node_code)
-    )
-    node = frame.node_code[order]
-    va = frame.virtual_address[order]
-    fmask = mask[order]
-    t = frame.time_hours[order]
-
-    new_key = np.empty(n, dtype=bool)
-    new_key[0] = True
-    new_key[1:] = (
-        (node[1:] != node[:-1])
-        | (va[1:] != va[:-1])
-        | (fmask[1:] != fmask[:-1])
-        | ((t[1:] - t[:-1]) > merge_window_hours)
-    )
-    segment = np.cumsum(new_key) - 1
-    n_segments = int(segment[-1]) + 1
-
-    first_idx = np.flatnonzero(new_key)
-    last_idx = np.append(first_idx[1:], n) - 1
-
-    repeats = frame.repeat_count[order].astype(np.int64)
-    raw_per_segment = np.zeros(n_segments, dtype=np.int64)
-    np.add.at(raw_per_segment, segment, repeats)
-
-    expected = frame.expected[order]
-    actual = frame.actual[order]
-    pages = frame.physical_page[order]
-    temps = frame.temperature_c[order]
-
-    errors: list[MemoryError_] = []
-    for s in range(n_segments):
-        i0, i1 = int(first_idx[s]), int(last_idx[s])
-        temp = float(temps[i0])
-        errors.append(
-            MemoryError_(
-                node=frame.node_names[int(node[i0])],
-                first_seen_hours=float(t[i0]),
-                last_seen_hours=float(t[i1]),
-                virtual_address=int(va[i0]),
-                physical_page=int(pages[i0]),
-                expected=int(expected[i0]),
-                actual=int(actual[i0]),
-                raw_log_count=int(raw_per_segment[s]),
-                temperature_c=None if np.isnan(temp) else temp,
-            )
-        )
-    errors.sort(key=lambda e: (e.first_seen_hours, e.node))
-    return errors
+    return collapse_runs(frame, merge_window_hours)
 
 
 def extract(

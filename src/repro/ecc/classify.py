@@ -14,10 +14,22 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from ..core.events import MemoryError_
 from .chipkill import CHIPKILL_32, ChipkillCode
-from .hamming import DecodeStatus
-from .secded import SecdedOutcome, classify_word
+from .secded import SecdedOutcome
+
+#: Kernel outcome codes -> the scheme-agnostic outcome enum.  The codes
+#: (0/1/2) are the stable contract of :mod:`repro.kernels.ecc`, which is
+#: imported lazily inside the classify functions: it imports this
+#: package's scalar codecs as its reference oracles, so a module-level
+#: import here would be circular.
+_CODE_TO_OUTCOME = {
+    0: SecdedOutcome.CORRECTED,
+    1: SecdedOutcome.DETECTED,
+    2: SecdedOutcome.SDC,
+}
 
 
 @dataclass(frozen=True)
@@ -67,29 +79,51 @@ class ProtectionSummary:
         ]
 
 
+def _word_arrays(
+    errors: Sequence[MemoryError_],
+) -> tuple[np.ndarray, np.ndarray]:
+    expected = np.fromiter(
+        (err.expected for err in errors), dtype=np.uint64, count=len(errors)
+    )
+    actual = np.fromiter(
+        (err.actual for err in errors), dtype=np.uint64, count=len(errors)
+    )
+    return expected, actual
+
+
 def classify_secded(errors: Iterable[MemoryError_]) -> ProtectionSummary:
-    """Replay an error stream through (39,32) SECDED."""
+    """Replay an error stream through (39,32) SECDED.
+
+    The whole population decodes in one dispatched
+    :data:`repro.kernels.ecc.secded_classify` call (matrix-at-once
+    syndromes); outcomes attach back to the errors in stream order.
+    """
+    from ..kernels import ecc as _kernels
+
+    errors = list(errors)
     summary = ProtectionSummary("secded-32")
-    for err in errors:
-        outcome = classify_word(err.expected, err.actual)
-        summary.add(ProtectionOutcome(err, outcome))
+    expected, actual = _word_arrays(errors)
+    for err, code in zip(errors, _kernels.secded_classify(expected, actual)):
+        summary.add(ProtectionOutcome(err, _CODE_TO_OUTCOME[int(code)]))
     return summary
 
 
 def classify_chipkill(
     errors: Iterable[MemoryError_], code: ChipkillCode = CHIPKILL_32
 ) -> ProtectionSummary:
-    """Replay an error stream through the chipkill SSC-DSD codec."""
+    """Replay an error stream through the chipkill SSC-DSD codec.
+
+    One dispatched :data:`repro.kernels.ecc.chipkill_classify` call
+    computes every word's symbol syndromes from its flip nibbles.
+    """
+    from ..kernels import ecc as _kernels
+
+    errors = list(errors)
     summary = ProtectionSummary(f"chipkill-{code.spec.symbol_bits}b")
-    for err in errors:
-        result = code.decode_flips(err.expected, err.flip_mask)
-        if result.status is DecodeStatus.CORRECTED:
-            outcome = SecdedOutcome.CORRECTED
-        elif result.status is DecodeStatus.DETECTED:
-            outcome = SecdedOutcome.DETECTED
-        else:
-            outcome = SecdedOutcome.SDC
-        summary.add(ProtectionOutcome(err, outcome))
+    expected, actual = _word_arrays(errors)
+    outcomes = _kernels.chipkill_classify(expected, actual, code)
+    for err, outcome_code in zip(errors, outcomes):
+        summary.add(ProtectionOutcome(err, _CODE_TO_OUTCOME[int(outcome_code)]))
     return summary
 
 

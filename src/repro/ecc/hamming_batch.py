@@ -2,11 +2,14 @@
 
 The scalar :class:`~repro.ecc.hamming.HammingSecded` decodes one word at
 a time — fine for the 18 Table I patterns, slow for population-scale
-replay (10^5..10^7 words).  This module implements the same code with
-bit-parallel parity arithmetic: each check bit is the XOR-reduction of a
-masked word, computed for a whole array at once; syndromes decode through
-a lookup table.  Outcomes are bit-exact with the scalar codec (property-
-tested), at ~100x the throughput.
+replay (10^5..10^7 words).  The batch implementations now live in
+:mod:`repro.kernels.ecc` as dispatched kernel pairs: the parity-check
+matrix is packed into uint64 column masks and syndromes become a GF(2)
+bit-matrix multiply over the whole population at once.  This module
+keeps its historical public API (``syndromes``, ``decode_flips_batch``,
+the outcome codes, :class:`BatchSummary`) as thin wrappers over the
+dispatched kernels, so ``REPRO_KERNELS=reference`` routes even these
+entry points through the scalar oracles.
 """
 
 from __future__ import annotations
@@ -15,58 +18,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core import bitops
-from .hamming import SECDED_32
-
-#: Data-bit parity masks: check i covers data bits where mask has a 1.
-#: Derived from the scalar codec's position layout so the two agree.
-def _build_tables():
-    codec = SECDED_32
-    n_checks = codec.check_bits
-    data_positions = codec._data_positions  # Hamming position per data bit
-    check_masks = np.zeros(n_checks, dtype=np.uint64)
-    for data_bit, pos in enumerate(data_positions):
-        for check in range(n_checks):
-            if int(pos) & (1 << check):
-                check_masks[check] |= np.uint64(1) << np.uint64(data_bit)
-    # Syndrome -> data bit index (or -1 when the syndrome does not point
-    # at a data bit: zero, a check position, or out of range).
-    syndrome_to_data = np.full(1 << n_checks, -1, dtype=np.int64)
-    for data_bit, pos in enumerate(data_positions):
-        syndrome_to_data[int(pos)] = data_bit
-    # Syndromes pointing at check bits are correctable non-data positions.
-    check_positions = set(int(p) for p in codec._check_positions)
-    syndrome_is_check = np.zeros(1 << n_checks, dtype=bool)
-    for pos in check_positions:
-        syndrome_is_check[pos] = True
-    max_position = codec.data_bits + codec.check_bits
-    return check_masks, syndrome_to_data, syndrome_is_check, max_position
-
-
-_CHECK_MASKS, _SYN_TO_DATA, _SYN_IS_CHECK, _MAX_POSITION = _build_tables()
-
-#: Outcome codes of :func:`decode_flips_batch`.
+#: Outcome codes of :func:`decode_flips_batch`.  These literals are the
+#: stable contract shared with :mod:`repro.kernels.ecc` (which imports
+#: this package's scalar codecs as its oracles, so the kernel module is
+#: imported lazily inside the wrappers to avoid a cycle); the kernel
+#: test suite asserts the two stay equal.
 CORRECTED = 0
 DETECTED = 1
 SDC = 2
-
-
-def _parity32(words: np.ndarray) -> np.ndarray:
-    """Parity (popcount mod 2) of each uint64 word, vectorized."""
-    return (np.asarray(bitops.popcount(words)) & 1).astype(np.uint8)
 
 
 def syndromes(data: np.ndarray) -> np.ndarray:
     """Check-bit values for an array of 32-bit data words.
 
     Returns shape (n, check_bits) of 0/1; matches the scalar codec's
-    check bits for every word (tested exhaustively over random samples).
+    check bits for every word (the ``tests/kernels`` differential
+    harness asserts this against the per-word oracle).
     """
-    data = np.asarray(data, dtype=np.uint64)
-    out = np.empty((data.shape[0], _CHECK_MASKS.shape[0]), dtype=np.uint8)
-    for check, mask in enumerate(_CHECK_MASKS):
-        out[:, check] = _parity32(np.bitwise_and(data, mask))
-    return out
+    from ..kernels import ecc as _kernels
+
+    return _kernels.secded_syndromes(np.asarray(data, dtype=np.uint64))
 
 
 def decode_flips_batch(expected: np.ndarray, actual: np.ndarray) -> np.ndarray:
@@ -77,47 +48,12 @@ def decode_flips_batch(expected: np.ndarray, actual: np.ndarray) -> np.ndarray:
     received codeword's syndrome is the XOR of the flip mask's column
     parities, and the overall parity flips with the popcount of the mask.
     """
-    expected = np.asarray(expected, dtype=np.uint64)
-    actual = np.asarray(actual, dtype=np.uint64)
-    masks = np.bitwise_xor(expected, actual)
-    if np.any(masks == 0):
-        raise ValueError("rows without corruption cannot be classified")
-    n_flipped = np.asarray(bitops.popcount(masks)).reshape(-1)
+    from ..kernels import ecc as _kernels
 
-    # Syndrome of the error pattern alone (code linearity).
-    syndrome = np.zeros(masks.shape[0], dtype=np.int64)
-    for check, cmask in enumerate(_CHECK_MASKS):
-        syndrome |= _parity32(np.bitwise_and(masks, cmask)).astype(np.int64) << check
-    parity_odd = (n_flipped & 1).astype(bool)
-
-    out = np.empty(masks.shape[0], dtype=np.int8)
-    # Even number of flips, nonzero syndrome: detected (DED guarantee for
-    # 2; honest detection for larger even patterns that don't alias).
-    even = ~parity_odd
-    out[even & (syndrome != 0)] = DETECTED
-    # Even flips with zero syndrome alias to a valid codeword: silent.
-    out[even & (syndrome == 0)] = SDC
-    # Odd flips: decoder "corrects" the syndrome position.
-    odd = parity_odd
-    single = odd & (n_flipped == 1)
-    out[single] = CORRECTED
-    multi_odd = odd & (n_flipped > 1)
-    if np.any(multi_odd):
-        syn = syndrome[multi_odd]
-        points_at_data = _SYN_TO_DATA[syn] >= 0
-        is_check = _SYN_IS_CHECK[syn]
-        # Zero syndrome with odd parity looks like a flipped overall-parity
-        # bit: the decoder "fixes" that bit and hands over corrupt data.
-        zero_syndrome = syn == 0
-        in_range = syn <= _MAX_POSITION
-        # Any "correction" of a >1-flip pattern restores the wrong word:
-        # miscorrection (SDC).  Out-of-range syndromes are detected.
-        codes = np.where(
-            zero_syndrome | points_at_data | is_check, SDC, DETECTED
-        )
-        codes = np.where(~in_range, DETECTED, codes)
-        out[multi_odd] = codes
-    return out
+    return _kernels.secded_classify(
+        np.asarray(expected, dtype=np.uint64),
+        np.asarray(actual, dtype=np.uint64),
+    )
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,7 @@ archives and tracks.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from functools import cached_property
@@ -49,6 +50,8 @@ from ..logs.frame import ErrorFrame
 from ..logs.store import LogArchive
 from ..parallel import (
     RetryPolicy,
+    ShardArena,
+    ShardTicket,
     parallel_map,
     resolve_backend,
     resolve_workers,
@@ -440,6 +443,11 @@ class _NodeResult:
     #: live archive (``records``/``lifecycle`` are then empty).  Default
     #: False keeps journals from pre-streaming runs loadable.
     streamed: bool = False
+    #: Claim check for columns the worker spilled to the shard arena
+    #: instead of pickling through the result (``records``/``lifecycle``
+    #: are then already empty).  Cleared before journaling so checkpoint
+    #: entries never reference the run-scoped arena directory.
+    shard: ShardTicket | None = None
 
 
 def _simulate_node(ctx: _CampaignContext, name: str) -> _NodeResult:
@@ -532,15 +540,55 @@ def _simulate_node(ctx: _CampaignContext, name: str) -> _NodeResult:
 #: Per-process context for the process backend (set by the pool initializer).
 _WORKER_CTX: _CampaignContext | None = None
 
+#: Spill arena for streaming process runs (set alongside the context).
+_WORKER_ARENA: ShardArena | None = None
+
+#: Environment switch for the worker-side mmap handoff; set to ``0`` to
+#: force streamed process campaigns back to pickled record lists.
+SHARD_HANDOFF_ENV = "REPRO_SHARD_HANDOFF"
+
 
 def _init_worker(config: CampaignConfig, materialize_lifecycle: bool) -> None:
     global _WORKER_CTX
     _WORKER_CTX = _CampaignContext(config, materialize_lifecycle)
 
 
+def _init_worker_streaming(
+    config: CampaignConfig, materialize_lifecycle: bool, arena_root: str
+) -> None:
+    global _WORKER_ARENA
+    _init_worker(config, materialize_lifecycle)
+    _WORKER_ARENA = ShardArena(arena_root)
+
+
 def _node_worker(name: str) -> _NodeResult:
     assert _WORKER_CTX is not None, "worker used before initialization"
     return _simulate_node(_WORKER_CTX, name)
+
+
+def _node_worker_spill(name: str) -> _NodeResult:
+    """Streaming process unit: columnarize + spill in the worker.
+
+    The worker does the columnarization (in parallel, instead of the
+    supervising process) and ships the arrays through the shard arena;
+    only the small :class:`~repro.parallel.ShardTicket` rides the result
+    pickle, so handoff cost no longer scales with a node's record count.
+    """
+    assert _WORKER_ARENA is not None, "spill worker used before initialization"
+    from ..logs.columnar import RecordColumns
+
+    result = _node_worker(name)
+    columns = RecordColumns.from_records(
+        list(result.records) + list(result.lifecycle)
+    )
+    result.records = []
+    result.lifecycle = []
+    result.shard = _WORKER_ARENA.spill(
+        name.replace("/", "_"),
+        columns.to_arrays(),
+        meta={"node_names": list(columns.node_names)},
+    )
+    return result
 
 
 def run_campaign(
@@ -596,6 +644,14 @@ def run_campaign(
     composes with checkpointing: units are journaled only *after* their
     records are durable in the archive, and the archive's batch ledger
     dedups any unit replayed after a crash, so resume is exactly-once.
+
+    On the process backend, streamed units hand their columns over
+    through a :class:`repro.parallel.ShardArena`: the worker
+    columnarizes and spills ``.npy`` files, only a small ticket rides
+    the result pickle, and the parent claims the arrays back as
+    memory-mapped views — transfer cost stops scaling with record
+    count.  Set ``REPRO_SHARD_HANDOFF=0`` to fall back to pickled
+    record lists.
     """
     t_begin = time.perf_counter()
     config = config or paper_campaign_config()
@@ -665,6 +721,7 @@ def run_campaign(
 
         on_result = None
         _flush_stream = None
+        arena: ShardArena | None = None
         if stream_to is not None:
             from ..logs.columnar import RecordColumns
             from ..logs.ingest import LiveArchive
@@ -672,6 +729,11 @@ def run_campaign(
             live = LiveArchive.create(stream_to)
             flush_every = max(1, int(stream_flush_nodes))
             stream_buffer: list[tuple[str, _NodeResult, RecordColumns]] = []
+            if (
+                exec_backend == "process"
+                and os.environ.get(SHARD_HANDOFF_ENV, "1") != "0"
+            ):
+                arena = ShardArena.create()
 
             def _flush_stream() -> None:
                 if not stream_buffer:
@@ -682,16 +744,36 @@ def run_campaign(
                 # Journal only after the records are durable in the
                 # archive (journaled => streamed).  A crash between the
                 # two re-runs the unit on resume; the archive's batch
-                # ledger dedups the replayed records.
+                # ledger dedups the replayed records.  Shard tickets are
+                # cleared first (journal entries must outlive the arena)
+                # and released last (claimed arrays are mmap-backed, so
+                # the spill must survive until append_batch copied it).
+                tickets = []
+                for _key, value, _cols in stream_buffer:
+                    ticket = getattr(value, "shard", None)
+                    if ticket is not None:
+                        tickets.append(ticket)
+                        value.shard = None
                 if journal is not None:
                     for key, value, _cols in stream_buffer:
                         journal.append(key, value)
+                if arena is not None:
+                    for ticket in tickets:
+                        arena.release(ticket)
                 stream_buffer.clear()
 
             def on_result(_i, key, value) -> None:
-                cols = RecordColumns.from_records(
-                    list(value.records) + list(value.lifecycle)
-                )
+                ticket = getattr(value, "shard", None)
+                if ticket is not None and arena is not None:
+                    # The worker already columnarized and spilled this
+                    # unit; claim the arrays back as read-only mmaps.
+                    cols = RecordColumns.from_arrays(
+                        arena.claim(ticket), ticket.meta["node_names"]
+                    )
+                else:
+                    cols = RecordColumns.from_records(
+                        list(value.records) + list(value.lifecycle)
+                    )
                 # Strip in place: `value` is the same object the
                 # supervisor keeps in its outcome, so the parent never
                 # holds more than one flush window of records in RAM.
@@ -724,14 +806,22 @@ def run_campaign(
 
         try:
             if exec_backend == "process":
+                if arena is not None:
+                    worker_fn = _node_worker_spill
+                    worker_init = _init_worker_streaming
+                    worker_initargs = (config, materialize_lifecycle, arena.root)
+                else:
+                    worker_fn = _node_worker
+                    worker_init = _init_worker
+                    worker_initargs = (config, materialize_lifecycle)
                 outcome = supervised_map(
-                    _node_worker,
+                    worker_fn,
                     remaining,
                     keys=remaining,
                     backend="process",
                     workers=n_workers,
-                    initializer=_init_worker,
-                    initargs=(config, materialize_lifecycle),
+                    initializer=worker_init,
+                    initargs=worker_initargs,
                     retry=retry,
                     unit_timeout=unit_timeout,
                     chaos=chaos,
@@ -754,6 +844,8 @@ def run_campaign(
         finally:
             if journal is not None:
                 journal.close()
+            if arena is not None:
+                arena.close()
 
         by_name = dict(journaled)
         for name, value in zip(remaining, outcome.values):

@@ -1,0 +1,45 @@
+"""Hardware-speed hot-path kernels (ROADMAP item 4).
+
+Three inner loops bound campaign throughput: the scanner verify pass,
+ECC syndrome/classification replay, and extraction dedup.  Each lives
+here as a :class:`~repro.kernels.dispatch.KernelDispatch` pair — the
+scalar predecessor kept as the reference oracle, and a whole-array
+NumPy rewrite selected by default — switched process-wide via
+``REPRO_KERNELS=reference|vectorized``:
+
+* :mod:`repro.kernels.scan` — one vectorized XOR + nonzero pass per
+  pattern over an entire region, with unpackbits bit-position recovery;
+* :mod:`repro.kernels.ecc` — matrix-at-once SECDED syndromes over
+  packed uint64 words (parity-check matrix as a GF(2) bit-matrix
+  multiply) and vectorized chipkill symbol-syndrome classification;
+* :mod:`repro.kernels.extract` — sort-based collapse of repeated error
+  records into independent errors.
+
+Submodules are imported lazily by their call sites; importing one
+registers its kernels in :data:`~repro.kernels.dispatch.KERNELS`.  The
+differential harness under ``tests/kernels/`` is the acceptance oracle:
+both implementations of every kernel must agree bit-for-bit
+(docs/KERNELS.md).
+"""
+
+from .dispatch import (
+    DEFAULT_IMPL,
+    ENV_VAR,
+    IMPLEMENTATIONS,
+    KERNELS,
+    KernelDispatch,
+    active_impl,
+    register_kernel,
+    use_impl,
+)
+
+__all__ = [
+    "DEFAULT_IMPL",
+    "ENV_VAR",
+    "IMPLEMENTATIONS",
+    "KERNELS",
+    "KernelDispatch",
+    "active_impl",
+    "register_kernel",
+    "use_impl",
+]

@@ -1,0 +1,124 @@
+"""The reference/vectorized kernel switch.
+
+Every hot-path kernel in this package ships as a *pair*: the scalar
+predecessor it replaced (the oracle) and the whole-array NumPy rewrite
+(the production path).  A :class:`KernelDispatch` is a callable that
+picks one of the two at call time from the ``REPRO_KERNELS``
+environment variable, so
+
+* production code calls the dispatcher and gets the vectorized kernel
+  by default;
+* ``REPRO_KERNELS=reference`` runs an entire campaign through the
+  scalar oracles (the differential harness's end-to-end parity check);
+* tests reach either implementation directly via ``.reference`` /
+  ``.vectorized`` or scope a switch with :func:`use_impl`.
+
+The registry (:data:`KERNELS`) exists so the harness can enumerate
+every kernel pair and assert each one actually has two distinct
+implementations — a kernel silently aliasing its oracle would make the
+differential tests vacuous.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from ..core.errors import ConfigurationError
+
+#: Environment variable selecting the implementation for dispatched calls.
+ENV_VAR = "REPRO_KERNELS"
+
+#: Legal values of :data:`ENV_VAR`.
+IMPLEMENTATIONS = ("reference", "vectorized")
+
+#: Implementation used when the variable is unset or empty.
+DEFAULT_IMPL = "vectorized"
+
+#: Kernel name -> dispatcher, in registration order.
+KERNELS: dict[str, "KernelDispatch"] = {}
+
+
+def active_impl() -> str:
+    """The implementation dispatched calls resolve to right now."""
+    value = os.environ.get(ENV_VAR) or DEFAULT_IMPL
+    if value not in IMPLEMENTATIONS:
+        raise ConfigurationError(
+            f"{ENV_VAR}={value!r} is not one of {IMPLEMENTATIONS}"
+        )
+    return value
+
+
+class KernelDispatch:
+    """A named kernel pair, callable through the active implementation."""
+
+    __slots__ = ("name", "reference", "vectorized")
+
+    def __init__(
+        self,
+        name: str,
+        reference: Callable[..., Any],
+        vectorized: Callable[..., Any],
+    ):
+        if reference is vectorized:
+            raise ConfigurationError(
+                f"kernel {name!r} registered one function as both "
+                "implementations; the differential harness needs two"
+            )
+        self.name = name
+        self.reference = reference
+        self.vectorized = vectorized
+
+    def impl(self, name: str) -> Callable[..., Any]:
+        """The implementation registered under ``name``."""
+        if name not in IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"unknown kernel implementation {name!r}; "
+                f"choose from {IMPLEMENTATIONS}"
+            )
+        return self.vectorized if name == "vectorized" else self.reference
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.impl(active_impl())(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelDispatch({self.name!r}, active={active_impl()!r})"
+
+
+def register_kernel(
+    name: str,
+    *,
+    reference: Callable[..., Any],
+    vectorized: Callable[..., Any],
+) -> KernelDispatch:
+    """Create and register a dispatcher (module-import time only)."""
+    if name in KERNELS:
+        raise ConfigurationError(f"kernel {name!r} registered twice")
+    dispatch = KernelDispatch(name, reference, vectorized)
+    KERNELS[name] = dispatch
+    return dispatch
+
+
+@contextmanager
+def use_impl(name: str) -> Iterator[None]:
+    """Scope the active implementation (tests and A/B comparisons).
+
+    Mutates the process environment, so worker processes *forked inside*
+    the scope inherit the switch; it is not safe against concurrent
+    switches from other threads (tests serialize through it).
+    """
+    if name not in IMPLEMENTATIONS:
+        raise ConfigurationError(
+            f"unknown kernel implementation {name!r}; "
+            f"choose from {IMPLEMENTATIONS}"
+        )
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous

@@ -1,0 +1,158 @@
+"""Extraction dedup kernels: repeated records -> independent errors.
+
+Two observations are the same root-cause fault when they share
+``(node, virtual address, flip mask)`` and sit within the merge window
+(paper Sec II-C).  The vectorized kernel sorts the whole population
+once (``np.lexsort``), cuts runs where the key changes or the time gap
+exceeds the window, and gathers every run's fields with fancy indexing.
+The reference kernel is the same collapse as a stable Python sort plus
+a linear scan — the scalar predecessor and differential oracle.
+
+Both sorts are stable over the identical composite key, so the two
+implementations produce the same permutation, the same runs, and
+bit-identical :class:`~repro.core.events.MemoryError_` lists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.errors import ExtractionError
+from ..core.events import MemoryError_
+from ..logs.frame import ErrorFrame
+from .dispatch import register_kernel
+
+
+def _validate_window(merge_window_hours: float) -> None:
+    if merge_window_hours < 0:
+        raise ExtractionError("merge window must be non-negative")
+
+
+def _collapse_runs_reference(
+    frame: ErrorFrame, merge_window_hours: float
+) -> list[MemoryError_]:
+    """Stable tuple-sort + linear run scan (the scalar predecessor)."""
+    _validate_window(merge_window_hours)
+    n = len(frame)
+    if n == 0:
+        return []
+    mask = frame.flip_mask.astype(np.int64)
+    node = frame.node_code
+    va = frame.virtual_address
+    t = frame.time_hours
+    order = sorted(
+        range(n),
+        key=lambda i: (int(node[i]), int(va[i]), int(mask[i]), float(t[i])),
+    )
+
+    errors: list[MemoryError_] = []
+
+    def emit(first: int, last: int, raw: int) -> None:
+        temp = float(frame.temperature_c[first])
+        errors.append(
+            MemoryError_(
+                node=frame.node_names[int(node[first])],
+                first_seen_hours=float(t[first]),
+                last_seen_hours=float(t[last]),
+                virtual_address=int(va[first]),
+                physical_page=int(frame.physical_page[first]),
+                expected=int(frame.expected[first]),
+                actual=int(frame.actual[first]),
+                raw_log_count=raw,
+                temperature_c=None if np.isnan(temp) else temp,
+            )
+        )
+
+    first = prev = order[0]
+    raw = int(frame.repeat_count[first])
+    for idx in order[1:]:
+        same_fault = (
+            int(node[idx]) == int(node[prev])
+            and int(va[idx]) == int(va[prev])
+            and int(mask[idx]) == int(mask[prev])
+            and float(t[idx]) - float(t[prev]) <= merge_window_hours
+        )
+        if same_fault:
+            raw += int(frame.repeat_count[idx])
+        else:
+            emit(first, prev, raw)
+            first = idx
+            raw = int(frame.repeat_count[idx])
+        prev = idx
+    emit(first, prev, raw)
+    errors.sort(key=lambda e: (e.first_seen_hours, e.node))
+    return errors
+
+
+def _collapse_runs_vectorized(
+    frame: ErrorFrame, merge_window_hours: float
+) -> list[MemoryError_]:
+    """One lexsort + run cutting + fancy-indexed gather per segment."""
+    _validate_window(merge_window_hours)
+    n = len(frame)
+    if n == 0:
+        return []
+    mask = frame.flip_mask.astype(np.int64)
+    order = np.lexsort(
+        (frame.time_hours, mask, frame.virtual_address, frame.node_code)
+    )
+    node = frame.node_code[order]
+    va = frame.virtual_address[order]
+    fmask = mask[order]
+    t = frame.time_hours[order]
+
+    new_key = np.empty(n, dtype=bool)
+    new_key[0] = True
+    new_key[1:] = (
+        (node[1:] != node[:-1])
+        | (va[1:] != va[:-1])
+        | (fmask[1:] != fmask[:-1])
+        | ((t[1:] - t[:-1]) > merge_window_hours)
+    )
+    segment = np.cumsum(new_key) - 1
+    n_segments = int(segment[-1]) + 1
+
+    first_idx = np.flatnonzero(new_key)
+    last_idx = np.append(first_idx[1:], n) - 1
+
+    repeats = frame.repeat_count[order].astype(np.int64)
+    raw_per_segment = np.zeros(n_segments, dtype=np.int64)
+    np.add.at(raw_per_segment, segment, repeats)
+
+    names = frame.node_names
+    temps = frame.temperature_c[order][first_idx]
+    temp_missing = np.isnan(temps)
+    errors = [
+        MemoryError_(
+            node=names[int(code)],
+            first_seen_hours=float(t0),
+            last_seen_hours=float(t1),
+            virtual_address=int(addr),
+            physical_page=int(page),
+            expected=int(exp),
+            actual=int(act),
+            raw_log_count=int(raw),
+            temperature_c=None if missing else float(temp),
+        )
+        for code, t0, t1, addr, page, exp, act, raw, temp, missing in zip(
+            node[first_idx],
+            t[first_idx],
+            t[last_idx],
+            va[first_idx],
+            frame.physical_page[order][first_idx],
+            frame.expected[order][first_idx],
+            frame.actual[order][first_idx],
+            raw_per_segment,
+            temps,
+            temp_missing,
+        )
+    ]
+    errors.sort(key=lambda e: (e.first_seen_hours, e.node))
+    return errors
+
+
+collapse_runs = register_kernel(
+    "extract.collapse_runs",
+    reference=_collapse_runs_reference,
+    vectorized=_collapse_runs_vectorized,
+)

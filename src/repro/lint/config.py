@@ -27,6 +27,7 @@ def _default_hot_paths() -> tuple[str, ...]:
         "logs/columnar.py",
         "logs/frame.py",
         "logs/ingest.py",
+        "kernels/",
     )
 
 

@@ -4,9 +4,11 @@ This is the paper's scanning tool (Sec II-B) translated onto the simulated
 DRAM: write every word with the pattern value, verify on the next pass,
 log an ERROR entry (timestamp, node, virtual address, expected, actual,
 temperature, physical page) for each mismatch, then rewrite with the next
-pattern value.  Verification and rewrite are vectorized over the whole
-buffer; only mismatching words drop to Python to build log records, so a
-clean pass over millions of words costs a few NumPy ops.
+pattern value.  Verification runs through the dispatched
+:mod:`repro.kernels.scan` verify kernel (one XOR + nonzero pass over the
+whole buffer; ``REPRO_KERNELS=reference`` swaps in the per-word oracle),
+and address translation is array-at-once, so only actual mismatches drop
+to Python to build log records.
 
 Fault injection happens *between* iterations through a caller-provided
 hook, mimicking physics striking while the scanner sleeps through a pass.
@@ -17,10 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-import numpy as np
-
 from ..core.records import EndRecord, ErrorRecord, StartRecord
 from ..dram.device import SimulatedDram
+from ..kernels.scan import verify_words
 
 #: Signature of an injection hook: (iteration, device) -> None.
 InjectionHook = Callable[[int, SimulatedDram], None]
@@ -101,21 +102,25 @@ class MemoryScanner:
         for iteration in range(1, max_iterations + 1):
             if inject is not None:
                 inject(iteration, self.device)
-            expected = np.uint32(self.pattern.value_at(iteration - 1))
+            expected = int(self.pattern.value_at(iteration - 1))
             observed = self.device.read_block()
-            mismatch = np.flatnonzero(observed != expected)
-            for word_index in mismatch:
-                wi = int(word_index)
-                result.errors.append(
+            hits = verify_words(observed, expected)
+            if len(hits):
+                amap = self.device.address_map
+                addresses = amap.virtual_address(hits.word_index)
+                pages = amap.physical_page(hits.word_index)
+                temp = self._temp(t)
+                result.errors.extend(
                     ErrorRecord(
                         timestamp_hours=t,
                         node=self.node,
-                        virtual_address=self.device.virtual_address(wi),
-                        physical_page=self.device.physical_page(wi),
-                        expected=int(expected),
-                        actual=int(observed[wi]),
-                        temperature_c=self._temp(t),
+                        virtual_address=int(va),
+                        physical_page=int(pp),
+                        expected=expected,
+                        actual=int(word),
+                        temperature_c=temp,
                     )
+                    for va, pp, word in zip(addresses, pages, hits.actual)
                 )
             # Rewrite pass with the next value (clears transient flips;
             # stuck bits will mismatch again next iteration).

@@ -1,0 +1,216 @@
+"""Regenerate the frozen golden kernel fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/make_golden_kernels.py
+
+The fixture under ``tests/data/golden_kernels`` freezes one adversarial
+input population per kernel family (scanner region, SECDED/chipkill
+word pairs, an extraction frame) together with the outputs of the
+*reference* implementations — the scalar oracles — plus a
+``digests.json`` of per-array sha256 digests.  ``tests/kernels/
+test_golden_kernels.py`` pins the combined fingerprint, so only
+regenerate deliberately and re-freeze the constant there.
+
+Digests cover array *contents* (dtype, shape, bytes), not the ``.npz``
+container, because zip timestamps make file-level hashes unstable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.events import MemoryError_
+from repro.kernels.ecc import chipkill_classify, secded_classify, secded_syndromes
+from repro.kernels.extract import collapse_runs
+from repro.kernels.scan import hit_bit_positions, verify_words
+from repro.logs.frame import ErrorFrame
+
+OUT = Path(__file__).parent / "golden_kernels"
+
+SEED = 20160101
+SCAN_WORDS = 4096
+SCAN_PATTERNS = (0xAAAAAAAA, 0x55555555, 0x00000000, 0xFFFFFFFF)
+ECC_WORDS = 1024
+EXTRACT_ROWS = 512
+EXTRACT_WINDOW_HOURS = 0.05
+
+
+def array_digest(arr: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def build_scan_inputs(rng) -> dict[str, np.ndarray]:
+    region = np.full(SCAN_WORDS, SCAN_PATTERNS[0], dtype=np.uint32)
+    where = rng.choice(SCAN_WORDS, 96, replace=False)
+    # A mix of single-bit and arbitrary multi-bit faults.
+    flips = np.where(
+        rng.random(96) < 0.5,
+        np.left_shift(np.uint32(1), rng.integers(0, 32, 96).astype(np.uint32)),
+        rng.integers(1, 1 << 32, 96).astype(np.uint32),
+    )
+    region[where] ^= flips
+    return {"scan_region": region}
+
+
+def build_ecc_inputs(rng) -> dict[str, np.ndarray]:
+    expected = rng.integers(0, 1 << 32, ECC_WORDS, dtype=np.uint64)
+    masks = np.zeros(ECC_WORDS, dtype=np.uint64)
+    kind = rng.integers(0, 4, ECC_WORDS)
+    single = list(range(32))
+    double = list(itertools.combinations(range(32), 2))
+    for i in range(ECC_WORDS):
+        if kind[i] == 0:
+            masks[i] = np.uint64(1) << np.uint64(single[i % 32])
+        elif kind[i] == 1:
+            a, b = double[int(rng.integers(0, len(double)))]
+            masks[i] = np.uint64((1 << a) | (1 << b))
+        elif kind[i] == 2:
+            for b in rng.choice(32, int(rng.integers(3, 7)), replace=False):
+                masks[i] ^= np.uint64(1) << np.uint64(b)
+        else:
+            sym = int(rng.integers(0, 8))
+            masks[i] = np.uint64(int(rng.integers(1, 16)) << (4 * sym))
+    return {"ecc_expected": expected, "ecc_actual": expected ^ masks}
+
+
+def build_extract_frame(rng) -> ErrorFrame:
+    nodes = ["02-05", "02-06", "14-11", "31-00"]
+    addresses = [256, 1024, 65536]
+    masks = [1, 5, 0x11]
+    errors = []
+    for _ in range(EXTRACT_ROWS):
+        expected = 0xDEADBEEF
+        t = float(rng.uniform(0.0, 24.0))
+        errors.append(
+            MemoryError_(
+                node=nodes[int(rng.integers(0, len(nodes)))],
+                first_seen_hours=t,
+                last_seen_hours=t,
+                virtual_address=addresses[int(rng.integers(0, len(addresses)))],
+                physical_page=int(rng.integers(0, 1 << 16)),
+                expected=expected,
+                actual=expected ^ masks[int(rng.integers(0, len(masks)))],
+                raw_log_count=int(rng.integers(1, 6)),
+                temperature_c=(
+                    None if rng.random() < 0.2 else float(rng.uniform(20, 80))
+                ),
+            )
+        )
+    return ErrorFrame.from_errors(errors)
+
+
+def errors_to_arrays(errors) -> dict[str, np.ndarray]:
+    names = sorted({e.node for e in errors})
+    index = {name: i for i, name in enumerate(names)}
+    return {
+        "extract_node_code": np.asarray(
+            [index[e.node] for e in errors], dtype=np.int32
+        ),
+        "extract_node_names": np.asarray(names, dtype=np.str_),
+        "extract_first_seen": np.asarray(
+            [e.first_seen_hours for e in errors], dtype=np.float64
+        ),
+        "extract_last_seen": np.asarray(
+            [e.last_seen_hours for e in errors], dtype=np.float64
+        ),
+        "extract_va": np.asarray(
+            [e.virtual_address for e in errors], dtype=np.int64
+        ),
+        "extract_pp": np.asarray(
+            [e.physical_page for e in errors], dtype=np.int64
+        ),
+        "extract_expected": np.asarray(
+            [e.expected for e in errors], dtype=np.uint32
+        ),
+        "extract_actual": np.asarray(
+            [e.actual for e in errors], dtype=np.uint32
+        ),
+        "extract_raw": np.asarray(
+            [e.raw_log_count for e in errors], dtype=np.int64
+        ),
+        "extract_temp": np.asarray(
+            [
+                np.nan if e.temperature_c is None else e.temperature_c
+                for e in errors
+            ],
+            dtype=np.float64,
+        ),
+    }
+
+
+def main() -> None:
+    OUT.mkdir(parents=True, exist_ok=True)
+    rng = np.random.default_rng(SEED)
+
+    inputs: dict[str, np.ndarray] = {}
+    inputs.update(build_scan_inputs(rng))
+    inputs.update(build_ecc_inputs(rng))
+    frame = build_extract_frame(rng)
+    inputs.update(
+        {
+            "frame_time_hours": frame.time_hours,
+            "frame_node_code": frame.node_code,
+            "frame_node_names": np.asarray(frame.node_names, dtype=np.str_),
+            "frame_expected": frame.expected,
+            "frame_actual": frame.actual,
+            "frame_va": frame.virtual_address,
+            "frame_pp": frame.physical_page,
+            "frame_temp": frame.temperature_c,
+            "frame_rep": frame.repeat_count,
+        }
+    )
+
+    # Expected outputs come from the *reference* implementations: the
+    # scalar oracles define the frozen truth the vectorized kernels must
+    # reproduce bit for bit.
+    outputs: dict[str, np.ndarray] = {}
+    for k, pattern in enumerate(SCAN_PATTERNS):
+        hits = verify_words.reference(inputs["scan_region"], pattern)
+        rows, bits = hit_bit_positions.reference(hits.flip_mask)
+        outputs[f"scan_p{k}_word_index"] = hits.word_index
+        outputs[f"scan_p{k}_actual"] = hits.actual
+        outputs[f"scan_p{k}_flip_mask"] = hits.flip_mask
+        outputs[f"scan_p{k}_bit_rows"] = rows
+        outputs[f"scan_p{k}_bit_positions"] = bits
+    outputs["secded_syndromes"] = secded_syndromes.reference(
+        inputs["ecc_expected"]
+    )
+    outputs["secded_codes"] = secded_classify.reference(
+        inputs["ecc_expected"], inputs["ecc_actual"]
+    )
+    outputs["chipkill_codes"] = chipkill_classify.reference(
+        inputs["ecc_expected"], inputs["ecc_actual"]
+    )
+    outputs.update(
+        errors_to_arrays(collapse_runs.reference(frame, EXTRACT_WINDOW_HOURS))
+    )
+
+    np.savez(OUT / "inputs.npz", **inputs)
+    np.savez(OUT / "expected.npz", **outputs)
+    digests = {
+        "inputs": {name: array_digest(arr) for name, arr in inputs.items()},
+        "expected": {name: array_digest(arr) for name, arr in outputs.items()},
+    }
+    with open(OUT / "digests.json", "w") as fh:
+        json.dump(digests, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    combined = hashlib.sha256(
+        json.dumps(digests, sort_keys=True).encode()
+    ).hexdigest()
+    print(f"wrote {len(inputs)} input / {len(outputs)} expected arrays to {OUT}")
+    print(f"fingerprint={combined}")
+
+
+if __name__ == "__main__":
+    main()

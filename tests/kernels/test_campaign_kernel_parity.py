@@ -1,0 +1,83 @@
+"""End-to-end acceptance: reference and vectorized campaigns are equal.
+
+``REPRO_KERNELS=reference`` routes the scanner verify pass, the ECC
+replay and the extraction dedup through the scalar oracles.  A full
+quick campaign plus extraction must then be byte-equal to the default
+vectorized run on every backend — the session-scoped ``quick_campaign``
+fixture (serial, vectorized) is the baseline, and the existing
+determinism suite already proves vectorized backends identical to each
+other, so each reference backend run here closes the full
+{serial,thread,process} x {reference,vectorized} matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.extraction import extract
+from repro.faultinjection import run_campaign
+from repro.faultinjection.config import quick_campaign_config
+from repro.kernels import use_impl
+
+FRAME_COLUMNS = (
+    "time_hours",
+    "node_code",
+    "expected",
+    "actual",
+    "virtual_address",
+    "physical_page",
+    "repeat_count",
+)
+
+
+def _assert_frames_equal(a, b):
+    assert a.node_names == b.node_names
+    for name in FRAME_COLUMNS:
+        assert np.array_equal(getattr(a, name), getattr(b, name)), name
+    assert np.array_equal(a.temperature_c, b.temperature_c, equal_nan=True)
+
+
+def _assert_extractions_equal(a, b):
+    assert a.errors == b.errors  # MemoryError_ dataclass equality, in order
+    assert (a.n_raw_lines, a.n_raw_records) == (b.n_raw_lines, b.n_raw_records)
+    assert a.removed_node == b.removed_node
+    assert (a.removed_node_raw_lines, a.removed_node_errors) == (
+        b.removed_node_raw_lines,
+        b.removed_node_errors,
+    )
+
+
+@pytest.fixture(scope="module")
+def vectorized_baseline(quick_campaign):
+    with use_impl("vectorized"):
+        return quick_campaign.raw_frame(), extract(quick_campaign.raw_frame())
+
+
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1),
+    ("thread", 2),
+    ("process", 2),
+])
+def test_reference_campaign_matches_vectorized(
+    vectorized_baseline, backend, workers
+):
+    base_frame, base_extraction = vectorized_baseline
+    with use_impl("reference"):
+        result = run_campaign(
+            quick_campaign_config(), workers=workers, backend=backend
+        )
+        frame = result.raw_frame()
+        extraction = extract(frame)
+    _assert_frames_equal(frame, base_frame)
+    _assert_extractions_equal(extraction, base_extraction)
+
+
+def test_extraction_impls_agree_on_campaign_output(quick_campaign):
+    """Same frame, both dedup impls, identical independent errors."""
+    frame = quick_campaign.raw_frame()
+    with use_impl("reference"):
+        ref = extract(frame)
+    with use_impl("vectorized"):
+        vec = extract(frame)
+    _assert_extractions_equal(ref, vec)

@@ -1,0 +1,176 @@
+"""Frozen golden kernel fixtures: pinned digests + both-impl replay.
+
+The fixture under ``tests/data/golden_kernels`` (see
+``tests/data/make_golden_kernels.py``) freezes adversarial inputs and
+the scalar oracles' outputs.  These tests pin the fixture's combined
+fingerprint — regressions in either implementation, or silent fixture
+drift, break loudly — then replay every stored input through *both*
+registered implementations and compare against the frozen truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.kernels.ecc import (
+    chipkill_classify,
+    secded_classify,
+    secded_syndromes,
+)
+from repro.kernels.extract import collapse_runs
+from repro.kernels.scan import hit_bit_positions, verify_words
+from repro.logs.frame import ErrorFrame
+
+FIXTURE = Path(__file__).parent.parent / "data" / "golden_kernels"
+
+#: Frozen by make_golden_kernels.py; re-freeze only on deliberate
+#: regeneration of the fixture.
+PINNED_FINGERPRINT = (
+    "22f03bff111b8be8aa365279d7c3a1da28b381c7919bf233440c91d330f0a30f"
+)
+
+SCAN_PATTERNS = (0xAAAAAAAA, 0x55555555, 0x00000000, 0xFFFFFFFF)
+EXTRACT_WINDOW_HOURS = 0.05
+
+IMPLS = ("reference", "vectorized")
+
+
+def _array_digest(arr: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(str(arr.shape).encode())
+    h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    inputs = dict(np.load(FIXTURE / "inputs.npz"))
+    expected = dict(np.load(FIXTURE / "expected.npz"))
+    with open(FIXTURE / "digests.json") as fh:
+        digests = json.load(fh)
+    return inputs, expected, digests
+
+
+@pytest.fixture(scope="module")
+def golden_frame(golden):
+    inputs, _, _ = golden
+    return ErrorFrame(
+        time_hours=inputs["frame_time_hours"],
+        node_code=inputs["frame_node_code"],
+        node_names=[str(n) for n in inputs["frame_node_names"]],
+        expected=inputs["frame_expected"],
+        actual=inputs["frame_actual"],
+        virtual_address=inputs["frame_va"],
+        physical_page=inputs["frame_pp"],
+        temperature_c=inputs["frame_temp"],
+        repeat_count=inputs["frame_rep"],
+    )
+
+
+class TestFixtureIntegrity:
+    def test_every_array_digest_matches(self, golden):
+        inputs, expected, digests = golden
+        for section, arrays in (("inputs", inputs), ("expected", expected)):
+            assert set(digests[section]) == set(arrays)
+            for name, arr in arrays.items():
+                assert digests[section][name] == _array_digest(arr), (
+                    f"{section}/{name} drifted from its pinned digest"
+                )
+
+    def test_combined_fingerprint_pinned(self, golden):
+        _, _, digests = golden
+        combined = hashlib.sha256(
+            json.dumps(digests, sort_keys=True).encode()
+        ).hexdigest()
+        assert combined == PINNED_FINGERPRINT, (
+            "golden kernel fixture changed; if deliberate, regenerate "
+            "via tests/data/make_golden_kernels.py and re-freeze "
+            "PINNED_FINGERPRINT"
+        )
+
+
+class TestScanGolden:
+    @pytest.mark.parametrize("impl", IMPLS)
+    @pytest.mark.parametrize("k", range(len(SCAN_PATTERNS)))
+    def test_verify_pass(self, golden, impl, k):
+        inputs, expected, _ = golden
+        hits = verify_words.impl(impl)(inputs["scan_region"], SCAN_PATTERNS[k])
+        assert np.array_equal(hits.word_index, expected[f"scan_p{k}_word_index"])
+        assert np.array_equal(hits.actual, expected[f"scan_p{k}_actual"])
+        assert np.array_equal(hits.flip_mask, expected[f"scan_p{k}_flip_mask"])
+        rows, bits = hit_bit_positions.impl(impl)(hits.flip_mask)
+        assert np.array_equal(rows, expected[f"scan_p{k}_bit_rows"])
+        assert np.array_equal(bits, expected[f"scan_p{k}_bit_positions"])
+
+
+class TestEccGolden:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_secded_syndromes(self, golden, impl):
+        inputs, expected, _ = golden
+        out = secded_syndromes.impl(impl)(inputs["ecc_expected"])
+        assert np.array_equal(out, expected["secded_syndromes"])
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_secded_codes(self, golden, impl):
+        inputs, expected, _ = golden
+        out = secded_classify.impl(impl)(
+            inputs["ecc_expected"], inputs["ecc_actual"]
+        )
+        assert np.array_equal(out, expected["secded_codes"])
+
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_chipkill_codes(self, golden, impl):
+        inputs, expected, _ = golden
+        out = chipkill_classify.impl(impl)(
+            inputs["ecc_expected"], inputs["ecc_actual"]
+        )
+        assert np.array_equal(out, expected["chipkill_codes"])
+
+
+class TestExtractGolden:
+    @pytest.mark.parametrize("impl", IMPLS)
+    def test_collapse_runs(self, golden, golden_frame, impl):
+        _, expected, _ = golden
+        errors = collapse_runs.impl(impl)(golden_frame, EXTRACT_WINDOW_HOURS)
+        names = [str(n) for n in expected["extract_node_names"]]
+        assert [e.node for e in errors] == [
+            names[c] for c in expected["extract_node_code"]
+        ]
+        got = {
+            "extract_first_seen": np.asarray(
+                [e.first_seen_hours for e in errors], dtype=np.float64
+            ),
+            "extract_last_seen": np.asarray(
+                [e.last_seen_hours for e in errors], dtype=np.float64
+            ),
+            "extract_va": np.asarray(
+                [e.virtual_address for e in errors], dtype=np.int64
+            ),
+            "extract_pp": np.asarray(
+                [e.physical_page for e in errors], dtype=np.int64
+            ),
+            "extract_expected": np.asarray(
+                [e.expected for e in errors], dtype=np.uint32
+            ),
+            "extract_actual": np.asarray(
+                [e.actual for e in errors], dtype=np.uint32
+            ),
+            "extract_raw": np.asarray(
+                [e.raw_log_count for e in errors], dtype=np.int64
+            ),
+            "extract_temp": np.asarray(
+                [
+                    np.nan if e.temperature_c is None else e.temperature_c
+                    for e in errors
+                ],
+                dtype=np.float64,
+            ),
+        }
+        for name, arr in got.items():
+            assert np.array_equal(arr, expected[name], equal_nan=True), name

@@ -107,3 +107,25 @@ class TestNpy002Tolist:
             )
         }, HOT)
         assert rules_fired(result) == []
+
+
+class TestKernelsAreHotByDefault:
+    """The default config must hold ``repro.kernels`` to NumPy hygiene."""
+
+    def test_planted_tolist_in_kernel_fires(self, lint_tree):
+        result, _ = lint_tree({"kernels/scan.py": TOLIST}, LintConfig())
+        found = findings_for(result, "NPY002")
+        assert len(found) == 1
+        assert "tolist" in found[0].message
+
+    def test_planted_implicit_dtype_in_kernel_fires(self, lint_tree):
+        result, _ = lint_tree(
+            {"kernels/ecc.py": IMPLICIT_DTYPE}, LintConfig()
+        )
+        assert len(findings_for(result, "NPY001")) == 1
+
+    def test_default_hot_paths_cover_kernels_dir(self):
+        config = LintConfig()
+        assert config.is_hot_path("src/repro/kernels/scan.py")
+        assert config.is_hot_path("src/repro/kernels/extract.py")
+        assert not config.is_hot_path("src/repro/scanner/tool.py")
