@@ -28,6 +28,33 @@ Torn writes — the fourth failure class of the campaign journal — are not
 per-unit faults; :func:`tear_file` truncates a file mid-record the way a
 power loss would, for checkpoint/resume tests.
 
+Network/IO faults
+-----------------
+
+The telemetry serving tier faces a different adversary: the *storage*
+underneath a live query misbehaves while clients keep arriving.
+:class:`IoFaultRule` / :class:`IoChaosPlan` extend the same seeded,
+``(key, attempt)``-pure discipline to shard reads, and
+:class:`ChaosSource` wraps any query source (the duck-typed
+``fingerprint``/``shards``/``load_columns`` protocol) to inject them:
+
+``slow_read``
+    The read completes, but only after ``delay_s`` — a saturated disk or
+    a remote shard on a congested link.
+``reset``
+    The read dies with :class:`ConnectionResetError` — a storage backend
+    dropping the connection mid-transfer.  Transient: a retry may pass.
+``torn_read``
+    The read raises :class:`~repro.core.errors.ShardCorruptError` — a
+    half-written segment observed mid-compaction, or real corruption.
+``wedge``
+    The read blocks for ``wedge_seconds`` — a wedged storage worker.
+    Long enough to trip hedges/timeouts, bounded so tests always drain.
+
+Attempts are counted *per key* by the :class:`ChaosSource`, so a rule
+with ``attempts=(1,)`` models a transient fault (the retry or the hedge
+read succeeds) and ``attempts=None`` a persistent one.
+
 Plans are frozen dataclasses: picklable, hashable, and safe to ship to
 worker processes through the pool initializer or per-task arguments.
 """
@@ -37,14 +64,18 @@ from __future__ import annotations
 import hashlib
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
-from .core.errors import ChaosError
+from .core.errors import ChaosError, ShardCorruptError
 
 #: Fault kinds a :class:`FaultRule` may inject.
 FAULT_KINDS = ("raise", "kill", "hang")
+
+#: Fault kinds an :class:`IoFaultRule` may inject on shard reads.
+IO_FAULT_KINDS = ("slow_read", "reset", "torn_read", "wedge")
 
 
 @dataclass(frozen=True)
@@ -152,6 +183,181 @@ def hang_on(
         rules=(FaultRule("hang", key=key, attempts=attempts),),
         seed=seed,
         hang_seconds=hang_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Network/IO fault injection (the serving tier's chaos battery)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IoFaultRule:
+    """One shard-read injection rule, mirroring :class:`FaultRule`.
+
+    ``key`` selects the node being read (``None`` matches every node);
+    ``attempts`` lists the 1-based *per-node read attempt* numbers the
+    rule fires on (``None`` = every attempt, a persistent fault).
+    ``probability`` thins the rule deterministically from the plan seed.
+    ``delay_s`` is the stall injected by ``slow_read``.
+    """
+
+    kind: str
+    key: str | None = None
+    attempts: tuple[int, ...] | None = (1,)
+    probability: float = 1.0
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in IO_FAULT_KINDS:
+            raise ValueError(
+                f"unknown IO fault kind {self.kind!r}; use {IO_FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay_s < 0.0:
+            raise ValueError("delay_s must be >= 0")
+
+    def matches(self, key: str, attempt: int, seed: int) -> bool:
+        if self.key is not None and self.key != key:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.probability >= 1.0:
+            return True
+        return _unit_uniform(seed, key, attempt, self.kind) < self.probability
+
+
+@dataclass(frozen=True)
+class IoChaosPlan:
+    """A seeded set of :class:`IoFaultRule` injections for shard reads.
+
+    ``decide`` is a pure function of ``(seed, node, attempt)``, so a
+    chaos battery replays bit-identically no matter how server threads
+    interleave: each node's fault schedule depends only on how many
+    times *that node* has been read.  ``wedge_seconds`` bounds the
+    ``wedge`` fault so an unsupervised run always drains.
+    """
+
+    rules: tuple[IoFaultRule, ...] = ()
+    seed: int = 0
+    wedge_seconds: float = 30.0
+
+    def decide(self, key: str, attempt: int) -> IoFaultRule | None:
+        """The first rule firing for this ``(node, attempt)``, if any."""
+        for rule in self.rules:
+            if rule.matches(key, attempt, self.seed):
+                return rule
+        return None
+
+
+class ChaosSource:
+    """A query source whose shard reads fail on schedule.
+
+    Wraps anything exposing the source protocol (``fingerprint`` /
+    ``shards`` / ``load_columns``) and applies an :class:`IoChaosPlan`
+    to every ``load_columns`` call.  Read attempts are counted per node
+    under a lock, so concurrent server threads see a deterministic
+    per-node fault schedule regardless of interleaving.
+
+    ``sleep`` is injectable so unit tests can observe stalls without
+    waiting them out.
+    """
+
+    def __init__(self, inner, plan: IoChaosPlan, *, sleep=time.sleep):
+        self._inner = inner
+        self.plan = plan
+        self._sleep = sleep
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.faults_injected = 0
+
+    @property
+    def io(self):
+        return self._inner.io
+
+    def __getattr__(self, name):
+        # Pass through source extras (``manifest``, ...) untouched.
+        return getattr(self._inner, name)
+
+    def fingerprint(self) -> str:
+        return self._inner.fingerprint()
+
+    def shards(self):
+        return self._inner.shards()
+
+    def attempts(self, node: str) -> int:
+        """How many reads this node has seen (for test assertions)."""
+        with self._lock:
+            return self._attempts.get(node, 0)
+
+    def load_columns(self, node: str, names):
+        with self._lock:
+            attempt = self._attempts.get(node, 0) + 1
+            self._attempts[node] = attempt
+        rule = self.plan.decide(node, attempt)
+        if rule is not None:
+            self._apply(rule, node, attempt)
+        return self._inner.load_columns(node, names)
+
+    def _apply(self, rule: IoFaultRule, node: str, attempt: int) -> None:
+        with self._lock:
+            self.faults_injected += 1
+        if rule.kind == "slow_read":
+            self._sleep(rule.delay_s)
+        elif rule.kind == "reset":
+            raise ConnectionResetError(
+                f"injected connection reset reading {node!r} "
+                f"(attempt {attempt})"
+            )
+        elif rule.kind == "torn_read":
+            raise ShardCorruptError(
+                f"injected torn read on {node!r} (attempt {attempt})",
+                node=node,
+            )
+        elif rule.kind == "wedge":
+            self._sleep(self.plan.wedge_seconds)
+
+
+def slow_reads(delay_s: float, probability: float = 1.0, seed: int = 0) -> IoChaosPlan:
+    """A plan stalling every (or a thinned subset of) shard read."""
+    return IoChaosPlan(
+        rules=(
+            IoFaultRule(
+                "slow_read", attempts=None, probability=probability, delay_s=delay_s
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def reset_reads_on(
+    key: str | None, attempts: tuple[int, ...] | None = (1,), seed: int = 0
+) -> IoChaosPlan:
+    """A plan resetting reads of node ``key`` on the given attempts."""
+    return IoChaosPlan(rules=(IoFaultRule("reset", key=key, attempts=attempts),), seed=seed)
+
+
+def torn_read_on(
+    key: str | None, attempts: tuple[int, ...] | None = (1,), seed: int = 0
+) -> IoChaosPlan:
+    """A plan tearing reads of node ``key`` on the given attempts."""
+    return IoChaosPlan(
+        rules=(IoFaultRule("torn_read", key=key, attempts=attempts),), seed=seed
+    )
+
+
+def wedge_reads_on(
+    key: str | None,
+    attempts: tuple[int, ...] | None = (1,),
+    wedge_seconds: float = 30.0,
+    seed: int = 0,
+) -> IoChaosPlan:
+    """A plan wedging reads of node ``key`` on the given attempts."""
+    return IoChaosPlan(
+        rules=(IoFaultRule("wedge", key=key, attempts=attempts),),
+        seed=seed,
+        wedge_seconds=wedge_seconds,
     )
 
 

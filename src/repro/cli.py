@@ -270,6 +270,76 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="per-request execution timeout",
     )
+    srv.add_argument(
+        "--client-read-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="timeout for reading a request head and body",
+    )
+    srv.add_argument(
+        "--keepalive-idle-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="idle timeout between keep-alive requests",
+    )
+    srv.add_argument(
+        "--keepalive-max-requests",
+        type=int,
+        default=100,
+        metavar="N",
+        help="requests served per connection before forcing close",
+    )
+    srv.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help="requests allowed to wait for a slot before 503 shedding",
+    )
+    srv.add_argument(
+        "--rate-limit-qps",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="per-client admission rate (token bucket; default: off)",
+    )
+    srv.add_argument(
+        "--rate-limit-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="per-client burst capacity (default: same as the rate)",
+    )
+    srv.add_argument(
+        "--read-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard-read timeout (default: unbounded)",
+    )
+    srv.add_argument(
+        "--max-stale",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="staleness bound for degraded (last-good) responses",
+    )
+    srv.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="scatter-gather worker lanes (0 = single-engine serving)",
+    )
+    srv.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="delay before hedging a slow scatter partition",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -562,8 +632,18 @@ def _cmd_serve(args) -> int:
             port=args.port,
             max_concurrency=args.max_concurrency,
             request_timeout_s=args.timeout,
+            client_read_timeout_s=args.client_read_timeout,
+            keepalive_idle_timeout_s=args.keepalive_idle_timeout,
+            keepalive_max_requests=args.keepalive_max_requests,
+            max_queue_depth=args.max_queue_depth,
+            rate_limit_qps=args.rate_limit_qps,
+            rate_limit_burst=args.rate_limit_burst,
+            read_timeout_s=args.read_timeout,
+            max_stale_s=args.max_stale,
+            shard_workers=args.shard_workers,
+            hedge_delay_s=args.hedge_delay,
         )
-    except LogFormatError as exc:
+    except (LogFormatError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

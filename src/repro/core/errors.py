@@ -68,6 +68,19 @@ class SimulationError(ReproError):
     """The campaign simulator reached an inconsistent state."""
 
 
+class SourceUnavailableError(ReproError):
+    """A shard source is (temporarily) unservable.
+
+    Raised by the resilient read path when its circuit breaker is open
+    or a read exhausted its retry budget.  ``retry_after_s`` carries the
+    breaker's remaining cool-down so servers can emit ``Retry-After``.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
 class ChaosError(ReproError):
     """A deterministic injected fault (see :mod:`repro.chaos`) fired."""
 

@@ -13,9 +13,11 @@ from dataclasses import dataclass, field
 
 
 def _default_clock_allowlist() -> tuple[str, ...]:
-    # Serving and operator-facing modules legitimately read the wall
-    # clock; simulation, analysis and storage must not.
-    return ("server/", "monitoring.py")
+    # Only operator-facing monitoring legitimately reads the wall
+    # clock; simulation, analysis, storage — and, since the resilience
+    # rework, the whole serving tier (monotonic/perf_counter only) —
+    # must not.
+    return ("monitoring.py",)
 
 
 def _default_hot_paths() -> tuple[str, ...]:

@@ -17,12 +17,23 @@ from .cache import QueryCache
 from .engine import ExecutionStats, QueryEngine, QueryResult
 from .plan import Aggregate, Derive, Predicate, Query, QueryPlanError
 from .ported import daily_histogram, hourly_histogram, temperature_histogram
+from .resilient import (
+    CircuitBreaker,
+    ExecutionOutcome,
+    ReadRetryPolicy,
+    ResilientExecutor,
+    ResilientSource,
+    StaleResultCache,
+)
+from .scatter import ScatterGatherEngine, ScatterResult
 from .source import ArchiveSource, MemorySource, ShardInfo, as_source
 
 __all__ = [
     "Aggregate",
     "ArchiveSource",
+    "CircuitBreaker",
     "Derive",
+    "ExecutionOutcome",
     "ExecutionStats",
     "MemorySource",
     "Predicate",
@@ -31,7 +42,13 @@ __all__ = [
     "QueryEngine",
     "QueryPlanError",
     "QueryResult",
+    "ReadRetryPolicy",
+    "ResilientExecutor",
+    "ResilientSource",
+    "ScatterGatherEngine",
+    "ScatterResult",
     "ShardInfo",
+    "StaleResultCache",
     "as_source",
     "daily_histogram",
     "hourly_histogram",

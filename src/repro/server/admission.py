@@ -1,0 +1,124 @@
+"""Admission control primitives: token buckets, per-client limiting.
+
+Pure bookkeeping over a monotonic clock — no asyncio, no HTTP — so the
+policies are unit-testable with a fake clock and reusable outside the
+server.  The server consults these *before* a request touches the
+semaphore or the thread pool: a shed request costs one dict lookup and
+a float multiply, which is the entire point of shedding.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate_qps`` refill, ``burst`` capacity.
+
+    ``try_acquire`` returns ``(admitted, retry_after_s)`` — when a
+    request is rejected, ``retry_after_s`` is the exact time until the
+    bucket holds enough tokens again, which the server surfaces as the
+    HTTP ``Retry-After`` hint.
+    """
+
+    def __init__(self, rate_qps: float, burst: float, *, clock=time.monotonic):
+        if rate_qps <= 0:
+            raise ValueError("rate_qps must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_qps = float(rate_qps)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_qps)
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> tuple[bool, float]:
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            return False, (cost - self._tokens) / self.rate_qps
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class ClientRateLimiter:
+    """Per-client token buckets behind an LRU cap.
+
+    Clients are identified by an opaque key (the server uses the
+    ``X-Client-Id`` header, falling back to the peer address).  The LRU
+    cap bounds memory against client-id churn: evicting an idle
+    client's bucket merely grants it a fresh burst later, which is the
+    benign failure mode.
+    """
+
+    def __init__(
+        self,
+        rate_qps: float,
+        burst: float,
+        *,
+        max_clients: int = 1024,
+        clock=time.monotonic,
+    ):
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate_qps = float(rate_qps)
+        self.burst = float(burst)
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, client_key: str) -> tuple[bool, float]:
+        with self._lock:
+            bucket = self._buckets.get(client_key)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_qps, self.burst, clock=self._clock)
+                self._buckets[client_key] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client_key)
+        ok, retry_after_s = bucket.try_acquire()
+        with self._lock:
+            if ok:
+                self.admitted += 1
+            else:
+                self.rejected += 1
+        return ok, retry_after_s
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "rate_qps": self.rate_qps,
+                "burst": self.burst,
+                "tracked_clients": len(self._buckets),
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }
+
+
+def retry_after_header(seconds: float) -> str:
+    """HTTP Retry-After wants whole seconds; round up, floor at 1."""
+    return str(max(1, math.ceil(seconds)))

@@ -1,0 +1,165 @@
+"""Protocol and lifecycle edge cases: malformed clients, wedged handlers.
+
+These tests speak raw sockets on purpose — the failure modes under test
+(half-sent requests, pipelined garbage, silent clients, mid-flight
+disconnects) are exactly the ones a well-behaved HTTP library refuses
+to produce.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.chaos import ChaosSource, slow_reads, wedge_reads_on
+from repro.query import ArchiveSource
+from repro.server.app import MAX_BODY_BYTES
+
+from .conftest import COUNT_PLAN, get, post, serving
+
+
+def raw_exchange(handle, payload: bytes, *, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, return everything the server says until EOF."""
+    with socket.create_connection(
+        (handle.server.host, handle.server.port), timeout=timeout
+    ) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def wait_for(predicate, *, deadline_s: float = 5.0) -> bool:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestMalformedRequests:
+    def test_oversized_body_rejected_before_read(self, golden_dir):
+        # The Content-Length alone triggers 413 — the body is never
+        # transferred, so a hostile client cannot make the server
+        # buffer a gigabyte.
+        with serving(golden_dir) as handle:
+            request = (
+                b"POST /query HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Length: %d\r\n"
+                b"\r\n" % (MAX_BODY_BYTES + 1)
+            )
+            raw = raw_exchange(handle, request)
+            assert raw.startswith(b"HTTP/1.1 413")
+            assert b"Connection: close" in raw
+
+    def test_malformed_pipelined_request_closes_connection(self, golden_dir):
+        # A valid request followed by pipelined garbage: the first is
+        # answered keep-alive, the garbage earns a 400 and the stream
+        # is closed (it cannot be trusted for framing anymore).
+        with serving(golden_dir) as handle:
+            payload = (
+                b"GET /health HTTP/1.1\r\nHost: test\r\n\r\n"
+                b"THIS IS NOT HTTP\r\n\r\n"
+            )
+            raw = raw_exchange(handle, payload)
+            first, _, rest = raw.partition(b"HTTP/1.1 400")
+            assert first.startswith(b"HTTP/1.1 200")
+            assert b"Connection: keep-alive" in first
+            assert rest  # the 400 was actually sent
+            assert b"Connection: close" in rest
+
+    def test_silent_client_gets_408(self, golden_dir):
+        with serving(golden_dir, client_read_timeout_s=0.2) as handle:
+            raw = raw_exchange(handle, b"")  # connect, say nothing
+            assert raw.startswith(b"HTTP/1.1 408")
+
+    def test_negative_content_length_rejected(self, golden_dir):
+        with serving(golden_dir) as handle:
+            request = (
+                b"POST /query HTTP/1.1\r\nHost: test\r\n"
+                b"Content-Length: -5\r\n\r\n"
+            )
+            raw = raw_exchange(handle, request)
+            assert raw.startswith(b"HTTP/1.1 400")
+
+
+class TestClientDisconnect:
+    def test_disconnect_mid_request_leaks_nothing(self, golden_dir):
+        with serving(golden_dir) as handle:
+            server = handle.server
+            with socket.create_connection(
+                (server.host, server.port), timeout=5.0
+            ) as sock:
+                sock.sendall(b"POST /query HTTP/1.1\r\nContent-Len")
+                assert wait_for(lambda: server._open_connections == 1)
+            assert wait_for(lambda: server._open_connections == 0)
+            assert server._in_flight == 0
+            assert get(handle, "/health")[0] == 200
+
+    def test_disconnect_mid_response_leaks_nothing(self, golden_dir):
+        # The client hangs up while its query is still running; the
+        # handler finishes, the write fails, and every gauge drains.
+        source = ChaosSource(ArchiveSource(golden_dir), slow_reads(0.1))
+        with serving(source, max_concurrency=2) as handle:
+            server = handle.server
+            body = b'{"group_by": ["node"], "aggregates": [{"fn": "count"}]}'
+            with socket.create_connection(
+                (server.host, server.port), timeout=5.0
+            ) as sock:
+                sock.sendall(
+                    b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+                )
+                assert wait_for(lambda: server._in_flight == 1)
+            # Socket closed with the query in flight.
+            assert wait_for(lambda: server._in_flight == 0, deadline_s=10.0)
+            assert wait_for(lambda: server._open_connections == 0)
+            assert server._queued == 0
+            status, payload, _ = post(handle, "/query", COUNT_PLAN)
+            assert status == 200  # the slot was released, not leaked
+
+
+class TestStopUnderLoad:
+    def test_stop_returns_promptly_with_wedged_handler(self, golden_dir):
+        # One in-flight request is wedged inside a shard read; stop()
+        # must not wait the wedge out.
+        source = ChaosSource(
+            ArchiveSource(golden_dir),
+            wedge_reads_on(None, attempts=None, wedge_seconds=1.5),
+        )
+        handle_box = {}
+        with serving(source, request_timeout_s=30.0) as handle:
+            handle_box["server"] = handle.server
+            results = []
+
+            def wedged_query():
+                try:
+                    results.append(post(handle, "/query", COUNT_PLAN))
+                except Exception as exc:  # noqa: BLE001 — client side may see reset
+                    results.append(exc)
+
+            thread = threading.Thread(target=wedged_query)
+            thread.start()
+            assert wait_for(lambda: handle.server._in_flight == 1)
+            t0 = time.monotonic()
+            handle.stop()
+            stop_elapsed = time.monotonic() - t0
+            thread.join(timeout=10)
+            assert stop_elapsed < 1.0  # far less than the 1.5 s wedge
+        server = handle_box["server"]
+        assert server._in_flight == 0
+        assert server._queued == 0
+        assert server._open_connections == 0
+
+    def test_stop_is_idempotent_after_forced_stop(self, golden_dir):
+        with serving(golden_dir) as handle:
+            assert get(handle, "/health")[0] == 200
+            handle.stop()
+            handle.stop()  # second stop (and the fixture's) are no-ops

@@ -1,0 +1,268 @@
+"""Scatter-gather executor: parity, partial results, hedged retries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosSource, reset_reads_on, wedge_reads_on
+from repro.query import (
+    Aggregate,
+    ArchiveSource,
+    Derive,
+    Predicate,
+    Query,
+    QueryEngine,
+    ScatterGatherEngine,
+)
+from repro.query.scatter import partition_nodes, worker_plan
+
+from .conftest import get, post, serving
+
+PARITY_PLANS = [
+    # Every aggregate fn, grouped.
+    Query(
+        group_by=("node",),
+        aggregates=(
+            Aggregate("count"),
+            Aggregate("mean", column="t"),
+            Aggregate("min", column="t"),
+            Aggregate("max", column="temp"),
+            Aggregate("sum", column="rep"),
+        ),
+    ),
+    # Grand totals (one row; NaN-aware merge).
+    Query(
+        aggregates=(
+            Aggregate("count"),
+            Aggregate("mean", column="t"),
+            Aggregate("sum", column="t"),
+            Aggregate("min", column="temp"),
+            Aggregate("max", column="t"),
+        ),
+    ),
+    # Derived group key, order on an aggregate, limit.
+    Query(
+        filters=(Predicate("kind", "eq", 1),),
+        derive=(Derive("hour", "hour"),),
+        group_by=("hour",),
+        aggregates=(Aggregate("mean", column="temp"), Aggregate("count")),
+        order_by=("-count",),
+        limit=5,
+    ),
+    # Row mode with ordering and limit.
+    Query(project=("node", "t"), order_by=("-t",), limit=7),
+    # Row mode, unordered limit (scan-order prefix must match).
+    Query(project=("t", "rep"), limit=9),
+    # Node restriction.
+    Query(nodes=("00-01", "00-03"), group_by=("node",), aggregates=(Aggregate("count"),)),
+    # Empty result, aggregate and row mode.
+    Query(filters=(Predicate("kind", "eq", 99),), aggregates=(Aggregate("count"), Aggregate("mean", column="t"))),
+    Query(filters=(Predicate("kind", "eq", 99),), project=("t",)),
+]
+
+
+def assert_results_identical(a, b):
+    """Keys, counts, min/max and row data must match exactly; float
+    sums/means are merged from per-partition partials, which re-orders
+    the additions — allow only last-bit association drift."""
+    assert list(a.columns) == list(b.columns)
+    for name in a.columns:
+        x, y = a.columns[name], b.columns[name]
+        assert x.dtype == y.dtype, (name, x.dtype, y.dtype)
+        if x.dtype.kind == "f":
+            assert np.allclose(x, y, rtol=1e-12, atol=0.0, equal_nan=True), name
+        else:
+            assert np.array_equal(x, y), name
+
+
+class TestPartitioning:
+    def test_contiguous_and_exhaustive(self):
+        nodes = [f"n{i:02d}" for i in range(10)]
+        parts = partition_nodes(nodes, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert [n for part in parts for n in part] == sorted(nodes)
+
+    def test_fewer_nodes_than_workers(self):
+        assert partition_nodes(["b", "a"], 8) == [("a",), ("b",)]
+        assert partition_nodes([], 4) == []
+
+    def test_mean_rewrite(self):
+        plan = Query(
+            group_by=("node",),
+            aggregates=(Aggregate("mean", column="t", alias="avg_t"),),
+        )
+        sub = worker_plan(plan, ("a",))
+        fns = [(a.fn, a.alias) for a in sub.aggregates]
+        assert ("sum", "__sg_sum_avg_t") in fns
+        assert any(fn == "count" for fn, _ in fns)
+        assert sub.order_by == ()
+        assert sub.limit is None
+        assert sub.nodes == ("a",)
+
+
+class TestParity:
+    @pytest.mark.parametrize("n_workers", [1, 3, 4, 16])
+    def test_matches_single_engine(self, staggered_dir, n_workers):
+        single = QueryEngine(ArchiveSource(staggered_dir))
+        scatter = ScatterGatherEngine(
+            lambda: ArchiveSource(staggered_dir), n_workers=n_workers
+        )
+        try:
+            for plan in PARITY_PLANS:
+                expected = single.execute(plan, use_cache=False)
+                got = scatter.execute(plan, use_cache=False)
+                assert_results_identical(expected, got)
+                assert not got.partial
+                assert got.missing_nodes == ()
+        finally:
+            scatter.close()
+
+    def test_cache_hit_on_repeat(self, staggered_dir):
+        scatter = ScatterGatherEngine(
+            lambda: ArchiveSource(staggered_dir), n_workers=2
+        )
+        try:
+            plan = PARITY_PLANS[0]
+            cold = scatter.execute(plan)
+            warm = scatter.execute(plan)
+            assert not cold.stats.cache_hit
+            assert warm.stats.cache_hit
+            assert_results_identical(cold, warm)
+        finally:
+            scatter.close()
+
+
+class TestFailureAccounting:
+    def test_partition_failure_yields_flagged_partial(self, staggered_dir):
+        # One node's reads always reset: its partition fails even after
+        # the hedge; everything else merges, flagged partial.
+        def factory():
+            return ChaosSource(
+                ArchiveSource(staggered_dir),
+                reset_reads_on("00-02", attempts=None),
+            )
+
+        scatter = ScatterGatherEngine(
+            factory, n_workers=5, hedge_delay_s=0.02, partition_timeout_s=5.0
+        )
+        try:
+            plan = Query(group_by=("node",), aggregates=(Aggregate("count"),))
+            result = scatter.execute(plan)
+            assert result.partial
+            assert "00-02" in result.missing_nodes
+            assert result.failed_partitions == 1
+            assert "00-02" not in result.columns["node"]
+            # Other partitions' data survived.
+            assert result.n_rows >= 7
+            # Partial results are never cached.
+            again = scatter.execute(plan)
+            assert not again.stats.cache_hit
+            assert scatter.stats.partial_results >= 2
+        finally:
+            scatter.close()
+
+    def test_immediate_retry_cures_transient_fault(self, staggered_dir):
+        # The attempt counter must span lanes (one shared ChaosSource),
+        # so the retry lane's re-read of the faulted node is attempt 2
+        # and succeeds.
+        shared = ChaosSource(
+            ArchiveSource(staggered_dir),
+            reset_reads_on("00-00", attempts=(1,)),
+        )
+        scatter = ScatterGatherEngine(
+            lambda: shared, n_workers=2, hedge_delay_s=10.0
+        )
+        try:
+            plan = Query(group_by=("node",), aggregates=(Aggregate("count"),))
+            result = scatter.execute(plan)
+            assert not result.partial
+            assert result.retries >= 1
+            assert scatter.stats.retries >= 1
+        finally:
+            scatter.close()
+
+    def test_hedge_beats_wedged_worker(self, staggered_dir):
+        # The first read of node 00-00 wedges (shared attempt counter,
+        # so the hedge's re-read is attempt 2 and sails through).  The
+        # wedge is kept short only so the abandoned worker thread does
+        # not outlive the test session; the hedge wins long before it
+        # expires.
+        shared = ChaosSource(
+            ArchiveSource(staggered_dir),
+            wedge_reads_on("00-00", attempts=(1,), wedge_seconds=2.0),
+        )
+
+        scatter = ScatterGatherEngine(
+            lambda: shared,
+            n_workers=5,
+            hedge_delay_s=0.05,
+            partition_timeout_s=10.0,
+        )
+        try:
+            single = QueryEngine(ArchiveSource(staggered_dir))
+            plan = Query(group_by=("node",), aggregates=(Aggregate("count"),))
+            result = scatter.execute(plan)
+            assert not result.partial
+            assert result.hedges_launched >= 1
+            assert result.hedge_wins >= 1
+            assert scatter.stats.abandoned >= 1  # the wedged primary
+            assert_results_identical(single.execute(plan, use_cache=False), result)
+        finally:
+            scatter.close()
+
+    def test_all_partitions_failing_raises(self, staggered_dir):
+        def factory():
+            return ChaosSource(
+                ArchiveSource(staggered_dir),
+                reset_reads_on(None, attempts=None),
+            )
+
+        scatter = ScatterGatherEngine(factory, n_workers=3, hedge_delay_s=0.01)
+        try:
+            with pytest.raises(ConnectionResetError):
+                scatter.execute(
+                    Query(group_by=("node",), aggregates=(Aggregate("count"),))
+                )
+        finally:
+            scatter.close()
+
+
+class TestScatterServing:
+    def test_server_over_scatter_engine(self, staggered_dir):
+        with serving(staggered_dir, shard_workers=4) as handle:
+            status, health, _ = get(handle, "/health")
+            assert status == 200
+            assert health["nodes"] == 10
+            plan = {
+                "group_by": ["node"],
+                "aggregates": [{"fn": "count"}, {"fn": "mean", "column": "t"}],
+            }
+            status, body, _ = post(handle, "/query", plan)
+            assert status == 200
+            assert body["degraded"] is False
+            assert body["partial"] is False
+            assert len(body["columns"]["node"]) == 10
+            _, metrics, _ = get(handle, "/metrics")
+            assert metrics["resilience"]["scatter"]["queries"] >= 1
+            assert metrics["resilience"]["scatter"]["partitions_run"] >= 4
+
+    def test_partial_served_flagged_over_http(self, staggered_dir):
+        def factory():
+            return ChaosSource(
+                ArchiveSource(staggered_dir),
+                reset_reads_on("00-02", attempts=None),
+            )
+
+        with serving(
+            factory, shard_workers=5, hedge_delay_s=0.02
+        ) as handle:
+            plan = {"group_by": ["node"], "aggregates": [{"fn": "count"}]}
+            status, body, _ = post(handle, "/query", plan)
+            assert status == 200
+            assert body["partial"] is True
+            assert body["degraded"] is True
+            assert "00-02" in body["missing_nodes"]
+            assert "00-02" not in body["columns"]["node"]
+            _, metrics, _ = get(handle, "/metrics")
+            assert metrics["resilience"]["degrade"]["served_partial"] >= 1
