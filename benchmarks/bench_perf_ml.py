@@ -1,0 +1,234 @@
+"""Performance bench: ML feature pipeline + predictive-quarantine gate.
+
+Builds a 10,000-node fleet whose error stream contains ~100 degrading
+nodes: each trickles a handful of precursor errors (always below the
+paper's reactive ``>3 errors / 24h`` trigger) during the two days
+before a dense error storm.  The fleet lands on disk twice:
+
+* a compacted :class:`~repro.logs.ingest.LiveArchive` (batched ingest,
+  500 nodes per batch) for the fleet-wide feature-extraction
+  throughput measurement, and
+* an :class:`~repro.logs.frame.ErrorFrame` over the same errors for
+  the policy head-to-head.
+
+Acceptance gates (the ISSUE criteria):
+
+* feature extraction covers all 10k nodes in one refresh and its
+  throughput (nodes/s) is recorded in the bench JSON;
+* the trained predictor's quarantine avoids **at least** the static
+  Table II policy's errors at **equal or lower** capacity cost on the
+  held-out half of the study (``predictive_wins``), with the
+  errors-avoided / node-day / AUC counters in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.logs.columnar import KIND_END, KIND_ERROR, KIND_START, RecordColumns
+from repro.logs.frame import ErrorFrame
+from repro.logs.ingest import LiveArchive, compact_archive
+from repro.ml import (
+    FeatureSpec,
+    compare_quarantine_policies,
+    extract_features,
+    feature_names,
+)
+from repro.query import ArchiveSource, QueryEngine
+
+N_NODES = 10_000
+NODES_PER_BATCH = 500
+N_DEGRADED = 100
+STUDY_HOURS = 672.0          # 28 days
+STORM_ERRORS = 80
+STORM_HOURS = 48.0           # the paper's multi-day degraded episodes
+PRECURSOR_ERRORS = 5         # spread over 44 h => always < 4 per 24 h
+BACKGROUND_ERRORS = 2_000
+BACKGROUND_NODES = 400       # healthy-but-noisy nodes that ever log
+
+#: Bench floor for fleet-wide extraction (nodes/s); deliberately
+#: conservative so the gate flags order-of-magnitude regressions, not
+#: machine jitter.
+MIN_NODES_PER_S = 100.0
+
+
+def _node_name(k: int) -> str:
+    return f"{k // 16:03d}-{k % 16:02d}"
+
+
+def _fleet_errors(rng) -> dict[str, np.ndarray]:
+    """Column arrays for every error in the synthetic fleet's study."""
+    times, codes = [], []
+    degraded = rng.choice(N_NODES, size=N_DEGRADED, replace=False)
+    storms = rng.uniform(168.0, STUDY_HOURS - STORM_HOURS - 48.0, N_DEGRADED)
+    for code, storm in zip(degraded, np.sort(storms)):
+        pre = rng.uniform(storm - 48.0, storm - 4.0, PRECURSOR_ERRORS)
+        burst = rng.uniform(storm, storm + STORM_HOURS, STORM_ERRORS)
+        t = np.concatenate([pre, burst])
+        times.append(t)
+        codes.append(np.full(t.shape[0], code, dtype=np.int64))
+    healthy = np.setdiff1d(np.arange(N_NODES), degraded)
+    noisy = rng.choice(healthy, size=BACKGROUND_NODES, replace=False)
+    bg_codes = rng.choice(noisy, size=BACKGROUND_ERRORS, replace=True)
+    bg_times = rng.uniform(0.0, STUDY_HOURS, BACKGROUND_ERRORS)
+    times.append(bg_times)
+    codes.append(bg_codes.astype(np.int64))
+
+    t = np.concatenate(times)
+    code = np.concatenate(codes)
+    order = np.argsort(t, kind="stable")
+    t, code = t[order], code[order]
+    n = t.shape[0]
+    expected = rng.integers(0, 2**32, n, dtype=np.uint32)
+    bit = rng.integers(0, 32, n)
+    mask = (np.uint32(1) << bit.astype(np.uint32)).astype(np.uint32)
+    # Storm errors flip a second bit ~half the time (multibit signal).
+    second = (rng.random(n) < 0.5) & np.isin(code, degraded)
+    mask = np.where(
+        second, mask | np.uint32(1) << ((bit.astype(np.uint32) + 7) % 32), mask
+    ).astype(np.uint32)
+    word = rng.integers(0, 1 << 18, n)
+    return {
+        "t": t,
+        "code": code,
+        "expected": expected,
+        "actual": expected ^ mask,
+        "va": word * 4,
+        "pp": word // 1024,
+        "temp": rng.uniform(25.0, 70.0, n),
+        "n_degraded_errors": int(np.isin(code, degraded).sum()),
+    }
+
+
+def _batch_columns(cols: dict, lo: int, hi: int) -> RecordColumns:
+    """One multi-node ingest batch: nodes [lo, hi) with START/END spans."""
+    names = [_node_name(k) for k in range(lo, hi)]
+    sel = (cols["code"] >= lo) & (cols["code"] < hi)
+    n_err = int(sel.sum())
+    width = hi - lo
+    n = n_err + 2 * width
+    kind = np.empty(n, dtype=np.uint8)
+    t = np.empty(n, dtype=np.float64)
+    node_code = np.empty(n, dtype=np.int32)
+    kind[:width] = KIND_START
+    t[:width] = 0.0
+    node_code[:width] = np.arange(width, dtype=np.int32)
+    kind[width:width + n_err] = KIND_ERROR
+    t[width:width + n_err] = cols["t"][sel]
+    node_code[width:width + n_err] = (cols["code"][sel] - lo).astype(np.int32)
+    kind[width + n_err:] = KIND_END
+    t[width + n_err:] = STUDY_HOURS
+    node_code[width + n_err:] = np.arange(width, dtype=np.int32)
+
+    def _pad(values, fill, dtype):
+        out = np.full(n, fill, dtype=dtype)
+        out[width:width + n_err] = values[sel].astype(dtype)
+        return out
+
+    return RecordColumns(
+        kind=kind,
+        t=t,
+        temp=_pad(cols["temp"], np.nan, np.float64),
+        mb=np.zeros(n, dtype=np.int64),
+        va=_pad(cols["va"], 0, np.int64),
+        pp=_pad(cols["pp"], 0, np.int64),
+        expected=_pad(cols["expected"], 0, np.uint32),
+        actual=_pad(cols["actual"], 0, np.uint32),
+        rep=_pad(np.ones_like(cols["t"]), 1, np.int64),
+        node_code=node_code,
+        node_names=names,
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """(archive_dir, frame, n_degraded_errors) for the synthetic fleet."""
+    rng = np.random.default_rng(2016)
+    cols = _fleet_errors(rng)
+    path = tmp_path_factory.mktemp("ml-bench")
+    archive = LiveArchive.create(path)
+    for lo in range(0, N_NODES, NODES_PER_BATCH):
+        hi = min(lo + NODES_PER_BATCH, N_NODES)
+        archive.append_batch(
+            {f"nodes:{lo}-{hi}": _batch_columns(cols, lo, hi)}
+        )
+    compact_archive(path)
+
+    frame = ErrorFrame.from_columns(
+        time_hours=cols["t"],
+        node_code=cols["code"],
+        node_names=[_node_name(k) for k in range(N_NODES)],
+        expected=cols["expected"],
+        actual=cols["actual"],
+        virtual_address=cols["va"],
+        physical_page=cols["pp"],
+        temperature_c=cols["temp"],
+        repeat_count=np.ones_like(cols["code"]),
+    )
+    return path, frame, cols["n_degraded_errors"]
+
+
+def _best_of(fn, rounds: int = 3):
+    best, value = float("inf"), None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_perf_feature_extraction(benchmark, fleet):
+    """Fleet-wide feature refresh on the compacted 10k-node archive."""
+    archive_dir, _, _ = fleet
+    spec = FeatureSpec()
+    engine = QueryEngine(ArchiveSource(archive_dir))
+
+    def _extract():
+        return extract_features(engine, STUDY_HOURS, spec)
+
+    seconds, feats = _best_of(_extract)
+    benchmark.pedantic(_extract, rounds=1, iterations=1)
+    assert feats.X.shape == (N_NODES, len(feature_names(spec)))
+    assert np.all(np.isfinite(feats.X))
+    nodes_per_s = N_NODES / seconds
+    benchmark.extra_info["n_nodes"] = N_NODES
+    benchmark.extra_info["nodes_per_s"] = round(nodes_per_s, 1)
+    print(
+        f"\nfeature extraction: {N_NODES} nodes in {seconds * 1e3:.0f} ms "
+        f"-> {nodes_per_s:,.0f} nodes/s (floor {MIN_NODES_PER_S:,.0f})"
+    )
+    assert nodes_per_s >= MIN_NODES_PER_S
+
+
+def test_perf_policy_comparison_gate(benchmark, fleet):
+    """ISSUE acceptance: predictive quarantine >= static Table II policy
+    on errors avoided, at equal or lower node-day capacity cost."""
+    _, frame, n_degraded_errors = fleet
+    comparison = benchmark.pedantic(
+        lambda: compare_quarantine_policies(frame, study_hours=STUDY_HOURS),
+        rounds=1,
+        iterations=1,
+    )
+    for key, value in comparison.to_dict().items():
+        benchmark.extra_info[key] = value
+    print(
+        f"\npredictive avoids {comparison.errors_avoided_predictive} errors "
+        f"at {comparison.capacity_cost_predictive:.1f} node-days vs static "
+        f"{comparison.errors_avoided_static} at "
+        f"{comparison.capacity_cost_static:.1f} "
+        f"(AUC {comparison.auc:.3f}, tau p{comparison.threshold:.3g})"
+    )
+    # The stream actually contains something worth predicting.
+    assert n_degraded_errors >= N_DEGRADED * STORM_ERRORS
+    assert comparison.n_eval_samples > 0
+    assert comparison.auc >= 0.75
+    assert comparison.predictive_wins, (
+        f"predictive policy lost the head-to-head: avoided "
+        f"{comparison.errors_avoided_predictive} vs "
+        f"{comparison.errors_avoided_static} errors at "
+        f"{comparison.capacity_cost_predictive:.1f} vs "
+        f"{comparison.capacity_cost_static:.1f} node-days"
+    )

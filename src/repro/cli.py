@@ -16,6 +16,8 @@ Subcommands::
     repro compact --dir DIR      # LSM-merge a live archive's segments
     repro query --dir DIR        # run one query plan against an archive
     repro serve --dir DIR        # HTTP/JSON fleet telemetry server
+    repro ml train --dir DIR     # fit the degradation predictor
+    repro ml predict --dir DIR   # score nodes with a registry model
 """
 
 from __future__ import annotations
@@ -340,6 +342,137 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="delay before hedging a slow scatter partition",
     )
+    srv.add_argument(
+        "--model-registry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "model registry directory; enables the /predict endpoint "
+            "scoring nodes with the registry's active model"
+        ),
+    )
+
+    mlp = sub.add_parser(
+        "ml",
+        help="degradation prediction (see docs/PREDICTION.md)",
+    )
+    ml_sub = mlp.add_subparsers(dest="ml_command", required=True)
+
+    def _add_spec_args(p) -> None:
+        p.add_argument(
+            "--windows",
+            default="24,72,168",
+            metavar="H,H,...",
+            help="feature window lengths in hours, ascending",
+        )
+        p.add_argument(
+            "--horizon",
+            type=float,
+            default=24.0,
+            metavar="HOURS",
+            help="label horizon: how far ahead degradation is predicted",
+        )
+        p.add_argument(
+            "--label-threshold",
+            type=int,
+            default=4,
+            metavar="N",
+            help="errors within the horizon that make a node 'degrading'",
+        )
+
+    def _add_span_args(p) -> None:
+        p.add_argument(
+            "--start", type=float, default=0.0, metavar="HOURS",
+            help="dataset span start",
+        )
+        p.add_argument(
+            "--end", type=float, default=None, metavar="HOURS",
+            help="dataset span end (default: newest record)",
+        )
+        p.add_argument(
+            "--split", type=float, default=None, metavar="HOURS",
+            help="train/eval split instant (default: 70%% of the span)",
+        )
+        p.add_argument(
+            "--stride", type=float, default=24.0, metavar="HOURS",
+            help="reference-time stride",
+        )
+
+    ml_feat = ml_sub.add_parser(
+        "featurize", help="extract the per-node feature matrix at one instant"
+    )
+    ml_feat.add_argument("--dir", required=True, help="columnar archive directory")
+    ml_feat.add_argument(
+        "--t0", type=float, default=None, metavar="HOURS",
+        help="reference instant (default: newest record)",
+    )
+    _add_spec_args(ml_feat)
+
+    ml_train = ml_sub.add_parser(
+        "train", help="fit a predictor on an archive and store the artifact"
+    )
+    ml_train.add_argument("--dir", required=True, help="columnar archive directory")
+    ml_train.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model registry to store the artifact in",
+    )
+    ml_train.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the artifact bytes to FILE",
+    )
+    ml_train.add_argument(
+        "--model", choices=("logreg", "stumps"), default="logreg",
+        help="model family",
+    )
+    ml_train.add_argument(
+        "--promote", action="store_true",
+        help="make the new model the registry's active model",
+    )
+    _add_spec_args(ml_train)
+    _add_span_args(ml_train)
+
+    ml_eval = ml_sub.add_parser(
+        "evaluate", help="score a stored model on a hold-out period"
+    )
+    ml_eval.add_argument("--dir", required=True, help="columnar archive directory")
+    ml_eval.add_argument("--registry", required=True, metavar="DIR")
+    ml_eval.add_argument(
+        "--model-id", default=None, help="model id (default: active)"
+    )
+    _add_spec_args(ml_eval)
+    _add_span_args(ml_eval)
+
+    ml_pred = ml_sub.add_parser(
+        "predict", help="score every node with the registry's active model"
+    )
+    ml_pred.add_argument("--dir", required=True, help="columnar archive directory")
+    ml_pred.add_argument("--registry", required=True, metavar="DIR")
+    ml_pred.add_argument(
+        "--model-id", default=None, help="model id (default: active)"
+    )
+    ml_pred.add_argument(
+        "--t0", type=float, default=None, metavar="HOURS",
+        help="reference instant (default: newest record)",
+    )
+    ml_pred.add_argument(
+        "--limit", type=int, default=None, metavar="N", help="top-N nodes only"
+    )
+    ml_pred.add_argument(
+        "--threshold", type=float, default=None, metavar="P",
+        help="only nodes scoring at least P",
+    )
+
+    ml_reg = ml_sub.add_parser(
+        "registry", help="list, promote, or roll back registry models"
+    )
+    ml_reg.add_argument("--registry", required=True, metavar="DIR")
+    ml_reg.add_argument(
+        "--promote", default=None, metavar="ID", help="promote this model id"
+    )
+    ml_reg.add_argument(
+        "--rollback", action="store_true",
+        help="re-activate the previously active model",
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -619,15 +752,212 @@ def _cmd_lint(args) -> int:
         return 0
 
 
+def _parse_windows(text: str) -> tuple[float, ...]:
+    return tuple(float(w) for w in text.split(",") if w.strip())
+
+
+def _ml_spec(args):
+    from .ml import FeatureSpec
+
+    return FeatureSpec(
+        windows_hours=_parse_windows(args.windows),
+        horizon_hours=args.horizon,
+        label_threshold=args.label_threshold,
+    )
+
+
+def _ml_dataset(args, engine, spec):
+    """Build the sliding-window dataset and split it per the span args."""
+    from .ml import DatasetSpec, build_dataset, time_split
+    from .ml.online import CLOCK_PLAN
+
+    end = args.end
+    if end is None:
+        newest = engine.execute(CLOCK_PLAN, use_cache=False).column("max_t")
+        end = float(newest[0]) if newest.shape[0] else 0.0
+    split = args.split
+    if split is None:
+        split = args.start + 0.7 * (end - args.start)
+    dataset = build_dataset(
+        engine,
+        DatasetSpec(
+            features=spec,
+            start_hours=args.start,
+            end_hours=end,
+            stride_hours=args.stride,
+        ),
+    )
+    train_ds, eval_ds = time_split(dataset, split)
+    return dataset, train_ds, eval_ds, split, end
+
+
+def _cmd_ml(args) -> int:
+    import json
+
+    from .core.errors import LogFormatError
+    from .ml import ModelRegistry, RegistryError
+    from .query import QueryEngine
+
+    try:
+        if args.ml_command == "registry":
+            registry = ModelRegistry(args.registry, create=False)
+            if args.promote:
+                registry.promote(args.promote)
+            if args.rollback:
+                registry.rollback()
+            print(
+                json.dumps(
+                    {
+                        "active": registry.active_id,
+                        "models": registry.list_models(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+
+        if args.ml_command == "featurize":
+            from .ml import extract_features
+            from .ml.online import CLOCK_PLAN
+
+            engine = QueryEngine(args.dir)
+            spec = _ml_spec(args)
+            t0 = args.t0
+            if t0 is None:
+                newest = engine.execute(
+                    CLOCK_PLAN, use_cache=False
+                ).column("max_t")
+                t0 = float(newest[0]) if newest.shape[0] else 0.0
+            feats = extract_features(engine, t0, spec)
+            print(
+                json.dumps(
+                    {
+                        "t0_hours": feats.t0,
+                        "feature_names": list(feats.names),
+                        "nodes": {
+                            node: [float(v) for v in feats.X[i]]
+                            for i, node in enumerate(feats.nodes)
+                        },
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+            return 0
+
+        if args.ml_command == "train":
+            from .ml import TrainConfig, fit_and_evaluate, reference_from_features
+
+            engine = QueryEngine(args.dir)
+            spec = _ml_spec(args)
+            _, train_ds, eval_ds, split, end = _ml_dataset(args, engine, spec)
+            if train_ds.n_samples == 0:
+                print("error: training split is empty", file=sys.stderr)
+                return 1
+            config = TrainConfig(model_type=args.model, seed=args.seed)
+            reference = reference_from_features(
+                train_ds.X, train_ds.feature_names, base_rate=train_ds.base_rate
+            )
+            report = fit_and_evaluate(
+                train_ds,
+                eval_ds,
+                config,
+                metadata={
+                    "feature_spec": spec.to_dict(),
+                    "drift_reference": reference.to_dict(),
+                    "train_span_hours": [args.start, split],
+                    "eval_span_hours": [split, end],
+                },
+            )
+            model_id = None
+            if args.registry:
+                registry = ModelRegistry(args.registry)
+                model_id = registry.add(
+                    report.artifact,
+                    metadata={"eval_auc": report.metrics_eval["auc"]},
+                    promote=args.promote,
+                )
+            if args.out:
+                with open(args.out, "wb") as fh:
+                    fh.write(report.artifact)
+            out = report.to_dict()
+            out["model_id"] = model_id
+            print(json.dumps(out, indent=2, sort_keys=True))
+            return 0
+
+        if args.ml_command == "evaluate":
+            from .ml import FeatureSpec, evaluate_model
+
+            registry = ModelRegistry(args.registry, create=False)
+            model, metadata, model_id = registry.load(args.model_id)
+            engine = QueryEngine(args.dir)
+            spec = (
+                FeatureSpec.from_dict(metadata["feature_spec"])
+                if "feature_spec" in metadata
+                else _ml_spec(args)
+            )
+            _, _, eval_ds, split, end = _ml_dataset(args, engine, spec)
+            if eval_ds.n_samples == 0:
+                print("error: evaluation split is empty", file=sys.stderr)
+                return 1
+            metrics = evaluate_model(model, eval_ds)
+            metrics["model_id"] = model_id
+            metrics["eval_span_hours"] = [split, end]
+            print(json.dumps(metrics, indent=2, sort_keys=True))
+            return 0
+
+        # predict
+        from .ml import OnlinePredictor
+
+        registry = ModelRegistry(args.registry, create=False)
+        predictor = OnlinePredictor(
+            args.dir, registry, model_id=args.model_id
+        )
+        board = predictor.refresh(args.t0)
+        print(
+            json.dumps(
+                {
+                    "model_id": board.model_id,
+                    "t0_hours": board.t0,
+                    "n_nodes": len(board.nodes),
+                    "scores": board.top(
+                        limit=args.limit, threshold=args.threshold
+                    ),
+                    "status": predictor.status(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    except (LogFormatError, RegistryError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from .core.errors import LogFormatError
     from .server import TelemetryServer
 
+    predictor = None
+    if args.model_registry:
+        from .ml import ModelRegistry, OnlinePredictor, RegistryError
+
+        try:
+            predictor = OnlinePredictor(
+                args.dir, ModelRegistry(args.model_registry, create=False)
+            )
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
     try:
         server = TelemetryServer(
             args.dir,
+            predictor=predictor,
             host=args.host,
             port=args.port,
             max_concurrency=args.max_concurrency,
@@ -676,6 +1006,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_query(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "ml":
+        return _cmd_ml(args)
     if args.command == "lint":
         return _cmd_lint(args)
 

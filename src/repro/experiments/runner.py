@@ -55,6 +55,7 @@ EXPERIMENT_ORDER: tuple[str, ...] = (
     "sec3d_undetectable",
     "sec3g_pearson",
     "sec3i_prediction",
+    "ml_prediction",
     "sec4_resilience",
     "sec4_checkpoint_sim",
     "sec4_scrubbing",

@@ -30,6 +30,10 @@ def _default_hot_paths() -> tuple[str, ...]:
         "logs/frame.py",
         "logs/ingest.py",
         "kernels/",
+        # The prediction package: feature extraction runs per refresh
+        # over the whole fleet, and its artifacts must be dtype-stable
+        # to stay bit-reproducible.
+        "ml/",
     )
 
 

@@ -1,0 +1,109 @@
+"""Online degradation prediction over the fleet query engine.
+
+The paper's Sec III-I observes that degraded nodes are bursty — "when a
+node starts having errors, many subsequent errors are observed in the
+following hours" — and Sec IV exploits it reactively (quarantine after
+an observed burst, Table II).  This package takes the next step the
+Boixaderas et al. follow-up work argues for: *predict* which nodes are
+about to degrade and act before the storm.
+
+The pieces, in pipeline order:
+
+* :mod:`.features` — per-node feature vectors extracted as
+  :mod:`repro.query` plans over a live or compacted archive (window
+  error rates, inter-arrival statistics, bit-count mix,
+  temperature/diurnal covariates).  Every plan only references times
+  strictly before the reference instant, which is what makes the
+  labels leak-free by construction.
+* :mod:`.dataset` — sliding-window dataset assembly with leak-free
+  train/eval time splits.
+* :mod:`.model` / :mod:`.train` — dependency-light NumPy models
+  (logistic regression, gradient-boosted stumps), seeded and
+  bit-reproducible, with rank-based AUC/calibration evaluation.
+* :mod:`.registry` — versioned model store: sha256-fingerprinted
+  artifacts, metadata, promote/rollback.
+* :mod:`.drift` — population-stability and calibration drift detectors
+  that flag fault-regime change and request retraining.
+* :mod:`.online` — :class:`OnlinePredictor`, scoring every node as
+  batches commit to a :class:`~repro.logs.ingest.LiveArchive`.
+* :mod:`.policy` — the head-to-head evaluation against the paper's
+  static Table II quarantine policy (errors avoided vs. capacity
+  sacrificed) that benchmarks and CI gate on.
+"""
+
+from .dataset import Dataset, DatasetSpec, build_dataset, reference_times, time_split
+from .drift import (
+    DriftConfig,
+    DriftDetector,
+    DriftReference,
+    DriftReport,
+    psi,
+    reference_from_features,
+)
+from .features import (
+    FeatureMatrix,
+    FeatureSpec,
+    extract_features,
+    extract_labels,
+    feature_names,
+    feature_plans,
+    label_plan,
+    source_from_frame,
+)
+from .model import (
+    LogisticModel,
+    StumpEnsemble,
+    artifact_bytes,
+    model_fingerprint,
+    model_from_dict,
+)
+from .online import OnlinePredictor, ScoreBoard
+from .policy import PolicyComparison, compare_quarantine_policies
+from .registry import ModelRegistry, RegistryError
+from .train import (
+    TrainConfig,
+    TrainReport,
+    auc_score,
+    evaluate_model,
+    fit_and_evaluate,
+    train_model,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReference",
+    "DriftReport",
+    "FeatureMatrix",
+    "FeatureSpec",
+    "LogisticModel",
+    "ModelRegistry",
+    "OnlinePredictor",
+    "PolicyComparison",
+    "RegistryError",
+    "ScoreBoard",
+    "StumpEnsemble",
+    "TrainConfig",
+    "TrainReport",
+    "artifact_bytes",
+    "auc_score",
+    "build_dataset",
+    "compare_quarantine_policies",
+    "evaluate_model",
+    "extract_features",
+    "extract_labels",
+    "feature_names",
+    "feature_plans",
+    "fit_and_evaluate",
+    "label_plan",
+    "model_fingerprint",
+    "model_from_dict",
+    "psi",
+    "reference_from_features",
+    "reference_times",
+    "source_from_frame",
+    "time_split",
+    "train_model",
+]

@@ -1,0 +1,144 @@
+"""Labeled sliding-window dataset assembly with leak-free time splits.
+
+One sample is (node, t0): features describe the node's history in the
+windows ending at ``t0``; the label says whether the node goes on to
+log a degraded burst in ``[t0, t0 + horizon)``.  Reference times slide
+over the archive on a fixed stride, so one archive yields
+``n_epochs * n_nodes`` samples.
+
+The split discipline is temporal, not random: ``time_split`` keeps a
+train sample only when its *entire label horizon* closes at or before
+the split instant, and keeps an eval sample only when its reference
+time is at or after the split.  No train label can see eval-period
+events, and (because feature plans bound ``t < t0`` structurally, see
+:mod:`.features`) no eval feature leaks into training either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import FeatureSpec, extract_features, extract_labels, feature_names
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Sliding-window geometry over ``[start_hours, end_hours)``."""
+
+    features: FeatureSpec
+    start_hours: float
+    end_hours: float
+    stride_hours: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.stride_hours <= 0:
+            raise ValueError("stride must be positive")
+        if self.end_hours <= self.start_hours:
+            raise ValueError("empty dataset span")
+
+    def to_dict(self) -> dict:
+        return {
+            "features": self.features.to_dict(),
+            "start_hours": self.start_hours,
+            "end_hours": self.end_hours,
+            "stride_hours": self.stride_hours,
+        }
+
+
+def reference_times(spec: DatasetSpec) -> np.ndarray:
+    """The t0 grid: every stride step whose label horizon fits the span.
+
+    The first reference time sits one full lookback after ``start_hours``
+    so every feature window is fully inside the span; the last leaves
+    room for the label horizon before ``end_hours``.
+    """
+    first = spec.start_hours + spec.features.lookback_hours
+    last = spec.end_hours - spec.features.horizon_hours
+    if last < first:
+        return np.empty(0, dtype=np.float64)
+    n = int(np.floor((last - first) / spec.stride_hours)) + 1
+    return first + spec.stride_hours * np.arange(n, dtype=np.float64)
+
+
+@dataclass
+class Dataset:
+    """Flat sample table: one row per (node, reference time)."""
+
+    X: np.ndarray            # (n_samples, n_features) f8
+    y: np.ndarray            # (n_samples,) i8, 0/1
+    t0: np.ndarray           # (n_samples,) f8 reference times
+    nodes: tuple[str, ...]   # per-sample node names
+    feature_names: tuple[str, ...]
+    horizon_hours: float
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def base_rate(self) -> float:
+        return float(self.y.mean()) if self.n_samples else 0.0
+
+    def select(self, mask: np.ndarray) -> "Dataset":
+        idx = np.flatnonzero(mask)
+        return Dataset(
+            X=self.X[idx],
+            y=self.y[idx],
+            t0=self.t0[idx],
+            nodes=tuple(self.nodes[i] for i in idx),
+            feature_names=self.feature_names,
+            horizon_hours=self.horizon_hours,
+        )
+
+
+def build_dataset(target, spec: DatasetSpec, *, nodes=None) -> Dataset:
+    """Assemble the sliding-window dataset from an archive or engine."""
+    fspec = spec.features
+    times = reference_times(spec)
+    xs: list[np.ndarray] = []
+    ys: list[np.ndarray] = []
+    t0s: list[np.ndarray] = []
+    sample_nodes: list[str] = []
+    universe = nodes
+    for t0 in times:
+        feats = extract_features(target, float(t0), fspec, nodes=universe)
+        if universe is None:
+            universe = feats.nodes
+        labels = extract_labels(target, float(t0), fspec, nodes=feats.nodes)
+        xs.append(feats.X)
+        ys.append(labels.astype(np.int8))
+        t0s.append(np.full(len(feats.nodes), float(t0), dtype=np.float64))
+        sample_nodes.extend(feats.nodes)
+    if not xs:
+        k = len(feature_names(fspec))
+        return Dataset(
+            X=np.empty((0, k), dtype=np.float64),
+            y=np.empty(0, dtype=np.int8),
+            t0=np.empty(0, dtype=np.float64),
+            nodes=(),
+            feature_names=feature_names(fspec),
+            horizon_hours=fspec.horizon_hours,
+        )
+    return Dataset(
+        X=np.concatenate(xs, axis=0),
+        y=np.concatenate(ys),
+        t0=np.concatenate(t0s),
+        nodes=tuple(sample_nodes),
+        feature_names=feature_names(fspec),
+        horizon_hours=fspec.horizon_hours,
+    )
+
+
+def time_split(dataset: Dataset, split_hours: float) -> tuple[Dataset, Dataset]:
+    """Leak-free temporal split.
+
+    Train keeps samples whose label horizon closes at or before the
+    split (``t0 + horizon <= split``); eval keeps samples at or after
+    it (``t0 >= split``).  Samples straddling the boundary are dropped
+    — they would tie a train label to eval-period events.
+    """
+    train_mask = dataset.t0 + dataset.horizon_hours <= float(split_hours)
+    eval_mask = dataset.t0 >= float(split_hours)
+    return dataset.select(train_mask), dataset.select(eval_mask)

@@ -1,0 +1,264 @@
+"""Drift detection: population stability + calibration decay.
+
+The DDR4 field studies (PAPERS.md) show fault-class mixes drifting over
+a machine's lifetime; a predictor trained on one regime quietly rots
+when the regime changes.  Two complementary detectors watch for that:
+
+* **Population stability index** per feature: the training set pins a
+  reference histogram (quantile edges + bin fractions); incoming
+  feature batches accumulate into an observation histogram, and
+  ``PSI = sum((obs - ref) * ln(obs / ref))`` measures the shift.  The
+  conventional reading: < 0.1 stable, 0.1-0.25 drifting, > 0.25 act.
+* **Calibration gap**: when labels mature, the mean predicted
+  probability is compared against the observed degradation rate
+  (overall and count-weighted per probability bin).  A model can pass
+  PSI while its probabilities go stale — e.g. the same feature mix now
+  storms twice as often.
+
+:meth:`DriftDetector.check` folds both into one report with a
+``triggered`` verdict; :class:`~repro.ml.online.OnlinePredictor`
+surfaces it on the server's gauges and the retrain loop keys off it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Laplace smoothing applied to histogram fractions so PSI stays finite
+#: when a bin empties on one side.
+_SMOOTH = 1e-4
+
+
+def psi(reference_frac: np.ndarray, observed_frac: np.ndarray) -> float:
+    """Population stability index between two bin-fraction vectors."""
+    ref = np.asarray(reference_frac, dtype=np.float64) + _SMOOTH
+    obs = np.asarray(observed_frac, dtype=np.float64) + _SMOOTH
+    ref = ref / ref.sum()
+    obs = obs / obs.sum()
+    return float(((obs - ref) * np.log(obs / ref)).sum())
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Trigger thresholds."""
+
+    psi_threshold: float = 0.25
+    calibration_threshold: float = 0.15
+    min_samples: int = 50
+
+    def __post_init__(self) -> None:
+        if self.psi_threshold <= 0 or self.calibration_threshold <= 0:
+            raise ValueError("drift thresholds must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+
+
+@dataclass
+class DriftReference:
+    """What the training population looked like."""
+
+    feature_names: tuple[str, ...]
+    edges: np.ndarray        # (n_features, n_bins+1) f8 quantile edges
+    fractions: np.ndarray    # (n_features, n_bins) f8 reference mass
+    base_rate: float         # training-set label rate
+
+    def to_dict(self) -> dict:
+        return {
+            "feature_names": list(self.feature_names),
+            "edges": [[float(v) for v in row] for row in self.edges],
+            "fractions": [[float(v) for v in row] for row in self.fractions],
+            "base_rate": float(self.base_rate),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "DriftReference":
+        return cls(
+            feature_names=tuple(spec["feature_names"]),
+            edges=np.asarray(spec["edges"], dtype=np.float64),
+            fractions=np.asarray(spec["fractions"], dtype=np.float64),
+            base_rate=float(spec["base_rate"]),
+        )
+
+
+def reference_from_features(
+    X: np.ndarray,
+    feature_names: tuple[str, ...],
+    *,
+    base_rate: float = 0.0,
+    n_bins: int = 10,
+) -> DriftReference:
+    """Pin quantile bin edges and reference fractions from training data.
+
+    Edges use training-set quantiles (so every bin starts with mass);
+    the outermost edges are widened to +-inf so future out-of-range
+    values land in the tail bins instead of vanishing.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    n_features = X.shape[1]
+    edges = np.empty((n_features, n_bins + 1), dtype=np.float64)
+    fractions = np.empty((n_features, n_bins), dtype=np.float64)
+    qs = np.linspace(0.0, 1.0, n_bins + 1, dtype=np.float64)
+    for j in range(n_features):
+        col_edges = np.quantile(X[:, j], qs) if X.shape[0] else qs
+        # Strictly increasing edges: collapse duplicates by nudging.
+        for k in range(1, n_bins + 1):
+            if col_edges[k] <= col_edges[k - 1]:
+                col_edges[k] = col_edges[k - 1] + 1e-9
+        col_edges[0], col_edges[-1] = -np.inf, np.inf
+        edges[j] = col_edges
+        fractions[j] = _histogram_fractions(X[:, j], col_edges)
+    return DriftReference(
+        feature_names=tuple(feature_names),
+        edges=edges,
+        fractions=fractions,
+        base_rate=float(base_rate),
+    )
+
+
+def _histogram_fractions(values: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    n_bins = edges.shape[0] - 1
+    if values.shape[0] == 0:
+        return np.full(n_bins, 1.0 / n_bins, dtype=np.float64)
+    idx = np.clip(
+        np.searchsorted(edges, values, side="right") - 1, 0, n_bins - 1
+    )
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
+    return counts / counts.sum()
+
+
+@dataclass
+class DriftReport:
+    """One detector verdict."""
+
+    n_samples: int
+    n_labeled: int
+    feature_psi: dict[str, float]
+    max_psi: float
+    max_psi_feature: str | None
+    calibration_gap: float
+    triggered: bool
+    reasons: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_samples": self.n_samples,
+            "n_labeled": self.n_labeled,
+            "max_psi": self.max_psi,
+            "max_psi_feature": self.max_psi_feature,
+            "calibration_gap": self.calibration_gap,
+            "triggered": self.triggered,
+            "reasons": list(self.reasons),
+            "feature_psi": dict(self.feature_psi),
+        }
+
+
+class DriftDetector:
+    """Accumulate scored batches; report population/calibration drift."""
+
+    def __init__(
+        self,
+        reference: DriftReference,
+        config: DriftConfig | None = None,
+    ):
+        self.reference = reference
+        self.config = config or DriftConfig()
+        n_features, n_bins = reference.fractions.shape
+        self._counts = np.zeros((n_features, n_bins), dtype=np.int64)
+        self._n_samples = 0
+        self._prob_sum = 0.0
+        self._label_sum = 0.0
+        self._n_labeled = 0
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+        self._n_samples = 0
+        self._prob_sum = 0.0
+        self._label_sum = 0.0
+        self._n_labeled = 0
+
+    def observe(
+        self,
+        X: np.ndarray,
+        probs: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+    ) -> None:
+        """Fold one scored batch (and, when mature, its labels) in."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape[1] != self.reference.edges.shape[0]:
+            raise ValueError(
+                f"batch has {X.shape[1]} features, reference has "
+                f"{self.reference.edges.shape[0]}"
+            )
+        for j in range(X.shape[1]):
+            edges = self.reference.edges[j]
+            idx = np.clip(
+                np.searchsorted(edges, X[:, j], side="right") - 1,
+                0,
+                edges.shape[0] - 2,
+            )
+            self._counts[j] += np.bincount(
+                idx, minlength=edges.shape[0] - 1
+            ).astype(np.int64)
+        self._n_samples += int(X.shape[0])
+        if probs is not None and labels is not None:
+            self.observe_outcomes(probs, labels)
+
+    def observe_outcomes(
+        self, probs: np.ndarray, labels: np.ndarray
+    ) -> None:
+        """Fold matured (prediction, outcome) pairs into the
+        calibration track — used when labels arrive one horizon after
+        the features were scored."""
+        probs = np.asarray(probs, dtype=np.float64).ravel()
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if probs.shape[0] != labels.shape[0]:
+            raise ValueError("probs and labels must align")
+        self._prob_sum += float(probs.sum())
+        self._label_sum += float(labels.sum())
+        self._n_labeled += int(labels.shape[0])
+
+    def check(self) -> DriftReport:
+        """Score the accumulated window against the reference."""
+        cfg = self.config
+        feature_psi: dict[str, float] = {}
+        max_psi, max_feature = 0.0, None
+        if self._n_samples >= cfg.min_samples:
+            totals = self._counts.sum(axis=1)
+            for j, name in enumerate(self.reference.feature_names):
+                if totals[j] == 0:
+                    continue
+                value = psi(
+                    self.reference.fractions[j],
+                    self._counts[j] / totals[j],
+                )
+                feature_psi[name] = value
+                if value > max_psi:
+                    max_psi, max_feature = value, name
+        calibration_gap = 0.0
+        if self._n_labeled >= cfg.min_samples:
+            predicted = self._prob_sum / self._n_labeled
+            observed = self._label_sum / self._n_labeled
+            calibration_gap = abs(observed - predicted)
+        reasons: list[str] = []
+        if max_psi > cfg.psi_threshold:
+            reasons.append(
+                f"population shift: PSI({max_feature}) = {max_psi:.3f} "
+                f"> {cfg.psi_threshold:g}"
+            )
+        if calibration_gap > cfg.calibration_threshold:
+            reasons.append(
+                f"calibration decay: |observed - predicted| = "
+                f"{calibration_gap:.3f} > {cfg.calibration_threshold:g}"
+            )
+        return DriftReport(
+            n_samples=self._n_samples,
+            n_labeled=self._n_labeled,
+            feature_psi=feature_psi,
+            max_psi=max_psi,
+            max_psi_feature=max_feature,
+            calibration_gap=calibration_gap,
+            triggered=bool(reasons),
+            reasons=reasons,
+        )

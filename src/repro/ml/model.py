@@ -1,0 +1,286 @@
+"""Dependency-light NumPy models with bit-reproducible artifacts.
+
+Two model families, one interface (``predict_proba(X) -> (n,) f8``):
+
+* :class:`LogisticModel` — standardized logistic regression trained by
+  full-batch gradient descent.  No randomness anywhere: zero init,
+  fixed epoch count, deterministic ufunc order.
+* :class:`StumpEnsemble` — gradient-boosted depth-1 trees over
+  quantile-candidate thresholds, logistic loss.  Ties break on the
+  lowest (feature, threshold) pair, so training is a pure function of
+  the dataset.
+
+Artifacts serialize through :func:`artifact_bytes`: floats are encoded
+with ``float.hex`` (exact round-trip, no repr drift) into canonical
+JSON (sorted keys, fixed separators), so *equal models produce equal
+bytes* — the property the registry's sha256 fingerprints and the CI
+determinism gate rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+ARTIFACT_FORMAT = "repro-ml-model"
+ARTIFACT_VERSION = 1
+
+#: Probability clamp keeping log-loss gradients finite.
+_EPS = 1e-12
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Split by sign to stay overflow-free on both tails.
+    out = np.empty_like(z, dtype=np.float64)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _enc_array(arr: np.ndarray) -> list:
+    """Exact float encoding (hex strings), shape-preserving lists."""
+    flat = [float(v).hex() for v in np.asarray(arr, dtype=np.float64).ravel()]
+    return [list(np.asarray(arr, dtype=np.float64).shape), flat]
+
+
+def _dec_array(payload: list) -> np.ndarray:
+    shape, flat = payload
+    arr = np.array([float.fromhex(v) for v in flat], dtype=np.float64)
+    return arr.reshape([int(s) for s in shape])
+
+
+@dataclass
+class LogisticModel:
+    """Standardized logistic regression: p = sigmoid(w.(x-m)/s + b)."""
+
+    weights: np.ndarray          # (n_features,) f8
+    bias: float
+    mean: np.ndarray             # (n_features,) f8 standardization
+    scale: np.ndarray            # (n_features,) f8
+    feature_names: tuple[str, ...]
+
+    model_type = "logreg"
+
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: tuple[str, ...],
+        *,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        epochs: int = 400,
+    ) -> "LogisticModel":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        n = max(X.shape[0], 1)
+        mean = X.mean(axis=0) if X.shape[0] else np.zeros(X.shape[1], dtype=np.float64)
+        scale = X.std(axis=0) if X.shape[0] else np.ones(X.shape[1], dtype=np.float64)
+        scale = np.where(scale > 0.0, scale, 1.0)
+        Z = (X - mean) / scale
+        w = np.zeros(X.shape[1], dtype=np.float64)
+        b = 0.0
+        for _ in range(int(epochs)):
+            p = _sigmoid(Z @ w + b)
+            grad_w = Z.T @ (p - y) / n + l2 * w
+            grad_b = float((p - y).mean()) if X.shape[0] else 0.0
+            w -= learning_rate * grad_w
+            b -= learning_rate * grad_b
+        return cls(
+            weights=w, bias=float(b), mean=mean, scale=scale,
+            feature_names=tuple(feature_names),
+        )
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Z = (np.asarray(X, dtype=np.float64) - self.mean) / self.scale
+        return _sigmoid(Z @ self.weights + self.bias)
+
+    def to_dict(self) -> dict:
+        return {
+            "model_type": self.model_type,
+            "weights": _enc_array(self.weights),
+            "bias": float(self.bias).hex(),
+            "mean": _enc_array(self.mean),
+            "scale": _enc_array(self.scale),
+            "feature_names": list(self.feature_names),
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "LogisticModel":
+        return cls(
+            weights=_dec_array(spec["weights"]),
+            bias=float.fromhex(spec["bias"]),
+            mean=_dec_array(spec["mean"]),
+            scale=_dec_array(spec["scale"]),
+            feature_names=tuple(spec["feature_names"]),
+        )
+
+
+@dataclass(frozen=True)
+class _Stump:
+    feature: int
+    threshold: float
+    left_value: float   # contribution when x[feature] <= threshold
+    right_value: float
+
+
+@dataclass
+class StumpEnsemble:
+    """Gradient-boosted depth-1 trees, logistic loss."""
+
+    stumps: tuple[_Stump, ...]
+    base_score: float            # prior log-odds
+    learning_rate: float
+    feature_names: tuple[str, ...]
+
+    model_type = "stumps"
+
+    @classmethod
+    def fit(
+        cls,
+        X: np.ndarray,
+        y: np.ndarray,
+        feature_names: tuple[str, ...],
+        *,
+        n_rounds: int = 60,
+        learning_rate: float = 0.3,
+        n_thresholds: int = 16,
+    ) -> "StumpEnsemble":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        n = X.shape[0]
+        rate = float(y.mean()) if n else 0.0
+        rate = min(max(rate, _EPS), 1.0 - _EPS)
+        base = float(np.log(rate / (1.0 - rate)))
+        if n == 0:
+            return cls(stumps=(), base_score=base,
+                       learning_rate=float(learning_rate),
+                       feature_names=tuple(feature_names))
+        # Quantile threshold candidates, fixed per feature up front.
+        qs = np.linspace(0.0, 1.0, int(n_thresholds) + 2, dtype=np.float64)[1:-1]
+        candidates = [
+            np.unique(np.quantile(X[:, j], qs)) for j in range(X.shape[1])
+        ]
+        score = np.full(n, base, dtype=np.float64)
+        stumps: list[_Stump] = []
+        for _ in range(int(n_rounds)):
+            p = _sigmoid(score)
+            residual = y - p
+            best = None  # (sse, feature, threshold, left, right)
+            for j in range(X.shape[1]):
+                xj = X[:, j]
+                for thr in candidates[j]:
+                    left = xj <= thr
+                    n_left = int(left.sum())
+                    if n_left == 0 or n_left == n:
+                        continue
+                    lv = float(residual[left].mean())
+                    rv = float(residual[~left].mean())
+                    pred = np.where(left, lv, rv)
+                    sse = float(((residual - pred) ** 2).sum())
+                    if best is None or sse < best[0] - 1e-15:
+                        best = (sse, j, float(thr), lv, rv)
+            if best is None:
+                break
+            _, j, thr, lv, rv = best
+            stump = _Stump(feature=j, threshold=thr,
+                           left_value=lv, right_value=rv)
+            stumps.append(stump)
+            contrib = np.where(X[:, j] <= thr, lv, rv)
+            score = score + learning_rate * contrib
+        return cls(
+            stumps=tuple(stumps),
+            base_score=base,
+            learning_rate=float(learning_rate),
+            feature_names=tuple(feature_names),
+        )
+
+    def decision_scores(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        score = np.full(X.shape[0], self.base_score, dtype=np.float64)
+        for s in self.stumps:
+            score += self.learning_rate * np.where(
+                X[:, s.feature] <= s.threshold, s.left_value, s.right_value
+            )
+        return score
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return _sigmoid(self.decision_scores(X))
+
+    def to_dict(self) -> dict:
+        return {
+            "model_type": self.model_type,
+            "base_score": float(self.base_score).hex(),
+            "learning_rate": float(self.learning_rate).hex(),
+            "feature_names": list(self.feature_names),
+            "stumps": [
+                {
+                    "feature": s.feature,
+                    "threshold": float(s.threshold).hex(),
+                    "left_value": float(s.left_value).hex(),
+                    "right_value": float(s.right_value).hex(),
+                }
+                for s in self.stumps
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "StumpEnsemble":
+        return cls(
+            stumps=tuple(
+                _Stump(
+                    feature=int(s["feature"]),
+                    threshold=float.fromhex(s["threshold"]),
+                    left_value=float.fromhex(s["left_value"]),
+                    right_value=float.fromhex(s["right_value"]),
+                )
+                for s in spec["stumps"]
+            ),
+            base_score=float.fromhex(spec["base_score"]),
+            learning_rate=float.fromhex(spec["learning_rate"]),
+            feature_names=tuple(spec["feature_names"]),
+        )
+
+
+MODEL_TYPES = {
+    LogisticModel.model_type: LogisticModel,
+    StumpEnsemble.model_type: StumpEnsemble,
+}
+
+
+def model_from_dict(spec: dict) -> LogisticModel | StumpEnsemble:
+    kind = spec.get("model_type")
+    if kind not in MODEL_TYPES:
+        raise ValueError(f"unknown model type {kind!r}")
+    return MODEL_TYPES[kind].from_dict(spec)
+
+
+def artifact_bytes(model, metadata: dict | None = None) -> bytes:
+    """Canonical artifact serialization (equal models -> equal bytes)."""
+    payload = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "model": model.to_dict(),
+        "metadata": metadata or {},
+    }
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def artifact_from_bytes(payload: bytes) -> tuple[object, dict]:
+    spec = json.loads(payload.decode("utf-8"))
+    if spec.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"not a model artifact: {spec.get('format')!r}")
+    return model_from_dict(spec["model"]), spec.get("metadata", {})
+
+
+def model_fingerprint(payload: bytes) -> str:
+    """sha256 over the canonical artifact bytes (the registry's id)."""
+    return hashlib.sha256(payload).hexdigest()

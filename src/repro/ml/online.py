@@ -1,0 +1,224 @@
+"""Online scoring: incremental node-risk refresh over a live archive.
+
+:class:`OnlinePredictor` glues the pieces together for serving: it
+loads the registry's active model, extracts a feature matrix "as of
+now" (now = the newest committed record unless the caller pins a
+replay clock), scores every node, and keeps a :class:`ScoreBoard` of
+the latest risk per node.  Because features are query plans over the
+engine's source — and :class:`~repro.query.source.ArchiveSource` in
+watch mode re-reads the manifest at fingerprint time — each refresh
+sees exactly the batches that have *committed* since the last one,
+with unchanged shards served from the query cache.
+
+Each refresh also feeds the drift detector: feature rows immediately
+(population track), and predictions once their label horizon has
+closed (calibration track).  ``status()`` packages the whole thing for
+the telemetry server's ``/metrics`` gauges and the ``/predict``
+endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..query.plan import Aggregate, Query
+from .drift import DriftConfig, DriftDetector, DriftReference, reference_from_features
+from .features import FeatureSpec, _as_engine, extract_features, extract_labels
+from .registry import ModelRegistry
+
+#: Grand-total plan giving the newest committed timestamp — the
+#: predictor's replay clock when the caller does not pin one.
+CLOCK_PLAN = Query(aggregates=(Aggregate("max", column="t"),))
+
+
+@dataclass
+class ScoreBoard:
+    """Latest per-node risk snapshot from one refresh."""
+
+    nodes: tuple[str, ...]
+    scores: np.ndarray  # (n_nodes,) f8 probabilities
+    t0: float
+    model_id: str
+
+    def top(
+        self, *, limit: int | None = None, threshold: float | None = None
+    ) -> list[dict]:
+        """Nodes by descending risk (ties broken by node name)."""
+        order = np.lexsort((np.array(self.nodes, dtype=np.str_), -self.scores))
+        rows = []
+        for i in order:
+            score = float(self.scores[i])
+            if threshold is not None and score < threshold:
+                continue
+            rows.append({"node": self.nodes[i], "score": score})
+            if limit is not None and len(rows) >= limit:
+                break
+        return rows
+
+    def score_of(self, node: str) -> float | None:
+        try:
+            return float(self.scores[self.nodes.index(node)])
+        except ValueError:
+            return None
+
+
+@dataclass
+class _PendingLabels:
+    """A scored batch waiting for its label horizon to close."""
+
+    t0: float
+    nodes: tuple[str, ...]
+    probs: np.ndarray
+
+
+class OnlinePredictor:
+    """Score nodes incrementally as batches commit to an archive."""
+
+    def __init__(
+        self,
+        target,
+        registry: ModelRegistry,
+        *,
+        spec: FeatureSpec | None = None,
+        drift_config: DriftConfig | None = None,
+        reference: DriftReference | None = None,
+        model_id: str | None = None,
+    ):
+        self.engine = _as_engine(target)
+        self.registry = registry
+        self._pin = model_id
+        self.drift_config = drift_config or DriftConfig()
+        self.model = None
+        self.metadata: dict = {}
+        self.model_id: str | None = None
+        self.board: ScoreBoard | None = None
+        self.refreshes = 0
+        self._spec_override = spec
+        self.spec = spec or FeatureSpec()
+        self._reference_override = reference
+        self.drift: DriftDetector | None = None
+        self._pending: list[_PendingLabels] = []
+        self.reload()
+
+    # -- model lifecycle ---------------------------------------------------
+
+    def reload(self) -> bool:
+        """Adopt the registry's active model if it changed.
+
+        Returns True when a (re)load happened.  Swapping models resets
+        the drift detector — the new model carries its own training
+        reference — but keeps the scoreboard until the next refresh.
+        """
+        active = self._pin or self.registry.active_id
+        if active is None or active == self.model_id:
+            return False
+        self.model, self.metadata, self.model_id = self.registry.load(active)
+        if self._spec_override is None and "feature_spec" in self.metadata:
+            self.spec = FeatureSpec.from_dict(self.metadata["feature_spec"])
+        reference = self._reference_override
+        if reference is None and "drift_reference" in self.metadata:
+            reference = DriftReference.from_dict(
+                self.metadata["drift_reference"]
+            )
+        self.drift = (
+            DriftDetector(reference, self.drift_config) if reference else None
+        )
+        self._pending = []
+        return True
+
+    # -- scoring -----------------------------------------------------------
+
+    def now_hours(self) -> float:
+        """The newest committed timestamp (the replay clock)."""
+        result = self.engine.execute(CLOCK_PLAN, use_cache=False)
+        value = result.column("max_t")
+        return float(value[0]) if value.shape[0] else 0.0
+
+    def refresh(self, now_hours: float | None = None) -> ScoreBoard:
+        """Re-score every node as of ``now_hours`` (default: newest data).
+
+        Also matures any previously scored batch whose label horizon
+        has closed, feeding (prediction, outcome) pairs to the drift
+        detector's calibration track.
+        """
+        self.reload()
+        if self.model is None:
+            raise RuntimeError("registry has no active model to score with")
+        t0 = float(now_hours) if now_hours is not None else self.now_hours()
+        feats = extract_features(self.engine, t0, self.spec)
+        probs = np.asarray(
+            self.model.predict_proba(feats.X), dtype=np.float64
+        )
+        self.board = ScoreBoard(
+            nodes=feats.nodes, scores=probs, t0=t0, model_id=self.model_id
+        )
+        self.refreshes += 1
+        if self.drift is not None:
+            self.drift.observe(feats.X)
+            self._pending.append(
+                _PendingLabels(t0=t0, nodes=feats.nodes, probs=probs)
+            )
+            self._mature_pending(t0)
+        return self.board
+
+    def _mature_pending(self, now: float) -> None:
+        ready = [
+            p for p in self._pending
+            if p.t0 + self.spec.horizon_hours <= now
+        ]
+        if not ready:
+            return
+        self._pending = [
+            p for p in self._pending
+            if p.t0 + self.spec.horizon_hours > now
+        ]
+        for batch in ready:
+            labels = extract_labels(
+                self.engine, batch.t0, self.spec, nodes=batch.nodes
+            )
+            self.drift.observe_outcomes(batch.probs, labels)
+
+    def ensure_reference(self) -> None:
+        """Pin a drift reference from the current board if none exists.
+
+        Fallback for artifacts trained before references were recorded:
+        the first scored population becomes the baseline, so drift is
+        then measured against deployment-time behaviour.
+        """
+        if self.drift is not None or self.board is None:
+            return
+        feats = extract_features(self.engine, self.board.t0, self.spec)
+        reference = reference_from_features(
+            feats.X, feats.names, base_rate=0.0
+        )
+        self.drift = DriftDetector(reference, self.drift_config)
+
+    # -- reporting ---------------------------------------------------------
+
+    def status(self) -> dict:
+        """Gauge snapshot for ``/metrics`` and ``/predict``."""
+        out: dict = {
+            "model_id": self.model_id,
+            "refreshes": self.refreshes,
+            "pending_label_batches": len(self._pending),
+        }
+        if self.board is not None:
+            scores = self.board.scores
+            out["t0_hours"] = self.board.t0
+            out["n_nodes"] = int(scores.shape[0])
+            out["max_score"] = float(scores.max()) if scores.shape[0] else 0.0
+            out["mean_score"] = (
+                float(scores.mean()) if scores.shape[0] else 0.0
+            )
+        if self.drift is not None:
+            report = self.drift.check()
+            out["drift"] = {
+                "triggered": report.triggered,
+                "max_psi": report.max_psi,
+                "calibration_gap": report.calibration_gap,
+                "n_samples": report.n_samples,
+                "reasons": list(report.reasons),
+            }
+        return out

@@ -1,0 +1,216 @@
+"""Versioned model store: sha256-fingerprinted artifacts, promote/rollback.
+
+Layout::
+
+    <registry>/
+        registry.json          # index: models, active id, promote history
+        artifacts/<id>.json    # canonical artifact bytes (id = sha256 prefix)
+
+Artifacts are content-addressed: the id is a prefix of the sha256 of
+the canonical artifact bytes, so re-adding an identical model is a
+no-op and a corrupted artifact is detected on load.  Every mutation is
+a temp-write + fsync + atomic rename (the index swap is the only
+commit point), and writers serialize through the cache's
+:class:`~repro.cache.FileLock` — the same durability discipline the
+storage engine uses.
+
+``promote`` moves the ``active`` pointer and appends to ``history``;
+``rollback`` pops back to the previously active id.  The index carries
+no wall-clock timestamps on purpose: two seeded training runs must
+produce byte-identical registries (the CI determinism gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..cache import FileLock
+from .model import artifact_from_bytes, model_fingerprint
+
+REGISTRY_NAME = "registry.json"
+ARTIFACT_DIR = "artifacts"
+LOCK_NAME = ".registry.lock"
+REGISTRY_FORMAT = "repro-ml-registry"
+REGISTRY_VERSION = 1
+#: Hex digits of the sha256 kept as the model id (collision-safe at
+#: any realistic registry size, short enough to type).
+ID_LEN = 16
+
+
+class RegistryError(RuntimeError):
+    """Malformed registry state or an unknown model id."""
+
+
+def _write_atomic(path: Path, payload: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+
+
+class ModelRegistry:
+    """Filesystem-backed model registry for one predictor deployment."""
+
+    def __init__(self, path: str | Path, *, create: bool = True):
+        self.path = Path(path)
+        self.index_path = self.path / REGISTRY_NAME
+        self.artifact_dir = self.path / ARTIFACT_DIR
+        if not self.index_path.exists():
+            if not create:
+                raise RegistryError(f"no registry at {self.path}")
+            self.path.mkdir(parents=True, exist_ok=True)
+            self.artifact_dir.mkdir(exist_ok=True)
+            self._save_index(
+                {
+                    "format": REGISTRY_FORMAT,
+                    "version": REGISTRY_VERSION,
+                    "active": None,
+                    "history": [],
+                    "models": {},
+                }
+            )
+
+    # -- index I/O ---------------------------------------------------------
+
+    def _load_index(self) -> dict:
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as fh:
+                index = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"unreadable registry index: {exc}") from exc
+        if index.get("format") != REGISTRY_FORMAT:
+            raise RegistryError(
+                f"not a model registry: {index.get('format')!r}"
+            )
+        return index
+
+    def _save_index(self, index: dict) -> None:
+        payload = (
+            json.dumps(index, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        _write_atomic(self.index_path, payload)
+
+    def _lock(self) -> FileLock:
+        return FileLock(self.path / LOCK_NAME)
+
+    # -- mutations ---------------------------------------------------------
+
+    def add(
+        self,
+        artifact: bytes,
+        *,
+        metadata: dict | None = None,
+        promote: bool = False,
+    ) -> str:
+        """Store one artifact; returns its content-addressed id.
+
+        Re-adding identical bytes is idempotent (same id, metadata of
+        the first add wins).  ``promote=True`` also moves the active
+        pointer, as one atomic index swap.
+        """
+        model_id = model_fingerprint(artifact)[:ID_LEN]
+        with self._lock():
+            index = self._load_index()
+            if model_id not in index["models"]:
+                self.artifact_dir.mkdir(exist_ok=True)
+                _write_atomic(
+                    self.artifact_dir / f"{model_id}.json", artifact
+                )
+                index["models"][model_id] = {
+                    "id": model_id,
+                    "sha256": model_fingerprint(artifact),
+                    "bytes": len(artifact),
+                    "metadata": metadata or {},
+                }
+            if promote:
+                self._promote_locked(index, model_id)
+            self._save_index(index)
+        return model_id
+
+    def promote(self, model_id: str) -> None:
+        """Make ``model_id`` the active model."""
+        with self._lock():
+            index = self._load_index()
+            self._promote_locked(index, model_id)
+            self._save_index(index)
+
+    @staticmethod
+    def _promote_locked(index: dict, model_id: str) -> None:
+        if model_id not in index["models"]:
+            raise RegistryError(f"unknown model id {model_id!r}")
+        if index["active"] != model_id:
+            index["history"].append(
+                {"active": model_id, "previous": index["active"]}
+            )
+            index["active"] = model_id
+
+    def rollback(self) -> str | None:
+        """Re-activate the previously active model; returns the new active."""
+        with self._lock():
+            index = self._load_index()
+            if not index["history"]:
+                raise RegistryError("nothing to roll back")
+            last = index["history"].pop()
+            index["active"] = last["previous"]
+            self._save_index(index)
+            return index["active"]
+
+    # -- reads -------------------------------------------------------------
+
+    @property
+    def active_id(self) -> str | None:
+        return self._load_index()["active"]
+
+    def list_models(self) -> list[dict]:
+        index = self._load_index()
+        active = index["active"]
+        out = []
+        for model_id in sorted(index["models"]):
+            entry = dict(index["models"][model_id])
+            entry["active"] = model_id == active
+            out.append(entry)
+        return out
+
+    def load_artifact(self, model_id: str | None = None) -> bytes:
+        index = self._load_index()
+        if model_id is None:
+            model_id = index["active"]
+            if model_id is None:
+                raise RegistryError("registry has no active model")
+        entry = index["models"].get(model_id)
+        if entry is None:
+            raise RegistryError(f"unknown model id {model_id!r}")
+        try:
+            with open(self.artifact_dir / f"{model_id}.json", "rb") as fh:
+                payload = fh.read()
+        except OSError as exc:
+            raise RegistryError(
+                f"missing artifact for model {model_id!r}: {exc}"
+            ) from exc
+        if model_fingerprint(payload) != entry["sha256"]:
+            raise RegistryError(
+                f"artifact {model_id!r} fails its sha256 check "
+                f"(on-disk corruption)"
+            )
+        return payload
+
+    def load(self, model_id: str | None = None) -> tuple[object, dict, str]:
+        """(model, metadata, model_id) for an id or the active model."""
+        index = self._load_index()
+        if model_id is None:
+            model_id = index["active"]
+            if model_id is None:
+                raise RegistryError("registry has no active model")
+        payload = self.load_artifact(model_id)
+        model, metadata = artifact_from_bytes(payload)
+        return model, metadata, model_id

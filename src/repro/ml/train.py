@@ -1,0 +1,236 @@
+"""Training driver and deterministic evaluation metrics.
+
+Training here is a pure function of (dataset, config): the models in
+:mod:`.model` draw no randomness, and the one stochastic knob —
+negative downsampling for heavily imbalanced fleets — draws from the
+project's named-stream RNG (:func:`repro.core.rng.stream`), so a seed
+pins the exact sample set.  Two runs with equal inputs produce
+byte-identical artifacts; CI enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.rng import DEFAULT_SEED, stream
+from .dataset import Dataset
+from .model import LogisticModel, StumpEnsemble, artifact_bytes, model_fingerprint
+
+#: Calibration histogram bins (predicted-probability deciles).
+N_CALIBRATION_BINS = 10
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Model family, hyperparameters, and the determinism seed."""
+
+    model_type: str = "logreg"
+    seed: int = DEFAULT_SEED
+    l2: float = 1e-3
+    learning_rate: float = 0.5
+    epochs: int = 400
+    n_rounds: int = 60
+    n_thresholds: int = 16
+    #: Keep at most this many negatives per positive (0 = keep all).
+    #: Healthy fleets are ~99% negative samples; downsampling keeps
+    #: gradient descent from drowning the minority class.
+    max_negative_ratio: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.model_type not in ("logreg", "stumps"):
+            raise ValueError(f"unknown model type {self.model_type!r}")
+        if self.max_negative_ratio < 0:
+            raise ValueError("max_negative_ratio must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "model_type": self.model_type,
+            "seed": self.seed,
+            "l2": self.l2,
+            "learning_rate": self.learning_rate,
+            "epochs": self.epochs,
+            "n_rounds": self.n_rounds,
+            "n_thresholds": self.n_thresholds,
+            "max_negative_ratio": self.max_negative_ratio,
+        }
+
+
+def _downsample(dataset: Dataset, config: TrainConfig) -> Dataset:
+    y = dataset.y
+    n_pos = int((y == 1).sum())
+    n_neg = int((y == 0).sum())
+    if not config.max_negative_ratio or n_pos == 0:
+        return dataset
+    keep_neg = int(round(config.max_negative_ratio * n_pos))
+    if n_neg <= keep_neg:
+        return dataset
+    rng = stream(config.seed, "ml/train/downsample")
+    neg_idx = np.flatnonzero(y == 0)
+    chosen = rng.choice(neg_idx, size=keep_neg, replace=False)
+    mask = y == 1
+    mask[chosen] = True
+    return dataset.select(mask)
+
+
+def train_model(dataset: Dataset, config: TrainConfig | None = None):
+    """Fit the configured model on a (train-split) dataset."""
+    config = config or TrainConfig()
+    dataset = _downsample(dataset, config)
+    if config.model_type == "logreg":
+        return LogisticModel.fit(
+            dataset.X,
+            dataset.y,
+            dataset.feature_names,
+            l2=config.l2,
+            learning_rate=config.learning_rate,
+            epochs=config.epochs,
+        )
+    return StumpEnsemble.fit(
+        dataset.X,
+        dataset.y,
+        dataset.feature_names,
+        n_rounds=config.n_rounds,
+        learning_rate=config.learning_rate,
+        n_thresholds=config.n_thresholds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def auc_score(y: np.ndarray, scores: np.ndarray) -> float:
+    """Rank-based ROC AUC with midrank tie handling; NaN if one class."""
+    y = np.asarray(y, dtype=np.int64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    n_pos = int((y == 1).sum())
+    n_neg = int((y == 0).sum())
+    if n_pos == 0 or n_neg == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="stable")
+    ranks = np.empty(scores.shape[0], dtype=np.float64)
+    sorted_scores = scores[order]
+    # Midranks: equal scores share the mean of their 1-based positions.
+    boundaries = np.flatnonzero(
+        np.concatenate((
+            np.ones(1, dtype=bool),
+            sorted_scores[1:] != sorted_scores[:-1],
+        ))
+    )
+    stops = np.append(boundaries[1:], scores.shape[0])
+    for lo, hi in zip(boundaries, stops):
+        ranks[order[lo:hi]] = 0.5 * (lo + 1 + hi)
+    rank_sum = float(ranks[y == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def calibration_table(
+    y: np.ndarray, probs: np.ndarray, n_bins: int = N_CALIBRATION_BINS
+) -> dict:
+    """Observed vs. predicted rate per probability bin (+ counts)."""
+    y = np.asarray(y, dtype=np.float64).ravel()
+    probs = np.asarray(probs, dtype=np.float64).ravel()
+    edges = np.linspace(0.0, 1.0, n_bins + 1, dtype=np.float64)
+    idx = np.clip(
+        np.searchsorted(edges, probs, side="right") - 1, 0, n_bins - 1
+    )
+    counts = np.bincount(idx, minlength=n_bins).astype(np.int64)
+    pred_sum = np.bincount(idx, weights=probs, minlength=n_bins)
+    obs_sum = np.bincount(idx, weights=y, minlength=n_bins)
+    safe = np.maximum(counts, 1)
+    return {
+        "edges": [float(e) for e in edges],
+        "counts": [int(c) for c in counts],
+        "predicted": [float(v) for v in pred_sum / safe],
+        "observed": [float(v) for v in obs_sum / safe],
+    }
+
+
+def expected_calibration_error(y: np.ndarray, probs: np.ndarray) -> float:
+    """Count-weighted |observed - predicted| over probability bins."""
+    table = calibration_table(y, probs)
+    counts = np.asarray(table["counts"], dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    gaps = np.abs(
+        np.asarray(table["observed"], dtype=np.float64)
+        - np.asarray(table["predicted"], dtype=np.float64)
+    )
+    return float((gaps * counts).sum() / total)
+
+
+def evaluate_model(model, dataset: Dataset, *, threshold: float = 0.5) -> dict:
+    """AUC, operating-point precision/recall, Brier, calibration."""
+    probs = model.predict_proba(dataset.X)
+    y = dataset.y.astype(np.float64)
+    flagged = probs >= float(threshold)
+    tp = float((flagged & (y == 1.0)).sum())
+    fp = float((flagged & (y == 0.0)).sum())
+    fn = float((~flagged & (y == 1.0)).sum())
+    return {
+        "n_samples": dataset.n_samples,
+        "base_rate": dataset.base_rate,
+        "auc": auc_score(dataset.y, probs),
+        "threshold": float(threshold),
+        "precision": tp / (tp + fp) if tp + fp else 0.0,
+        "recall": tp / (tp + fn) if tp + fn else 0.0,
+        "brier": float(((probs - y) ** 2).mean()) if dataset.n_samples else 0.0,
+        "calibration_error": (
+            expected_calibration_error(y, probs) if dataset.n_samples else 0.0
+        ),
+        "calibration": calibration_table(y, probs),
+    }
+
+
+@dataclass
+class TrainReport:
+    """One training run: the model, its artifact, and both-split metrics."""
+
+    model: object
+    config: TrainConfig
+    metrics_train: dict
+    metrics_eval: dict
+    artifact: bytes = field(repr=False, default=b"")
+
+    @property
+    def fingerprint(self) -> str:
+        return model_fingerprint(self.artifact)
+
+    def to_dict(self) -> dict:
+        return {
+            "model_type": self.config.model_type,
+            "fingerprint": self.fingerprint,
+            "config": self.config.to_dict(),
+            "metrics_train": self.metrics_train,
+            "metrics_eval": self.metrics_eval,
+        }
+
+
+def fit_and_evaluate(
+    train_ds: Dataset,
+    eval_ds: Dataset,
+    config: TrainConfig | None = None,
+    *,
+    metadata: dict | None = None,
+) -> TrainReport:
+    """Train on the train split, score both splits, build the artifact."""
+    config = config or TrainConfig()
+    model = train_model(train_ds, config)
+    metrics_train = evaluate_model(model, train_ds)
+    metrics_eval = evaluate_model(model, eval_ds)
+    meta = dict(metadata or {})
+    meta.setdefault("config", config.to_dict())
+    meta.setdefault("train_samples", train_ds.n_samples)
+    meta.setdefault("eval_auc", metrics_eval["auc"])
+    artifact = artifact_bytes(model, meta)
+    return TrainReport(
+        model=model,
+        config=config,
+        metrics_train=metrics_train,
+        metrics_eval=metrics_eval,
+        artifact=artifact,
+    )

@@ -1,5 +1,14 @@
 """Resilience policies evaluated in the paper's Sec IV."""
 
+from .adaptive import (
+    AdaptiveQuarantineOutcome,
+    QuarantineOrder,
+    merge_windows,
+    predicted_alarm_windows,
+    predictive_interval_policy,
+    risk_scaled_policy,
+    simulate_order_quarantine,
+)
 from .checkpoint import (
     RegimePolicy,
     daly_interval,
@@ -42,7 +51,14 @@ from .scheduler_policy import (
 )
 
 __all__ = [
+    "AdaptiveQuarantineOutcome",
     "Alarm",
+    "QuarantineOrder",
+    "merge_windows",
+    "predicted_alarm_windows",
+    "predictive_interval_policy",
+    "risk_scaled_policy",
+    "simulate_order_quarantine",
     "CheckpointSimResult",
     "DEFAULT_TRIGGER_THRESHOLD",
     "FailureAwareScheduler",

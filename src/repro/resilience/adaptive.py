@@ -1,0 +1,203 @@
+"""Prediction-driven quarantine and checkpointing.
+
+The paper's Table II policy is *reactive*: a node leaves service only
+after it has already produced more than three errors inside a 24-hour
+window, so every quarantine entry ships at least four errors before it
+helps.  A predictor that flags degradation from precursor behaviour can
+issue quarantine *orders* ahead of the burst instead.
+
+This module deliberately knows nothing about models: an order is plain
+data (node, start, duration, score), so the simulator replays any
+source of orders — :mod:`repro.ml`'s predictor, an operator playbook, a
+rival heuristic — against the same error stream the Table II simulator
+uses, making the two directly comparable (errors avoided vs. node-days
+sacrificed).  The same orders also translate into alarm windows for
+:func:`~repro.resilience.checkpoint_sim.alarm_policy` and into a
+risk-scaled Daly interval source for the checkpoint simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..logs.frame import ErrorFrame
+from .checkpoint import daly_interval
+from .checkpoint_sim import IntervalPolicy, alarm_policy
+
+
+@dataclass(frozen=True)
+class QuarantineOrder:
+    """One predictive removal: take ``node`` out for ``duration_hours``."""
+
+    node: str
+    start_hours: float
+    duration_hours: float
+    score: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError("quarantine duration must be positive")
+
+    @property
+    def end_hours(self) -> float:
+        return self.start_hours + self.duration_hours
+
+
+def merge_windows(
+    windows: Iterable[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Coalesce overlapping/adjacent [start, end) intervals."""
+    ordered = sorted((float(a), float(b)) for a, b in windows if b > a)
+    merged: list[tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _windows_by_node(
+    orders: Sequence[QuarantineOrder],
+    study_hours: float | None = None,
+) -> dict[str, list[tuple[float, float]]]:
+    raw: dict[str, list[tuple[float, float]]] = defaultdict(list)
+    for order in orders:
+        end = order.end_hours
+        if study_hours is not None:
+            end = min(end, study_hours)
+        raw[order.node].append((order.start_hours, end))
+    return {node: merge_windows(ws) for node, ws in raw.items()}
+
+
+@dataclass(frozen=True)
+class AdaptiveQuarantineOutcome:
+    """Replay result for a set of predictive quarantine orders.
+
+    Mirrors :class:`~repro.resilience.quarantine.QuarantineOutcome` so
+    the two policies land in one comparison table.
+    """
+
+    n_errors: int
+    n_avoided: int
+    node_days_in_quarantine: float
+    n_orders: int
+    n_nodes_quarantined: int
+    study_hours: float
+    fleet_nodes: int = 945
+
+    @property
+    def system_mtbf_hours(self) -> float:
+        return self.study_hours / self.n_errors if self.n_errors else np.inf
+
+    @property
+    def availability_loss(self) -> float:
+        return self.node_days_in_quarantine / (
+            self.study_hours / 24.0 * self.fleet_nodes
+        )
+
+
+def simulate_order_quarantine(
+    frame: ErrorFrame,
+    orders: Sequence[QuarantineOrder],
+    study_hours: float,
+    fleet_nodes: int = 945,
+) -> AdaptiveQuarantineOutcome:
+    """Replay an error stream against explicit quarantine orders.
+
+    An error is *avoided* when it falls inside one of its node's
+    (merged) quarantine windows; overlapping orders for the same node
+    are charged for their union, not their sum, and windows are clipped
+    to the study span before costing.
+    """
+    windows = _windows_by_node(orders, study_hours)
+    node_days = sum(
+        end - start for ws in windows.values() for start, end in ws
+    ) / 24.0
+    n_avoided = 0
+    n_errors = 0
+    name_of = frame.node_names
+    for t, code in zip(frame.time_hours, frame.node_code):
+        inside = False
+        for start, end in windows.get(name_of[int(code)], ()):
+            if start <= t < end:
+                inside = True
+                break
+        if inside:
+            n_avoided += 1
+        else:
+            n_errors += 1
+    return AdaptiveQuarantineOutcome(
+        n_errors=n_errors,
+        n_avoided=n_avoided,
+        node_days_in_quarantine=node_days,
+        n_orders=len(orders),
+        n_nodes_quarantined=len(windows),
+        study_hours=study_hours,
+        fleet_nodes=fleet_nodes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint-interval sources
+# ---------------------------------------------------------------------------
+
+
+def predicted_alarm_windows(
+    orders: Sequence[QuarantineOrder],
+) -> list[tuple[float, float]]:
+    """Fleet-level alarm windows: any node under order => alarm active."""
+    return merge_windows(
+        (order.start_hours, order.end_hours) for order in orders
+    )
+
+
+def predictive_interval_policy(
+    orders: Sequence[QuarantineOrder],
+    interval_normal: float,
+    interval_degraded: float,
+) -> IntervalPolicy:
+    """Adaptive checkpoint intervals driven by predictive orders.
+
+    Wraps the existing :func:`alarm_policy`: while any quarantine order
+    is active the application checkpoints at ``interval_degraded``,
+    otherwise at ``interval_normal``.
+    """
+    return alarm_policy(
+        predicted_alarm_windows(orders), interval_normal, interval_degraded
+    )
+
+
+def risk_scaled_policy(
+    times: np.ndarray,
+    risks: np.ndarray,
+    checkpoint_cost_hours: float,
+    mtbf_normal_hours: float,
+    mtbf_degraded_hours: float,
+) -> IntervalPolicy:
+    """Continuous Daly interval from a fleet-risk timeline.
+
+    ``times``/``risks`` form a step function (risk in [0, 1], as of the
+    predictor's refresh instants).  The effective MTBF interpolates
+    log-linearly between the normal and degraded regimes — matching the
+    paper's observation that the regimes sit orders of magnitude apart —
+    and each query returns the Daly-optimal interval for that MTBF.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    risks = np.clip(np.asarray(risks, dtype=np.float64), 0.0, 1.0)
+    if times.shape != risks.shape:
+        raise ValueError("times and risks must align")
+    log_normal = float(np.log(mtbf_normal_hours))
+    log_degraded = float(np.log(mtbf_degraded_hours))
+
+    def policy(t: float) -> float:
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        risk = float(risks[idx]) if idx >= 0 else 0.0
+        mtbf = float(np.exp(log_normal + risk * (log_degraded - log_normal)))
+        return daly_interval(mtbf, checkpoint_cost_hours)
+
+    return policy

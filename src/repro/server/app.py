@@ -150,6 +150,8 @@ class TelemetryServer:
         shard_workers: int = 0,
         hedge_delay_s: float = 0.1,
         partition_timeout_s: float = 30.0,
+        # -- online prediction -------------------------------------------
+        predictor=None,
     ):
         if max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
@@ -212,6 +214,17 @@ class TelemetryServer:
                 1.0, rate_limit_qps
             )
             self.limiter = ClientRateLimiter(rate_limit_qps, burst)
+
+        # Optional repro.ml OnlinePredictor (duck-typed: refresh/board/
+        # status).  Refreshes run in the executor behind a lock; the
+        # event loop only reads the stashed status dict.
+        self.predictor = predictor
+        self._predictor_lock = threading.Lock()
+        self._predictor_status: dict | None = (
+            {"model_id": getattr(predictor, "model_id", None), "refreshes": 0}
+            if predictor is not None
+            else None
+        )
 
         self.metrics: dict[str, EndpointMetrics] = {}
         self.started_at: float | None = None
@@ -512,6 +525,9 @@ class TelemetryServer:
         if path == "/query":
             self._require(method, "POST")
             return 200, await self._run_query(self._parse_plan(body))
+        if path == "/predict":
+            self._require(method, "GET")
+            return 200, await self._predict(query_string)
         if path.startswith("/nodes/") and path.endswith("/errors"):
             self._require(method, "GET")
             node = path[len("/nodes/"):-len("/errors")]
@@ -608,6 +624,8 @@ class TelemetryServer:
         if scatter_stats is not None:
             resilience["scatter"] = scatter_stats.to_dict()
         out["resilience"] = resilience
+        if self._predictor_status is not None:
+            out["predictor"] = self._predictor_status
         io = getattr(self.engine.source, "io", None)
         if io is not None:
             out["io"] = io.to_dict()
@@ -626,6 +644,53 @@ class TelemetryServer:
             payload["stale_age_s"] = outcome.stale_age_s
         if outcome.partial:
             payload["missing_nodes"] = list(outcome.missing_nodes)
+        return payload
+
+    async def _predict(self, query_string: str) -> dict:
+        """Per-node degradation scores from the online predictor.
+
+        Query params: ``limit`` (top-N), ``threshold`` (minimum score),
+        ``node`` (single-node lookup), ``t0`` (pin the replay clock in
+        hours), ``refresh=0`` (serve the cached board without
+        re-scoring).  404 when the server runs without a predictor.
+        """
+        if self.predictor is None:
+            raise _HttpError(
+                404, "no predictor configured (start with a model registry)"
+            )
+        limit = _query_param_int(query_string, "limit")
+        threshold = _query_param_float(query_string, "threshold")
+        node = _query_param_str(query_string, "node")
+        t0 = _query_param_float(query_string, "t0")
+        refresh = _query_param_int(query_string, "refresh")
+        do_refresh = refresh != 0
+
+        def work():
+            with self._predictor_lock:
+                if do_refresh or self.predictor.board is None:
+                    self.predictor.refresh(t0)
+                board = self.predictor.board
+                status = self.predictor.status()
+                self._predictor_status = status
+                return board, status
+
+        loop = asyncio.get_running_loop()
+        try:
+            board, status = await loop.run_in_executor(None, work)
+        except RuntimeError as exc:
+            raise _HttpError(503, str(exc)) from exc
+        payload = {
+            "model_id": board.model_id,
+            "t0_hours": board.t0,
+            "n_nodes": len(board.nodes),
+            "scores": board.top(limit=limit, threshold=threshold),
+            "status": status,
+        }
+        if node is not None:
+            score = board.score_of(node)
+            if score is None:
+                raise _HttpError(404, f"unknown node {node!r}")
+            payload["node"] = {"node": node, "score": score}
         return payload
 
     async def _node_errors(self, node: str, query_string: str) -> dict:
@@ -663,6 +728,25 @@ def _query_param_int(query_string: str, name: str) -> int | None:
             if parsed < 0:
                 raise _HttpError(400, f"{name} must be >= 0")
             return parsed
+    return None
+
+
+def _query_param_float(query_string: str, name: str) -> float | None:
+    for pair in query_string.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name and value:
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise _HttpError(400, f"{name} must be a number") from exc
+    return None
+
+
+def _query_param_str(query_string: str, name: str) -> str | None:
+    for pair in query_string.split("&"):
+        key, _, value = pair.partition("=")
+        if key == name and value:
+            return value
     return None
 
 

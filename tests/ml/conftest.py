@@ -1,0 +1,133 @@
+"""Synthetic degradation fleet shared by the ML test suite.
+
+The fleet mirrors the paper's phenomenology at toy scale: most nodes
+log rare background errors; a few *degrading* nodes trickle precursor
+errors (always below the reactive ``>3 errors / 24h`` trigger) in the
+two days before a dense multi-hour storm.  Everything is seeded through
+the project RNG streams, so every test sees byte-identical data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import stream
+from repro.logs.frame import ErrorFrame
+from repro.ml import (
+    DatasetSpec,
+    FeatureSpec,
+    build_dataset,
+    source_from_frame,
+    time_split,
+)
+from repro.query.engine import QueryEngine
+
+N_NODES = 80
+N_DEGRADED = 16
+STUDY_HOURS = 672.0
+SPLIT_HOURS = 336.0
+STORM_ERRORS = 60
+STORM_HOURS = 48.0
+PRECURSOR_ERRORS = 5
+
+
+def synth_fleet(
+    seed: int = 2016,
+    *,
+    n_nodes: int = N_NODES,
+    n_degraded: int = N_DEGRADED,
+    study_hours: float = STUDY_HOURS,
+) -> tuple[ErrorFrame, list[str]]:
+    """(frame, degraded_node_names) for one synthetic fleet."""
+    rng = stream(seed, "ml/test/synth")
+    names = [f"{k // 16:02d}-{k % 16:02d}" for k in range(n_nodes)]
+    degraded = rng.choice(n_nodes, size=n_degraded, replace=False)
+    times, codes = [], []
+    # Storm mass is balanced across the train/eval split so the
+    # capacity budget calibrated on the first half transfers to the
+    # second.
+    storms = np.sort(
+        rng.uniform(120.0, study_hours - STORM_HOURS - 96.0, n_degraded)
+    )
+    # Precursor errors trickle in the two days before the storm at a
+    # pace that never exceeds 3 errors in any 24-hour window, so the
+    # paper's reactive trigger (>3/24h) stays silent until the storm.
+    pre_offsets = np.array([44.0, 33.0, 22.0, 11.0, 5.0])[:PRECURSOR_ERRORS]
+    for code, storm in zip(degraded, storms):
+        pre = storm - pre_offsets + rng.uniform(-2.0, 2.0, PRECURSOR_ERRORS)
+        burst = rng.uniform(storm, storm + STORM_HOURS, STORM_ERRORS)
+        t = np.concatenate([pre, burst])
+        times.append(t)
+        codes.append(np.full(t.shape[0], code, dtype=np.int64))
+    n_bg = 5 * n_nodes
+    times.append(rng.uniform(0.0, study_hours, n_bg))
+    codes.append(rng.integers(0, n_nodes, n_bg))
+    t = np.concatenate(times)
+    code = np.concatenate(codes)
+    order = np.argsort(t, kind="stable")
+    t, code = t[order], code[order]
+    n = t.shape[0]
+    expected = rng.integers(0, 2**32, n, dtype=np.uint32)
+    bit = rng.integers(0, 32, n).astype(np.uint32)
+    mask = (np.uint32(1) << bit).astype(np.uint32)
+    double = np.isin(code, degraded) & (rng.random(n) < 0.9)
+    mask = np.where(
+        double, mask | np.uint32(1) << ((bit + 5) % np.uint32(32)), mask
+    ).astype(np.uint32)
+    word = rng.integers(0, 1 << 16, n)
+    frame = ErrorFrame.from_columns(
+        time_hours=t,
+        node_code=code,
+        node_names=names,
+        expected=expected,
+        actual=expected ^ mask,
+        virtual_address=word * 4,
+        physical_page=word // 1024,
+        temperature_c=rng.uniform(25.0, 65.0, n),
+        repeat_count=np.ones_like(code),
+    )
+    return frame, [names[int(k)] for k in degraded]
+
+
+@pytest.fixture(scope="session")
+def fleet():
+    return synth_fleet()
+
+
+@pytest.fixture(scope="session")
+def frame(fleet) -> ErrorFrame:
+    return fleet[0]
+
+
+@pytest.fixture(scope="session")
+def degraded_nodes(fleet) -> list[str]:
+    return fleet[1]
+
+
+@pytest.fixture(scope="session")
+def engine(frame) -> QueryEngine:
+    return QueryEngine(source_from_frame(frame))
+
+
+@pytest.fixture(scope="session")
+def feature_spec() -> FeatureSpec:
+    return FeatureSpec()
+
+
+@pytest.fixture(scope="session")
+def dataset(engine, feature_spec):
+    return build_dataset(
+        engine,
+        DatasetSpec(
+            features=feature_spec,
+            start_hours=0.0,
+            end_hours=STUDY_HOURS,
+            stride_hours=24.0,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def splits(dataset):
+    return time_split(dataset, SPLIT_HOURS)

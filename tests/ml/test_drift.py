@@ -1,0 +1,156 @@
+"""Drift detection: PSI, calibration track, and the retrain recovery loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Dataset,
+    DriftConfig,
+    DriftDetector,
+    DriftReference,
+    TrainConfig,
+    auc_score,
+    psi,
+    reference_from_features,
+    train_model,
+)
+
+NAMES = ("f0", "f1", "f2")
+
+
+def _population(rng, n: int, shift: float = 0.0, scale: float = 1.0):
+    return rng.normal(loc=shift, scale=scale, size=(n, len(NAMES)))
+
+
+def test_psi_zero_for_identical_and_large_for_disjoint():
+    ref = np.array([0.25, 0.25, 0.25, 0.25])
+    assert psi(ref, ref) == 0.0
+    shifted = np.array([0.0, 0.0, 0.5, 0.5])
+    assert psi(ref, shifted) > 0.25
+
+
+def test_reference_shape_and_serialization():
+    rng = np.random.default_rng(0)
+    X = _population(rng, 500)
+    ref = reference_from_features(X, NAMES, base_rate=0.1)
+    n_bins = ref.fractions.shape[1]
+    assert ref.edges.shape == (len(NAMES), n_bins + 1)
+    # Outer edges are open so no future value falls off the histogram.
+    assert np.all(np.isneginf(ref.edges[:, 0]))
+    assert np.all(np.isposinf(ref.edges[:, -1]))
+    assert np.allclose(ref.fractions.sum(axis=1), 1.0)
+    clone = DriftReference.from_dict(ref.to_dict())
+    assert np.array_equal(clone.edges, ref.edges)
+    assert np.array_equal(clone.fractions, ref.fractions)
+    assert clone.feature_names == ref.feature_names
+
+
+def test_stable_population_does_not_trigger():
+    rng = np.random.default_rng(1)
+    ref = reference_from_features(_population(rng, 2000), NAMES)
+    det = DriftDetector(ref, DriftConfig(min_samples=50))
+    for _ in range(4):
+        det.observe(_population(rng, 200))
+    report = det.check()
+    assert not report.triggered
+    assert report.max_psi < 0.25
+    assert report.n_samples == 800
+
+
+def test_regime_flip_triggers_within_bounded_batches():
+    """A mid-stream fault-regime change must trip the detector fast.
+
+    The flipped population is scaled and shifted; the PSI track has to
+    trigger within two post-flip batches of ``min_samples`` rows.
+    """
+    rng = np.random.default_rng(2)
+    ref = reference_from_features(_population(rng, 2000), NAMES)
+    det = DriftDetector(ref, DriftConfig(min_samples=50))
+    det.observe(_population(rng, 100))
+    assert not det.check().triggered
+    det.reset()
+    batches_until_trigger = 0
+    for _ in range(2):
+        batches_until_trigger += 1
+        det.observe(_population(rng, 50, shift=3.0, scale=8.0))
+        if det.check().triggered:
+            break
+    report = det.check()
+    assert report.triggered
+    assert batches_until_trigger <= 2
+    assert report.max_psi > 0.25
+    assert report.max_psi_feature in NAMES
+    assert any("PSI" in r for r in report.reasons)
+
+
+def test_too_few_samples_never_trigger():
+    rng = np.random.default_rng(3)
+    ref = reference_from_features(_population(rng, 1000), NAMES)
+    det = DriftDetector(ref, DriftConfig(min_samples=50))
+    det.observe(_population(rng, 20, shift=5.0))
+    assert not det.check().triggered
+
+
+def test_calibration_gap_triggers():
+    """Predictions confidently wrong once labels mature => drift."""
+    rng = np.random.default_rng(4)
+    ref = reference_from_features(_population(rng, 1000), NAMES, base_rate=0.1)
+    det = DriftDetector(ref, DriftConfig(min_samples=10))
+    det.observe(_population(rng, 100))
+    # Model keeps predicting ~10% risk; the world now fails 60% of the time.
+    probs = np.full(100, 0.1)
+    labels = (rng.random(100) < 0.6).astype(np.int8)
+    det.observe_outcomes(probs, labels)
+    report = det.check()
+    assert report.n_labeled == 100
+    assert report.calibration_gap > 0.15
+    assert report.triggered
+    assert any("calibration" in r for r in report.reasons)
+    with pytest.raises(ValueError):
+        det.observe_outcomes(np.zeros(3), np.zeros(2))
+
+
+def _regime_dataset(rng, n: int, sign: float) -> Dataset:
+    """Positives sit at ``sign * 3`` on f0; negatives at the origin."""
+    y = (rng.random(n) < 0.3).astype(np.int8)
+    X = rng.normal(size=(n, len(NAMES)))
+    X[:, 0] += sign * 3.0 * y
+    return Dataset(
+        X=X,
+        y=y,
+        t0=np.zeros(n),
+        nodes=tuple(f"n{i}" for i in range(n)),
+        feature_names=NAMES,
+        horizon_hours=24.0,
+    )
+
+
+def test_retrained_model_recovers_auc_after_regime_flip():
+    """The full loop: deploy -> regime flip -> drift -> retrain -> recover."""
+    rng = np.random.default_rng(5)
+    regime_a = _regime_dataset(rng, 800, sign=+1.0)
+    model_a = train_model(regime_a, TrainConfig(max_negative_ratio=0.0))
+    assert auc_score(regime_a.y, model_a.predict_proba(regime_a.X)) > 0.95
+
+    # The degradation signature inverts mid-deployment.
+    regime_b_train = _regime_dataset(rng, 800, sign=-1.0)
+    regime_b_eval = _regime_dataset(rng, 400, sign=-1.0)
+    stale_auc = auc_score(
+        regime_b_eval.y, model_a.predict_proba(regime_b_eval.X)
+    )
+    assert stale_auc < 0.5  # worse than coin-flip: actively misleading
+
+    # The detector (referenced on regime A's population) notices.
+    ref = reference_from_features(regime_a.X, NAMES)
+    det = DriftDetector(ref, DriftConfig(min_samples=50))
+    det.observe(regime_b_eval.X)
+    assert det.check().triggered
+
+    # Retraining on post-flip data restores ranking quality.
+    model_b = train_model(regime_b_train, TrainConfig(max_negative_ratio=0.0))
+    recovered = auc_score(
+        regime_b_eval.y, model_b.predict_proba(regime_b_eval.X)
+    )
+    assert recovered > 0.95

@@ -1,0 +1,117 @@
+"""Feature extraction: schema, correctness, and quiet-node defaults."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.logs.frame import ErrorFrame
+from repro.ml import (
+    FeatureSpec,
+    extract_features,
+    extract_labels,
+    feature_names,
+    source_from_frame,
+)
+from repro.query.engine import QueryEngine
+
+
+def _col(spec: FeatureSpec, name: str) -> int:
+    return feature_names(spec).index(name)
+
+
+def test_feature_matrix_shape_and_order(engine, feature_spec, frame):
+    feats = extract_features(engine, 300.0, feature_spec)
+    names = feature_names(feature_spec)
+    assert feats.names == names
+    assert feats.X.shape == (len(feats.nodes), len(names))
+    assert feats.X.dtype == np.float64
+    assert np.all(np.isfinite(feats.X))
+    # Universe covers every node that ever logged an error.
+    assert set(feats.nodes) == {
+        frame.node_names[c] for c in np.unique(frame.node_code)
+    }
+
+
+def test_counts_match_frame(engine, feature_spec, frame):
+    t0 = 300.0
+    feats = extract_features(engine, t0, feature_spec)
+    j = _col(feature_spec, "count_24h")
+    for node in feats.nodes[:10]:
+        code = frame.node_names.index(node)
+        expected = int(
+            (
+                (frame.node_code == code)
+                & (frame.time_hours >= t0 - 24.0)
+                & (frame.time_hours < t0)
+            ).sum()
+        )
+        assert feats.row(node)[j] == expected
+    # rate = count / window.
+    jr = _col(feature_spec, "rate_24h")
+    assert np.allclose(feats.X[:, jr], feats.X[:, j] / 24.0)
+
+
+def test_t0_is_exclusive(feature_spec):
+    """An error exactly at t0 must not leak into the features."""
+    frame = ErrorFrame.from_columns(
+        time_hours=np.array([100.0, 199.0, 200.0]),
+        node_code=np.zeros(3, dtype=np.int32),
+        node_names=["aa-00"],
+        expected=np.zeros(3, dtype=np.uint32),
+        actual=np.ones(3, dtype=np.uint32),
+        virtual_address=np.zeros(3, dtype=np.int64),
+        physical_page=np.zeros(3, dtype=np.int64),
+        temperature_c=np.full(3, np.nan),
+        repeat_count=np.ones(3, dtype=np.int64),
+    )
+    engine = QueryEngine(source_from_frame(frame))
+    feats = extract_features(engine, 200.0, feature_spec)
+    j = _col(feature_spec, f"count_{feature_spec.lookback_hours:g}h")
+    assert feats.row("aa-00")[j] == 2.0  # t=200 excluded
+
+
+def test_quiet_node_defaults(engine, feature_spec, frame):
+    """A node silent over the whole lookback scores as healthy."""
+    # t0 right after the study start: nothing in any window yet.
+    feats = extract_features(engine, 0.5, feature_spec, nodes=("zz-99",))
+    row = feats.row("zz-99")
+    lookback = feature_spec.lookback_hours
+    assert row[_col(feature_spec, "count_24h")] == 0.0
+    assert row[_col(feature_spec, "recency_h")] == lookback
+    assert row[_col(feature_spec, "interarrival_mean_h")] == lookback
+    assert row[_col(feature_spec, "interarrival_min_h")] == lookback
+    assert row[_col(feature_spec, "burst_ratio")] == 0.0
+
+
+def test_degraded_node_signature(engine, feature_spec, frame, degraded_nodes):
+    """Mid-storm, the degraded node dominates every count feature."""
+    code = frame.node_names.index(degraded_nodes[0])
+    node_times = np.sort(frame.time_hours[frame.node_code == code])
+    # Reference instant placed just past the storm (first instant with
+    # >= 4 errors inside the next 24 h marks the onset).
+    dense = node_times[3:] - node_times[:-3] < 24.0
+    storm_start = float(node_times[np.flatnonzero(dense)[0]])
+    t0 = storm_start + 48.0
+    feats = extract_features(engine, t0, feature_spec)
+    j = _col(feature_spec, f"count_{feature_spec.lookback_hours:g}h")
+    row = feats.row(degraded_nodes[0])
+    assert row[j] >= 40.0
+    assert row[j] == feats.X[:, j].max()
+
+
+def test_labels_threshold(engine, feature_spec, frame, degraded_nodes):
+    code = frame.node_names.index(degraded_nodes[0])
+    node_times = np.sort(frame.time_hours[frame.node_code == code])
+    # First instant where >= 4 errors land inside the next 24 h (the
+    # storm onset; background errors are far too sparse to qualify).
+    dense = node_times[3:] - node_times[:-3] < 24.0
+    storm_start = float(node_times[np.flatnonzero(dense)[0]])
+    labels = extract_labels(
+        engine, storm_start, feature_spec, nodes=tuple(degraded_nodes)
+    )
+    assert labels[0] == 1
+    # A node with zero future errors is labeled 0.
+    quiet = extract_labels(
+        engine, storm_start, feature_spec, nodes=("zz-99",)
+    )
+    assert quiet[0] == 0

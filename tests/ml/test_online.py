@@ -1,0 +1,168 @@
+"""Online predictor: scoring, model lifecycle, live ingest, label maturation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.logs.columnar import ColumnarArchive, KIND_ERROR, RecordColumns
+from repro.logs.ingest import LiveArchive
+from repro.ml import (
+    ModelRegistry,
+    OnlinePredictor,
+    TrainConfig,
+    fit_and_evaluate,
+    reference_from_features,
+)
+
+from .conftest import STUDY_HOURS, SPLIT_HOURS
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory, splits, feature_spec, dataset):
+    """A registry whose active model carries spec + drift reference."""
+    train_ds, eval_ds = splits
+    reference = reference_from_features(
+        train_ds.X, train_ds.feature_names, base_rate=train_ds.base_rate
+    )
+    report = fit_and_evaluate(
+        train_ds,
+        eval_ds,
+        TrainConfig(),
+        metadata={
+            "feature_spec": feature_spec.to_dict(),
+            "drift_reference": reference.to_dict(),
+        },
+    )
+    reg = ModelRegistry(tmp_path_factory.mktemp("ml-registry"))
+    reg.add(report.artifact, promote=True)
+    return reg
+
+
+@pytest.fixture(scope="module")
+def archive_dir(tmp_path_factory, frame):
+    """The synthetic fleet as an on-disk archive."""
+    from repro.ml.features import source_from_frame
+
+    path = tmp_path_factory.mktemp("ml-archive")
+    source_from_frame(frame).archive.save(path)
+    return path
+
+
+def test_refresh_scores_whole_fleet(archive_dir, registry, frame, degraded_nodes):
+    pred = OnlinePredictor(archive_dir, registry)
+    assert pred.model_id == registry.active_id
+    board = pred.refresh()
+    assert board.t0 == pytest.approx(pred.now_hours())
+    assert len(board.nodes) == len(set(board.nodes))
+    assert set(board.nodes) == {
+        frame.node_names[c] for c in np.unique(frame.node_code)
+    }
+    top = board.top(limit=5)
+    assert len(top) == 5
+    scores = [row["score"] for row in top]
+    assert scores == sorted(scores, reverse=True)
+    assert board.score_of(top[0]["node"]) == top[0]["score"]
+    assert board.score_of("no-such-node") is None
+    # Thresholded view only returns rows above the bar.
+    bar = scores[2]
+    assert all(r["score"] >= bar for r in board.top(threshold=bar))
+
+
+def test_mid_storm_refresh_ranks_degraded_node(
+    archive_dir, registry, frame, degraded_nodes
+):
+    """Replay the clock to mid-storm: the degrading node must lead."""
+    code = frame.node_names.index(degraded_nodes[0])
+    node_times = np.sort(frame.time_hours[frame.node_code == code])
+    mid_storm = float(node_times[len(node_times) // 2])
+    pred = OnlinePredictor(archive_dir, registry)
+    board = pred.refresh(now_hours=mid_storm)
+    ranked = [r["node"] for r in board.top(limit=3)]
+    assert degraded_nodes[0] in ranked
+
+
+def test_refresh_without_model_raises(archive_dir, tmp_path):
+    empty = ModelRegistry(tmp_path / "empty-reg")
+    pred = OnlinePredictor(archive_dir, empty)
+    with pytest.raises(RuntimeError, match="no active model"):
+        pred.refresh()
+
+
+def test_reload_follows_promotion_unless_pinned(
+    archive_dir, registry, splits, feature_spec
+):
+    train_ds, eval_ds = splits
+    first = registry.active_id
+    other = fit_and_evaluate(
+        train_ds, eval_ds, TrainConfig(model_type="stumps")
+    )
+    follower = OnlinePredictor(archive_dir, registry)
+    pinned = OnlinePredictor(archive_dir, registry, model_id=first)
+    other_id = registry.add(other.artifact, promote=True)
+    try:
+        follower.refresh()
+        pinned.refresh()
+        assert follower.model_id == other_id
+        assert pinned.model_id == first
+    finally:
+        registry.promote(first)
+
+
+def test_pending_labels_mature_into_calibration_track(
+    archive_dir, registry, feature_spec
+):
+    pred = OnlinePredictor(archive_dir, registry)
+    t0 = 300.0
+    pred.refresh(now_hours=t0)
+    assert pred.status()["pending_label_batches"] == 1
+    assert pred.drift.check().n_labeled == 0
+    # One horizon later the batch matures and feeds the detector.
+    pred.refresh(now_hours=t0 + feature_spec.horizon_hours)
+    status = pred.status()
+    assert status["pending_label_batches"] == 1  # the new batch
+    assert pred.drift.check().n_labeled > 0
+    assert "drift" in status
+    assert status["refreshes"] == 2
+
+
+def test_live_ingest_advances_the_clock(tmp_path, registry, frame):
+    """A watch-mode predictor sees batches as they commit."""
+    live_dir = tmp_path / "live"
+    archive = LiveArchive.create(live_dir)
+    n = 6
+    cols = RecordColumns(
+        kind=np.full(n, KIND_ERROR, dtype=np.uint8),
+        t=np.linspace(250.0, 290.0, n),
+        temp=np.full(n, 40.0),
+        mb=np.zeros(n, dtype=np.int64),
+        va=np.arange(n, dtype=np.int64) * 4,
+        pp=np.zeros(n, dtype=np.int64),
+        expected=np.zeros(n, dtype=np.uint32),
+        actual=np.ones(n, dtype=np.uint32),
+        rep=np.ones(n, dtype=np.int64),
+        node_code=np.zeros(n, dtype=np.int32),
+        node_names=["live-00"],
+    )
+    archive.append_batch({"batch:0": cols})
+    pred = OnlinePredictor(live_dir, registry)
+    assert pred.now_hours() == pytest.approx(290.0)
+    board = pred.refresh()
+    assert board.nodes == ("live-00",)
+    late = RecordColumns(
+        kind=np.array([KIND_ERROR], dtype=np.uint8),
+        t=np.array([355.0]),
+        temp=np.array([40.0]),
+        mb=np.zeros(1, dtype=np.int64),
+        va=np.zeros(1, dtype=np.int64),
+        pp=np.zeros(1, dtype=np.int64),
+        expected=np.zeros(1, dtype=np.uint32),
+        actual=np.ones(1, dtype=np.uint32),
+        rep=np.ones(1, dtype=np.int64),
+        node_code=np.zeros(1, dtype=np.int32),
+        node_names=["live-00"],
+    )
+    archive.append_batch({"batch:1": late})
+    assert pred.now_hours() == pytest.approx(355.0)
+    board = pred.refresh()
+    assert board.t0 == pytest.approx(355.0)

@@ -1,0 +1,73 @@
+"""The head-to-head: predictive quarantine vs. the paper's static policy."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.ml import compare_quarantine_policies
+from repro.ml.policy import _slice_frame
+
+from .conftest import STUDY_HOURS, SPLIT_HOURS
+
+
+def test_slice_frame_rebases(frame):
+    lo, hi = 100.0, 200.0
+    sliced = _slice_frame(frame, lo, hi)
+    inside = (frame.time_hours >= lo) & (frame.time_hours < hi)
+    assert len(sliced) == int(inside.sum())
+    assert sliced.time_hours.min() >= 0.0
+    assert sliced.time_hours.max() < hi - lo
+    np.testing.assert_allclose(
+        np.sort(sliced.time_hours), np.sort(frame.time_hours[inside]) - lo
+    )
+
+
+def test_predictive_policy_beats_static_on_precursor_fleet(frame):
+    """ISSUE acceptance at test scale: at equal-or-lower capacity, the
+    trained predictor avoids at least as many errors as Table II's
+    reactive trigger on the held-out period."""
+    comparison = compare_quarantine_policies(
+        frame, study_hours=STUDY_HOURS, split_hours=SPLIT_HOURS
+    )
+    assert comparison.n_train_samples > 0
+    assert comparison.n_eval_samples > 0
+    assert comparison.auc > 0.8
+    assert comparison.errors_avoided_predictive >= comparison.errors_avoided_static
+    assert (
+        comparison.capacity_cost_predictive
+        <= comparison.capacity_cost_static + 1e-9
+    )
+    assert comparison.predictive_wins
+
+
+def test_comparison_dict_is_json_clean(frame):
+    comparison = compare_quarantine_policies(
+        frame, study_hours=STUDY_HOURS, split_hours=SPLIT_HOURS
+    )
+    payload = comparison.to_dict()
+    # Round-trips through strict JSON (no NumPy scalar types).
+    decoded = json.loads(json.dumps(payload))
+    assert decoded["predictive_wins"] is True
+    assert decoded["errors_avoided_predictive"] >= 0
+    assert set(payload) >= {
+        "threshold",
+        "auc",
+        "errors_avoided_static",
+        "errors_avoided_predictive",
+        "capacity_cost_static",
+        "capacity_cost_predictive",
+        "eval_precision",
+        "eval_recall",
+    }
+
+
+def test_comparison_is_deterministic(frame):
+    a = compare_quarantine_policies(
+        frame, study_hours=STUDY_HOURS, split_hours=SPLIT_HOURS
+    )
+    b = compare_quarantine_policies(
+        frame, study_hours=STUDY_HOURS, split_hours=SPLIT_HOURS
+    )
+    assert a.to_dict() == b.to_dict()

@@ -1,0 +1,109 @@
+"""Model registry: content addressing, promote/rollback, durability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ml import ModelRegistry, RegistryError, artifact_bytes
+from repro.ml.model import LogisticModel
+from repro.ml.registry import ID_LEN
+
+import numpy as np
+
+
+def _artifact(bias: float = 0.0, meta: dict | None = None) -> bytes:
+    model = LogisticModel(
+        weights=np.array([1.0, -2.0]),
+        bias=bias,
+        mean=np.zeros(2),
+        scale=np.ones(2),
+        feature_names=("a", "b"),
+    )
+    return artifact_bytes(model, meta)
+
+
+def test_add_is_content_addressed_and_idempotent(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    art = _artifact()
+    mid = reg.add(art, metadata={"note": "first"})
+    assert len(mid) == ID_LEN
+    assert int(mid, 16) >= 0  # hex
+    # Re-adding identical bytes: same id, single entry, first metadata wins.
+    assert reg.add(art, metadata={"note": "second"}) == mid
+    models = reg.list_models()
+    assert len(models) == 1
+    assert models[0]["metadata"] == {"note": "first"}
+    assert models[0]["active"] is False
+    # Different bytes, different id.
+    assert reg.add(_artifact(bias=1.0)) != mid
+
+
+def test_promote_load_rollback(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    a = reg.add(_artifact(bias=0.0), promote=True)
+    b = reg.add(_artifact(bias=1.0))
+    assert reg.active_id == a
+    reg.promote(b)
+    assert reg.active_id == b
+    model, metadata, mid = reg.load()
+    assert mid == b
+    assert model.bias == 1.0
+    assert reg.rollback() == a
+    assert reg.active_id == a
+    # Promoting the already-active id is a no-op (no history entry).
+    reg.promote(a)
+    with pytest.raises(RegistryError, match="unknown model id"):
+        reg.promote("feedfeedfeedfeed")
+
+
+def test_rollback_without_history_raises(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    with pytest.raises(RegistryError, match="nothing to roll back"):
+        reg.rollback()
+
+
+def test_load_without_active_raises(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    reg.add(_artifact())
+    with pytest.raises(RegistryError, match="no active model"):
+        reg.load()
+
+
+def test_missing_registry_requires_create(tmp_path):
+    with pytest.raises(RegistryError, match="no registry"):
+        ModelRegistry(tmp_path / "absent", create=False)
+    ModelRegistry(tmp_path / "absent")  # create=True default
+    ModelRegistry(tmp_path / "absent", create=False)  # now it exists
+
+
+def test_corrupted_artifact_detected(tmp_path):
+    reg = ModelRegistry(tmp_path / "reg")
+    mid = reg.add(_artifact(), promote=True)
+    path = tmp_path / "reg" / "artifacts" / f"{mid}.json"
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+    with pytest.raises(RegistryError, match="sha256"):
+        reg.load()
+
+
+def test_registry_state_is_reproducible(tmp_path):
+    """Same operation sequence -> byte-identical registry.json.
+
+    The index deliberately carries no wall-clock timestamps; this is
+    what makes the CI determinism gate possible.
+    """
+    def build(root):
+        reg = ModelRegistry(root)
+        reg.add(_artifact(bias=0.0, meta={"auc": 0.9}), promote=True)
+        reg.add(_artifact(bias=1.0), promote=True)
+        reg.rollback()
+        return (root / "registry.json").read_bytes()
+
+    b1 = build(tmp_path / "one")
+    b2 = build(tmp_path / "two")
+    assert b1 == b2
+    index = json.loads(b1)
+    assert index["format"] == "repro-ml-registry"

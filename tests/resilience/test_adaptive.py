@@ -1,0 +1,136 @@
+"""Order-driven quarantine replay and predictive checkpoint policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    QuarantineOrder,
+    merge_windows,
+    predicted_alarm_windows,
+    predictive_interval_policy,
+    risk_scaled_policy,
+    simulate_order_quarantine,
+)
+from repro.resilience.checkpoint import daly_interval
+
+
+def _frame(times_by_node: dict[str, list[float]]):
+    from repro.logs.frame import ErrorFrame
+
+    names = sorted(times_by_node)
+    t, codes = [], []
+    for code, name in enumerate(names):
+        for ts in times_by_node[name]:
+            t.append(ts)
+            codes.append(code)
+    n = len(t)
+    return ErrorFrame.from_columns(
+        time_hours=np.array(t, dtype=np.float64),
+        node_code=np.array(codes, dtype=np.int32),
+        node_names=names,
+        expected=np.zeros(n, dtype=np.uint32),
+        actual=np.ones(n, dtype=np.uint32),
+        virtual_address=np.zeros(n, dtype=np.int64),
+        physical_page=np.zeros(n, dtype=np.int64),
+        temperature_c=np.full(n, np.nan),
+        repeat_count=np.ones(n, dtype=np.int64),
+    )
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        QuarantineOrder(node="a", start_hours=0.0, duration_hours=0.0)
+    order = QuarantineOrder(node="a", start_hours=10.0, duration_hours=24.0)
+    assert order.end_hours == 34.0
+    assert order.score == 1.0
+
+
+def test_merge_windows_coalesces():
+    merged = merge_windows([(5.0, 7.0), (0.0, 2.0), (1.0, 3.0), (3.0, 4.0)])
+    assert merged == [(0.0, 4.0), (5.0, 7.0)]
+    # Empty and inverted windows vanish.
+    assert merge_windows([(4.0, 4.0), (9.0, 2.0)]) == []
+
+
+def test_simulate_counts_avoided_inside_windows():
+    frame = _frame({"aa": [1.0, 2.0, 4.0, 5.0], "bb": [2.5]})
+    orders = [QuarantineOrder(node="aa", start_hours=0.0, duration_hours=3.0)]
+    outcome = simulate_order_quarantine(frame, orders, study_hours=24.0, fleet_nodes=2)
+    # aa's errors at 1.0 and 2.0 fall inside [0, 3); 4.0, 5.0 and all of
+    # bb survive.
+    assert outcome.n_avoided == 2
+    assert outcome.n_errors == 3
+    assert outcome.n_orders == 1
+    assert outcome.n_nodes_quarantined == 1
+    assert outcome.node_days_in_quarantine == pytest.approx(3.0 / 24.0)
+    assert outcome.system_mtbf_hours == pytest.approx(24.0 / 3)
+    assert outcome.availability_loss == pytest.approx((3.0 / 24.0) / 2.0)
+
+
+def test_window_end_is_exclusive_and_orders_union():
+    frame = _frame({"aa": [3.0, 6.0, 9.0]})
+    orders = [
+        QuarantineOrder(node="aa", start_hours=0.0, duration_hours=6.0),
+        QuarantineOrder(node="aa", start_hours=4.0, duration_hours=6.0),
+    ]
+    outcome = simulate_order_quarantine(frame, orders, study_hours=24.0)
+    # Union window is [0, 10): all three errors avoided, cost is the
+    # union's 10 hours, not the 12 the two orders sum to.
+    assert outcome.n_avoided == 3
+    assert outcome.node_days_in_quarantine == pytest.approx(10.0 / 24.0)
+    # The error at exactly the window end is NOT avoided.
+    at_end = simulate_order_quarantine(
+        frame,
+        [QuarantineOrder(node="aa", start_hours=0.0, duration_hours=3.0)],
+        study_hours=24.0,
+    )
+    assert at_end.n_avoided == 0
+
+
+def test_windows_clip_to_study_span():
+    frame = _frame({"aa": [23.0]})
+    orders = [QuarantineOrder(node="aa", start_hours=20.0, duration_hours=100.0)]
+    outcome = simulate_order_quarantine(frame, orders, study_hours=24.0)
+    assert outcome.n_avoided == 1
+    assert outcome.node_days_in_quarantine == pytest.approx(4.0 / 24.0)
+
+
+def test_predicted_alarm_windows_are_fleet_level():
+    orders = [
+        QuarantineOrder(node="aa", start_hours=0.0, duration_hours=5.0),
+        QuarantineOrder(node="bb", start_hours=3.0, duration_hours=5.0),
+        QuarantineOrder(node="cc", start_hours=20.0, duration_hours=1.0),
+    ]
+    assert predicted_alarm_windows(orders) == [(0.0, 8.0), (20.0, 21.0)]
+
+
+def test_predictive_interval_policy_switches_regimes():
+    orders = [QuarantineOrder(node="aa", start_hours=10.0, duration_hours=5.0)]
+    policy = predictive_interval_policy(orders, 4.0, 0.5)
+    assert policy(5.0) == 4.0
+    assert policy(12.0) == 0.5
+    assert policy(16.0) == 4.0
+
+
+def test_risk_scaled_policy_interpolates_log_linearly():
+    times = np.array([0.0, 10.0, 20.0])
+    risks = np.array([0.0, 0.5, 1.0])
+    policy = risk_scaled_policy(
+        times, risks,
+        checkpoint_cost_hours=0.05,
+        mtbf_normal_hours=1000.0,
+        mtbf_degraded_hours=0.1,
+    )
+    lo = policy(25.0)   # risk 1 -> degraded MTBF
+    mid = policy(15.0)  # risk 0.5 -> geometric mean of the regimes
+    hi = policy(5.0)    # risk 0 -> normal MTBF
+    assert lo == pytest.approx(daly_interval(0.1, 0.05))
+    assert hi == pytest.approx(daly_interval(1000.0, 0.05))
+    assert mid == pytest.approx(daly_interval(10.0, 0.05))
+    assert lo < mid < hi
+    # Before the first refresh instant the policy assumes no risk.
+    assert policy(-1.0) == hi
+    with pytest.raises(ValueError):
+        risk_scaled_policy(times, risks[:2], 0.05, 1000.0, 0.1)

@@ -1,0 +1,113 @@
+"""The /predict endpoint: scoring over HTTP, gauges, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ml import (
+    DatasetSpec,
+    FeatureSpec,
+    ModelRegistry,
+    OnlinePredictor,
+    build_dataset,
+    fit_and_evaluate,
+    reference_from_features,
+    source_from_frame,
+    time_split,
+)
+from repro.query.engine import QueryEngine
+from tests.ml.conftest import SPLIT_HOURS, STUDY_HOURS, synth_fleet
+
+from .conftest import get, serving
+
+
+@pytest.fixture(scope="module")
+def fleet_dir(tmp_path_factory):
+    frame, degraded = synth_fleet()
+    path = tmp_path_factory.mktemp("predict-archive")
+    source_from_frame(frame).archive.save(path)
+    return path, degraded
+
+
+@pytest.fixture(scope="module")
+def predictor(fleet_dir, tmp_path_factory):
+    path, _ = fleet_dir
+    spec = FeatureSpec()
+    dataset = build_dataset(
+        QueryEngine(str(path)),
+        DatasetSpec(
+            features=spec,
+            start_hours=0.0,
+            end_hours=STUDY_HOURS,
+            stride_hours=24.0,
+        ),
+    )
+    train_ds, eval_ds = time_split(dataset, SPLIT_HOURS)
+    reference = reference_from_features(
+        train_ds.X, train_ds.feature_names, base_rate=train_ds.base_rate
+    )
+    report = fit_and_evaluate(
+        train_ds,
+        eval_ds,
+        metadata={
+            "feature_spec": spec.to_dict(),
+            "drift_reference": reference.to_dict(),
+        },
+    )
+    registry = ModelRegistry(tmp_path_factory.mktemp("predict-registry"))
+    registry.add(report.artifact, promote=True)
+    return OnlinePredictor(str(path), registry)
+
+
+def test_predict_scores_and_limits(fleet_dir, predictor):
+    path, _ = fleet_dir
+    with serving(str(path), predictor=predictor) as handle:
+        status, payload, _ = get(handle, "/predict?limit=5")
+        assert status == 200
+        assert payload["model_id"] == predictor.model_id
+        assert payload["n_nodes"] > 0
+        scores = [row["score"] for row in payload["scores"]]
+        assert len(scores) == 5
+        assert scores == sorted(scores, reverse=True)
+        assert payload["status"]["refreshes"] >= 1
+        # Single-node lookup rides along.
+        node = payload["scores"][0]["node"]
+        status, single, _ = get(handle, f"/predict?node={node}&refresh=0")
+        assert status == 200
+        assert single["node"]["node"] == node
+        assert single["node"]["score"] == pytest.approx(scores[0])
+        # Unknown node -> 404.
+        status, err, _ = get(handle, "/predict?node=zz-99&refresh=0")
+        assert status == 404
+        # Threshold view is monotone.
+        bar = scores[2]
+        status, capped, _ = get(
+            handle, f"/predict?threshold={bar}&refresh=0"
+        )
+        assert status == 200
+        assert all(r["score"] >= bar for r in capped["scores"])
+
+
+def test_predict_replay_clock_and_metrics_gauges(fleet_dir, predictor):
+    path, degraded = fleet_dir
+    with serving(str(path), predictor=predictor) as handle:
+        status, payload, _ = get(handle, "/predict?t0=300")
+        assert status == 200
+        assert payload["t0_hours"] == pytest.approx(300.0)
+        # The predictor's gauges surface on /metrics after a refresh.
+        status, metrics, _ = get(handle, "/metrics")
+        assert status == 200
+        gauges = metrics["predictor"]
+        assert gauges["model_id"] == predictor.model_id
+        assert gauges["refreshes"] >= 1
+        assert "drift" in gauges
+
+
+def test_predict_404_without_predictor(fleet_dir):
+    path, _ = fleet_dir
+    with serving(str(path)) as handle:
+        status, payload, _ = get(handle, "/predict")
+        assert status == 404
+        # The rest of the API is unaffected.
+        status, _, _ = get(handle, "/health")
+        assert status == 200
