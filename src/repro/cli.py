@@ -486,9 +486,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "json-v1", "sarif"),
         default="text",
-        help="finding output format",
+        help="finding output format (json = schema_version 2)",
     )
     lint.add_argument(
         "--rules",
@@ -505,6 +505,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--changed",
+        default=None,
+        metavar="REF",
+        help="report only findings in files changed since REF (plus "
+             "their reverse call-graph dependents); analysis still "
+             "spans the whole tree",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental analysis cache (full cold run)",
+    )
+    lint.add_argument(
+        "--cache-file",
+        default=None,
+        metavar="PATH",
+        help="incremental cache location (default: "
+             "$REPRO_LINT_CACHE_DIR or ~/.cache/repro-lint, keyed by "
+             "the working directory)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel per-module analysis threads (default: 4)",
     )
     return parser
 
@@ -724,9 +752,43 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _git_changed_files(ref: str) -> list[str]:
+    """``*.py`` paths changed since ``ref`` (diff + untracked)."""
+    import subprocess
+
+    files: set[str] = set()
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        capture_output=True, text=True,
+    )
+    if diff.returncode != 0:
+        raise RuntimeError(
+            f"git diff against {ref!r} failed: {diff.stderr.strip()}"
+        )
+    files.update(diff.stdout.splitlines())
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard"],
+        capture_output=True, text=True,
+    )
+    if untracked.returncode == 0:
+        files.update(untracked.stdout.splitlines())
+    return sorted(f for f in files if f.endswith(".py"))
+
+
 def _cmd_lint(args) -> int:
     """Exit 0 clean, 1 findings, 2 internal error (see docs/LINTING.md)."""
-    from .lint import LintConfig, all_rules, render_json, render_text, run_lint
+    from pathlib import Path
+
+    from .lint import (
+        LintConfig,
+        all_rules,
+        default_cache_path,
+        render_json,
+        render_json_v1,
+        render_sarif,
+        render_text,
+        run_lint,
+    )
 
     try:
         if args.list_rules:
@@ -738,9 +800,31 @@ def _cmd_lint(args) -> int:
             rules = tuple(
                 part.strip() for part in args.rules.split(",") if part.strip()
             )
-        result = run_lint(list(args.paths), LintConfig(rules=rules))
+        focus = None
+        if args.changed is not None:
+            try:
+                focus = _git_changed_files(args.changed)
+            except (RuntimeError, OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        cache_path = None
+        if not args.no_cache:
+            cache_path = (
+                Path(args.cache_file) if args.cache_file
+                else default_cache_path(Path.cwd())
+            )
+        result = run_lint(
+            list(args.paths),
+            LintConfig(rules=rules, jobs=args.jobs),
+            cache_path=cache_path,
+            focus=focus,
+        )
         if args.format == "json":
             print(render_json(result))
+        elif args.format == "json-v1":
+            print(render_json_v1(result))
+        elif args.format == "sarif":
+            print(render_sarif(result))
         else:
             print(render_text(result, show_suppressed=args.show_suppressed))
         return result.exit_code

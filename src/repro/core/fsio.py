@@ -1,0 +1,28 @@
+"""Durable filesystem primitives shared by every writer in the repo.
+
+An ``os.replace`` makes a file *visible* atomically, but on POSIX the
+rename itself lives in the directory entry — until the directory inode
+is fsynced, a power failure can roll the rename back even though the
+payload bytes were synced.  Every manifest-swap site in the repo must
+therefore end with :func:`fsync_dir` on the directory that received the
+entry; the linter's RES102 rule enforces this interprocedurally.
+
+Linux-only semantics (directory fds are fsyncable); this matches the
+cluster environment the log pipeline targets.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["fsync_dir"]
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a rename into it survives power loss."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

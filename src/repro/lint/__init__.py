@@ -26,10 +26,11 @@ mandatory; see :mod:`repro.lint.suppress`).
 
 from __future__ import annotations
 
+from .cache import default_cache_path
 from .config import LintConfig
 from .engine import LintResult, run_lint
 from .findings import Finding
-from .report import render_json, render_text
+from .report import render_json, render_json_v1, render_sarif, render_text
 from .rules import all_rules
 
 __all__ = [
@@ -37,7 +38,10 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "all_rules",
+    "default_cache_path",
     "render_json",
+    "render_json_v1",
+    "render_sarif",
     "render_text",
     "run_lint",
 ]

@@ -1,0 +1,136 @@
+"""Incremental analysis cache: per-module facts keyed by content hash.
+
+Everything expensive the engine does is per-module — parsing, the
+intraprocedural dataflow passes, summary extraction, per-module rule
+findings, suppression tables.  All of it is deterministic in (file
+bytes, lint config, rule set), so one JSON file memoizes it:
+
+* an entry is keyed by the file's *path label* and guarded by the
+  sha256 of its bytes — edit the file, lose the entry;
+* the whole cache is guarded by a header of (cache format version,
+  config fingerprint, rule ids) — change any knob, lose everything;
+* cross-module phases (call-graph resolve, reachability, suppression
+  matching) are cheap and re-run every time, so stale *global* state
+  cannot be served from here.  Invalidation along reverse call-graph
+  edges is the engine's job: it re-analyzes changed modules **and**
+  their reverse-dependency closure even when the dependents' bytes are
+  unchanged, so interprocedural findings never outlive the edit that
+  caused them.
+
+The cache file itself is committed with the same fsync+rename protocol
+the linter enforces on everyone else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from ..core.fsio import fsync_dir
+
+#: Bump when the entry layout (or anything feeding it) changes shape.
+CACHE_VERSION = 2
+
+
+def content_sha(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """One lint tree's memoized per-module analysis."""
+
+    def __init__(self, path: Path | None = None):
+        self.path = path
+        self.entries: dict[str, dict] = {}
+        self.loaded_from_disk = False
+
+    # -- persistence ---------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path | None, fingerprint: str) -> "LintCache":
+        """Read the cache; any mismatch or damage yields an empty one."""
+        cache = cls(path)
+        if path is None or not path.exists():
+            return cache
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, ValueError):
+            return cache
+        if not isinstance(data, dict):
+            return cache
+        if data.get("version") != CACHE_VERSION:
+            return cache
+        if data.get("fingerprint") != fingerprint:
+            return cache
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+            cache.loaded_from_disk = True
+        return cache
+
+    def save(self, fingerprint: str) -> None:
+        if self.path is None:
+            return
+        payload = json.dumps({
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "entries": self.entries,
+        }, sort_keys=True)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path.parent, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    fh.write(payload)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+                fsync_dir(self.path.parent)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            pass  # a cache that cannot be written is just a slow run
+
+    # -- entry access --------------------------------------------------------
+
+    def fresh_entry(self, label: str, sha: str) -> dict | None:
+        """The stored entry for ``label`` iff its content hash matches."""
+        entry = self.entries.get(label)
+        if entry is not None and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def put(self, label: str, entry: dict) -> None:
+        self.entries[label] = entry
+
+    def prune(self, labels: set[str]) -> None:
+        """Drop entries for files no longer part of the lint tree."""
+        for stale in set(self.entries) - labels:
+            del self.entries[stale]
+
+
+def default_cache_path(root: Path | None = None) -> Path:
+    """Where the CLI keeps the cache unless told otherwise.
+
+    ``REPRO_LINT_CACHE_DIR`` wins; otherwise the cache lives under the
+    user cache home so a read-only checkout still lints fast.
+    """
+    env = os.environ.get("REPRO_LINT_CACHE_DIR")
+    if env:
+        base = Path(env)
+    else:
+        xdg = os.environ.get("XDG_CACHE_HOME")
+        base = Path(xdg) if xdg else Path.home() / ".cache"
+        base = base / "repro-lint"
+    tag = "default"
+    if root is not None:
+        tag = hashlib.sha256(
+            str(Path(root).resolve()).encode("utf-8")
+        ).hexdigest()[:16]
+    return base / f"{tag}.json"

@@ -1,0 +1,250 @@
+"""Per-function control-flow graphs for the dataflow rule families.
+
+A :class:`CFG` is a list of basic blocks over the *statements* of one
+function body.  Expression-level ordering inside a statement is the
+transfer function's business (it walks the statement AST in evaluation
+order); the CFG's job is the branch structure: ``if``/``while``/``for``
+arms, ``try`` bodies with edges into their handlers (any statement may
+raise), ``break``/``continue``/``return``/``raise`` shortcuts, and a
+single synthetic exit block that every path reaches.
+
+The builder is deliberately coarse where precision buys nothing for the
+rules built on it: every block created inside a ``try`` body gets an
+edge to each handler (over-approximating raise points), and a ``with``
+body is linear (the context manager's ``__exit__`` is not modelled).
+Coarseness here is *conservative* for must-analyses — extra edges can
+only remove facts at joins, never invent them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line statements plus out-edges."""
+
+    idx: int
+    stmts: list[ast.AST] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Blocks of one function; ``entry`` falls in, ``exit`` collects."""
+
+    blocks: list[Block]
+    entry: int
+    exit: int
+    #: Edges taken only when an exception propagates (raise sites, try
+    #: body -> handler, finally -> function exit).  Must-analyses that
+    #: reason about *successful* completion meet over normal edges only.
+    exc_edges: set = field(default_factory=set)
+
+    def successors(self, idx: int) -> list[int]:
+        return self.blocks[idx].succs
+
+    def normal_succs(self, idx: int) -> list[int]:
+        return [
+            s for s in self.blocks[idx].succs
+            if (idx, s) not in self.exc_edges
+        ]
+
+    def normal_preds(self, idx: int) -> list[int]:
+        return [
+            p for p in self.blocks[idx].preds
+            if (p, idx) not in self.exc_edges
+        ]
+
+    def rpo(self) -> list[int]:
+        """Reverse postorder from the entry — a good worklist seed."""
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, int]] = [(self.entry, 0)]
+        while stack:
+            node, child = stack[-1]
+            if child == 0:
+                seen.add(node)
+            succs = self.blocks[node].succs
+            if child < len(succs):
+                stack[-1] = (node, child + 1)
+                nxt = succs[child]
+                if nxt not in seen:
+                    stack.append((nxt, 0))
+            else:
+                order.append(node)
+                stack.pop()
+        return list(reversed(order))
+
+
+class _Builder:
+    """Recursive-descent CFG construction over a statement list."""
+
+    def __init__(self) -> None:
+        self.blocks: list[Block] = []
+        self.exc_edges: set = set()
+        self.exit = self._new()
+        # (break_target, continue_target) per enclosing loop.
+        self._loops: list[tuple[int, int]] = []
+        # Handler-entry blocks of enclosing trys (raise edges), innermost
+        # last; each entry also carries the finally entry (or None).
+        self._trys: list[tuple[list[int], int | None]] = []
+
+    def _new(self) -> int:
+        self.blocks.append(Block(idx=len(self.blocks)))
+        return self.blocks[-1].idx
+
+    def _edge(self, src: int, dst: int, exc: bool = False) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+        if exc:
+            self.exc_edges.add((src, dst))
+
+    def _raise_targets(self) -> list[int]:
+        """Where control may go when a statement raises."""
+        for handlers, final in reversed(self._trys):
+            targets = list(handlers)
+            if final is not None:
+                targets.append(final)
+            if targets:
+                return targets
+        return [self.exit]
+
+    # -- statement dispatch -------------------------------------------------
+
+    def build(self, body: list[ast.stmt], current: int) -> int:
+        """Append ``body`` starting at block ``current``; return the
+        block where control continues (dead blocks return fresh ones)."""
+        for stmt in body:
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, cur: int) -> int:
+        if isinstance(stmt, (ast.If,)):
+            return self._if(stmt, cur)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            # Linear: items evaluate, then the body runs.
+            self.blocks[cur].stmts.append(stmt)
+            return self.build(stmt.body, cur)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.blocks[cur].stmts.append(stmt)
+            if isinstance(stmt, ast.Raise):
+                for target in self._raise_targets():
+                    self._edge(cur, target, exc=True)
+            else:
+                self._edge(cur, self.exit)
+            return self._new()  # unreachable continuation
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._edge(cur, self._loops[-1][0])
+            return self._new()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(cur, self._loops[-1][1])
+            return self._new()
+        # Nested defs/classes are separate analysis units; the statement
+        # still lands in the block so transfer functions see the binding.
+        self.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: int) -> int:
+        self.blocks[cur].stmts.append(stmt.test)
+        then_entry = self._new()
+        self._edge(cur, then_entry)
+        then_exit = self.build(stmt.body, then_entry)
+        join = self._new()
+        self._edge(then_exit, join)
+        if stmt.orelse:
+            else_entry = self._new()
+            self._edge(cur, else_entry)
+            self._edge(self.build(stmt.orelse, else_entry), join)
+        else:
+            self._edge(cur, join)
+        return join
+
+    def _loop(self, stmt, cur: int) -> int:
+        head = self._new()
+        self._edge(cur, head)
+        if isinstance(stmt, ast.While):
+            self.blocks[head].stmts.append(stmt.test)
+        else:
+            # ``for target in iter``: both evaluate at the head.
+            self.blocks[head].stmts.append(stmt)
+        after = self._new()
+        body_entry = self._new()
+        self._edge(head, body_entry)
+        self._loops.append((after, head))
+        body_exit = self.build(stmt.body, body_entry)
+        self._loops.pop()
+        self._edge(body_exit, head)
+        if stmt.orelse:
+            # Normal loop exit runs the else-arm before falling through.
+            else_entry = self._new()
+            self._edge(head, else_entry)
+            self._edge(self.build(stmt.orelse, else_entry), after)
+        else:
+            self._edge(head, after)  # zero iterations / condition false
+        return after
+
+    def _try(self, stmt: ast.Try, cur: int) -> int:
+        handler_entries = [self._new() for _ in stmt.handlers]
+        final_entry = self._new() if stmt.finalbody else None
+        join = self._new()
+
+        self._trys.append((handler_entries, final_entry))
+        body_entry = self._new()
+        self._edge(cur, body_entry)
+        first_new = body_entry
+        body_exit = self.build(stmt.body, body_entry)
+        self._trys.pop()
+
+        # Any block born inside the try body may raise into the handlers
+        # (and the finally): coarse, and conservative for must-facts.
+        for block in self.blocks[first_new:]:
+            if block.idx in handler_entries or block.idx == final_entry:
+                continue
+            for h in handler_entries:
+                self._edge(block.idx, h, exc=True)
+            if final_entry is not None and not handler_entries:
+                self._edge(block.idx, final_entry, exc=True)
+
+        else_exit = self.build(stmt.orelse, body_exit) if stmt.orelse \
+            else body_exit
+
+        tails = [else_exit]
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            tails.append(self.build(handler.body, entry))
+
+        if final_entry is not None:
+            for tail in tails:
+                self._edge(tail, final_entry)
+            final_exit = self.build(stmt.finalbody, final_entry)
+            self._edge(final_exit, join)
+            # A raise that entered the finally leaves the function.
+            self._edge(final_exit, self.exit, exc=True)
+        else:
+            for tail in tails:
+                self._edge(tail, join)
+        return join
+
+
+def build_cfg(fn_node: ast.AST) -> CFG:
+    """CFG of one ``FunctionDef``/``AsyncFunctionDef``/``Lambda`` body."""
+    builder = _Builder()
+    entry = builder._new()
+    if isinstance(fn_node, ast.Lambda):
+        builder.blocks[entry].stmts.append(ast.Expr(value=fn_node.body))
+        end = entry
+    else:
+        end = builder.build(list(fn_node.body), entry)
+    builder._edge(end, builder.exit)
+    return CFG(blocks=builder.blocks, entry=entry, exit=builder.exit,
+               exc_edges=builder.exc_edges)

@@ -41,6 +41,21 @@ def _default_dispatchers() -> tuple[str, ...]:
     return ("supervised_map", "parallel_map")
 
 
+def _default_entry_points() -> tuple[str, ...]:
+    # Campaign drivers: seed provenance is checked from these roots in
+    # addition to worker-dispatch targets.
+    return (
+        "repro.faultinjection.campaign.run_campaign",
+        "repro.faultinjection.campaign.run_unit",
+    )
+
+
+def _default_blessed_rng() -> tuple[str, ...]:
+    # The one module allowed to construct generators from raw material:
+    # everything else must go through its stream()/RngFactory surface.
+    return ("repro.core.rng",)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Knobs for the rule set.
@@ -63,6 +78,34 @@ class LintConfig:
     )
     #: Restrict the run to these rule ids (empty = all registered rules).
     rules: tuple[str, ...] = ()
+    #: Additional call-graph roots for seed provenance (DET101): the
+    #: campaign drivers, on top of worker-dispatch targets.
+    entry_points: tuple[str, ...] = field(default_factory=_default_entry_points)
+    #: Dotted module prefixes whose RNG constructions are the sanctioned
+    #: source of streams; calls *into* them yield derived seeds and
+    #: construction sites *inside* them are exempt from DET101.
+    blessed_rng_modules: tuple[str, ...] = field(
+        default_factory=_default_blessed_rng
+    )
+    #: Worker threads for the per-module analysis phase (None = cpu count).
+    jobs: int | None = None
+
+    def is_blessed_rng_module(self, module: str) -> bool:
+        return any(
+            module == m or module.startswith(m + ".")
+            for m in self.blessed_rng_modules
+        )
+
+    def cache_key(self) -> str:
+        """Stable digest of every knob that shapes per-module facts."""
+        import hashlib
+
+        parts = repr((
+            sorted(self.clock_allowlist), sorted(self.hot_paths),
+            sorted(self.worker_dispatchers), sorted(self.rules),
+            sorted(self.entry_points), sorted(self.blessed_rng_modules),
+        ))
+        return hashlib.sha256(parts.encode("utf-8")).hexdigest()[:16]
 
     def path_matches(self, path: str, suffixes: tuple[str, ...]) -> bool:
         norm = path.replace("\\", "/")

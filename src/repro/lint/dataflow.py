@@ -1,0 +1,266 @@
+"""Worklist dataflow solving, tag lattices, and interprocedural glue.
+
+Three layers, each one small:
+
+* :func:`solve_forward` — the classic monotone-framework worklist over a
+  :class:`~repro.lint.cfg.CFG`.  The analysis supplies ``transfer`` and
+  ``join``; the solver owns termination (facts must only grow — every
+  analysis here uses finite tag sets or bounded must-sets).
+
+* **Tag lattices** — an abstract value is a ``frozenset[str]`` of tags:
+  concrete sources (``"const"``, ``"derived"``, ``"foreign"``, a dtype
+  name) mixed with symbolic references (``"param:2"``) that only the
+  cross-function phase can resolve.  Joins are unions; ``"?"`` is top.
+
+* :class:`ParamFlow` — the interprocedural fixpoint.  Per-function
+  *facts* are extracted once per module (and cached by content hash);
+  this class stitches them together each run: every call-site argument's
+  tags flow into the callee's parameter, ``param:i`` references resolve
+  against the caller's own solved parameters, and the iteration runs to
+  a fixpoint over the (finite, monotone) tag universe.  Because it
+  consumes only serialized facts — never ASTs — it is cheap enough to
+  recompute on every warm run, which is what lets the expensive
+  per-module extraction be the only thing the incremental cache has to
+  manage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from .cfg import CFG
+
+TagSet = frozenset
+
+#: Symbolic tag prefix: value flows from the enclosing function's param.
+PARAM = "param:"
+#: Top: provenance unknowable; analyses must stay silent.
+UNKNOWN = "?"
+
+
+def param_tag(i: int) -> str:
+    return f"{PARAM}{i}"
+
+
+def is_param(tag: str) -> bool:
+    return tag.startswith(PARAM)
+
+
+def param_index(tag: str) -> int:
+    return int(tag[len(PARAM):])
+
+
+# ---------------------------------------------------------------------------
+# Intraprocedural worklist
+# ---------------------------------------------------------------------------
+
+
+def solve_forward(
+    cfg: CFG,
+    init,
+    transfer: Callable,
+    join: Callable,
+):
+    """Forward dataflow: returns ``{block_idx: fact_at_entry}``.
+
+    ``transfer(block, fact) -> fact`` must not mutate its input;
+    ``join(a, b) -> fact`` merges two predecessors' out-facts (``a`` may
+    be ``None`` for a not-yet-visited edge).  Standard worklist with an
+    iteration ceiling as a belt-and-braces guard against a non-monotone
+    transfer bug — hitting it raises rather than spinning CI forever.
+    """
+    entry_facts = {cfg.entry: init}
+    out_facts: dict[int, object] = {}
+    worklist = cfg.rpo()
+    queued = set(worklist)
+    ceiling = max(64, len(cfg.blocks) * len(cfg.blocks) * 4)
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > ceiling:
+            raise RuntimeError(
+                f"dataflow failed to converge after {steps} steps "
+                f"({len(cfg.blocks)} blocks)"
+            )
+        idx = worklist.pop(0)
+        queued.discard(idx)
+        if idx not in entry_facts:
+            continue
+        block = cfg.blocks[idx]
+        out = transfer(block, entry_facts[idx])
+        if idx in out_facts and out == out_facts[idx]:
+            continue
+        out_facts[idx] = out
+        for succ in block.succs:
+            merged = join(entry_facts.get(succ), out)
+            if succ not in entry_facts or merged != entry_facts[succ]:
+                entry_facts[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return entry_facts
+
+
+def join_union(a: dict | None, b: dict) -> dict:
+    """May-join for ``{var: TagSet}`` maps: union tags per variable."""
+    if a is None:
+        return dict(b)
+    out = dict(a)
+    for key, tags in b.items():
+        have = out.get(key)
+        out[key] = tags if have is None else (have | tags)
+    return out
+
+
+def join_intersect(a: frozenset | None, b: frozenset) -> frozenset:
+    """Must-join for achievement sets: a fact holds only on all paths."""
+    if a is None:
+        return b
+    return a & b
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural parameter/return flow over serialized facts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallArgs:
+    """One call site's argument tags, caller-relative."""
+
+    target: str                       # callee qualname
+    line: int
+    col: int
+    pos: list = field(default_factory=list)        # list[TagSet]
+    kw: dict = field(default_factory=dict)         # name -> TagSet
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target, "line": self.line, "col": self.col,
+            "pos": [sorted(t) for t in self.pos],
+            "kw": {k: sorted(t) for k, t in self.kw.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallArgs":
+        return cls(
+            target=data["target"], line=data["line"], col=data["col"],
+            pos=[frozenset(t) for t in data["pos"]],
+            kw={k: frozenset(t) for k, t in data["kw"].items()},
+        )
+
+
+class ParamFlow:
+    """Fixpoint solver for parameter tags across the call graph.
+
+    Inputs are pure data: per-function parameter names, default-value
+    tags, and per-call-site argument tags (which may themselves contain
+    ``param:i`` references to the *caller's* parameters).  The solve is
+    context-insensitive — a parameter's tags are the union over every
+    call site — which under-approximates nothing the rules act on: a
+    finding requires the resolved set to be unambiguously bad.
+    """
+
+    def __init__(
+        self,
+        params: dict[str, list],            # qualname -> param names
+        defaults: dict[str, dict],          # qualname -> {param name: TagSet}
+        calls: dict[str, list],             # caller qualname -> [CallArgs]
+    ) -> None:
+        self.params = params
+        self.defaults = defaults
+        self.calls = calls
+        #: (qualname, index) -> solved TagSet
+        self.solution: dict[tuple[str, int], frozenset] = {}
+        #: (qualname, index) -> call sites that fed tags in
+        self.feeders: dict[tuple[str, int], list[tuple[str, CallArgs]]] = {}
+
+    def _arg_binding(
+        self, callee: str, call: CallArgs
+    ) -> Iterable[tuple[int, frozenset]]:
+        names = self.params.get(callee, [])
+        for i, tags in enumerate(call.pos):
+            if i < len(names):
+                yield i, tags
+        for name, tags in call.kw.items():
+            if name in names:
+                yield names.index(name), tags
+        # Parameters no call-site argument reaches fall back to their
+        # declared default — the "laundered through a default" case.
+        supplied = {i for i, _ in enumerate(call.pos) if i < len(names)}
+        supplied |= {names.index(n) for n in call.kw if n in names}
+        for name, tags in self.defaults.get(callee, {}).items():
+            if name in names and names.index(name) not in supplied:
+                yield names.index(name), tags
+
+    def solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for caller, sites in self.calls.items():
+                for call in sites:
+                    if call.target not in self.params:
+                        continue
+                    for index, raw in self._arg_binding(call.target, call):
+                        tags = self.resolve(raw, caller)
+                        key = (call.target, index)
+                        have = self.solution.get(key, frozenset())
+                        merged = have | tags
+                        if merged != have:
+                            self.solution[key] = merged
+                            changed = True
+                        feeders = self.feeders.setdefault(key, [])
+                        if all(c is not call for _, c in feeders):
+                            feeders.append((caller, call))
+
+    def resolve(self, tags: frozenset, owner: str) -> frozenset:
+        """Replace ``param:i`` references with the owner's solved tags.
+
+        A parameter nothing ever feeds (an external API surface) resolves
+        to ``{"?"}`` — unknown, so the rules stay silent about it.
+        """
+        out: set = set()
+        for tag in tags:
+            if is_param(tag):
+                solved = self.solution.get((owner, param_index(tag)))
+                out |= solved if solved else {UNKNOWN}
+            else:
+                out.add(tag)
+        return frozenset(out)
+
+    def blame_sites(
+        self, callee: str, index: int, bad: Callable[[frozenset], bool],
+        _seen: frozenset = frozenset(),
+    ) -> list[tuple[str, CallArgs]]:
+        """Call sites that concretely introduce bad tags for a param.
+
+        Walks feeder chains upward: a site whose argument tags are bad
+        *without* symbolic references is a frontier (the finding anchors
+        there); a site passing its own parameter recurses into its
+        callers.  Cycles terminate via ``_seen``.
+        """
+        key = (callee, index)
+        if key in _seen:
+            return []
+        seen = _seen | {key}
+        frontier: list[tuple[str, CallArgs]] = []
+        for caller, call in self.feeders.get(key, []):
+            bound = dict(self._arg_binding(callee, call))
+            raw = bound.get(index)
+            if raw is None:
+                continue
+            concrete = frozenset(t for t in raw if not is_param(t))
+            if concrete and bad(concrete):
+                frontier.append((caller, call))
+                continue
+            for tag in raw:
+                if is_param(tag) and bad(
+                    self.resolve(frozenset([tag]), caller)
+                ):
+                    frontier.extend(
+                        self.blame_sites(
+                            caller, param_index(tag), bad, seen
+                        )
+                    )
+        return frontier

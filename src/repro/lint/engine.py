@@ -1,14 +1,42 @@
-"""The lint driver: collect files, index, run rules, apply suppressions."""
+"""The lint driver: incremental, parallel, two-phase.
+
+Phase 1 — **per-module analysis** (expensive, cacheable, parallel):
+parse, per-module rule findings, suppression table, call-graph facts,
+and every :class:`~repro.lint.rules.SummaryRule` extraction.  The
+result is one JSON-able *entry* per file, memoized by content sha256
+in :class:`~repro.lint.cache.LintCache` and recomputed only for files
+whose bytes changed **plus their reverse call-graph closure** (an edit
+to a callee can change interprocedural findings anchored in its
+callers, so dependents re-analyze even with identical bytes).
+
+Phase 2 — **project resolve** (cheap, never cached): reassemble the
+call graph from the per-module facts, run each summary rule's
+``resolve`` over all modules' facts, then match suppressions and sort.
+
+``LintResult.analysis`` carries the counters CI asserts on: how many
+modules were re-analyzed vs served from cache, whether the run was
+cold, and wall-clock duration.
+"""
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .cache import LintCache, content_sha
 from .config import LintConfig
 from .findings import Finding, LintError, Summary, sort_key
-from .index import ModuleInfo, ProjectIndex, build_index, index_module, module_name_for
-from .rules import select_rules
+from .index import (
+    GraphView,
+    ModuleInfo,
+    ProjectIndex,
+    index_module,
+    module_graph_facts,
+    module_name_for,
+)
+from .rules import Rule, SummaryRule, select_rules
 from .suppress import SuppressionTable, parse_suppressions
 
 
@@ -18,13 +46,15 @@ class LintResult:
 
     ``findings`` are live (unsuppressed) violations; ``suppressed``
     carries acknowledged ones for the audit trail; ``errors`` are
-    internal failures (exit code 2 territory).
+    internal failures (exit code 2 territory); ``analysis`` holds the
+    incremental-run counters and timings.
     """
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     errors: list[LintError] = field(default_factory=list)
     summary: Summary = field(default_factory=Summary)
+    analysis: dict = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -68,9 +98,56 @@ def _path_label(path: Path, roots: list[Path]) -> str:
     return str(path).replace("\\", "/")
 
 
+def _finding_from_dict(raw: dict) -> Finding:
+    return Finding(
+        rule=raw["rule"], path=raw["path"], line=raw["line"],
+        col=raw["col"], message=raw["message"],
+    )
+
+
+def _fingerprint(config: LintConfig, rules: list[Rule]) -> str:
+    return config.cache_key() + "|" + ",".join(
+        sorted(rule.rule_id for rule in rules)
+    )
+
+
+def _analyze_module(
+    info: ModuleInfo,
+    source: str,
+    sha: str,
+    index: ProjectIndex,
+    plain_rules: list[Rule],
+    fact_extractors: dict[str, SummaryRule],
+    known: frozenset[str],
+    config: LintConfig,
+) -> dict:
+    """One file's complete cacheable entry.  May raise (caller wraps)."""
+    findings: list[dict] = []
+    for rule in plain_rules:
+        findings.extend(
+            f.to_dict() for f in rule.check_module(info, index, config)
+        )
+    facts = {
+        key: extractor.extract(info, config)
+        for key, extractor in fact_extractors.items()
+    }
+    table = parse_suppressions(source, info.path, known, tree=info.tree)
+    return {
+        "sha": sha,
+        "module": info.module,
+        "findings": findings,
+        "facts": facts,
+        "graph": module_graph_facts(info, config.worker_dispatchers),
+        "suppressions": table.to_dict(),
+    }
+
+
 def run_lint(
     paths: list[str | Path],
     config: LintConfig | None = None,
+    *,
+    cache_path: str | Path | None = None,
+    focus: list[str] | None = None,
 ) -> LintResult:
     """Lint ``paths`` (files or directories) and return the result.
 
@@ -78,13 +155,20 @@ def run_lint(
     unreadable files become :class:`LintError` entries.  Exceptions
     escaping a rule are likewise captured (a linter bug must fail the
     run with exit code 2, not take down CI with a traceback).
+
+    ``cache_path`` opts into the incremental cache (one JSON file); the
+    default is a full cold analysis, so library callers stay pure.
+
+    ``focus`` (``--changed`` mode) restricts *reported* findings to the
+    given path labels plus their reverse call-graph dependents — the
+    analysis itself still spans every file so interprocedural rules see
+    the whole program.
     """
     config = config or LintConfig()
     result = LintResult()
+    t_start = time.perf_counter()
 
     roots = [Path(p) for p in paths]
-    modules: list[ModuleInfo] = []
-    tables: dict[str, SuppressionTable] = {}
 
     try:
         rules = select_rules(config.rules)
@@ -94,40 +178,143 @@ def run_lint(
     known = frozenset(rule.rule_id for rule in rules) | frozenset(
         rule.rule_id for rule in select_rules(())
     )
+    plain_rules = [r for r in rules if not isinstance(r, SummaryRule)]
+    summary_rules = [r for r in rules if isinstance(r, SummaryRule)]
+    fact_extractors: dict[str, SummaryRule] = {}
+    for rule in summary_rules:
+        fact_extractors.setdefault(rule.fact_key, rule)
 
+    fingerprint = _fingerprint(config, rules)
+    cache = LintCache.load(
+        Path(cache_path) if cache_path is not None else None, fingerprint
+    )
+    cold = not cache.loaded_from_disk
+
+    # ---- read + hash every file; decide what the edit set is --------------
+    sources: dict[str, tuple[Path, str, str]] = {}  # label -> (path, src, sha)
+    order: list[str] = []
     for path in collect_files(paths):
         label = _path_label(path, roots)
         try:
-            source = path.read_text(encoding="utf-8")
+            data = path.read_bytes()
+            source = data.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             result.errors.append(LintError(path=label, message=str(exc)))
             continue
+        sources[label] = (path, source, content_sha(data))
+        order.append(label)
+
+    changed = [
+        label for label in order
+        if cache.fresh_entry(label, sources[label][2]) is None
+    ]
+
+    # ---- parse what needs parsing -----------------------------------------
+    infos: dict[str, ModuleInfo] = {}
+    parse_failed: set[str] = set()
+
+    def _parse(label: str) -> None:
+        path, source, _sha = sources[label]
         try:
-            info = index_module(label, module_name_for(path), source)
+            infos[label] = index_module(
+                label, module_name_for(path), source
+            )
         except SyntaxError as exc:
+            parse_failed.add(label)
             result.errors.append(
                 LintError(path=label, message=f"syntax error: {exc.msg} "
                                               f"(line {exc.lineno})")
             )
+
+    jobs = config.jobs or 4
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        list(pool.map(_parse, changed))
+
+    # ---- dirty closure over reverse call-graph edges ----------------------
+    graph_facts: dict[str, dict] = {}
+    module_of: dict[str, str] = {}
+    for label in order:
+        if label in parse_failed:
             continue
-        modules.append(info)
-        tables[label] = parse_suppressions(source, label, known)
+        if label in infos:
+            facts = module_graph_facts(
+                infos[label], config.worker_dispatchers
+            )
+        else:
+            facts = cache.entries[label]["graph"]
+        graph_facts[facts["module"]] = facts
+        module_of[label] = facts["module"]
 
-    result.summary.files_scanned = len(modules)
-    index: ProjectIndex = build_index(modules, config.worker_dispatchers)
+    pre_graph = GraphView(graph_facts)
+    changed_modules = {
+        module_of[label] for label in changed if label in module_of
+    }
+    dirty_modules = pre_graph.reverse_module_closure(changed_modules)
+    dirty = [
+        label for label in order
+        if label in module_of and module_of[label] in dirty_modules
+    ]
 
-    raw: list[Finding] = []
-    for rule in rules:
+    # ---- per-module analysis (parallel, cached) ---------------------------
+    index = ProjectIndex()  # rule API compatibility; rules are per-module
+    entries: dict[str, dict] = {}
+
+    def _analyze(label: str) -> None:
+        path, source, sha = sources[label]
+        if label not in infos:
+            _parse(label)
+        if label in parse_failed:
+            return
         try:
-            raw.extend(rule.check_project(index, config))
+            entry = _analyze_module(
+                infos[label], source, sha, index, plain_rules,
+                fact_extractors, known, config,
+            )
         except Exception as exc:  # a rule crash is an internal error
+            result.errors.append(
+                LintError(path=label, message=f"analysis crashed: {exc!r}")
+            )
+            return
+        entries[label] = entry
+
+    with ThreadPoolExecutor(max_workers=max(1, jobs)) as pool:
+        list(pool.map(_analyze, dirty))
+    analyzed = len(entries)
+    for label in order:
+        if label not in entries and label in module_of and label not in dirty:
+            entries[label] = cache.entries[label]
+
+    result.summary.files_scanned = len(entries)
+
+    # ---- project resolve over all modules' facts --------------------------
+    graph = GraphView({
+        entry["graph"]["module"]: entry["graph"]
+        for entry in entries.values()
+    })
+    raw: list[Finding] = []
+    for label in order:
+        entry = entries.get(label)
+        if entry is not None:
+            raw.extend(_finding_from_dict(f) for f in entry["findings"])
+    for rule in summary_rules:
+        facts = {
+            entry["module"]: entry["facts"].get(rule.fact_key, {})
+            for entry in entries.values()
+        }
+        try:
+            raw.extend(rule.resolve(facts, graph, config))
+        except Exception as exc:
             result.errors.append(
                 LintError(
                     path="", message=f"rule {rule.rule_id} crashed: {exc!r}"
                 )
             )
 
-    # Invalid suppressions are findings in their own right.
+    # ---- suppressions -----------------------------------------------------
+    tables = {
+        label: SuppressionTable.from_dict(entry["suppressions"])
+        for label, entry in entries.items()
+    }
     for table in tables.values():
         raw.extend(table.invalid)
 
@@ -145,4 +332,47 @@ def run_lint(
         else:
             result.findings.append(finding)
             result.summary.count(finding)
+
+    # ---- --changed focus: report only the edit + its dependents -----------
+    focus_labels: set[str] | None = None
+    if focus is not None:
+        focus_set = {str(f).replace("\\", "/") for f in focus}
+        focus_modules = {
+            module_of[label] for label in focus_set if label in module_of
+        }
+        closure = graph.reverse_module_closure(focus_modules)
+        focus_labels = {
+            label for label in order
+            if module_of.get(label) in closure
+        }
+        result.findings = [
+            f for f in result.findings if f.path in focus_labels
+        ]
+        result.suppressed = [
+            f for f in result.suppressed if f.path in focus_labels
+        ]
+        result.summary = Summary(files_scanned=result.summary.files_scanned)
+        for finding in result.findings:
+            result.summary.count(finding)
+
+    # ---- cache writeback + counters ---------------------------------------
+    cache.prune(set(entries))
+    for label, entry in entries.items():
+        cache.put(label, entry)
+    cache.save(fingerprint)
+
+    result.analysis = {
+        "cold": cold,
+        "modules_total": len(entries),
+        "modules_analyzed": analyzed,
+        "modules_cached": len(entries) - analyzed,
+        "changed": sorted(
+            label for label in changed if label in module_of
+        ),
+        "dirty": sorted(dirty),
+        "jobs": max(1, jobs),
+        "duration_s": round(time.perf_counter() - t_start, 4),
+    }
+    if focus_labels is not None:
+        result.analysis["focus"] = sorted(focus_labels)
     return result

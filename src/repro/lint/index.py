@@ -12,11 +12,22 @@ walk under-approximates rather than hallucinating edges.
 from __future__ import annotations
 
 import ast
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Literal AST nodes that cannot be mutated through a module-level name.
 _IMMUTABLE_NODES = (ast.Constant,)
+
+
+def param_names(node: ast.AST) -> list[str]:
+    """Positional-or-keyword parameter names in binding order."""
+    args = node.args
+    return [
+        a.arg
+        for a in (list(args.posonlyargs) + list(args.args)
+                  + list(args.kwonlyargs))
+    ]
 
 
 @dataclass
@@ -33,6 +44,10 @@ class FunctionInfo:
     #: True for functions passed as ``initializer=`` to a dispatcher —
     #: per-process setup is *expected* to write module state once.
     is_initializer: bool = False
+
+    @property
+    def params(self) -> list[str]:
+        return param_names(self.node)
 
 
 @dataclass
@@ -103,9 +118,18 @@ def _resolve_relative(module: str, level: int, target: str | None) -> str:
     return ".".join(base)
 
 
+#: ``compile(..., PyCF_ONLY_AST)`` is not thread-safe on CPython 3.11:
+#: the AST-constructor recursion counter lives in per-interpreter (not
+#: per-thread) state, so two pool workers parsing at once can race it
+#: into ``SystemError: AST constructor recursion depth mismatch``.
+#: Parsing holds the GIL anyway, so serializing it costs nothing.
+_PARSE_LOCK = threading.Lock()
+
+
 def index_module(path_label: str, module: str, source: str) -> ModuleInfo:
     """Parse and index one file (raises ``SyntaxError`` on bad source)."""
-    tree = ast.parse(source, filename=path_label)
+    with _PARSE_LOCK:
+        tree = ast.parse(source, filename=path_label)
     info = ModuleInfo(path=path_label, module=module, tree=tree, source=source)
     _collect_imports(info)
     _collect_module_state(info)
@@ -240,6 +264,159 @@ def _collect_functions(info: ModuleInfo) -> None:
 # ---------------------------------------------------------------------------
 # Project-level assembly
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# Serializable graph facts + the resolve-time view over them
+# ---------------------------------------------------------------------------
+
+
+def module_graph_facts(
+    info: ModuleInfo, dispatchers: tuple[str, ...]
+) -> dict:
+    """Call-graph facts of one module as plain JSON-able data.
+
+    This is what the incremental cache stores: enough to rebuild the
+    project call graph (and the worker-dispatch roots) without re-parsing
+    unchanged files.
+    """
+    functions: dict[str, dict] = {}
+    for qual, fn in info.functions.items():
+        functions[qual] = {
+            "params": param_names(fn.node),
+            "calls": sorted(set(fn.calls)),
+            "lineno": fn.lineno,
+        }
+    roots: list[str] = []
+    initializers: list[str] = []
+    lambda_count = 0
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name not in dispatchers:
+            continue
+        for kw in node.keywords:
+            if kw.arg == "initializer":
+                target = resolve_call_target(kw.value, info)
+                if target is not None:
+                    initializers.append(target)
+        if not node.args:
+            continue
+        fn_arg = node.args[0]
+        if isinstance(fn_arg, ast.Lambda):
+            qual = f"{info.module}.<lambda:{fn_arg.lineno}:{lambda_count}>"
+            lambda_count += 1
+            calls: list[str] = []
+            _CallCollector(info, calls).visit(fn_arg.body)
+            functions[qual] = {
+                "params": param_names(fn_arg),
+                "calls": sorted(set(calls)),
+                "lineno": fn_arg.lineno,
+            }
+            roots.append(qual)
+        else:
+            target = resolve_call_target(fn_arg, info)
+            if target is not None:
+                roots.append(target)
+    return {
+        "module": info.module,
+        "path": info.path,
+        "functions": functions,
+        "worker_roots": sorted(set(roots)),
+        "initializers": sorted(set(initializers)),
+    }
+
+
+class GraphView:
+    """Project call graph reassembled from per-module graph facts.
+
+    Built fresh each run from serialized facts (cached or just
+    extracted) — never from ASTs — so a warm run pays only for the
+    modules it actually re-analyzed.
+    """
+
+    def __init__(self, facts_by_module: dict[str, dict]):
+        self.functions: dict[str, dict] = {}
+        self.worker_roots: list[str] = []
+        self.initializers: set[str] = set()
+        for facts in facts_by_module.values():
+            for qual, fn in facts["functions"].items():
+                self.functions[qual] = {
+                    **fn, "module": facts["module"], "path": facts["path"],
+                }
+            self.worker_roots.extend(facts["worker_roots"])
+            self.initializers.update(facts["initializers"])
+        self._callers: dict[str, list[str]] | None = None
+
+    def params(self, qual: str) -> list[str]:
+        fn = self.functions.get(qual)
+        return fn["params"] if fn else []
+
+    def path_of(self, qual: str) -> str | None:
+        fn = self.functions.get(qual)
+        return fn["path"] if fn else None
+
+    def module_of(self, qual: str) -> str | None:
+        fn = self.functions.get(qual)
+        return fn["module"] if fn else None
+
+    def line_of(self, qual: str) -> int:
+        fn = self.functions.get(qual)
+        return fn["lineno"] if fn else 1
+
+    def callers_of(self, qual: str) -> list[str]:
+        if self._callers is None:
+            callers: dict[str, list[str]] = {}
+            for caller, fn in self.functions.items():
+                for callee in fn["calls"]:
+                    callers.setdefault(callee, []).append(caller)
+            self._callers = callers
+        return self._callers.get(qual, [])
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        seen: set[str] = set()
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for callee in self.functions[qual]["calls"]:
+                if callee in self.functions and callee not in seen:
+                    frontier.append(callee)
+        return seen
+
+    def reverse_module_closure(self, changed: set[str]) -> set[str]:
+        """Modules whose analysis may be stale when ``changed`` modules
+        change: the changed set plus everything that calls into it,
+        transitively (summaries flow callee -> caller)."""
+        module_callers: dict[str, set[str]] = {}
+        for caller, fn in self.functions.items():
+            caller_mod = fn["module"]
+            for callee in fn["calls"]:
+                callee_fn = self.functions.get(callee)
+                if callee_fn is None:
+                    continue
+                callee_mod = callee_fn["module"]
+                if callee_mod != caller_mod:
+                    module_callers.setdefault(callee_mod, set()).add(
+                        caller_mod
+                    )
+        out = set(changed)
+        frontier = list(changed)
+        while frontier:
+            mod = frontier.pop()
+            for dep in module_callers.get(mod, ()):
+                if dep not in out:
+                    out.add(dep)
+                    frontier.append(dep)
+        return out
 
 
 def build_index(

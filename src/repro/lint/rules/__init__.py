@@ -46,6 +46,54 @@ class Rule:
             message=message,
         )
 
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id, path=path, line=line, col=col,
+            message=message,
+        )
+
+
+class SummaryRule(Rule):
+    """A project rule split into cacheable extraction + cheap resolve.
+
+    ``extract(module, config)`` runs once per module and must return
+    plain JSON-able data — it is what the incremental cache stores,
+    keyed by the file's content hash.  ``resolve(facts, graph, config)``
+    runs every time over *all* modules' facts (cached or fresh) plus the
+    reassembled call graph; it must be cheap, because it is never
+    cached.  Rules sharing a ``fact_key`` share one extraction (the
+    engine extracts once per key per module).
+    """
+
+    fact_key: str = ""
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        return {}
+
+    def resolve(
+        self, facts: dict[str, dict], graph, config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        # Engine-less path (direct rule invocation): extract everything,
+        # then resolve against a graph built from the same modules.
+        from ..index import GraphView, module_graph_facts
+
+        facts = {
+            info.module: self.extract(info, config)
+            for info in index.modules.values()
+        }
+        graph = GraphView({
+            info.module: module_graph_facts(info, config.worker_dispatchers)
+            for info in index.modules.values()
+        })
+        yield from self.resolve(facts, graph, config)
+
 
 def register(cls: type) -> type:
     instance = cls()
@@ -59,7 +107,15 @@ def register(cls: type) -> type:
 
 def all_rules() -> dict[str, Rule]:
     """id -> rule instance, importing the built-in rule modules once."""
-    from . import concurrency, determinism, numpy_hygiene, resources  # noqa: F401
+    from . import (  # noqa: F401
+        commit_protocol,
+        concurrency,
+        determinism,
+        dtype_flow,
+        numpy_hygiene,
+        resources,
+        seed_provenance,
+    )
 
     return dict(_REGISTRY)
 

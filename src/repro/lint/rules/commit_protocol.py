@@ -1,0 +1,350 @@
+"""Commit-protocol conformance (RES1xx): interprocedural fsync+rename.
+
+RES002 (PR 5) is a per-function heuristic: "rename in a function that
+writes but never fsyncs".  It cannot see the split-protocol case this
+family exists for — the payload is written in one function and
+published (``os.replace``) in another, or the fsync exists but does not
+*dominate* the rename.  The typestate layer
+(:mod:`repro.lint.typestate`) summarizes each function's protocol
+state over origin tokens; this module composes the summaries across the
+call graph:
+
+* **RES101** — the renamed payload is not proven fsynced on every path
+  to the rename, counting fsyncs performed by callees ("this helper
+  syncs its argument" summaries, fixpointed over the graph).  When the
+  payload enters through a parameter, the obligation walks up to the
+  caller that actually wrote the bytes — the finding anchors at that
+  frontier call, not inside the innocent publisher.
+* **RES102** — after a successful rename, the *directory* that now
+  holds the entry is not fsynced on any normal path to return: the
+  rename itself can be lost on power failure.  Directory-fsync
+  obligations likewise discharge through callees
+  (``repro.core.fsio.fsync_dir``) and walk up through parameters.
+
+Unknown-origin tokens (``?``) stay silent — the rules only speak when
+the whole chain is tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..config import LintConfig
+from ..findings import Finding
+from ..index import GraphView, ModuleInfo
+from ..typestate import UNKNOWN, extract_protocol, normalize
+from . import SummaryRule, register
+
+#: Quick syntactic gate: only functions touching these names get the
+#: (comparatively expensive) typestate interpretation.
+_INTERESTING = frozenset({
+    "replace", "rename", "fsync", "mkstemp", "write", "writelines",
+    "write_bytes", "write_text", "save", "savez", "savez_compressed",
+    "dump",
+})
+
+_PARAM_RE = re.compile(r"\bp(\d+)\b")
+
+
+def _is_interesting(fn_node: ast.AST) -> bool:
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.attr if isinstance(func, ast.Attribute)
+                else func.id if isinstance(func, ast.Name)
+                else None
+            )
+            if name in _INTERESTING:
+                return True
+    return False
+
+
+def _extract_module_protocols(
+    module: ModuleInfo, config: LintConfig
+) -> dict:
+    functions: dict[str, dict] = {}
+    for qual, fn in module.functions.items():
+        if isinstance(fn.node, ast.Lambda):
+            continue
+        if not _is_interesting(fn.node):
+            continue
+        try:
+            summary = extract_protocol(qual, fn.node, module)
+        except (RecursionError, RuntimeError):
+            continue
+        if summary["publishes"] or summary["calls"] or \
+                summary["exit_entries"] or summary["has_fsync"]:
+            functions[qual] = summary
+    return {"functions": functions}
+
+
+class _Expander:
+    """Fixpoint over "does function G fsync its parameter k" summaries,
+    then entry-set expansion: which tokens are proven synced by a given
+    achievement set."""
+
+    def __init__(self, fns: dict[str, dict], graph: GraphView):
+        self.fns = fns
+        self.graph = graph
+        self.syncs: set[tuple[str, int]] = set()
+        changed = True
+        while changed:
+            changed = False
+            for qual, proto in fns.items():
+                achieved = self.expand(proto["exit_entries"])
+                for i in range(len(graph.params(qual))):
+                    key = (qual, i)
+                    if key not in self.syncs and f"p{i}" in achieved:
+                        self.syncs.add(key)
+                        changed = True
+
+    def _param_index(self, callee: str, k: str) -> int | None:
+        if k.startswith("kw="):
+            names = self.graph.params(callee)
+            name = k[3:]
+            return names.index(name) if name in names else None
+        try:
+            return int(k)
+        except ValueError:
+            return None
+
+    def expand(self, entries) -> set[str]:
+        out: set[str] = set()
+        for entry in entries:
+            if entry.startswith("s:"):
+                out.add(entry[2:])
+            elif entry.startswith("c:"):
+                # c:<target>:<k>:<token>; target contains dots but no
+                # colons, k is an index or kw=name.
+                rest = entry[2:]
+                target, _, tail = rest.partition(":")
+                k, _, token = tail.partition(":")
+                index = self._param_index(target, k)
+                if index is not None and (target, index) in self.syncs:
+                    out.add(token)
+        return out
+
+    def call_records_to(self, callee: str) -> list[tuple[str, dict]]:
+        if not hasattr(self, "_records"):
+            records: dict[str, list[tuple[str, dict]]] = {}
+            for qual, proto in self.fns.items():
+                for rec in proto["calls"]:
+                    records.setdefault(rec["target"], []).append(
+                        (qual, rec)
+                    )
+            self._records = records
+        return self._records.get(callee, [])
+
+    def bound_arg(self, callee: str, index: int, rec: dict) -> dict | None:
+        """The caller-side {token, written} bound to ``callee`` param
+        ``index`` at call record ``rec``."""
+        if index < len(rec["pos"]):
+            return rec["pos"][index]
+        names = self.graph.params(callee)
+        if index < len(names):
+            return rec["kw"].get(names[index])
+        return None
+
+
+def _gather(facts: dict[str, dict]) -> dict[str, dict]:
+    fns: dict[str, dict] = {}
+    for module_facts in facts.values():
+        fns.update(module_facts.get("functions", {}))
+    for qual, proto in fns.items():
+        for site in proto["publishes"]:
+            site["fn"] = qual
+    return fns
+
+
+def _short(qual: str) -> str:
+    return qual.rsplit(".", 1)[-1]
+
+
+@register
+class UnsyncedPayloadRename(SummaryRule):
+    """RES101: published payload not fsynced on every path to rename."""
+
+    rule_id = "RES101"
+    title = "rename of unsynced payload"
+    category = "resources"
+    fact_key = "protocol"
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        return _extract_module_protocols(module, config)
+
+    def resolve(
+        self, facts: dict[str, dict], graph: GraphView, config: LintConfig
+    ) -> Iterator[Finding]:
+        fns = _gather(facts)
+        exp = _Expander(fns, graph)
+        emitted: set[tuple] = set()
+        for qual, proto in fns.items():
+            for site in proto["publishes"]:
+                src = site["src"]
+                if UNKNOWN in src:
+                    continue
+                if src in exp.expand(site["before"]):
+                    continue
+                match = _PARAM_RE.fullmatch(src)
+                if match is not None:
+                    # Payload enters through a parameter: the obligation
+                    # belongs to whoever wrote the bytes.
+                    yield from self._blame_callers(
+                        exp, graph, qual, int(match.group(1)), site,
+                        emitted, frozenset([qual]),
+                    )
+                elif site["written"] and proto["has_fsync"]:
+                    # Local fsync exists but does not dominate the
+                    # rename (RES002's blind spot: path-sensitive).
+                    path = graph.path_of(qual) or ""
+                    key = (path, site["line"], site["col"])
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield self.finding_at(
+                            path, site["line"], site["col"],
+                            "os.replace of a payload that is not fsynced "
+                            "on every path to this point; the fsync must "
+                            "dominate the rename",
+                        )
+
+    def _blame_callers(
+        self, exp: _Expander, graph: GraphView, callee: str, index: int,
+        site: dict, emitted: set, seen: frozenset,
+    ) -> Iterator[Finding]:
+        for caller, rec in exp.call_records_to(callee):
+            arg = exp.bound_arg(callee, index, rec)
+            if arg is None or UNKNOWN in arg["token"]:
+                continue
+            token = arg["token"]
+            if token in exp.expand(rec["before"]):
+                continue
+            match = _PARAM_RE.fullmatch(token)
+            if match is not None and caller not in seen:
+                yield from self._blame_callers(
+                    exp, graph, caller, int(match.group(1)), site,
+                    emitted, seen | {caller},
+                )
+                continue
+            if not arg["written"]:
+                continue
+            path = graph.path_of(caller) or ""
+            key = (path, rec["line"], rec["col"])
+            if key in emitted:
+                continue
+            emitted.add(key)
+            site_path = graph.path_of(site.get("fn", callee)) or \
+                graph.path_of(callee) or ""
+            yield self.finding_at(
+                path, rec["line"], rec["col"],
+                f"payload written here is renamed by {_short(callee)} "
+                f"({site_path}:{site['line']}) without an fsync before "
+                f"this call; fsync the handle (and flush) first",
+            )
+
+
+@register
+class UnsyncedDirectoryAfterRename(SummaryRule):
+    """RES102: directory not fsynced after the publish rename."""
+
+    rule_id = "RES102"
+    title = "rename without directory fsync"
+    category = "resources"
+    fact_key = "protocol"
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        return _extract_module_protocols(module, config)
+
+    def resolve(
+        self, facts: dict[str, dict], graph: GraphView, config: LintConfig
+    ) -> Iterator[Finding]:
+        fns = _gather(facts)
+        exp = _Expander(fns, graph)
+        emitted: set[tuple] = set()
+        for qual, proto in fns.items():
+            for site in proto["publishes"]:
+                directory = normalize(site["dst_dir"])
+                if UNKNOWN in directory:
+                    continue
+                if directory in exp.expand(site["after"]):
+                    continue
+                match = _PARAM_RE.search(directory)
+                if match is not None:
+                    yield from self._blame_callers(
+                        exp, graph, qual, directory, site, emitted,
+                        frozenset([qual]),
+                    )
+                else:
+                    path = graph.path_of(qual) or ""
+                    key = (path, site["line"], site["col"])
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield self.finding_at(
+                            path, site["line"], site["col"],
+                            "the directory holding the renamed entry is "
+                            "never fsynced after os.replace; the rename "
+                            "itself can be lost on crash (use "
+                            "repro.core.fsio.fsync_dir)",
+                        )
+
+    def _blame_callers(
+        self, exp: _Expander, graph: GraphView, callee: str,
+        directory: str, site: dict, emitted: set, seen: frozenset,
+    ) -> Iterator[Finding]:
+        match = _PARAM_RE.search(directory)
+        if match is None:
+            return
+        index = int(match.group(1))
+        records = exp.call_records_to(callee)
+        if not records:
+            # The chain dead-ends (entry point / externally-called
+            # function): nobody can discharge the obligation, so anchor
+            # back at the publish site itself.
+            yield from self._site_finding(graph, site, emitted)
+            return
+        for caller, rec in records:
+            arg = exp.bound_arg(callee, index, rec)
+            if arg is None or UNKNOWN in arg["token"]:
+                continue
+            required = normalize(
+                directory.replace(f"p{index}", arg["token"])
+            )
+            if UNKNOWN in required:
+                continue
+            if required in exp.expand(rec["after"]):
+                continue
+            if _PARAM_RE.search(required):
+                if caller not in seen:
+                    yield from self._blame_callers(
+                        exp, graph, caller, required, site, emitted,
+                        seen | {caller},
+                    )
+                continue
+            path = graph.path_of(caller) or ""
+            key = (path, rec["line"], rec["col"])
+            if key in emitted:
+                continue
+            emitted.add(key)
+            yield self.finding_at(
+                path, rec["line"], rec["col"],
+                f"{_short(callee)} publishes into a directory that is "
+                f"never fsynced after this call returns; call "
+                f"repro.core.fsio.fsync_dir on it to make the rename "
+                f"durable",
+            )
+
+    def _site_finding(
+        self, graph: GraphView, site: dict, emitted: set
+    ) -> Iterator[Finding]:
+        path = graph.path_of(site["fn"]) or ""
+        key = (path, site["line"], site["col"])
+        if key not in emitted:
+            emitted.add(key)
+            yield self.finding_at(
+                path, site["line"], site["col"],
+                "the directory holding the renamed entry is never "
+                "fsynced after os.replace; the rename itself can be "
+                "lost on crash (use repro.core.fsio.fsync_dir)",
+            )

@@ -16,8 +16,8 @@ from typing import Iterator
 
 from ..config import LintConfig
 from ..findings import Finding
-from ..index import FunctionInfo, ModuleInfo, ProjectIndex
-from . import Rule, register
+from ..index import ModuleInfo, ProjectIndex
+from . import Rule, SummaryRule, register
 
 _MUTATING_METHODS = frozenset({
     "append", "extend", "insert", "add", "update", "setdefault", "pop",
@@ -149,112 +149,198 @@ def _bodies(tree: ast.AST):
 
 
 @register
-class WorkerGlobalWrite(Rule):
-    """CON002: worker-reachable write to module-level mutable state."""
+class WorkerGlobalWrite(SummaryRule):
+    """CON002: worker-reachable write to module-level mutable state.
+
+    Split into cacheable per-module extraction (every function's writes
+    to module-level mutable bindings, with *scope-correct* local-name
+    masking — a comprehension target does not leak into function scope
+    in Python 3, so ``[x for OUT in ...]`` no longer hides a later
+    ``OUT.append``) and a resolve phase that walks worker reachability
+    over the reassembled call graph.
+    """
 
     rule_id = "CON002"
     title = "worker writes module state"
     category = "concurrency"
+    fact_key = "worker_writes"
 
-    def check_project(
-        self, index: ProjectIndex, config: LintConfig
-    ) -> Iterator[Finding]:
-        reachable = index.reachable_from_workers()
-        for qualname in sorted(reachable):
-            fn = index.functions[qualname]
-            if fn.is_initializer:
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        functions: dict[str, list] = {}
+        for qual, fn in module.functions.items():
+            writes = list(self._writes_of(fn.node, module))
+            if writes:
+                functions[qual] = writes
+        # Worker lambdas are indexed under the same synthetic qualnames
+        # module_graph_facts() assigns, so reachability finds them.
+        lambda_count = 0
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
                 continue
-            module = index.by_module.get(fn.module)
-            if module is None:
-                continue
-            yield from self._check_function(fn, module)
-
-    def _check_function(
-        self, fn: FunctionInfo, module: ModuleInfo
-    ) -> Iterator[Finding]:
-        declared_global: set[str] = set()
-        body = fn.node.body if not isinstance(fn.node, ast.Lambda) else [
-            ast.Expr(value=fn.node.body)
-        ]
-        for stmt in body:
-            for node in ast.walk(stmt):
-                if isinstance(node, ast.Global):
-                    declared_global.update(node.names)
-                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    break  # nested defs are separate graph nodes
-        for stmt in body:
-            for node in ast.walk(stmt):
-                finding = self._write_in(node, module, declared_global, fn)
-                if finding is not None:
-                    yield finding
-
-    def _write_in(
-        self,
-        node: ast.AST,
-        module: ModuleInfo,
-        declared_global: set[str],
-        fn: FunctionInfo,
-    ) -> Finding | None:
-        where = f"(reachable from worker dispatch via {fn.qualname})"
-        # global X; X = ... — rebinding module state from a worker.
-        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign) else [node.target]
+            func = node.func
+            name = (
+                func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else None
             )
-            for target in targets:
-                if isinstance(target, ast.Name) and target.id in declared_global:
-                    return self.finding(
-                        module.path, node,
-                        f"assignment to global {target.id!r} from worker "
-                        f"code {where}; workers must return results, not "
-                        f"write shared state",
+            if name not in config.worker_dispatchers or not node.args:
+                continue
+            fn_arg = node.args[0]
+            if not isinstance(fn_arg, ast.Lambda):
+                continue
+            qual = f"{module.module}.<lambda:{fn_arg.lineno}:{lambda_count}>"
+            lambda_count += 1
+            writes = list(self._writes_of(fn_arg, module))
+            if writes:
+                functions[qual] = writes
+        return {"functions": functions} if functions else {}
+
+    def resolve(
+        self, facts: dict[str, dict], graph, config: LintConfig
+    ) -> Iterator[Finding]:
+        by_fn: dict[str, list] = {}
+        for module_facts in facts.values():
+            by_fn.update(module_facts.get("functions", {}))
+        reachable = graph.reachable_from(graph.worker_roots)
+        for qual in sorted(reachable):
+            if qual in graph.initializers:
+                continue
+            for write in by_fn.get(qual, ()):
+                path = graph.path_of(qual) or ""
+                where = f"(reachable from worker dispatch via {qual})"
+                if write["kind"] == "global":
+                    message = (
+                        f"assignment to global {write['name']!r} from "
+                        f"worker code {where}; workers must return "
+                        f"results, not write shared state"
                     )
-                if isinstance(target, ast.Subscript) and isinstance(
-                    target.value, ast.Name
-                ):
-                    name = target.value.id
-                    if module.module_state.get(name) == "mutable" and \
-                            name not in _locals_of(fn):
-                        return self.finding(
-                            module.path, node,
-                            f"subscript write to module-level {name!r} from "
-                            f"worker code {where}",
-                        )
-        # X.append(...) etc. on a module-level mutable binding.
-        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-            if node.func.attr in _MUTATING_METHODS and isinstance(
-                node.func.value, ast.Name
-            ):
-                name = node.func.value.id
-                if module.module_state.get(name) == "mutable" and \
-                        name not in _locals_of(fn):
-                    return self.finding(
-                        module.path, node,
-                        f"{name}.{node.func.attr}(...) mutates module-level "
-                        f"state from worker code {where}",
+                elif write["kind"] == "subscript":
+                    message = (
+                        f"subscript write to module-level "
+                        f"{write['name']!r} from worker code {where}"
                     )
-        return None
+                else:
+                    message = (
+                        f"{write['name']}.{write['attr']}(...) mutates "
+                        f"module-level state from worker code {where}"
+                    )
+                yield self.finding_at(
+                    path, write["line"], write["col"], message
+                )
+
+    # -- extraction helpers --------------------------------------------------
+
+    def _writes_of(self, fn_node, module: ModuleInfo) -> Iterator[dict]:
+        body = fn_node.body if not isinstance(fn_node, ast.Lambda) else [
+            ast.Expr(value=fn_node.body)
+        ]
+        declared_global: set[str] = set()
+        for node in _walk_same_scope(body):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+        local_names = _scope_locals(fn_node, body)
+        for node in _walk_same_scope(body):
+            write = _write_in(node, module, declared_global, local_names)
+            if write is not None:
+                yield write
 
 
-def _locals_of(fn: FunctionInfo) -> set[str]:
-    """Names bound locally (params + assignments) — not module state."""
-    cached = getattr(fn, "_locals_cache", None)
-    if cached is not None:
-        return cached
+def _walk_same_scope(body: list):
+    """All nodes in these statements, skipping nested def/class bodies
+    (they are separate call-graph nodes) but descending into lambdas and
+    comprehensions, which execute when the enclosing function runs."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _scope_locals(fn_node, body: list) -> set[str]:
+    """Names bound in the *function's own scope* — parameters, plain
+    assignment/loop targets, and walrus targets (PEP 572 binds them in
+    the enclosing function even from inside a comprehension).
+    Comprehension iteration targets bind only inside the comprehension
+    and are deliberately excluded: counting them used to mask real
+    module-state writes."""
     names: set[str] = set()
-    node = fn.node
-    args = node.args
+    args = fn_node.args
     for arg in (
         list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
         + ([args.vararg] if args.vararg else [])
         + ([args.kwarg] if args.kwarg else [])
     ):
         names.add(arg.arg)
-    if not isinstance(node, ast.Lambda):
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
-                names.add(sub.id)
-            elif isinstance(sub, (ast.For, ast.comprehension)):
-                pass
-    object.__setattr__(fn, "_locals_cache", names)
+
+    def walk(node, in_comp: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue  # separate scope; lambda params don't leak out
+            if isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                  ast.GeneratorExp)):
+                walk(child, True)
+                continue
+            if isinstance(child, ast.NamedExpr):
+                if isinstance(child.target, ast.Name):
+                    names.add(child.target.id)
+                walk(child.value, in_comp)
+                continue
+            if (
+                not in_comp
+                and isinstance(child, ast.Name)
+                and isinstance(child.ctx, ast.Store)
+            ):
+                names.add(child.id)
+            walk(child, in_comp)
+
+    for stmt in body:
+        walk(stmt, False)
     return names
+
+
+def _write_in(
+    node: ast.AST,
+    module: ModuleInfo,
+    declared_global: set[str],
+    local_names: set[str],
+) -> dict | None:
+    # global X; X = ... — rebinding module state from a worker.
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in declared_global:
+                return {
+                    "kind": "global", "name": target.id,
+                    "line": node.lineno, "col": node.col_offset + 1,
+                }
+            if isinstance(target, ast.Subscript) and isinstance(
+                target.value, ast.Name
+            ):
+                name = target.value.id
+                if module.module_state.get(name) == "mutable" and \
+                        name not in local_names:
+                    return {
+                        "kind": "subscript", "name": name,
+                        "line": node.lineno, "col": node.col_offset + 1,
+                    }
+    # X.append(...) etc. on a module-level mutable binding.
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATING_METHODS and isinstance(
+            node.func.value, ast.Name
+        ):
+            name = node.func.value.id
+            if module.module_state.get(name) == "mutable" and \
+                    name not in local_names:
+                return {
+                    "kind": "method", "name": name,
+                    "attr": node.func.attr,
+                    "line": node.lineno, "col": node.col_offset + 1,
+                }
+    return None

@@ -1,0 +1,557 @@
+"""dtype flow (NPY1xx): implicit promotion breaks bit-parity.
+
+The differential harness proves the vectorized kernels bit-identical to
+their reference implementations — a contract that dies silently the
+moment an intermediate upcasts (``int32 / int32 -> float64``,
+``float32 * float64 -> float64``) or a store truncates
+(``out32[i] = acc64``).  These rules propagate a small dtype lattice
+through the hot-path modules (``kernels/``, ``logs/``, ``query/``,
+``ml/`` — the same set NPY001 polices) and flag arithmetic whose
+operands resolve to *different* concrete dtypes, true division of
+integer arrays, and subscript stores that narrow.
+
+Everything runs on the shared machinery: per-function CFG dataflow at
+extraction (dtype tags per variable: concrete names, ``pyint``/
+``pyfloat`` literals, ``param:i``, ``ret:<qual>``, ``?``), then a
+cross-module resolve that feeds call-site argument tags into
+:class:`~repro.lint.dataflow.ParamFlow` and expands return tags to a
+fixpoint.  Promotion semantics are a deliberate, dependency-free
+re-implementation of NumPy's NEP-50 rules for the dtypes this codebase
+uses — the linter must run where NumPy itself is broken.
+
+Unknowns stay silent: a finding requires both operands to resolve to a
+single concrete dtype.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..cfg import Block, build_cfg
+from ..config import LintConfig
+from ..dataflow import (
+    UNKNOWN,
+    CallArgs,
+    ParamFlow,
+    is_param,
+    join_union,
+    param_tag,
+    solve_forward,
+)
+from ..findings import Finding
+from ..index import GraphView, ModuleInfo, param_names
+from ..typestate import project_target
+from . import SummaryRule, register
+from .determinism import _call_target
+
+#: kind ("b"ool / "i"nt / "u"int / "f"loat) and byte size per dtype.
+_DTYPES: dict[str, tuple[str, int]] = {
+    "bool": ("b", 1),
+    "int8": ("i", 1), "int16": ("i", 2), "int32": ("i", 4),
+    "int64": ("i", 8),
+    "uint8": ("u", 1), "uint16": ("u", 2), "uint32": ("u", 4),
+    "uint64": ("u", 8),
+    "float32": ("f", 4), "float64": ("f", 8),
+}
+
+_PYINT = "pyint"
+_PYFLOAT = "pyfloat"
+_RET = "ret:"
+
+#: numpy constructors defaulting to float64 when no dtype= is given.
+_FLOAT64_CTORS = frozenset({"zeros", "ones", "empty", "full", "linspace",
+                            "zeros_like", "ones_like", "empty_like",
+                            "full_like"})
+#: array-producing constructors whose dtype we only know from dtype=.
+_ANY_CTORS = frozenset({"array", "asarray", "ascontiguousarray",
+                        "frombuffer", "fromfile", "arange", "concatenate",
+                        "stack", "where"})
+#: methods through which the receiver's dtype flows unchanged.
+_PASSTHROUGH_METHODS = frozenset({
+    "copy", "reshape", "ravel", "flatten", "transpose", "clip", "round",
+    "view", "squeeze", "take", "repeat", "cumsum", "sum", "min", "max",
+})
+
+
+def promote(a: str, b: str, truediv: bool = False) -> str | None:
+    """NEP-50 style promotion for the dtypes above; None = not modelled.
+
+    Python scalars (``pyint``/``pyfloat``) are weak: ``pyint`` never
+    changes the array dtype, ``pyfloat`` forces a float result
+    (``float64`` against integer arrays, same dtype against floats).
+    """
+    if a == _PYINT:
+        a, b = b, a
+    if b == _PYINT:
+        if a in _DTYPES:
+            if truediv and _DTYPES[a][0] in "biu":
+                return "float64"
+            return a
+        return None
+    if a == _PYFLOAT:
+        a, b = b, a
+    if b == _PYFLOAT:
+        if a in _DTYPES:
+            return a if _DTYPES[a][0] == "f" else "float64"
+        return None
+    if a not in _DTYPES or b not in _DTYPES:
+        return None
+    if truediv and _DTYPES[a][0] in "biu" and _DTYPES[b][0] in "biu":
+        return "float64"
+    if a == b:
+        return a
+    ka, sa = _DTYPES[a]
+    kb, sb = _DTYPES[b]
+    if ka == "b":
+        return b
+    if kb == "b":
+        return a
+    if ka == kb:
+        return a if sa >= sb else b
+    if {ka, kb} == {"i", "u"}:
+        i_size = sa if ka == "i" else sb
+        u_size = sa if ka == "u" else sb
+        size = max(i_size, 2 * u_size)
+        return "float64" if size > 8 else f"int{size * 8}"
+    # int/uint against float: float32 absorbs only small ints.
+    f_dtype = a if ka == "f" else b
+    int_size = sb if ka == "f" else sa
+    if f_dtype == "float32" and int_size <= 2:
+        return "float32"
+    return "float64"
+
+
+def _narrows(value: str, target: str) -> bool:
+    """Would storing ``value`` into a ``target``-typed array lose bits?"""
+    if value == _PYFLOAT:
+        return target in _DTYPES and _DTYPES[target][0] in "biu"
+    if value not in _DTYPES or target not in _DTYPES:
+        return False
+    kv, sv = _DTYPES[value]
+    kt, st = _DTYPES[target]
+    if kv == "f" and kt in "biu":
+        return True
+    if kv == kt and sv > st:
+        return True
+    if {kv, kt} == {"i", "u"} and kv == "i":
+        return True  # signed into unsigned
+    return False
+
+
+_OP_NAMES = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+    ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**", ast.MatMult: "@",
+}
+
+
+def _dtype_of_expr(node, module: ModuleInfo) -> str | None:
+    """``np.float32`` / ``"float32"`` / ``numpy.dtype("float32")``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value in _DTYPES else None
+    if isinstance(node, ast.Attribute):
+        target = _call_target(
+            ast.Call(func=node, args=[], keywords=[]), module
+        )
+        if target is not None:
+            leaf = target.rsplit(".", 1)[-1]
+            if leaf in _DTYPES and target.startswith("numpy."):
+                return leaf
+    if isinstance(node, ast.Call):
+        target = _call_target(node, module)
+        if target == "numpy.dtype" and node.args:
+            return _dtype_of_expr(node.args[0], module)
+    return None
+
+
+class _DtypeTagger:
+    """Per-function dtype dataflow; records ops, stores, and call args."""
+
+    def __init__(self, qual: str, fn_node, module: ModuleInfo):
+        self.qual = qual
+        self.fn = fn_node
+        self.module = module
+        self.ops: list[dict] = []
+        self.stores: list[dict] = []
+        self.calls: list[CallArgs] = []
+        self.returns: set = set()
+        self._recording = False
+
+    def run(self) -> None:
+        cfg = build_cfg(self.fn)
+        init = {
+            name: frozenset([param_tag(i)])
+            for i, name in enumerate(param_names(self.fn))
+        }
+        entry_facts = solve_forward(cfg, init, self._transfer, join_union)
+        self._recording = True
+        for block in cfg.blocks:
+            fact = entry_facts.get(block.idx)
+            if fact is None:
+                continue
+            self._transfer(block, fact)
+        self._recording = False
+
+    def _transfer(self, block: Block, fact: dict) -> dict:
+        env = dict(fact)
+        for stmt in block.stmts:
+            self._stmt(stmt, env)
+        return env
+
+    def _interesting(self, tags: frozenset) -> bool:
+        return any(
+            t in _DTYPES or is_param(t) or t.startswith(_RET)
+            for t in tags
+        )
+
+    def _stmt(self, stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, tags, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign_target(
+                stmt.target, self._eval(stmt.value, env), env
+            )
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                left = env.get(stmt.target.id, frozenset([UNKNOWN]))
+                self._record_op(stmt, left, value, stmt.op)
+                env[stmt.target.id] = self._result(left, value, stmt.op)
+            elif isinstance(stmt.target, ast.Subscript):
+                self._record_store(stmt, stmt.target, value, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._eval(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env[item.optional_vars.id] = tags
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = frozenset([UNKNOWN])
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                tags = self._eval(stmt.value, env)
+                if self._recording:
+                    self.returns |= tags
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.expr):
+            self._eval(stmt, env)
+
+    def _assign_target(self, target, tags: frozenset, env: dict) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = tags
+        elif isinstance(target, ast.Subscript):
+            self._record_store(target, target, tags, env)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    env[elt.id] = frozenset([UNKNOWN])
+
+    def _record_store(self, node, target: ast.Subscript, value: frozenset,
+                      env: dict) -> None:
+        if not self._recording:
+            return
+        if not isinstance(target.value, ast.Name):
+            return
+        base = env.get(target.value.id, frozenset([UNKNOWN]))
+        if self._interesting(base) and (
+            self._interesting(value) or value <= {_PYFLOAT, _PYINT}
+        ):
+            self.stores.append({
+                "line": node.lineno, "col": node.col_offset + 1,
+                "fn": self.qual, "target": sorted(base),
+                "value": sorted(value),
+            })
+
+    def _record_op(self, node, left: frozenset, right: frozenset,
+                   op) -> None:
+        if not self._recording:
+            return
+        if not (self._interesting(left) or self._interesting(right)):
+            return
+        self.ops.append({
+            "line": node.lineno, "col": node.col_offset + 1,
+            "fn": self.qual, "op": _OP_NAMES.get(type(op), "?"),
+            "left": sorted(left), "right": sorted(right),
+        })
+
+    @staticmethod
+    def _result(left: frozenset, right: frozenset, op) -> frozenset:
+        if len(left) == 1 and len(right) == 1:
+            p = promote(
+                next(iter(left)), next(iter(right)),
+                truediv=isinstance(op, ast.Div),
+            )
+            if p is not None:
+                return frozenset([p])
+        return frozenset([UNKNOWN])
+
+    def _eval(self, node, env: dict) -> frozenset:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return frozenset([UNKNOWN])
+            if isinstance(node.value, int):
+                return frozenset([_PYINT])
+            if isinstance(node.value, float):
+                return frozenset([_PYFLOAT])
+            return frozenset([UNKNOWN])
+        if isinstance(node, ast.Name):
+            return env.get(node.id, frozenset([UNKNOWN]))
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            if type(node.op) in _OP_NAMES:
+                self._record_op(node, left, right, node.op)
+                return self._result(left, right, node.op)
+            return frozenset([UNKNOWN])
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.Subscript):
+            # Loads keep the base dtype (scalar or slice of the array).
+            base = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return base
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(node.orelse, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env)
+        return frozenset([UNKNOWN])
+
+    def _call(self, node: ast.Call, env: dict) -> frozenset:
+        target = _call_target(node, self.module)
+        arg_tags = [self._eval(arg, env) for arg in node.args]
+        kw_tags = {}
+        for kw in node.keywords:
+            tags = self._eval(kw.value, env)
+            if kw.arg is not None:
+                kw_tags[kw.arg] = tags
+
+        dtype_kw = None
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype_kw = _dtype_of_expr(kw.value, self.module)
+
+        if target is not None and target.startswith("numpy."):
+            leaf = target.rsplit(".", 1)[-1]
+            if leaf in _DTYPES:
+                return frozenset([leaf])
+            if dtype_kw is not None:
+                return frozenset([dtype_kw])
+            if leaf in _FLOAT64_CTORS:
+                return frozenset(["float64"])
+            if leaf in _ANY_CTORS:
+                return frozenset([UNKNOWN])
+            return frozenset([UNKNOWN])
+        if isinstance(node.func, ast.Attribute):
+            recv = self._eval(node.func.value, env)
+            attr = node.func.attr
+            if attr == "astype" and node.args:
+                dtype = _dtype_of_expr(node.args[0], self.module)
+                if dtype is not None:
+                    return frozenset([dtype])
+                return frozenset([UNKNOWN])
+            if attr in _PASSTHROUGH_METHODS:
+                return recv
+            return frozenset([UNKNOWN])
+        target = project_target(target, self.module)
+        if target is not None:
+            if self._recording and (arg_tags or kw_tags):
+                self.calls.append(CallArgs(
+                    target=target, line=node.lineno,
+                    col=node.col_offset + 1, pos=arg_tags, kw=kw_tags,
+                ))
+            return frozenset([f"{_RET}{target}"])
+        return frozenset([UNKNOWN])
+
+
+def _extract_dtype_facts(module: ModuleInfo, config: LintConfig) -> dict:
+    if not config.is_hot_path(module.path):
+        return {}
+    functions: dict[str, dict] = {}
+    for qual, fn in module.functions.items():
+        if isinstance(fn.node, ast.Lambda):
+            continue
+        tagger = _DtypeTagger(qual, fn.node, module)
+        try:
+            tagger.run()
+        except (RecursionError, RuntimeError):
+            continue
+        entry: dict = {}
+        if tagger.ops:
+            entry["ops"] = tagger.ops
+        if tagger.stores:
+            entry["stores"] = tagger.stores
+        if tagger.calls:
+            entry["calls"] = [c.to_dict() for c in tagger.calls]
+        if tagger.returns:
+            entry["returns"] = sorted(tagger.returns)
+        if entry:
+            functions[qual] = entry
+    return {"functions": functions} if functions else {}
+
+
+class _Resolver:
+    """Cross-module tag expansion: params via ParamFlow, returns via a
+    memoized fixpoint (cycles collapse to unknown)."""
+
+    def __init__(self, fns: dict[str, dict], graph: GraphView):
+        params = {q: graph.params(q) for q in graph.functions}
+        calls = {
+            qual: [CallArgs.from_dict(c) for c in entry.get("calls", ())]
+            for qual, entry in fns.items()
+        }
+        self.flow = ParamFlow(params, {}, calls)
+        self.flow.solve()
+        self.fns = fns
+        self._returns: dict[str, frozenset] = {}
+
+    def returns_of(self, qual: str, seen: frozenset = frozenset()) -> frozenset:
+        if qual in self._returns:
+            return self._returns[qual]
+        if qual in seen:
+            return frozenset([UNKNOWN])
+        entry = self.fns.get(qual)
+        if entry is None or "returns" not in entry:
+            return frozenset([UNKNOWN])
+        out = self.expand(
+            frozenset(entry["returns"]), qual, seen | {qual}
+        )
+        self._returns[qual] = out
+        return out
+
+    def expand(self, tags: frozenset, owner: str,
+               seen: frozenset = frozenset()) -> frozenset:
+        out: set = set()
+        for tag in tags:
+            if is_param(tag):
+                resolved = self.flow.resolve(frozenset([tag]), owner)
+                for r in resolved:
+                    if r.startswith(_RET):
+                        out |= self.returns_of(r[len(_RET):], seen)
+                    elif is_param(r):
+                        out.add(UNKNOWN)
+                    else:
+                        out.add(r)
+            elif tag.startswith(_RET):
+                out |= self.returns_of(tag[len(_RET):], seen)
+            else:
+                out.add(tag)
+        return frozenset(out)
+
+    def concrete(self, tags: frozenset, owner: str) -> str | None:
+        """The single concrete dtype/scalar these tags resolve to."""
+        expanded = self.expand(tags, owner)
+        if len(expanded) != 1:
+            return None
+        tag = next(iter(expanded))
+        if tag in _DTYPES or tag in (_PYINT, _PYFLOAT):
+            return tag
+        return None
+
+
+def _gather(facts: dict[str, dict]) -> dict[str, dict]:
+    fns: dict[str, dict] = {}
+    for module_facts in facts.values():
+        fns.update(module_facts.get("functions", {}))
+    return fns
+
+
+@register
+class ImplicitPromotion(SummaryRule):
+    """NPY101: mixed-dtype arithmetic / int true-division in hot paths."""
+
+    rule_id = "NPY101"
+    title = "implicit dtype promotion"
+    category = "numpy"
+    fact_key = "dtype"
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        return _extract_dtype_facts(module, config)
+
+    def resolve(
+        self, facts: dict[str, dict], graph: GraphView, config: LintConfig
+    ) -> Iterator[Finding]:
+        fns = _gather(facts)
+        resolver = _Resolver(fns, graph)
+        emitted: set[tuple] = set()
+        for qual, entry in fns.items():
+            path = graph.path_of(qual) or ""
+            for op in entry.get("ops", ()):
+                left = resolver.concrete(frozenset(op["left"]), qual)
+                right = resolver.concrete(frozenset(op["right"]), qual)
+                if left is None or right is None:
+                    continue
+                if left == _PYINT or right == _PYINT:
+                    if op["op"] != "/" or (left == _PYINT and
+                                           right == _PYINT):
+                        continue
+                    # int_array / python_int still promotes to float64.
+                    array_side = left if right == _PYINT else right
+                    if array_side not in _DTYPES or \
+                            _DTYPES[array_side][0] not in "biu":
+                        continue
+                result = promote(left, right, truediv=op["op"] == "/")
+                if result is None:
+                    continue
+                # Only array-typed operands count: weak Python scalars
+                # never make a result "promoted".
+                sides = [d for d in (left, right) if d in _DTYPES]
+                if not sides or all(result == d for d in sides):
+                    continue
+                key = (path, op["line"], op["col"])
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield self.finding_at(
+                    path, op["line"], op["col"],
+                    f"`{left} {op['op']} {right}` promotes to {result} "
+                    f"implicitly; hot-path arithmetic must pin dtypes "
+                    f"(cast explicitly with astype) to keep the "
+                    f"differential harness bit-identical",
+                )
+
+
+@register
+class NarrowingStore(SummaryRule):
+    """NPY102: subscript store narrows the value's dtype."""
+
+    rule_id = "NPY102"
+    title = "narrowing subscript store"
+    category = "numpy"
+    fact_key = "dtype"
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        return _extract_dtype_facts(module, config)
+
+    def resolve(
+        self, facts: dict[str, dict], graph: GraphView, config: LintConfig
+    ) -> Iterator[Finding]:
+        fns = _gather(facts)
+        resolver = _Resolver(fns, graph)
+        emitted: set[tuple] = set()
+        for qual, entry in fns.items():
+            path = graph.path_of(qual) or ""
+            for store in entry.get("stores", ()):
+                target = resolver.concrete(frozenset(store["target"]), qual)
+                value = resolver.concrete(frozenset(store["value"]), qual)
+                if target is None or value is None or target not in _DTYPES:
+                    continue
+                if not _narrows(value, target):
+                    continue
+                key = (path, store["line"], store["col"])
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield self.finding_at(
+                    path, store["line"], store["col"],
+                    f"storing a {value} value into a {target} array "
+                    f"truncates silently; cast explicitly (astype) or "
+                    f"widen the destination",
+                )

@@ -1,0 +1,411 @@
+"""Seed provenance (DET1xx): interprocedural RNG taint tracking.
+
+The campaign's bit-identity contract says every generator reachable
+from campaign or worker code must be seeded from the per-node spawned
+stream (``repro.core.rng.stream`` / ``RngFactory``) — a pure function
+of ``(root_seed, key)``.  DET001 catches the syntactic offenders;
+DET101 catches the laundered ones: a constant or entropy seed passed
+through helpers, defaults, or kwargs before it reaches
+``default_rng``/``Generator``.
+
+Per-module extraction runs a forward tag dataflow over each function's
+CFG.  Tags: ``const`` (literal), ``foreign`` (wall clock, urandom,
+stdlib random, pid), ``derived`` (flowed out of a blessed rng module),
+``param:i`` (the enclosing function's parameter — resolved later), and
+``?`` (unknown: stay silent).  Construction sites and call-site
+argument tags are serialized; the cross-module resolve feeds them into
+:class:`~repro.lint.dataflow.ParamFlow` and flags reachable sites whose
+resolved seed tags are unambiguously bad, anchoring the finding at the
+*frontier* call that introduced the bad value (satellite: suppressions
+then anchor where the culprit is, not at the innocent callee).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..cfg import Block, build_cfg
+from ..config import LintConfig
+from ..dataflow import (
+    UNKNOWN,
+    CallArgs,
+    ParamFlow,
+    is_param,
+    join_union,
+    param_index,
+    param_tag,
+    solve_forward,
+)
+from ..findings import Finding
+from ..index import GraphView, ModuleInfo, ProjectIndex, param_names
+from ..typestate import project_target
+from . import Rule, SummaryRule, register
+from .determinism import _call_target
+
+#: Constructors that *are* provenance sites (an RNG object is born).
+_SITE_CTORS = frozenset({"default_rng", "Generator"})
+#: Constructors/wrappers that merely carry a seed through.
+_CARRIER_CTORS = frozenset({
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937", "SeedSequence",
+})
+#: Calls whose result is nondeterministic process/system entropy.
+_FOREIGN_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "os.urandom",
+    "os.getpid", "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes",
+    "secrets.token_hex", "secrets.randbits",
+})
+#: Methods that yield a blessed stream wherever they are called.
+_DERIVED_METHODS = frozenset({"spawn", "fresh"})
+#: Pass-through builtins: tags flow through unchanged.
+_TRANSPARENT_CALLS = frozenset({"int", "abs", "min", "max"})
+
+_BAD = frozenset({"const", "foreign"})
+
+
+def _is_bad(tags: frozenset) -> bool:
+    return bool(tags) and tags <= _BAD
+
+
+def _classify(tags: frozenset) -> str:
+    kinds = tags & _BAD
+    if kinds == {"const"}:
+        return "constant"
+    if kinds == {"foreign"}:
+        return "foreign-entropy"
+    return "constant/foreign"
+
+
+class _SeedTagger:
+    """Per-function forward tag analysis; records sites and call args."""
+
+    def __init__(self, qual: str, fn_node, module: ModuleInfo,
+                 config: LintConfig):
+        self.qual = qual
+        self.fn = fn_node
+        self.module = module
+        self.config = config
+        self.sites: list[dict] = []
+        self.calls: list[CallArgs] = []
+        self._recording = False
+
+    def run(self) -> None:
+        cfg = build_cfg(self.fn)
+        init = {
+            name: frozenset([param_tag(i)])
+            for i, name in enumerate(param_names(self.fn))
+        }
+        entry_facts = solve_forward(cfg, init, self._transfer, join_union)
+        self._recording = True
+        seen_sites: set[tuple[int, int]] = set()
+        for block in cfg.blocks:
+            fact = entry_facts.get(block.idx)
+            if fact is None:
+                continue
+            self._transfer(block, fact)
+        self._recording = False
+        # The recording pass visits each block once, but loop heads can
+        # appear in their own bodies' statements only once, so sites are
+        # unique already; dedupe defensively anyway.
+        unique = []
+        for site in self.sites:
+            key = (site["line"], site["col"])
+            if key not in seen_sites:
+                seen_sites.add(key)
+                unique.append(site)
+        self.sites = unique
+
+    # -- dataflow -----------------------------------------------------------
+
+    def _transfer(self, block: Block, fact: dict) -> dict:
+        env = dict(fact)
+        for stmt in block.stmts:
+            self._stmt(stmt, env)
+        return env
+
+    def _stmt(self, stmt, env: dict) -> None:
+        if isinstance(stmt, ast.Assign):
+            tags = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = tags
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            env[elt.id] = frozenset([UNKNOWN])
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            tags = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = tags
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self._eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                have = env.get(stmt.target.id, frozenset([UNKNOWN]))
+                env[stmt.target.id] = have | tags
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._eval(item.context_expr, env)
+                if isinstance(item.optional_vars, ast.Name):
+                    env[item.optional_vars.id] = tags
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = frozenset([UNKNOWN])
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if getattr(stmt, "value", None) is not None:
+                self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.expr):
+            self._eval(stmt, env)
+
+    def _eval(self, node, env: dict) -> frozenset:
+        if isinstance(node, ast.Constant):
+            return frozenset(["const"])
+        if isinstance(node, ast.Name):
+            return env.get(node.id, frozenset([UNKNOWN]))
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left, env) | self._eval(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.BoolOp):
+            out: frozenset = frozenset()
+            for value in node.values:
+                out |= self._eval(value, env)
+            return out
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(node.orelse, env)
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env)
+        return frozenset([UNKNOWN])
+
+    def _call(self, node: ast.Call, env: dict) -> frozenset:
+        target = _call_target(node, self.module)
+        arg_tags = [self._eval(arg, env) for arg in node.args]
+        kw_tags = {}
+        for kw in node.keywords:
+            tags = self._eval(kw.value, env)
+            if kw.arg is not None:
+                kw_tags[kw.arg] = tags
+        seed_tags: frozenset = frozenset()
+        for tags in arg_tags:
+            seed_tags |= tags
+        for tags in kw_tags.values():
+            seed_tags |= tags
+
+        if target is not None:
+            if self.config.is_blessed_rng_module(target.rsplit(".", 1)[0]) \
+                    or any(
+                        target == m or target.startswith(m + ".")
+                        for m in self.config.blessed_rng_modules
+                    ):
+                return frozenset(["derived"])
+            if target in _FOREIGN_CALLS or (
+                target.startswith("random.") and target.count(".") == 1
+            ):
+                return frozenset(["foreign"])
+            leaf = target.rsplit(".", 1)[-1]
+            if target.startswith("numpy.random.") and (
+                leaf in _SITE_CTORS or leaf in _CARRIER_CTORS
+            ):
+                result = seed_tags if (node.args or node.keywords) else \
+                    frozenset(["foreign"])
+                if leaf in _SITE_CTORS and self._recording:
+                    self.sites.append({
+                        "line": node.lineno, "col": node.col_offset + 1,
+                        "ctor": leaf, "fn": self.qual,
+                        "tags": sorted(result),
+                    })
+                return result
+            if leaf in _TRANSPARENT_CALLS and target == leaf:
+                return seed_tags
+            # Project-internal call: record args for ParamFlow.  Even a
+            # zero-argument call matters — it is exactly how a constant
+            # *default* seed gets laundered into the callee.
+            ptarget = project_target(target, self.module)
+            if ptarget is not None and self._recording:
+                self.calls.append(CallArgs(
+                    target=ptarget, line=node.lineno,
+                    col=node.col_offset + 1, pos=arg_tags, kw=kw_tags,
+                ))
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _DERIVED_METHODS:
+            return frozenset(["derived"])
+        return frozenset([UNKNOWN])
+
+
+def _default_tags(fn_node) -> dict:
+    """Parameter-default tags: ``def f(seed=1234)`` taints param seed."""
+    args = fn_node.args
+    out: dict = {}
+    pos = list(args.posonlyargs) + list(args.args)
+    for name, default in zip(
+        [a.arg for a in pos[len(pos) - len(args.defaults):]], args.defaults
+    ):
+        if isinstance(default, ast.Constant) and isinstance(
+            default.value, (int, float)
+        ) and not isinstance(default.value, bool):
+            out[name] = ["const"]
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None and isinstance(default, ast.Constant) and \
+                isinstance(default.value, (int, float)) and \
+                not isinstance(default.value, bool):
+            out[arg.arg] = ["const"]
+    return out
+
+
+@register
+class LaunderedSeed(SummaryRule):
+    """DET101: campaign-reachable RNG seeded from constant/entropy."""
+
+    rule_id = "DET101"
+    title = "laundered RNG seed"
+    category = "determinism"
+    fact_key = "seed"
+
+    def extract(self, module: ModuleInfo, config: LintConfig) -> dict:
+        functions: dict[str, dict] = {}
+        blessed = config.is_blessed_rng_module(module.module)
+        for qual, fn in module.functions.items():
+            tagger = _SeedTagger(qual, fn.node, module, config)
+            try:
+                tagger.run()
+            except RecursionError:
+                continue
+            entry: dict = {}
+            if tagger.calls:
+                entry["calls"] = [c.to_dict() for c in tagger.calls]
+            if tagger.sites and not blessed:
+                entry["sites"] = tagger.sites
+            defaults = _default_tags(fn.node)
+            if defaults:
+                entry["defaults"] = defaults
+            if entry:
+                functions[qual] = entry
+        return {"functions": functions}
+
+    def resolve(
+        self, facts: dict[str, dict], graph: GraphView, config: LintConfig
+    ) -> Iterator[Finding]:
+        params = {q: graph.params(q) for q in graph.functions}
+        defaults: dict[str, dict] = {}
+        calls: dict[str, list] = {}
+        sites: list[dict] = []
+        for module_facts in facts.values():
+            for qual, entry in module_facts.get("functions", {}).items():
+                if "defaults" in entry:
+                    defaults[qual] = {
+                        name: frozenset(tags)
+                        for name, tags in entry["defaults"].items()
+                    }
+                if "calls" in entry:
+                    calls[qual] = [
+                        CallArgs.from_dict(c) for c in entry["calls"]
+                    ]
+                sites.extend(entry.get("sites", ()))
+
+        flow = ParamFlow(params, defaults, calls)
+        flow.solve()
+        roots = list(graph.worker_roots) + [
+            e for e in config.entry_points if e in graph.functions
+        ]
+        reachable = graph.reachable_from(roots)
+
+        emitted: set[tuple] = set()
+        for site in sites:
+            owner = site["fn"]
+            if owner not in reachable:
+                continue
+            raw = frozenset(site["tags"])
+            resolved = flow.resolve(raw, owner)
+            if not _is_bad(resolved):
+                continue
+            path = graph.path_of(owner) or ""
+            concrete = frozenset(t for t in raw if not is_param(t))
+            if concrete and not any(is_param(t) for t in raw):
+                key = (path, site["line"], site["col"])
+                if key not in emitted:
+                    emitted.add(key)
+                    yield self.finding_at(
+                        path, site["line"], site["col"],
+                        f"{site['ctor']}(...) is seeded from a "
+                        f"{_classify(resolved)} value in campaign-reachable "
+                        f"code; derive the seed from the per-node spawned "
+                        f"stream (repro.core.rng)",
+                    )
+                continue
+            # Seed arrives through a parameter: blame the frontier call
+            # sites that concretely introduce the bad value.
+            frontier: list = []
+            for tag in raw:
+                if is_param(tag):
+                    frontier.extend(flow.blame_sites(
+                        owner, param_index(tag), _is_bad
+                    ))
+            if not frontier:
+                key = (path, site["line"], site["col"])
+                if key not in emitted:
+                    emitted.add(key)
+                    yield self.finding_at(
+                        path, site["line"], site["col"],
+                        f"{site['ctor']}(...) resolves to a "
+                        f"{_classify(resolved)} seed in campaign-reachable "
+                        f"code; derive it from the per-node spawned stream",
+                    )
+                continue
+            short = owner.rsplit(".", 1)[-1]
+            for caller, call in frontier:
+                caller_path = graph.path_of(caller) or ""
+                key = (caller_path, call.line, call.col)
+                if key in emitted:
+                    continue
+                emitted.add(key)
+                yield self.finding_at(
+                    caller_path, call.line, call.col,
+                    f"this call forwards a {_classify(resolved)} seed into "
+                    f"{site['ctor']} via {short} ({path}:{site['line']}); "
+                    f"pass a stream spawned from the campaign seed instead",
+                )
+
+
+@register
+class RngInDefaultArg(Rule):
+    """DET102: RNG constructed in a parameter default (one per import)."""
+
+    rule_id = "DET102"
+    title = "RNG in parameter default"
+    category = "determinism"
+
+    _CTORS = frozenset({"default_rng", "Generator", "Random"})
+
+    def check_module(
+        self, module: ModuleInfo, index: ProjectIndex, config: LintConfig
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                for call in ast.walk(default):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    target = _call_target(call, module)
+                    if target is None:
+                        continue
+                    leaf = target.rsplit(".", 1)[-1]
+                    if leaf in self._CTORS and (
+                        target.startswith(("numpy.random.", "random."))
+                        or target.endswith((".default_rng", ".Generator"))
+                    ):
+                        yield self.finding(
+                            module.path, call,
+                            f"{leaf}(...) in a parameter default is "
+                            f"evaluated once at import and shared by every "
+                            f"call; take an explicit stream argument",
+                        )

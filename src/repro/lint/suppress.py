@@ -7,12 +7,21 @@ exactly the kind of unprotected convention this linter exists to end.
 
 Placement: a suppression applies to findings on its own physical line,
 or — when the comment stands alone on a line — to the line directly
-below it.  Multi-line statements are covered by putting the comment on
-the statement's first line (where the AST anchors the finding).
+below it.  Both cases are *statement-aware*: a trailing comment on any
+physical line of a multi-line statement (implicit continuation inside
+brackets) also covers the statement's anchor line, where the AST pins
+findings; a standalone comment above a decorated ``def`` covers the
+``def`` line itself, not the decorator it happens to precede.
+
+Interprocedural findings (DET1xx/RES1xx) anchor at their *primary*
+site — the frontier call the message points at — so that is where the
+suppression goes; a noqa inside a callee never silences a caller's
+finding.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -38,8 +47,8 @@ INVALID_SUPPRESSION = "LNT001"
 class Suppression:
     """One parsed suppression comment."""
 
-    line: int           # physical line of the comment
-    applies_to: int     # line whose findings it silences
+    line: int                    # physical line of the comment
+    applies_to: tuple[int, ...]  # lines whose findings it silences
     ids: tuple[str, ...]
     reason: str
 
@@ -57,20 +66,97 @@ class SuppressionTable:
                 return supp
         return None
 
+    def add(self, supp: Suppression) -> None:
+        for line in supp.applies_to:
+            self.by_line.setdefault(line, []).append(supp)
+
+    # -- cache serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        unique: dict[int, Suppression] = {}
+        for supps in self.by_line.values():
+            for supp in supps:
+                unique[id(supp)] = supp
+        return {
+            "suppressions": [
+                {
+                    "line": s.line,
+                    "applies_to": list(s.applies_to),
+                    "ids": list(s.ids),
+                    "reason": s.reason,
+                }
+                for s in sorted(unique.values(), key=lambda s: s.line)
+            ],
+            "invalid": [f.to_dict() for f in self.invalid],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuppressionTable":
+        table = cls()
+        for raw in data.get("suppressions", ()):
+            table.add(Suppression(
+                line=raw["line"],
+                applies_to=tuple(raw["applies_to"]),
+                ids=tuple(raw["ids"]),
+                reason=raw["reason"],
+            ))
+        for raw in data.get("invalid", ()):
+            table.invalid.append(Finding(
+                rule=raw["rule"], path=raw["path"], line=raw["line"],
+                col=raw["col"], message=raw["message"],
+            ))
+        return table
+
+
+def _anchor_map(tree: ast.Module) -> dict[int, int]:
+    """Physical line -> anchor line of the innermost statement covering
+    it.  Decorator lines anchor to their ``def``/``class`` line (that is
+    where def-anchored findings live)."""
+    anchors: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        for line in range(node.lineno, end + 1):
+            # ast.walk is breadth-first, so inner statements visit
+            # after the statements containing them and win the slot.
+            anchors[line] = node.lineno
+    for node in ast.walk(tree):
+        decorators = getattr(node, "decorator_list", None)
+        if not decorators:
+            continue
+        first = min(d.lineno for d in decorators)
+        for line in range(first, node.lineno + 1):
+            anchors[line] = node.lineno
+    return anchors
+
 
 def parse_suppressions(
-    source: str, path: str, known_rules: frozenset[str]
+    source: str,
+    path: str,
+    known_rules: frozenset[str],
+    tree: ast.Module | None = None,
 ) -> SuppressionTable:
     """Scan one file's comments for suppressions.
 
     Uses :mod:`tokenize` rather than line regexes so a ``# repro: noqa``
-    inside a string literal is not mistaken for a suppression.
+    inside a string literal is not mistaken for a suppression.  ``tree``
+    (parsed separately if omitted) drives the statement-anchor mapping.
     """
     table = SuppressionTable()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, ValueError):
         return table  # the engine reports the parse failure separately
+
+    if tree is None:
+        from .index import _PARSE_LOCK  # ast.parse races on 3.11
+        try:
+            with _PARSE_LOCK:
+                tree = ast.parse(source)
+        except (SyntaxError, ValueError):
+            tree = None
+    anchors = _anchor_map(tree) if tree is not None else {}
 
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
@@ -79,7 +165,11 @@ def parse_suppressions(
             continue
         line = tok.start[0]
         standalone = not tok.line[: tok.start[1]].strip()
-        applies_to = line + 1 if standalone else line
+        target = line + 1 if standalone else line
+        applies_to = {target}
+        anchor = anchors.get(target)
+        if anchor is not None:
+            applies_to.add(anchor)
         match = _NOQA_RE.search(tok.string)
         if match is None:
             table.invalid.append(
@@ -114,9 +204,10 @@ def parse_suppressions(
                 )
             )
             continue
-        table.by_line.setdefault(applies_to, []).append(
-            Suppression(line=line, applies_to=applies_to, ids=ids, reason=reason)
-        )
+        table.add(Suppression(
+            line=line, applies_to=tuple(sorted(applies_to)), ids=ids,
+            reason=reason,
+        ))
     return table
 
 

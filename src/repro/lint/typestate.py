@@ -1,0 +1,510 @@
+"""Typestate machinery for the durable-commit protocol (RES1xx).
+
+The storage engine's commit discipline (``docs/STORAGE.md``) is a
+five-step protocol: *write* the payload to a temp path, *flush*,
+*fsync the handle*, ``os.replace`` to the final name, *fsync the
+directory* that now holds the new entry.  This module models it as a
+typestate automaton over **origin tokens** — abstract identities for
+the paths and handles a function manipulates:
+
+``p0, p1, ...``            the function's parameters
+``lit:<text>``             a literal path
+``sub(B,<n>)``             a child of directory ``B`` (``B / name``)
+``sib(B)``                 a sibling of ``B`` (``B + ".tmp"`` and kin)
+``dir(B)``                 the directory containing ``B``
+``tmp@<line>``             a ``tempfile.mkstemp`` creation
+``h(T)``                   an open handle (or fd) onto token ``T``
+``?``                      untracked — rules must stay silent
+
+Protocol progress is a **must-set of achievement entries**
+(intersection at joins — an fsync on one branch proves nothing):
+
+``s:<T>``                  token ``T`` was fsync'd on every path here
+``c:<G>:<k>:<T>``          project function ``G`` was called with ``T``
+                           as parameter ``k`` (``k`` may be ``kw=name``)
+                           — whether that *counts* as an fsync of ``T``
+                           is only decidable at resolve time from
+                           ``G``'s own summary; the entry defers the
+                           question across the call graph.
+
+:class:`ProtocolInterpreter` runs the forward must-analysis over one
+function's CFG and emits a serializable summary: publish sites
+(``os.replace``/``os.rename``) with payload/directory tokens and the
+achievement sets before and after them, exit achievements on *normal
+return paths* (so "this helper fsyncs its argument" summaries survive
+a ``try/finally``), and call records for resolving obligations in
+callers.  Cross-module composition lives in
+``rules/commit_protocol.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .cfg import CFG, Block, build_cfg
+from .dataflow import solve_forward
+from .index import ModuleInfo
+
+#: Attribute methods that write bytes through a handle or path object.
+_HANDLE_WRITES = frozenset({"write", "writelines"})
+_PATH_WRITES = frozenset({"write_bytes", "write_text"})
+#: ``module.fn(path_or_handle, ...)`` writers: name -> payload arg index.
+_FUNC_WRITES = {
+    "numpy.save": 0, "numpy.savez": 0, "numpy.savez_compressed": 0,
+    "json.dump": 1, "pickle.dump": 1, "marshal.dump": 1,
+}
+_OPENERS = frozenset({"open", "io.open", "os.fdopen", "gzip.open",
+                      "bz2.open", "lzma.open", "os.open"})
+
+UNKNOWN = "?"
+
+
+def dir_of(token: str) -> str:
+    """The directory token containing ``token`` (symbolic)."""
+    if token == UNKNOWN:
+        return UNKNOWN
+    if token.startswith("sub(") and token.endswith(")"):
+        base, _name = split_sub(token)
+        return base
+    if token.startswith("sib(") and token.endswith(")"):
+        return dir_of(token[4:-1])
+    return f"dir({token})"
+
+
+def split_sub(token: str) -> tuple[str, str]:
+    """``sub(B,n)`` -> ``(B, n)``, honouring nested parens in ``B``."""
+    inner = token[4:-1]
+    depth = 0
+    for i, ch in enumerate(inner):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            return inner[:i], inner[i + 1:]
+    return inner, ""
+
+
+def normalize(token: str) -> str:
+    """Collapse ``dir(sub(B,n)) -> B`` and ``dir(sib(B)) -> dir(B)``."""
+    if token.startswith("dir(") and token.endswith(")"):
+        inner = normalize(token[4:-1])
+        return dir_of(inner)
+    return token
+
+
+def handle_target(value: str) -> str:
+    """The path token behind a handle value (identity otherwise)."""
+    if value.startswith("h(") and value.endswith(")"):
+        return value[2:-1]
+    return value
+
+
+def project_target(target: str | None, module: "ModuleInfo") -> str | None:
+    """Qualified name of a project-internal call target, else None.
+
+    Import-resolved targets already carry dots; a bare name is a
+    project call only when it names a function defined in this module
+    (``helper(...)`` next to ``def helper``), in which case it
+    qualifies to the module's own namespace.  Builtins and unresolved
+    names stay None so they never grow call records.
+    """
+    if target is None:
+        return None
+    if "." in target:
+        return target
+    qual = f"{module.module}.{target}"
+    if qual in module.functions:
+        return qual
+    return None
+
+
+@dataclass
+class PublishSite:
+    """One ``os.replace``/``os.rename`` call."""
+
+    line: int
+    col: int
+    src: str
+    dst: str
+    dst_dir: str
+    written: bool            # src carried locally-written bytes
+    before: list = field(default_factory=list)   # must-entries at site
+    after: list = field(default_factory=list)    # on all normal paths out
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line, "col": self.col, "src": self.src,
+            "dst": self.dst, "dst_dir": self.dst_dir,
+            "written": self.written, "before": sorted(self.before),
+            "after": sorted(self.after),
+        }
+
+
+@dataclass
+class CallRecord:
+    """A call into the project, with per-argument protocol state."""
+
+    target: str
+    line: int
+    col: int
+    pos: list = field(default_factory=list)    # [{token, written}]
+    kw: dict = field(default_factory=dict)     # name -> {token, written}
+    before: list = field(default_factory=list)
+    after: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target, "line": self.line, "col": self.col,
+            "pos": self.pos, "kw": self.kw,
+            "before": sorted(self.before), "after": sorted(self.after),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The abstract interpreter
+# ---------------------------------------------------------------------------
+
+_State = tuple  # (env: dict[str, str], achieved: frozenset, written: frozenset)
+
+
+class ProtocolInterpreter:
+    """Forward must-analysis of one function's commit-protocol state."""
+
+    def __init__(self, fn_node: ast.AST, module: ModuleInfo):
+        self.fn = fn_node
+        self.module = module
+        self.cfg: CFG = build_cfg(fn_node)
+        self.publishes: list[PublishSite] = []
+        self.call_records: list[CallRecord] = []
+        self.has_fsync = False
+        self.exit_entries: frozenset = frozenset()
+        #: Recording-pass event log (None while solving).  Events:
+        #: ("ach", entry) | ("site", PublishSite) | ("call", CallRecord).
+        self._log: list | None = None
+        self._block_logs: dict[int, list] = {}
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self) -> None:
+        init = (self._initial_env(), frozenset(), frozenset())
+        entry_facts = solve_forward(
+            self.cfg, init, self._transfer_block, self._join
+        )
+        # Recording pass: re-run each block's transfer on its fixpoint
+        # entry fact, logging achievement order and site positions.
+        for block in self.cfg.blocks:
+            fact = entry_facts.get(block.idx)
+            if fact is None:
+                continue
+            self._log = []
+            self._transfer_block(block, fact)
+            self._block_logs[block.idx] = self._log
+        self._log = None
+        self.exit_entries = self._exit_entries(entry_facts)
+        self._fill_after()
+
+    def _initial_env(self) -> dict:
+        env: dict[str, str] = {}
+        args = self.fn.args
+        ordered = (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+        for i, arg in enumerate(ordered):
+            env[arg.arg] = f"p{i}"
+        return env
+
+    @staticmethod
+    def _join(a: _State | None, b: _State) -> _State:
+        if a is None:
+            return b
+        env_a, ach_a, wr_a = a
+        env_b, ach_b, wr_b = b
+        env = {
+            name: val
+            for name, val in env_a.items()
+            if env_b.get(name) == val
+        }
+        return (env, ach_a & ach_b, wr_a | wr_b)
+
+    def _exit_entries(self, entry_facts: dict) -> frozenset:
+        """Must-achievements over normal (non-raising) return paths."""
+        out: frozenset | None = None
+        for pred in self.cfg.normal_preds(self.cfg.exit):
+            fact = entry_facts.get(pred)
+            if fact is None:
+                continue
+            achieved = self._transfer_block(self.cfg.blocks[pred], fact)[1]
+            out = achieved if out is None else (out & achieved)
+        return out if out is not None else frozenset()
+
+    # -- transfer -----------------------------------------------------------
+
+    def _transfer_block(self, block: Block, fact: _State) -> _State:
+        env = dict(fact[0])
+        achieved = set(fact[1])
+        written = set(fact[2])
+        for stmt in block.stmts:
+            self._stmt(stmt, env, achieved, written)
+        return (env, frozenset(achieved), frozenset(written))
+
+    def _achieve(self, achieved: set, entry: str) -> None:
+        if entry not in achieved:
+            achieved.add(entry)
+            if self._log is not None:
+                self._log.append(("ach", entry))
+
+    def _stmt(self, stmt, env, achieved, written) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env, achieved, written)
+            for target in stmt.targets:
+                self._bind(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value = self._eval(stmt.value, env, achieved, written)
+            self._bind(stmt.target, value, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, env, achieved, written)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value, env)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if getattr(stmt, "value", None) is not None:
+                self._eval(stmt.value, env, achieved, written)
+        elif isinstance(stmt, ast.expr):
+            # Branch conditions parked in the block by the CFG builder.
+            self._eval(stmt, env, achieved, written)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._eval(stmt.iter, env, achieved, written)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = UNKNOWN
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, env, achieved, written)
+
+    def _bind(self, target, value: str, env) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Tuple) and value.startswith("tmp@"):
+            # fd, path = tempfile.mkstemp(...): both halves of the pair
+            # denote the same file.
+            names = [t.id for t in target.elts if isinstance(t, ast.Name)]
+            if len(names) == 2:
+                env[names[0]] = f"h({value})"
+                env[names[1]] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    env[elt.id] = UNKNOWN
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _eval(self, node, env, achieved, written) -> str:
+        """Evaluate to an origin token, recording protocol events."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str) and node.value:
+                return f"lit:{node.value}"
+            return UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env, achieved, written)
+            right_lit = (
+                node.right.value
+                if isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, str)
+                else None
+            )
+            if isinstance(node.op, ast.Div) and left != UNKNOWN:
+                name = right_lit if right_lit is not None else \
+                    f"@{node.lineno}:{node.col_offset}"
+                return f"sub({left},{name})"
+            if isinstance(node.op, ast.Add) and left != UNKNOWN:
+                # path + ".tmp": same directory, different name.
+                self._eval(node.right, env, achieved, written)
+                return f"sib({left})"
+            self._eval(node.right, env, achieved, written)
+            return UNKNOWN
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env, achieved, written)
+            if node.attr == "parent" and base != UNKNOWN:
+                return dir_of(base)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env, achieved, written)
+            a = self._eval(node.body, env, achieved, written)
+            b = self._eval(node.orelse, env, achieved, written)
+            return a if a == b else UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._call(node, env, achieved, written)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._eval(child, env, achieved, written)
+        return UNKNOWN
+
+    def _call(self, node: ast.Call, env, achieved, written) -> str:
+        from .rules.determinism import _call_target
+
+        target = _call_target(node, self.module)
+        arg_vals = [
+            self._eval(arg, env, achieved, written) for arg in node.args
+        ]
+        kw_vals = {}
+        for kw in node.keywords:
+            val = self._eval(kw.value, env, achieved, written)
+            if kw.arg is not None:
+                kw_vals[kw.arg] = val
+
+        # fsync: the one true durability event.
+        if target == "os.fsync" and arg_vals:
+            token = handle_target(arg_vals[0])
+            self.has_fsync = True
+            if token != UNKNOWN:
+                self._achieve(achieved, f"s:{token}")
+            return UNKNOWN
+        # Path/handle producers.
+        if target in _OPENERS:
+            payload = arg_vals[0] if arg_vals else UNKNOWN
+            return f"h({handle_target(payload)})"
+        if target == "tempfile.mkstemp":
+            return f"tmp@{node.lineno}"
+        if target in ("pathlib.Path", "Path", "str", "os.fspath"):
+            return arg_vals[0] if arg_vals else UNKNOWN
+        if target == "os.path.join" and arg_vals:
+            name = (
+                node.args[1].value
+                if len(node.args) > 1
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                else f"@{node.lineno}:{node.col_offset}"
+            )
+            if arg_vals[0] != UNKNOWN:
+                return f"sub({arg_vals[0]},{name})"
+            return UNKNOWN
+        if target == "os.path.dirname" and arg_vals:
+            return dir_of(arg_vals[0])
+        # Method calls on tracked values.
+        if isinstance(node.func, ast.Attribute):
+            recv = self._eval(node.func.value, env, achieved, written)
+            attr = node.func.attr
+            if attr == "fileno":
+                return recv
+            if attr in _HANDLE_WRITES and recv != UNKNOWN:
+                written.add(handle_target(recv))
+                return UNKNOWN
+            if attr in _PATH_WRITES and recv != UNKNOWN:
+                written.add(recv)
+                return UNKNOWN
+            if attr in ("with_suffix", "with_name", "with_stem") and \
+                    recv != UNKNOWN:
+                return f"sib({recv})"
+            if attr in ("resolve", "absolute", "expanduser"):
+                return recv
+        # Module-level writers (np.save & friends).
+        if target in _FUNC_WRITES:
+            index = _FUNC_WRITES[target]
+            if index < len(arg_vals) and arg_vals[index] != UNKNOWN:
+                written.add(handle_target(arg_vals[index]))
+            return UNKNOWN
+        # The publish event itself.
+        if target in ("os.replace", "os.rename") and len(arg_vals) >= 2:
+            src = handle_target(arg_vals[0])
+            dst = arg_vals[1]
+            if self._log is not None:
+                site = PublishSite(
+                    line=node.lineno, col=node.col_offset + 1,
+                    src=src, dst=dst, dst_dir=dir_of(dst),
+                    written=src in written, before=sorted(achieved),
+                )
+                self.publishes.append(site)
+                self._log.append(("site", site))
+            return UNKNOWN
+        # A call into the project: defer judgement to resolve time.
+        target = project_target(target, self.module)
+        if target is not None:
+            entry_args = []
+            for i, val in enumerate(arg_vals):
+                token = handle_target(val)
+                entry_args.append(
+                    {"token": token, "written": token in written}
+                )
+                if token != UNKNOWN:
+                    self._achieve(achieved, f"c:{target}:{i}:{token}")
+            entry_kw = {}
+            for name, val in kw_vals.items():
+                token = handle_target(val)
+                entry_kw[name] = {
+                    "token": token, "written": token in written,
+                }
+                if token != UNKNOWN:
+                    self._achieve(achieved, f"c:{target}:kw={name}:{token}")
+            if self._log is not None and (
+                any(a["token"] != UNKNOWN for a in entry_args)
+                or any(a["token"] != UNKNOWN for a in entry_kw.values())
+            ):
+                rec = CallRecord(
+                    target=target, line=node.lineno,
+                    col=node.col_offset + 1, pos=entry_args,
+                    kw=entry_kw, before=sorted(achieved),
+                )
+                self.call_records.append(rec)
+                self._log.append(("call", rec))
+        return UNKNOWN
+
+    # -- "after" sets: must-achievements on all normal paths to exit --------
+
+    def _fill_after(self) -> None:
+        """Greatest fixpoint of ``M(b)`` = entries every normal path from
+        the start of ``b`` to the exit accrues.  A site's ``after`` is
+        what its own block logs past the site, plus the meet over its
+        normal successors.  Blocks with no normal continuation (a bare
+        ``raise``) contribute vacuous truth — the publish never takes
+        effect on those paths."""
+        universe: set = set()
+        for log in self._block_logs.values():
+            universe |= {e for kind, e in log if kind == "ach"}
+        frozen_universe = frozenset(universe)
+
+        m: dict[int, frozenset] = {
+            b.idx: frozen_universe for b in self.cfg.blocks
+        }
+        m[self.cfg.exit] = frozenset()
+        block_entries = {
+            idx: frozenset(e for kind, e in log if kind == "ach")
+            for idx, log in self._block_logs.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for block in self.cfg.blocks:
+                if block.idx == self.cfg.exit:
+                    continue
+                meet = frozen_universe
+                for s in self.cfg.normal_succs(block.idx):
+                    meet = meet & m[s]
+                new = block_entries.get(block.idx, frozenset()) | meet
+                if new != m[block.idx]:
+                    m[block.idx] = new
+                    changed = True
+
+        for idx, log in self._block_logs.items():
+            meet = frozen_universe
+            for s in self.cfg.normal_succs(idx):
+                meet = meet & m[s]
+            for i, (kind, payload) in enumerate(log):
+                if kind == "ach":
+                    continue
+                rest = {e for k, e in log[i + 1:] if k == "ach"}
+                payload.after = sorted(frozenset(rest) | meet)
+
+
+def extract_protocol(fn_qualname: str, fn_node, module: ModuleInfo) -> dict:
+    """Run the interpreter; return the serializable summary dict."""
+    interp = ProtocolInterpreter(fn_node, module)
+    interp.run()
+    return {
+        "qualname": fn_qualname,
+        "publishes": [p.to_dict() for p in interp.publishes],
+        "calls": [c.to_dict() for c in interp.call_records],
+        "exit_entries": sorted(interp.exit_entries),
+        "has_fsync": interp.has_fsync,
+    }

@@ -1268,6 +1268,8 @@ def write_manifest_atomic(
     import os
     import tempfile
 
+    from ..core.fsio import fsync_dir
+
     manifest_path = Path(path)
     fd, tmp = tempfile.mkstemp(dir=manifest_path.parent, suffix=".tmp")
     try:
@@ -1278,6 +1280,7 @@ def write_manifest_atomic(
         if before_replace is not None:
             before_replace()
         os.replace(tmp, manifest_path)
+        fsync_dir(manifest_path.parent)
     finally:
         if os.path.exists(tmp):
             os.unlink(tmp)

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..cache import FileLock
 from ..core.errors import ColumnarFormatError
+from ..core.fsio import fsync_dir
 from .columnar import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -122,6 +123,7 @@ def _publish_segment(
         os.fsync(fh.fileno())
     _step(chaos, op, "segment-temp-written")
     os.replace(tmp, directory / filename)
+    fsync_dir(directory)
     _step(chaos, op, "segment-published")
     entry = {
         "node": single,

@@ -28,6 +28,7 @@ import tempfile
 from pathlib import Path
 
 from ..cache import FileLock
+from ..core.fsio import fsync_dir
 from .model import artifact_from_bytes, model_fingerprint
 
 REGISTRY_NAME = "registry.json"
@@ -52,6 +53,7 @@ def _write_atomic(path: Path, payload: bytes) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     except BaseException:
         if os.path.exists(tmp):
             os.unlink(tmp)

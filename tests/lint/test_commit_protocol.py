@@ -1,0 +1,218 @@
+"""RES101/RES102: interprocedural fsync+rename protocol conformance."""
+
+from __future__ import annotations
+
+import textwrap
+
+from .conftest import findings_for, rules_fired
+
+#: A helper with the exact shape of repro.core.fsio.fsync_dir — the
+#: typestate layer must prove "syncs parameter 0" through the
+#: try/finally (the close on the error path must not kill the fact).
+FSYNC_DIR_HELPER = textwrap.dedent(
+    """
+    import os
+
+    def fsync_dir(path):
+        fd = os.open(str(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    """
+)
+
+
+class TestRes101UnsyncedPayloadRename:
+    def test_rename_in_callee_blames_the_writer(self, lint_tree):
+        # The split protocol RES002 cannot see: bytes written in one
+        # function, renamed in another.  The finding anchors at the
+        # caller (who skipped the fsync), naming the publisher.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(src, dst):
+                    os.replace(src, dst)
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                    publish(tmp, path)
+                """
+            )
+        })
+        found = findings_for(result, "RES101")
+        assert len(found) == 1
+        assert found[0].line == 11
+        assert "renamed by publish" in found[0].message
+        assert "fsync" in found[0].message
+
+    def test_fsync_before_the_call_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(src, dst):
+                    os.replace(src, dst)
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    publish(tmp, path)
+                """
+            )
+        })
+        assert findings_for(result, "RES101") == []
+
+    def test_fsync_on_one_branch_only_fires(self, lint_tree):
+        # Path sensitivity: an fsync exists but does not dominate the
+        # rename, so one path publishes unsynced bytes.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def save(path, payload, fast):
+                    tmp = path + ".tmp"
+                    fh = open(tmp, "wb")
+                    fh.write(payload)
+                    if not fast:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    fh.close()
+                    os.replace(tmp, path)
+                """
+            )
+        })
+        found = findings_for(result, "RES101")
+        assert len(found) == 1
+        assert "every path" in found[0].message
+
+    def test_fsync_on_all_branches_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def save(path, payload, level):
+                    tmp = path + ".tmp"
+                    fh = open(tmp, "wb")
+                    fh.write(payload)
+                    if level:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    else:
+                        os.fsync(fh.fileno())
+                    fh.close()
+                    os.replace(tmp, path)
+                """
+            )
+        })
+        assert findings_for(result, "RES101") == []
+
+
+class TestRes102UnsyncedDirectory:
+    def test_caller_with_concrete_directory_is_blamed(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+                from pathlib import Path
+
+                def publish(src, dst):
+                    os.replace(src, dst)
+
+                def save(payload):
+                    tmp = Path("out") / "x.tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    publish(tmp, Path("out") / "x.bin")
+                """
+            )
+        })
+        found = findings_for(result, "RES102")
+        assert len(found) == 1
+        assert found[0].line == 14
+        assert "never fsynced" in found[0].message
+
+    def test_directory_fsync_after_the_call_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+                from pathlib import Path
+
+                def publish(src, dst):
+                    os.replace(src, dst)
+
+                def save(payload):
+                    tmp = Path("out") / "x.tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    publish(tmp, Path("out") / "x.bin")
+                    fd = os.open("out", os.O_RDONLY)
+                    os.fsync(fd)
+                    os.close(fd)
+                """
+            )
+        })
+        assert findings_for(result, "RES102") == []
+
+    def test_discharge_through_fsync_dir_helper(self, lint_tree):
+        # The obligation discharges through a callee that provably
+        # fsyncs its parameter — including through its try/finally.
+        result, _ = lint_tree({
+            "fsio.py": FSYNC_DIR_HELPER,
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                from fsio import fsync_dir
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+                    fsync_dir(os.path.dirname(path))
+                """
+            ),
+        })
+        assert findings_for(result, "RES102") == []
+
+    def test_entry_point_dead_end_anchors_at_site(self, lint_tree):
+        # The directory walks up to a parameter of a function nobody
+        # calls: the obligation cannot be discharged, so the finding
+        # anchors back at the os.replace itself.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+                """
+            )
+        })
+        found = findings_for(result, "RES102")
+        assert len(found) == 1
+        assert found[0].line == 10
+        assert "fsync_dir" in found[0].message

@@ -266,3 +266,74 @@ class TestCon002WorkerGlobalWrite:
             )
         })
         assert rules_fired(result) == []
+
+    def test_comprehension_target_does_not_shadow_global(self, lint_tree):
+        # The v1 blind spot: a comprehension target named like a module
+        # global looked like a local binding to the old scope scan, so
+        # the .append() two lines later sailed through.  Python 3
+        # comprehension targets live in their own scope — the global is
+        # still the global, and the worker still mutates it.
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                from repro.parallel import supervised_map
+
+                RESULTS = []
+
+                def work(item):
+                    doubled = [RESULTS for RESULTS in range(item)]
+                    RESULTS.append(item)
+                    return doubled
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        found = findings_for(result, "CON002")
+        assert len(found) == 1
+        assert "RESULTS.append" in found[0].message
+
+    def test_true_local_shadow_stays_clean(self, lint_tree):
+        # A real local assignment (not a comprehension target) does
+        # shadow the global; writes to it are not shared state.
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                from repro.parallel import supervised_map
+
+                RESULTS = []
+
+                def work(item):
+                    RESULTS = []
+                    RESULTS.append(item)
+                    return RESULTS
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        assert rules_fired(result) == []
+
+    def test_walrus_binding_is_a_real_local(self, lint_tree):
+        # A NamedExpr target binds the *function* scope even inside a
+        # comprehension — writes to it are local, not shared.
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                from repro.parallel import supervised_map
+
+                BUF = []
+
+                def work(item):
+                    pairs = [(BUF := [item]) for _ in range(2)]
+                    BUF.append(item)
+                    return pairs
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        assert rules_fired(result) == []

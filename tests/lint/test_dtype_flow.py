@@ -1,0 +1,144 @@
+"""NPY101/NPY102: dtype lattice propagation through hot paths."""
+
+from __future__ import annotations
+
+import textwrap
+
+from .conftest import findings_for
+
+
+class TestNpy101ImplicitPromotion:
+    def test_mixed_width_arithmetic_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def scale(n):
+                    a = np.zeros(n, dtype=np.float32)
+                    b = np.arange(n, dtype=np.int64)
+                    return a * b
+                """
+            )
+        })
+        found = findings_for(result, "NPY101")
+        assert len(found) == 1
+        assert "float32 * int64" in found[0].message
+        assert "float64" in found[0].message
+
+    def test_matched_dtypes_are_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def scale(n):
+                    a = np.zeros(n, dtype=np.float32)
+                    b = np.ones(n, dtype=np.float32)
+                    return a * b
+                """
+            )
+        })
+        assert findings_for(result, "NPY101") == []
+
+    def test_weak_python_scalar_is_clean(self, lint_tree):
+        # NEP-50 semantics: a Python float does not upcast float32.
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def halve(n):
+                    a = np.zeros(n, dtype=np.float32)
+                    return a * 0.5
+                """
+            )
+        })
+        assert findings_for(result, "NPY101") == []
+
+    def test_int_array_truediv_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def rate(n):
+                    errors = np.zeros(n, dtype=np.int32)
+                    return errors / 7
+                """
+            )
+        })
+        found = findings_for(result, "NPY101")
+        assert len(found) == 1
+        assert "float64" in found[0].message
+
+    def test_interprocedural_return_dtype(self, lint_tree):
+        # The left operand's dtype flows out of a helper's return.
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def counts(n):
+                    return np.zeros(n, dtype=np.float32)
+
+                def scale(n):
+                    weights = np.arange(n, dtype=np.int64)
+                    return counts(n) * weights
+                """
+            )
+        })
+        found = findings_for(result, "NPY101")
+        assert len(found) == 1
+        assert "float32 * int64" in found[0].message
+
+    def test_cold_path_is_not_checked(self, lint_tree):
+        result, _ = lint_tree({
+            "util.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def scale(n):
+                    a = np.zeros(n, dtype=np.float32)
+                    b = np.arange(n, dtype=np.int64)
+                    return a * b
+                """
+            )
+        })
+        assert findings_for(result, "NPY101") == []
+
+
+class TestNpy102NarrowingStore:
+    def test_float_into_int_array_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def bin_counts(vals, n):
+                    out = np.zeros(n, dtype=np.int32)
+                    scaled = vals.astype(np.float32)
+                    out[0] = scaled[0]
+                    return out
+                """
+            )
+        })
+        found = findings_for(result, "NPY102")
+        assert len(found) == 1
+        assert "truncates silently" in found[0].message
+
+    def test_widening_store_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "kernels/hot.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def widen(vals, n):
+                    out = np.zeros(n, dtype=np.int64)
+                    small = vals.astype(np.int32)
+                    out[0] = small[0]
+                    return out
+                """
+            )
+        })
+        assert findings_for(result, "NPY102") == []

@@ -1,0 +1,175 @@
+"""Incremental engine: cache counters, dirty closure, focus filter."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+
+UTIL = textwrap.dedent(
+    """
+    def helper(x):
+        return x + 1
+    """
+)
+
+STORE = textwrap.dedent(
+    """
+    import os
+
+    from util import helper
+
+    def publish(path, payload):
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+        return helper(1)
+    """
+)
+
+OTHER = textwrap.dedent(
+    """
+    def standalone():
+        return 3
+    """
+)
+
+
+def _tree(root: Path, files: dict[str, str]) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+class TestIncrementalCache:
+    def test_cold_then_warm_counters(self, tmp_path):
+        root = tmp_path / "proj"
+        _tree(root, {"util.py": UTIL, "store.py": STORE})
+        cache = tmp_path / "cache.json"
+
+        cold = run_lint([root], cache_path=cache)
+        assert cold.analysis["cold"] is True
+        assert cold.analysis["modules_analyzed"] == 2
+        assert cold.analysis["modules_cached"] == 0
+
+        warm = run_lint([root], cache_path=cache)
+        assert warm.analysis["cold"] is False
+        assert warm.analysis["modules_analyzed"] == 0
+        assert warm.analysis["modules_cached"] == 2
+        assert warm.analysis["changed"] == []
+
+    def test_findings_survive_the_cache_byte_identical(self, tmp_path):
+        root = tmp_path / "proj"
+        _tree(root, {"util.py": UTIL, "store.py": STORE})
+        cache = tmp_path / "cache.json"
+
+        cold = run_lint([root], cache_path=cache)
+        warm = run_lint([root], cache_path=cache)
+        assert [f.rule for f in cold.findings]  # the fixture does fire
+        assert [
+            (f.rule, f.path, f.line, f.col, f.message)
+            for f in cold.findings
+        ] == [
+            (f.rule, f.path, f.line, f.col, f.message)
+            for f in warm.findings
+        ]
+
+    def test_single_edit_reanalyzes_only_reverse_closure(self, tmp_path):
+        # Editing a callee re-analyzes it AND its callers (an edit to
+        # util can move interprocedural findings anchored in store),
+        # but an unrelated module stays served from the cache.
+        root = tmp_path / "proj"
+        _tree(root, {
+            "util.py": UTIL, "store.py": STORE, "other.py": OTHER,
+        })
+        cache = tmp_path / "cache.json"
+        run_lint([root], cache_path=cache)
+
+        (root / "util.py").write_text(
+            UTIL.replace("x + 1", "x + 2"), encoding="utf-8"
+        )
+        warm = run_lint([root], cache_path=cache)
+
+        assert warm.analysis["cold"] is False
+        changed = [Path(p).name for p in warm.analysis["changed"]]
+        dirty = sorted(Path(p).name for p in warm.analysis["dirty"])
+        assert changed == ["util.py"]
+        assert dirty == ["store.py", "util.py"]
+        assert warm.analysis["modules_analyzed"] == 2
+        assert warm.analysis["modules_cached"] == 1
+
+    def test_suppressions_are_served_from_cache(self, tmp_path):
+        root = tmp_path / "proj"
+        _tree(root, {
+            "io.py": textwrap.dedent(
+                """
+                def read_all(path):
+                    fh = open(path)  # repro: noqa[RES001]: caller closes
+                    return fh.read()
+                """
+            )
+        })
+        cache = tmp_path / "cache.json"
+
+        cold = run_lint([root], cache_path=cache)
+        warm = run_lint([root], cache_path=cache)
+        assert warm.analysis["modules_analyzed"] == 0
+        for result in (cold, warm):
+            assert result.findings == []
+            assert [f.rule for f in result.suppressed] == ["RES001"]
+            assert result.suppressed[0].reason == "caller closes"
+
+    def test_config_change_invalidates_the_whole_cache(self, tmp_path):
+        root = tmp_path / "proj"
+        _tree(root, {"util.py": UTIL, "store.py": STORE})
+        cache = tmp_path / "cache.json"
+
+        run_lint([root], cache_path=cache)
+        warm = run_lint(
+            [root], LintConfig(entry_points=("util.helper",)),
+            cache_path=cache,
+        )
+        assert warm.analysis["cold"] is True
+        assert warm.analysis["modules_analyzed"] == 2
+
+    def test_damaged_cache_file_degrades_to_cold(self, tmp_path):
+        root = tmp_path / "proj"
+        _tree(root, {"util.py": UTIL})
+        cache = tmp_path / "cache.json"
+
+        run_lint([root], cache_path=cache)
+        cache.write_text("{not json", encoding="utf-8")
+        warm = run_lint([root], cache_path=cache)
+        assert warm.analysis["cold"] is True
+        assert warm.analysis["modules_analyzed"] == 1
+
+
+class TestFocusFilter:
+    def test_focus_keeps_the_edit_and_its_dependents(self, tmp_path):
+        # store.py has a finding; other.py has its own.  Focusing on
+        # util.py keeps store's finding (a dependent) and drops other's.
+        root = tmp_path / "proj"
+        _tree(root, {
+            "util.py": UTIL,
+            "store.py": STORE,
+            "other.py": textwrap.dedent(
+                """
+                def read_all(path):
+                    fh = open(path)
+                    return fh.read()
+                """
+            ),
+        })
+        unfocused = run_lint([root])
+        fired = {(f.rule, Path(f.path).name) for f in unfocused.findings}
+        assert ("RES001", "other.py") in fired
+        assert any(name == "store.py" for _, name in fired)
+
+        focused = run_lint([root], focus=[str(root / "util.py")])
+        names = {Path(f.path).name for f in focused.findings}
+        assert "store.py" in names
+        assert "other.py" not in names
+        assert "focus" in focused.analysis

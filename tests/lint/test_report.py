@@ -8,7 +8,13 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.lint import render_json, render_text, run_lint
+from repro.lint import (
+    render_json,
+    render_json_v1,
+    render_sarif,
+    render_text,
+    run_lint,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -63,10 +69,10 @@ class TestJsonReporter:
     def test_schema_keys_and_version(self, tmp_path):
         root = _tree(tmp_path, {"bad.py": DIRTY, "ok.py": SUPPRESSED})
         payload = json.loads(render_json(run_lint([root])))
-        assert payload["version"] == 1
+        assert payload["schema_version"] == 2
         assert set(payload) == {
-            "version", "clean", "files_scanned", "findings",
-            "suppressed", "errors", "summary",
+            "schema_version", "clean", "files_scanned", "analysis",
+            "findings", "suppressed", "errors", "summary",
         }
         assert payload["clean"] is False
         assert payload["files_scanned"] == 2
@@ -78,6 +84,26 @@ class TestJsonReporter:
         assert finding["rule"] == "DET001"
         assert finding["suppressed"] is False
         assert payload["suppressed"][0]["reason"] == "demo"
+
+    def test_analysis_counters(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": DIRTY, "ok.py": CLEAN})
+        payload = json.loads(render_json(run_lint([root])))
+        analysis = payload["analysis"]
+        assert analysis["modules_total"] == 2
+        assert analysis["modules_analyzed"] == 2
+        assert analysis["modules_cached"] == 0
+        assert analysis["cold"] is True
+        assert analysis["duration_s"] >= 0
+
+    def test_v1_payload_is_frozen(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": DIRTY, "ok.py": SUPPRESSED})
+        payload = json.loads(render_json_v1(run_lint([root])))
+        assert payload["version"] == 1
+        assert set(payload) == {
+            "version", "clean", "files_scanned", "findings",
+            "suppressed", "errors", "summary",
+        }
+        assert payload["summary"]["by_rule"] == {"DET001": 1}
 
     def test_clean_payload(self, tmp_path):
         root = _tree(tmp_path, {"ok.py": CLEAN})
@@ -94,6 +120,33 @@ class TestJsonReporter:
         assert set(payload["errors"][0]) == {"path", "message"}
 
 
+class TestSarifReporter:
+    def test_minimal_valid_run(self, tmp_path):
+        root = _tree(tmp_path, {"bad.py": DIRTY, "ok.py": SUPPRESSED})
+        payload = json.loads(render_sarif(run_lint([root])))
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        (run,) = payload["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["DET001"]
+        assert run["invocations"][0]["executionSuccessful"] is True
+        live = [r for r in run["results"] if "suppressions" not in r]
+        muted = [r for r in run["results"] if "suppressions" in r]
+        assert len(live) == 1 and len(muted) == 1
+        loc = live[0]["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("bad.py")
+        assert loc["region"] == {"startLine": 5, "startColumn": 12}
+        assert muted[0]["suppressions"][0]["justification"] == "demo"
+
+    def test_errors_fail_the_invocation(self, tmp_path):
+        root = _tree(tmp_path, {"broken.py": BROKEN})
+        payload = json.loads(render_sarif(run_lint([root])))
+        invocation = payload["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert invocation["toolExecutionNotifications"]
+
+
 class TestTextReporter:
     def test_finding_line_format(self, tmp_path):
         root = _tree(tmp_path, {"bad.py": DIRTY})
@@ -101,11 +154,11 @@ class TestTextReporter:
         line = text.splitlines()[0]
         # file:line:col RULE-ID message
         assert "bad.py:5:12 DET001 " in line
-        assert text.splitlines()[-1] == "1 files scanned: 1 finding"
+        assert "1 files scanned: 1 finding" in text
 
     def test_clean_summary(self, tmp_path):
         root = _tree(tmp_path, {"ok.py": CLEAN})
-        assert render_text(run_lint([root])) == "1 files scanned: clean"
+        assert "1 files scanned: clean" in render_text(run_lint([root]))
 
     def test_show_suppressed(self, tmp_path):
         root = _tree(tmp_path, {"ok.py": SUPPRESSED})
@@ -118,8 +171,12 @@ class TestCli:
     """End-to-end through ``python -m repro lint``."""
 
     def _run(self, *argv, cwd=REPO_ROOT):
+        import tempfile
+
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        # Hermetic cache: never touch (or get poisoned by) the user's.
+        env["REPRO_LINT_CACHE_DIR"] = tempfile.mkdtemp(prefix="lintcache-")
         return subprocess.run(
             [sys.executable, "-m", "repro", "lint", *argv],
             capture_output=True, text=True, env=env, cwd=cwd,

@@ -149,10 +149,13 @@ class TestRes002RenameWithoutFsync:
                 """
             )
         })
-        assert rules_fired(result) == ["RES002"]
+        # RES102 (directory durability, PR 10) rides along: the rename
+        # is also never made durable with a directory fsync.
+        assert rules_fired(result) == ["RES002", "RES102"]
 
     def test_fsync_before_replace_is_clean(self, lint_tree):
-        # The CampaignCache.store durability protocol.
+        # The full durability protocol: payload fsync before the
+        # rename, directory fsync after it (RES102's obligation).
         result, _ = lint_tree({
             "store.py": textwrap.dedent(
                 """
@@ -165,14 +168,18 @@ class TestRes002RenameWithoutFsync:
                         fh.flush()
                         os.fsync(fh.fileno())
                     os.replace(tmp, path)
+                    fd = os.open(os.path.dirname(path), os.O_RDONLY)
+                    os.fsync(fd)
+                    os.close(fd)
                 """
             )
         })
         assert rules_fired(result) == []
 
     def test_rename_without_write_is_clean(self, lint_tree):
-        # Pure moves (no freshly written payload) carry no durability
-        # obligation for this rule.
+        # Pure moves (no freshly written payload) carry no payload
+        # durability obligation for RES002/RES101; the directory fsync
+        # (RES102) is a separate obligation with its own tests.
         result, _ = lint_tree({
             "store.py": textwrap.dedent(
                 """
@@ -183,4 +190,5 @@ class TestRes002RenameWithoutFsync:
                 """
             )
         })
-        assert rules_fired(result) == []
+        assert "RES002" not in rules_fired(result)
+        assert "RES101" not in rules_fired(result)

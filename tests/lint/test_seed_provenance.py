@@ -1,0 +1,189 @@
+"""DET101/DET102: interprocedural seed provenance over the call graph."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import LintConfig
+
+from .conftest import findings_for, rules_fired
+
+
+class TestDet101LaunderedSeed:
+    def test_constant_seed_in_worker_fires_at_site(self, lint_tree):
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                import numpy as np
+                from repro.parallel import supervised_map
+
+                def work(item):
+                    rng = np.random.default_rng(42)
+                    return rng.random() * item
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        found = findings_for(result, "DET101")
+        assert len(found) == 1
+        assert found[0].line == 6
+        assert "constant" in found[0].message
+
+    def test_laundered_through_helper_fires_at_frontier(self, lint_tree):
+        # The seed passes through an innocent-looking helper: the
+        # finding anchors at the call that concretely introduces the
+        # constant, not inside the helper.
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                import numpy as np
+                from repro.parallel import supervised_map
+
+                def make_rng(seed):
+                    return np.random.default_rng(seed)
+
+                def work(item):
+                    rng = make_rng(1234)
+                    return rng.random() * item
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        found = findings_for(result, "DET101")
+        assert len(found) == 1
+        assert found[0].line == 9
+        assert "make_rng" in found[0].message
+        assert "constant" in found[0].message
+
+    def test_laundering_through_default_argument(self, lint_tree):
+        # Nobody passes a seed, so the helper's numeric default feeds
+        # the generator — the classic silent-determinism bug.
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                import numpy as np
+                from repro.parallel import supervised_map
+
+                def make_rng(seed=7):
+                    return np.random.default_rng(seed)
+
+                def work(item):
+                    rng = make_rng()
+                    return rng.random() * item
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        found = findings_for(result, "DET101")
+        assert len(found) == 1
+        assert found[0].line == 9
+
+    def test_time_seed_is_foreign(self, lint_tree):
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                import time
+
+                import numpy as np
+                from repro.parallel import supervised_map
+
+                def work(item):
+                    rng = np.random.default_rng(int(time.time()))
+                    return rng.random() * item
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        found = findings_for(result, "DET101")
+        assert len(found) == 1
+        assert "foreign" in found[0].message
+
+    def test_spawned_stream_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "camp.py": textwrap.dedent(
+                """
+                import numpy as np
+                from repro.parallel import supervised_map
+
+                def work(parent):
+                    child = parent.spawn(1)[0]
+                    rng = np.random.default_rng(child)
+                    return rng.random()
+
+                def run(items):
+                    return supervised_map(work, items)
+                """
+            )
+        })
+        assert findings_for(result, "DET101") == []
+
+    def test_unreachable_constructor_is_clean(self, lint_tree):
+        # No worker dispatch and no configured entry point reaches f:
+        # library surface is allowed to take whatever seed it is given.
+        result, _ = lint_tree({
+            "lib.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def f():
+                    return np.random.default_rng(0)
+                """
+            )
+        })
+        assert findings_for(result, "DET101") == []
+
+    def test_configured_entry_point_is_a_root(self, lint_tree):
+        result, _ = lint_tree(
+            {
+                "camp.py": textwrap.dedent(
+                    """
+                    import numpy as np
+
+                    def main():
+                        return np.random.default_rng(0)
+                    """
+                )
+            },
+            config=LintConfig(entry_points=("camp.main",)),
+        )
+        found = findings_for(result, "DET101")
+        assert len(found) == 1
+
+
+class TestDet102RngInDefaultArg:
+    def test_generator_default_fires(self, lint_tree):
+        result, _ = lint_tree({
+            "lib.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def f(rng=np.random.default_rng(0)):
+                    return rng.random()
+                """
+            )
+        })
+        found = findings_for(result, "DET102")
+        assert len(found) == 1
+        assert found[0].line == 4
+
+    def test_none_default_is_clean(self, lint_tree):
+        result, _ = lint_tree({
+            "lib.py": textwrap.dedent(
+                """
+                import numpy as np
+
+                def f(rng=None):
+                    rng = rng if rng is not None else np.random.default_rng()
+                    return rng.random()
+                """
+            )
+        })
+        assert findings_for(result, "DET102") == []

@@ -121,3 +121,133 @@ class TestInvalidSuppressions:
         # The reasonless DET001 suppression on line 3 stays a finding
         # even though line 2 names LNT001 with a reason.
         assert "LNT001" in rules_fired(result)
+
+
+class TestStatementAnchors:
+    """A noqa anywhere on a multi-line statement covers its anchor line."""
+
+    def test_trailing_comment_on_last_continuation_line(self, lint_tree):
+        # The call spans three physical lines; the finding anchors at
+        # the first (where the AST pins the Call node) but the comment
+        # sits where a human writes it — after the closing paren.
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import random
+
+                def pick(xs):
+                    return random.choice(
+                        xs,
+                    )  # repro: noqa[DET001]: demo tool
+                """
+            )
+        })
+        assert rules_fired(result) == []
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].line == 5
+
+    def test_trailing_comment_on_middle_continuation_line(self, lint_tree):
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import random
+
+                def pick(xs):
+                    return random.choice(
+                        xs,  # repro: noqa[DET001]: demo tool
+                    )
+                """
+            )
+        })
+        assert rules_fired(result) == []
+        assert len(result.suppressed) == 1
+
+    def test_standalone_comment_above_decorated_def(self, lint_tree):
+        # DET102 anchors at the def line; the comment above the
+        # decorator must reach past it to the def itself.
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import functools
+
+                import numpy as np
+
+                # repro: noqa[DET102]: fixture generator, sharing intended
+                @functools.cache
+                def f(rng=np.random.default_rng(0)):
+                    return rng.random()
+                """
+            )
+        })
+        assert rules_fired(result) == []
+        assert [f.rule for f in result.suppressed] == ["DET102"]
+
+    def test_unrelated_statement_is_not_blanketed(self, lint_tree):
+        # The anchor mapping must not leak a suppression onto the next
+        # statement: the second choice stays a finding.
+        result, _ = lint_tree({
+            "sim.py": textwrap.dedent(
+                """
+                import random
+
+                def pick(xs):
+                    a = random.choice(
+                        xs,
+                    )  # repro: noqa[DET001]: demo tool
+                    b = random.choice(xs)
+                    return a, b
+                """
+            )
+        })
+        assert rules_fired(result) == ["DET001"]
+        assert len(result.suppressed) == 1
+
+
+class TestInterproceduralAnchors:
+    """DET1xx/RES1xx findings suppress at their *primary* site only."""
+
+    def test_noqa_at_the_blamed_call_suppresses_res101(self, lint_tree):
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(src, dst):
+                    os.replace(src, dst)
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                    publish(tmp, path)  # repro: noqa[RES101]: scratch file
+                """
+            )
+        })
+        assert "RES101" not in rules_fired(result)
+        assert "RES101" in [f.rule for f in result.suppressed]
+
+    def test_noqa_inside_the_callee_does_not_silence_the_caller(
+        self, lint_tree
+    ):
+        # The finding anchors at save's call, not publish's os.replace:
+        # acknowledging the rename inside the helper must not quietly
+        # bless every unsynced caller.
+        result, _ = lint_tree({
+            "store.py": textwrap.dedent(
+                """
+                import os
+
+                def publish(src, dst):
+                    os.replace(src, dst)  # repro: noqa[RES101]: see callers
+
+                def save(path, payload):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(payload)
+                    publish(tmp, path)
+                """
+            )
+        })
+        found = findings_for(result, "RES101")
+        assert len(found) == 1
+        assert found[0].line == 11
